@@ -1,0 +1,33 @@
+# Convenience targets for the CGO-2011 reproduction.
+
+PY ?= python
+
+.PHONY: install test bench bench-full examples report clean-cache
+
+install:
+	pip install -e . || $(PY) setup.py develop
+
+test:
+	$(PY) -m pytest tests/
+
+test-fast:
+	$(PY) -m pytest tests/ -m "not slow" -x -q
+
+bench:            ## regenerate Table 4 + Figures 6-13 (+ ablations)
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-full:       ## the paper's 30-replication methodology (slow)
+	REPRO_PROFILE=full $(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PY) examples/quickstart.py
+	$(PY) examples/explore_compiler.py
+	REPRO_PROFILE=tiny $(PY) examples/train_and_evaluate.py
+	REPRO_PROFILE=tiny $(PY) examples/inspect_model.py
+	$(PY) examples/model_service.py
+
+report:           ## consolidate saved benchmark outputs into markdown
+	$(PY) -m repro report
+
+clean-cache:
+	rm -rf .repro_cache

@@ -1,0 +1,93 @@
+"""E-A4 (extension): the guided modifier search -- the paper's future
+work, implemented and measured.
+
+Paper §5: "a heuristic-based search that evaluates the performance for
+modifiers during data collection may focus the search on promising
+regions within the space of possible modifiers.  The implementation of
+such a search is left for future work."
+
+This ablation compares the guided search (online mutation/crossover of
+the best-scoring modifiers, `repro.collect.guided`) against the paper's
+merged offline strategy at equal experiment budget, on two axes:
+
+* **search efficiency** -- the mean Eq. 2 quality (best_V / V) of the
+  non-null experiments each strategy spends its budget on;
+* **downstream model quality** -- start-up performance and compile time
+  of models trained from each strategy's data.
+
+Expected shape: the guided search concentrates its experiments on
+higher-quality plans (higher mean quality), supporting the paper's
+conjecture; downstream model quality is at least comparable.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.experiments.evaluation import evaluate_benchmark
+from repro.ml.pipeline import leave_one_out_models
+from repro.ml.ranking import ranking_value, trigger_for_record
+
+
+def _mean_quality(record_sets):
+    """Mean Eq. 2 quality of non-null experiments, per feature vector."""
+    qualities = []
+    for rs in record_sets.values():
+        best = {}
+        values = []
+        for record in rs:
+            value = ranking_value(record, trigger_for_record(record))
+            if value <= 0 or value == float("inf"):
+                continue
+            key = (tuple(record.features), record.level)
+            if key not in best or value < best[key]:
+                best[key] = value
+            values.append((key, record.modifier_bits, value))
+        for key, bits, value in values:
+            if bits == 0:
+                continue
+            qualities.append(best[key] / value)
+    return float(np.mean(qualities)) if qualities else 0.0
+
+
+def run_ablation(ctx):
+    rows = {}
+    for search in ("merged", "guided"):
+        record_sets = ctx.record_sets(search=search)
+        models = leave_one_out_models(record_sets)
+        program = ctx.program("specjvm", "javac")
+        result = evaluate_benchmark(
+            program, models, iterations=1,
+            replications=max(2, ctx.replications),
+            master_seed=ctx.master_seed)
+        rows[search] = {
+            "mean_quality": _mean_quality(record_sets),
+            "records": sum(len(rs) for rs in record_sets.values()),
+            "performance": float(np.mean(
+                [result.relative_performance(m).mean
+                 for m in result.models()])),
+            "compile_time": float(np.mean(
+                [result.relative_compile_time(m).mean
+                 for m in result.models()])),
+        }
+    lines = ["Ablation: guided search (the paper's future work) vs "
+             "merged offline search",
+             f"{'strategy':8s} {'records':>8s} {'mean quality':>13s} "
+             f"{'rel perf':>9s} {'rel compile':>12s}"]
+    for search, row in rows.items():
+        lines.append(f"{search:8s} {row['records']:8d} "
+                     f"{row['mean_quality']:13.3f} "
+                     f"{row['performance']:9.3f} "
+                     f"{row['compile_time']:12.3f}")
+    return {"rows": rows, "text": "\n".join(lines)}
+
+
+def test_guided_search_ablation(benchmark, ctx, results_dir):
+    payload = benchmark.pedantic(run_ablation, args=(ctx,), rounds=1,
+                                 iterations=1)
+    print()
+    print(payload["text"])
+    save_result(results_dir, "ablation_guided", payload)
+    rows = payload["rows"]
+    for row in rows.values():
+        assert row["records"] > 0
+        assert row["performance"] > 0

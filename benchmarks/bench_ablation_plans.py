@@ -1,0 +1,78 @@
+"""E-A3: ablation of the hand-tuned plan ladder itself.
+
+Not a paper table, but the design question the paper motivates: how much
+does each optimization level's plan actually buy, and at what compile
+cost?  For one benchmark we compile every method at a single fixed level
+and measure code quality (total run cycles, warmed) against compile
+cycles -- the quality/effort frontier the adaptive controller and the
+learned models both navigate.
+
+Expected shape: higher levels monotonically increase compile cost;
+run-time improves with level but with strongly diminishing returns
+(most of the win arrives by warm/hot -- why Testarossa compiles most
+methods at warm).
+"""
+
+from benchmarks.conftest import save_result
+from repro.jit.compiler import JitCompiler
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import JType
+from repro.jvm.vm import VirtualMachine
+
+
+def run_frontier(ctx):
+    program = ctx.program("specjvm", "mtrt")
+    rows = {}
+    for level in OptLevel:
+        vm = VirtualMachine()
+        vm.load_program(program)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        compiled = {}
+        compile_cycles = 0
+        for method in program.methods():
+            out = compiler.compile(method, level)
+            compiled[method.signature] = out
+            compile_cycles += out.compile_cycles
+
+        class Precompiled:
+            def on_attach(self, vm):
+                pass
+
+            def on_invoke(self, method, count):
+                pass
+
+            def on_sample(self, method):
+                pass
+
+            def on_return(self, method, c):
+                pass
+
+            def compiled_for(self, method, now):
+                return compiled.get(method.signature)
+
+        vm.attach_manager(Precompiled())
+        vm.call(program.entry, 3)
+        rows[level.name] = {
+            "compile_cycles": compile_cycles,
+            "run_cycles": vm.clock.now(),
+        }
+    lines = ["Ablation: fixed-level quality/effort frontier (mtrt)",
+             f"{'level':10s} {'compile cyc':>12s} {'run cyc':>10s}"]
+    for name, row in rows.items():
+        lines.append(f"{name:10s} {row['compile_cycles']:12d} "
+                     f"{row['run_cycles']:10d}")
+    return {"rows": rows, "text": "\n".join(lines)}
+
+
+def test_plan_ladder_frontier(benchmark, ctx, results_dir):
+    payload = benchmark.pedantic(run_frontier, args=(ctx,), rounds=1,
+                                 iterations=1)
+    print()
+    print(payload["text"])
+    save_result(results_dir, "ablation_plans", payload)
+    rows = payload["rows"]
+    costs = [rows[lv.name]["compile_cycles"] for lv in OptLevel]
+    assert costs == sorted(costs)  # effort grows with level
+    # Code quality: the hottest plan must beat the coldest.
+    assert rows["SCORCHING"]["run_cycles"] \
+        <= rows["COLD"]["run_cycles"]

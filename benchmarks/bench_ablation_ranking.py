@@ -1,0 +1,64 @@
+"""E-A2: ablation of the ranking-selection strategy (paper §6).
+
+The pipeline supports the three selection strategies the paper
+describes: the single best modifier per feature vector, the top-N (the
+paper's models use N = 3 with the 95%-of-best rule), and the top-M%.
+This ablation trains a model set per strategy and compares prediction
+behaviour and training-set size.
+
+Expected shape: 'best' yields the smallest training set (1 instance per
+vector); 'top_n' multiplies instances by up to N while keeping only
+near-optimal plans; 'top_percent' scales with the exploration depth.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import save_result
+from repro.jit.plans import OptLevel
+from repro.ml.pipeline import TrainingPipeline, merge_record_sets
+
+
+def run_ablation(ctx):
+    merged = merge_record_sets(ctx.record_sets())
+    rows = {}
+    for strategy, kwargs in (
+            ("best", {}),
+            ("top_n", {"top_n": 3, "quality_floor": 0.95}),
+            ("top_percent", {}),
+    ):
+        pipeline = TrainingPipeline(levels=(OptLevel.HOT,),
+                                    strategy=strategy, **kwargs)
+        model_set = pipeline.train(merged, name=strategy)
+        ranked = pipeline.ranked[OptLevel.HOT]
+        model = model_set.model_for(OptLevel.HOT)
+        bits = [model.predict_modifier(
+            np.array(inst.features)).count_disabled()
+            for inst in ranked.instances[:40]]
+        rows[strategy] = {
+            "training_instances": len(ranked.instances),
+            "training_classes": len(ranked.unique_classes()),
+            "mean_predicted_disabled": float(np.mean(bits)),
+            "training_seconds":
+                pipeline.training_seconds[OptLevel.HOT],
+        }
+    lines = ["Ablation: ranking selection strategy (hot level)",
+             f"{'strategy':12s} {'instances':>10s} {'classes':>8s} "
+             f"{'pred.bits':>10s} {'train s':>8s}"]
+    for strategy, row in rows.items():
+        lines.append(
+            f"{strategy:12s} {row['training_instances']:10d} "
+            f"{row['training_classes']:8d} "
+            f"{row['mean_predicted_disabled']:10.1f} "
+            f"{row['training_seconds']:8.2f}")
+    return {"rows": rows, "text": "\n".join(lines)}
+
+
+def test_ranking_strategy_ablation(benchmark, ctx, results_dir):
+    payload = benchmark.pedantic(run_ablation, args=(ctx,), rounds=1,
+                                 iterations=1)
+    print()
+    print(payload["text"])
+    save_result(results_dir, "ablation_ranking", payload)
+    rows = payload["rows"]
+    assert rows["best"]["training_instances"] \
+        <= rows["top_n"]["training_instances"]

@@ -1,0 +1,21 @@
+"""E-F8: Figure 8 -- DaCapo start-up performance -- the generalization experiment.
+
+Expected shape: models trained ONLY on SPECjvm98-like programs
+still deliver a modest average start-up gain on the very different
+DaCapo-like suite (the paper's 'pleasantly positive' result).
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments.figures import figure8
+
+
+def test_figure8(benchmark, ctx, results_dir):
+    payload = benchmark.pedantic(figure8, args=(ctx,), rounds=1,
+                                 iterations=1)
+    print()
+    print(payload["text"])
+    save_result(results_dir, "figure8", payload)
+    assert payload["rows"]
+    for bench_rows in payload["rows"].values():
+        for mean, _ci in bench_rows.values():
+            assert mean > 0

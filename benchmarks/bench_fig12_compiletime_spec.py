@@ -1,0 +1,20 @@
+"""E-F12: Figure 12 -- SPECjvm98 relative compilation time (throughput mode).
+
+Expected shape: the compilation-time reduction persists under
+throughput measurement (paper: consistent, significant reduction).
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments.figures import figure12
+
+
+def test_figure12(benchmark, ctx, results_dir):
+    payload = benchmark.pedantic(figure12, args=(ctx,), rounds=1,
+                                 iterations=1)
+    print()
+    print(payload["text"])
+    save_result(results_dir, "figure12", payload)
+    assert payload["rows"]
+    for bench_rows in payload["rows"].values():
+        for mean, _ci in bench_rows.values():
+            assert mean > 0

@@ -1,0 +1,27 @@
+"""E-T4: Table 4 -- training data-set sizes (merged vs ranked).
+
+Regenerates the paper's Table 4: for each trained level (cold/warm/hot),
+the merged data-set size (instances, unique classes, unique feature
+vectors, vector:instance ratio) and the same statistics after ranking
+selects at most 3 modifiers within 95% of the best per feature vector.
+
+Expected shape: ranking collapses the merged data by one or more orders
+of magnitude in the vector:instance ratio (the paper: ~1:1300-1:2100
+merged down to ~1:2 ranked; the scaled-down simulator shows the same
+collapse at smaller absolute counts).
+"""
+
+from benchmarks.conftest import save_result
+from repro.experiments.figures import table4
+
+
+def test_table4(benchmark, ctx, results_dir):
+    payload = benchmark.pedantic(table4, args=(ctx,), rounds=1,
+                                 iterations=1)
+    print()
+    print(payload["text"])
+    save_result(results_dir, "table4", payload)
+    stats = payload["stats"]
+    for row in stats.values():
+        assert row["merged_instances"] >= row["training_instances"]
+        assert row["merged_ratio"] >= row["training_ratio"]

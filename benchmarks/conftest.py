@@ -1,0 +1,35 @@
+"""Shared fixtures for the figure/table benchmark drivers.
+
+Every driver reuses one :class:`EvaluationContext` (collection + training
+are cached on disk under ``.repro_cache/``), so a full
+``pytest benchmarks/ --benchmark-only`` run collects data and trains the
+five model sets once and then regenerates each table/figure.
+
+Generated outputs are also written to ``.repro_cache/results/`` so they
+can be inspected after the run (and pasted into EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import EvaluationContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return EvaluationContext()
+
+
+@pytest.fixture(scope="session")
+def results_dir(ctx):
+    path = os.path.join(ctx.cache_dir, "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def save_result(results_dir, name, payload):
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload["text"] + "\n")
+    return path

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""A tour of the JIT: IL, optimization levels, plan modifiers.
+
+Compiles one method at every optimization level, shows the tree IL
+before and after optimization, the generated virtual-native code, and
+what happens when a compilation-plan modifier disables transformations.
+
+Run:  python examples/explore_compiler.py
+"""
+
+from repro.jit.compiler import JitCompiler
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.modifiers import Modifier
+from repro.jit.opt.registry import transform_index, transform_names
+from repro.jit.plans import OptLevel, default_plans
+from repro.jvm.asm import Assembler
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import JClass, JMethod
+from repro.jvm.vm import VirtualMachine
+
+
+def build_method():
+    """sum of (i*6 + x*12) for i in 0..n-1 -- plenty to optimize."""
+    a = Assembler()
+    a.iconst(0).store(1)                      # acc
+    a.load(0).iconst(12).mul().store(2)       # invariant x*12
+    a.iconst(0).store(3)                      # i
+    top = a.label()
+    a.load(3).load(0).cmp().ifge("end")
+    a.load(1).load(3).iconst(6).mul().add().load(2).add().store(1)
+    a.inc(3, 1).goto(top)
+    a.mark("end")
+    a.load(1).retval()
+    return JMethod("Demo", "kernel", [JType.INT], JType.INT,
+                   a.assemble(), num_temps=3)
+
+
+def main():
+    method = build_method()
+    jclass = JClass("Demo")
+    jclass.add_method(method)
+
+    il, cost = generate_il(method)
+    print("== tree IL straight out of the IL generator "
+          f"(cost {cost} cycles) ==")
+    print(il.dump())
+
+    plans = default_plans()
+    print("\n== the five compilation plans ==")
+    for level, plan in plans.items():
+        print(f"  {level.name:10s} {len(plan):3d} entries, "
+              f"{len(set(plan.entries)):2d} distinct transformations")
+
+    compiler = JitCompiler(method_resolver=lambda s: None)
+    print("\n== compiling at every level ==")
+    print(f"{'level':10s} {'compile cyc':>12s} {'code size':>10s} "
+          f"{'run cyc (n=40)':>15s}")
+    for level in OptLevel:
+        compiled = compiler.compile(method, level)
+        vm = VirtualMachine()
+        vm.load_class(JClass("Demo2"))
+        value, _ = compiled.execute(vm, [(40, JType.INT)])
+        print(f"{level.name:10s} {compiled.compile_cycles:>12,} "
+              f"{compiled.native.size():>10d} {vm.clock.now():>15,}"
+              f"   (result {value})")
+
+    print("\n== a modifier disabling the loop transformations ==")
+    loop_passes = [n for n in transform_names() if "loop" in n.lower()]
+    modifier = Modifier.disabling(
+        [transform_index(n) for n in loop_passes])
+    base = compiler.compile(method, OptLevel.SCORCHING)
+    masked = compiler.compile(method, OptLevel.SCORCHING,
+                              modifier=modifier)
+    print(f"  disabled: {', '.join(loop_passes)}")
+    print(f"  compile cycles {base.compile_cycles:,} -> "
+          f"{masked.compile_cycles:,}")
+    for label, compiled in (("full plan", base), ("masked", masked)):
+        vm = VirtualMachine()
+        value, _ = compiled.execute(vm, [(40, JType.INT)])
+        print(f"  {label:10s}: {vm.clock.now():>8,} run cycles "
+              f"(result {value})")
+
+    print("\n== the scorching-compiled native code ==")
+    print(base.native.listing())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Look inside a trained model and inside the compiler it drives.
+
+Shows three diagnostics the paper's workflow needs but does not print:
+
+1. which features the model actually uses (§4.1 reduced the feature set
+   based on exactly this invariance evidence);
+2. what a predicted modifier does to a real compilation, pass by pass
+   (the tracing manager);
+3. the method's control-flow graph, in Graphviz format.
+
+Run:  python examples/inspect_model.py
+"""
+
+from repro.experiments import EvaluationContext
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.opt.trace import TracingManager, cfg_to_dot
+from repro.jit.plans import OptLevel, default_plans
+from repro.ml.analysis import feature_report
+from repro.ml.pipeline import merge_record_sets
+
+
+def main():
+    ctx = EvaluationContext(preset="tiny")
+    print("collecting + training (tiny preset)...\n")
+    record_sets = ctx.record_sets()
+    model_set = ctx.model_sets()["H1"]
+    merged = merge_record_sets(record_sets)
+
+    hot_model = model_set.model_for(OptLevel.HOT)
+    print(feature_report(merged.records, hot_model))
+
+    # Pick a real collected method and trace its compilation under the
+    # model's predicted modifier.
+    program = ctx.program("specjvm", "mtrt")
+    method = max(program.methods(),
+                 key=lambda m: m.has_backward_branch())
+    il, _ = generate_il(method,
+                        resolve_return_type=lambda s: None)
+    il2, _ = generate_il(method)
+    from repro.features import extract_features
+    features = extract_features(il2)
+    modifier = hot_model.predict_modifier(features)
+    print(f"\npredicted modifier for {method.signature}: "
+          f"{modifier.count_disabled()} of 58 transformations "
+          "disabled")
+    from repro.jit.opt.registry import transform_names
+    disabled = [transform_names()[i]
+                for i in modifier.disabled_indices()]
+    print("  disabled:", ", ".join(disabled[:10]),
+          "..." if len(disabled) > 10 else "")
+
+    plan = default_plans()[OptLevel.HOT]
+    tracer = TracingManager(plan.entries, modifier=modifier)
+    il3, _ = generate_il(method)
+    tracer.optimize(il3)
+    print("\npass trace (changed passes only):")
+    print(tracer.report(only_changed=True))
+    print(f"\n{len(tracer.masked_passes())} plan entries were masked "
+          "by the modifier")
+
+    print("\nCFG of the optimized method (Graphviz):")
+    print(cfg_to_dot(il3))
+
+
+if __name__ == "__main__":
+    main()

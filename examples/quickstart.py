@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: run a benchmark interpreted, then under the adaptive JIT.
+
+Builds one SPECjvm98-like synthetic benchmark, executes it on the bare
+interpreter, then again with the adaptive compilation controller
+attached, and prints the virtual-cycle speedup plus what the JIT did.
+
+Run:  python examples/quickstart.py [benchmark] [iterations]
+"""
+
+import sys
+
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager
+from repro.jvm.vm import VirtualMachine
+from repro.workloads import SPECJVM_BENCHMARKS, specjvm_program
+
+
+def run(program, iterations, with_jit):
+    vm = VirtualMachine()
+    vm.load_program(program)
+    manager = None
+    if with_jit:
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        manager = CompilationManager(compiler)
+        vm.attach_manager(manager)
+    result = None
+    for _ in range(iterations):
+        result = vm.call(program.entry, 3)
+    return result, vm, manager
+
+
+def main():
+    name = sys.argv[1] if len(sys.argv) > 1 else "mtrt"
+    iterations = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    if name not in SPECJVM_BENCHMARKS:
+        raise SystemExit(f"unknown benchmark {name!r}; choose from "
+                         f"{sorted(SPECJVM_BENCHMARKS)}")
+
+    program = specjvm_program(name)
+    print(f"benchmark: {program} ({iterations} iterations)")
+
+    result_i, vm_i, _ = run(program, iterations, with_jit=False)
+    print(f"\ninterpreted:  {vm_i.clock.now():>12,} cycles "
+          f"(result {result_i})")
+
+    result_j, vm_j, manager = run(program, iterations, with_jit=True)
+    assert result_i == result_j, "JIT must not change results!"
+    speedup = vm_i.clock.now() / vm_j.clock.now()
+    print(f"adaptive JIT: {vm_j.clock.now():>12,} cycles "
+          f"(result {result_j})  -> {speedup:.2f}x faster")
+
+    print(f"\n{manager.compilations()} compilations, "
+          f"{manager.total_compile_cycles:,} compile cycles "
+          f"on the JIT thread")
+    by_level = {}
+    for record in manager.records:
+        by_level.setdefault(record.level.name, []).append(record)
+    for level, records in sorted(by_level.items()):
+        cycles = sum(r.compile_cycles for r in records)
+        print(f"  {level:10s} {len(records):3d} methods, "
+              f"{cycles:>10,} compile cycles")
+    stats = vm_j.stats
+    print(f"\ninvocations: {stats['invocations']:,} "
+          f"({stats['compiled_invocations']:,} ran compiled code)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of "Using Machines to Learn Method-Specific Compilation
+Strategies" (Sanchez, Amaral, Szafron, Pirvu, Stoodley -- CGO 2011).
+
+Public surface, by subsystem:
+
+* :mod:`repro.jvm` -- the guest bytecode virtual machine.
+* :mod:`repro.jit` -- the Testarossa-style JIT: tree IL, 58 controllable
+  transformations, plans, plan modifiers, adaptive control.
+* :mod:`repro.features` -- the 71-dimension method feature vector.
+* :mod:`repro.collect` -- data-collection infrastructure and archives.
+* :mod:`repro.ml` -- ranking, normalization, SVMs, training pipeline.
+* :mod:`repro.service` -- the out-of-process model server (named pipes).
+* :mod:`repro.workloads` -- synthetic benchmark suites.
+* :mod:`repro.experiments` -- the evaluation harness (Table 4,
+  Figures 6-13).
+
+Deterministic throughout: all randomness flows from
+:class:`repro.rng.RngStreams` seeded by a single master seed.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,191 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the paper's workflow:
+
+* ``run``      -- execute a benchmark under the adaptive JIT
+* ``collect``  -- run a data-collection session and write an archive
+* ``train``    -- train the leave-one-out model sets from archives
+* ``evaluate`` -- learned vs original plans on one benchmark
+* ``figures``  -- regenerate a table/figure by name
+* ``list``     -- list available benchmarks and transformations
+"""
+
+import argparse
+import sys
+
+
+def _add_common(parser):
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master seed (default 0)")
+    parser.add_argument("--preset", default=None,
+                        choices=["tiny", "quick", "full"],
+                        help="scale preset (default: $REPRO_PROFILE "
+                             "or 'quick')")
+
+
+def _context(args):
+    from repro.experiments import EvaluationContext
+    return EvaluationContext(preset=args.preset,
+                             master_seed=args.seed)
+
+
+def _program(name, seed):
+    from repro.workloads import (DACAPO_BENCHMARKS, SPECJVM_BENCHMARKS,
+                                 dacapo_program, specjvm_program)
+    if name in SPECJVM_BENCHMARKS:
+        return specjvm_program(name, master_seed=seed)
+    if name in DACAPO_BENCHMARKS:
+        return dacapo_program(name, master_seed=seed)
+    raise SystemExit(f"unknown benchmark {name!r}")
+
+
+def cmd_list(args):
+    """List benchmarks and the 58 transformations."""
+    from repro.jit.opt.registry import transform_names
+    from repro.workloads import DACAPO_BENCHMARKS, SPECJVM_BENCHMARKS
+    print("SPECjvm98-like:", ", ".join(sorted(SPECJVM_BENCHMARKS)))
+    print("DaCapo-like:   ", ", ".join(sorted(DACAPO_BENCHMARKS)))
+    print(f"\n{len(transform_names())} controllable transformations:")
+    for i, name in enumerate(transform_names()):
+        print(f"  {i:2d}  {name}")
+
+
+def cmd_run(args):
+    """Run one benchmark under the adaptive JIT."""
+    from repro.jit.compiler import JitCompiler
+    from repro.jit.control import CompilationManager
+    from repro.jvm.vm import VirtualMachine
+    program = _program(args.benchmark, args.seed)
+    vm = VirtualMachine()
+    vm.load_program(program)
+    manager = None
+    if not args.interpret_only:
+        manager = CompilationManager(
+            JitCompiler(method_resolver=vm._methods.get))
+        vm.attach_manager(manager)
+    result = None
+    for _ in range(args.iterations):
+        result = vm.call(program.entry, 3)
+    print(f"{args.benchmark}: result {result}, "
+          f"{vm.clock.now():,} cycles, "
+          f"{vm.stats['invocations']:,} invocations")
+    if manager is not None:
+        print(f"{manager.compilations()} compilations, "
+              f"{manager.total_compile_cycles:,} compile cycles")
+
+
+def cmd_collect(args):
+    """Run a data-collection session; write an archive."""
+    from repro.collect.archive import write_archive
+    from repro.collect.session import CollectionSession
+    ctx = _context(args)
+    program = _program(args.benchmark, args.seed)
+    session = CollectionSession(program, ctx.collection_config(),
+                                master_seed=args.seed)
+    records = session.run()
+    if session.crashed:
+        raise SystemExit("session crashed; no archive written")
+    size = write_archive(args.output, records)
+    print(f"{len(records)} records -> {args.output} ({size:,} bytes)")
+
+
+def cmd_train(args):
+    """Train (or load) the five leave-one-out model sets."""
+    ctx = _context(args)
+    model_sets = ctx.model_sets()
+    for name, model_set in sorted(model_sets.items()):
+        print(f"{name}: excludes {model_set.excluded}, levels "
+              f"{[lv.name for lv in model_set.models]}")
+    print(f"models cached under {ctx.cache_dir}")
+
+
+def cmd_evaluate(args):
+    """Compare learned vs original plans on a benchmark."""
+    from repro.experiments.evaluation import evaluate_benchmark
+    ctx = _context(args)
+    program = _program(args.benchmark, args.seed)
+    result = evaluate_benchmark(
+        program, ctx.model_sets(), iterations=args.iterations,
+        replications=ctx.replications, master_seed=args.seed)
+    print(f"{args.benchmark} ({args.iterations} iteration(s), "
+          f"relative to baseline):")
+    for model in result.models():
+        perf = result.relative_performance(model)
+        comp = result.relative_compile_time(model)
+        print(f"  {model}: performance {perf.mean:5.3f}±{perf.ci95:.3f}"
+              f"  compile time {comp.mean:5.3f}")
+
+
+def cmd_figures(args):
+    """Regenerate a named table/figure."""
+    from repro.experiments import figures as F
+    ctx = _context(args)
+    known = {"table4": F.table4, "kernels": F.kernel_study}
+    for n in range(6, 14):
+        known[f"figure{n}"] = getattr(F, f"figure{n}")
+    if args.name not in known:
+        raise SystemExit(f"unknown figure {args.name!r}; choose from "
+                         f"{sorted(known)}")
+    print(known[args.name](ctx)["text"])
+
+
+def cmd_report(args):
+    """Assemble saved benchmark results into markdown."""
+    from repro.experiments.report import build_report
+    ctx = _context(args)
+    print(build_report(ctx.cache_dir, preset_name=ctx.preset_name,
+                       master_seed=ctx.master_seed))
+
+
+def main(argv=None):
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Using Machines to Learn "
+                    "Method-Specific Compilation Strategies' "
+                    "(CGO 2011)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list", help="benchmarks and transformations")
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser("run", help="run a benchmark under the JIT")
+    p.add_argument("benchmark")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--interpret-only", action="store_true")
+    _add_common(p)
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("collect", help="run a collection session")
+    p.add_argument("benchmark")
+    p.add_argument("--output", default="collection.trca")
+    _add_common(p)
+    p.set_defaults(fn=cmd_collect)
+
+    p = sub.add_parser("train", help="train the leave-one-out models")
+    _add_common(p)
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("evaluate",
+                       help="learned vs original plans")
+    p.add_argument("benchmark")
+    p.add_argument("--iterations", type=int, default=1)
+    _add_common(p)
+    p.set_defaults(fn=cmd_evaluate)
+
+    p = sub.add_parser("figures", help="regenerate a table/figure")
+    p.add_argument("name", help="table4, figure6..figure13, kernels")
+    _add_common(p)
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("report",
+                       help="assemble saved results into markdown")
+    _add_common(p)
+    p.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Virtual time.
+
+The whole system runs on simulated cycles rather than wall-clock time, which
+makes every measurement deterministic.  A :class:`VirtualClock` is advanced
+by the interpreter (per bytecode executed), by the native simulator (per
+virtual instruction executed) and by the JIT (per unit of optimization
+work).
+
+The paper measures time with the x86 Time-Stamp Counter; our analogue is a
+cycle counter at a notional 2 GHz (the AMD Opteron 2350 clock used in the
+paper's testbed), so helpers are provided to convert cycles to seconds for
+reporting.
+"""
+
+#: Notional core frequency used when converting cycles to seconds (paper
+#: testbed: 2 GHz Quad-Core AMD Opteron 2350).
+CYCLES_PER_SECOND = 2_000_000_000
+
+#: Cycles per millisecond at the notional frequency.
+CYCLES_PER_MS = CYCLES_PER_SECOND // 1000
+
+
+class VirtualClock:
+    """A monotonically increasing cycle counter."""
+
+    __slots__ = ("cycles",)
+
+    def __init__(self, start=0):
+        self.cycles = int(start)
+
+    def advance(self, cycles):
+        """Advance the clock by a non-negative number of cycles."""
+        if cycles < 0:
+            raise ValueError(f"cannot advance clock by {cycles} cycles")
+        self.cycles += int(cycles)
+
+    def now(self):
+        """Current time in cycles."""
+        return self.cycles
+
+    def seconds(self):
+        """Current time converted to (virtual) seconds."""
+        return self.cycles / CYCLES_PER_SECOND
+
+    def __repr__(self):
+        return f"VirtualClock(cycles={self.cycles})"
+
+
+def cycles_to_ms(cycles):
+    """Convert virtual cycles to (virtual) milliseconds."""
+    return cycles / CYCLES_PER_MS
+
+
+def ms_to_cycles(ms):
+    """Convert (virtual) milliseconds to cycles."""
+    return int(ms * CYCLES_PER_MS)

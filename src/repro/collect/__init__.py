@@ -1,0 +1,24 @@
+"""Data-collection infrastructure (paper §4).
+
+``tsc`` simulates the per-core Time-Stamp Counter with drift and thread
+migration; ``instrument`` implements the method enter/exit probes and the
+per-method recompilation threshold; ``records`` defines the in-memory
+experiment records; ``archive`` is the compact binary archive format with
+its method-signature dictionary; ``session`` orchestrates a complete
+collection run over a benchmark.
+"""
+
+from repro.collect.tsc import SimulatedTSC
+from repro.collect.records import ExperimentRecord, RecordSet
+from repro.collect.archive import read_archive, write_archive
+from repro.collect.session import CollectionConfig, CollectionSession
+
+__all__ = [
+    "SimulatedTSC",
+    "ExperimentRecord",
+    "RecordSet",
+    "read_archive",
+    "write_archive",
+    "CollectionConfig",
+    "CollectionSession",
+]

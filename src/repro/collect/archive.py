@@ -1,0 +1,143 @@
+"""The compact binary archive format (paper §4.2 / contribution 2).
+
+Layout (little-endian)::
+
+    magic   'TRCA'
+    u16     version (=1)
+    u16     flags (reserved, 0)
+    u16+s   benchmark name (length-prefixed UTF-8)
+    u64     master seed
+    u32     number of dictionary entries
+    u32     number of records
+    -- signature dictionary: u16+s per entry --
+    -- records --
+        u32  signature dictionary index
+        u8   optimization level
+        u64  modifier bits
+        u32  compile cycles
+        u64  running cycles
+        u32  invocations
+        u8   number of non-zero feature components
+        (u8 index, f32 value) per non-zero component
+    u32     CRC-32 of everything before the footer
+
+The *method-signature dictionary* is what makes the format compact: a
+signature string is stored once and referenced by index from every record
+("the creation of a dictionary of method signatures is key for a compact
+representation").  Feature vectors are stored sparse because most of the
+71 counters are zero for most methods.
+"""
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.collect.records import ExperimentRecord, RecordSet
+from repro.errors import ArchiveError
+from repro.features import NUM_FEATURES
+
+MAGIC = b"TRCA"
+VERSION = 1
+
+
+def _pack_str(value):
+    data = value.encode("utf-8")
+    if len(data) > 0xFFFF:
+        raise ArchiveError(f"string too long for archive: {len(data)}")
+    return struct.pack("<H", len(data)) + data
+
+
+class _Reader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def take(self, fmt):
+        size = struct.calcsize(fmt)
+        if self.pos + size > len(self.data):
+            raise ArchiveError("truncated archive")
+        out = struct.unpack_from(fmt, self.data, self.pos)
+        self.pos += size
+        return out
+
+    def take_str(self):
+        (length,) = self.take("<H")
+        if self.pos + length > len(self.data):
+            raise ArchiveError("truncated archive string")
+        out = self.data[self.pos:self.pos + length].decode("utf-8")
+        self.pos += length
+        return out
+
+
+def write_archive(path, recordset):
+    """Serialize *recordset* to *path*; returns the byte size written."""
+    signatures = recordset.unique_signatures()
+    sig_index = {s: i for i, s in enumerate(signatures)}
+
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack("<HH", VERSION, 0)
+    out += _pack_str(recordset.benchmark)
+    out += struct.pack("<QII", recordset.master_seed & (2**64 - 1),
+                       len(signatures), len(recordset.records))
+    for s in signatures:
+        out += _pack_str(s)
+    for r in recordset.records:
+        out += struct.pack("<IBQIQI", sig_index[r.signature],
+                           r.level & 0xFF, r.modifier_bits,
+                           min(r.compile_cycles, 2**32 - 1),
+                           min(r.running_cycles, 2**64 - 1),
+                           min(r.invocations, 2**32 - 1))
+        nz = [(i, v) for i, v in enumerate(r.features) if v != 0.0]
+        if len(nz) > 0xFF:
+            raise ArchiveError("feature vector too dense for format")
+        out += struct.pack("<B", len(nz))
+        for i, v in nz:
+            out += struct.pack("<Bf", i, float(v))
+    out += struct.pack("<I", zlib.crc32(bytes(out)) & 0xFFFFFFFF)
+    with open(path, "wb") as fh:
+        fh.write(out)
+    return len(out)
+
+
+def read_archive(path):
+    """Read an archive back into a :class:`RecordSet`."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if len(data) < 12 or data[:4] != MAGIC:
+        raise ArchiveError(f"{path}: not a collection archive")
+    body, (crc,) = data[:-4], struct.unpack("<I", data[-4:])
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise ArchiveError(f"{path}: checksum mismatch")
+
+    reader = _Reader(body)
+    reader.pos = 4
+    version, _flags = reader.take("<HH")
+    if version != VERSION:
+        raise ArchiveError(f"{path}: unsupported version {version}")
+    benchmark = reader.take_str()
+    seed, n_sigs, n_records = reader.take("<QII")
+    signatures = [reader.take_str() for _ in range(n_sigs)]
+
+    out = RecordSet(benchmark=benchmark, master_seed=seed)
+    for _ in range(n_records):
+        sig_i, level, bits, compile_c, running_c, invocations = \
+            reader.take("<IBQIQI")
+        if sig_i >= len(signatures):
+            raise ArchiveError(f"{path}: bad signature index {sig_i}")
+        (nnz,) = reader.take("<B")
+        features = np.zeros(NUM_FEATURES, dtype=np.float64)
+        for _ in range(nnz):
+            idx, value = reader.take("<Bf")
+            if idx >= NUM_FEATURES:
+                raise ArchiveError(f"{path}: bad feature index {idx}")
+            features[idx] = value
+        out.add(ExperimentRecord(
+            signature=signatures[sig_i], level=level,
+            modifier_bits=bits, features=features,
+            compile_cycles=compile_c, running_cycles=running_c,
+            invocations=invocations))
+    if reader.pos != len(body):
+        raise ArchiveError(f"{path}: trailing bytes in archive")
+    return out

@@ -1,0 +1,137 @@
+"""Heuristic-guided modifier search -- the paper's future work (§5).
+
+    "Thus a heuristic-based search that evaluates the performance for
+    modifiers during data collection may focus the search on promising
+    regions within the space of possible modifiers.  The implementation
+    of such a search is left for future work."
+
+This module implements that search.  The guided queue behaves like the
+paper's pre-computed queues (same ``next_modifier`` interface, null
+modifier every third compilation) but generates candidates *online*:
+
+* an exploration fraction of candidates stays purely random (so the
+  search never collapses into a local basin);
+* the rest are **mutations** of the best-scoring modifiers seen so far
+  (flip 1-3 of the 58 bits) or **crossovers** of two good parents
+  (each bit drawn from either parent).
+
+Scores arrive through :meth:`feedback`: the collection manager reports,
+for each finished experiment, the ranking quality ``best_V / V`` of the
+modifier relative to the best modifier seen for the same method (1.0 =
+as good as the best known plan; see Eq. 2).  A modifier's score is the
+mean quality over the methods it was tried on.
+"""
+
+from repro.jit.modifiers import Modifier
+from repro.jit.opt.registry import NUM_TRANSFORMS
+
+
+class GuidedModifierQueue:
+    """An online, feedback-driven modifier generator.
+
+    Drop-in compatible with :class:`repro.jit.modifiers.ModifierQueue`.
+    """
+
+    def __init__(self, rng, total=1200, uses_per_modifier=3,
+                 null_every=3, explore_fraction=0.25, top_k=12,
+                 max_flips=3):
+        self.rng = rng
+        self.total = int(total)
+        self.uses_per_modifier = int(uses_per_modifier)
+        self.null_every = int(null_every)
+        self.explore_fraction = float(explore_fraction)
+        self.top_k = int(top_k)
+        self.max_flips = int(max_flips)
+        self._null = Modifier.null()
+        self._dispensed = 0
+        self._generated = 0
+        self._current = None
+        self._uses_of_current = 0
+        # bits -> [sum of qualities, count]
+        self._scores = {}
+
+    # -- ModifierQueue interface ----------------------------------------------
+
+    def exhausted(self):
+        return self._generated >= self.total \
+            and self._uses_of_current >= self.uses_per_modifier
+
+    def remaining(self):
+        return max(0, self.total - self._generated)
+
+    def next_modifier(self):
+        self._dispensed += 1
+        if self.null_every and self._dispensed % self.null_every == 0:
+            return self._null
+        if self._current is None \
+                or self._uses_of_current >= self.uses_per_modifier:
+            if self._generated >= self.total:
+                return None
+            self._current = self._generate()
+            self._generated += 1
+            self._uses_of_current = 0
+        self._uses_of_current += 1
+        return self._current
+
+    # -- feedback ---------------------------------------------------------
+
+    def feedback(self, bits, quality):
+        """Report the ranking quality of one finished experiment.
+
+        *quality* is ``best_V / V`` in (0, 1]; higher is better.
+        """
+        entry = self._scores.get(bits)
+        if entry is None:
+            self._scores[bits] = [float(quality), 1]
+        else:
+            entry[0] += float(quality)
+            entry[1] += 1
+
+    def mean_quality(self, bits):
+        entry = self._scores.get(bits)
+        if entry is None:
+            return None
+        return entry[0] / entry[1]
+
+    def best_modifiers(self, k=None):
+        """The top-k modifiers by mean quality (ties broken by count)."""
+        k = k or self.top_k
+        scored = [(entry[0] / entry[1], entry[1], bits)
+                  for bits, entry in self._scores.items()]
+        scored.sort(reverse=True)
+        return [Modifier(bits) for _q, _n, bits in scored[:k]]
+
+    # -- candidate generation -----------------------------------------------
+
+    def _generate(self):
+        parents = self.best_modifiers()
+        if not parents or self.rng.random() < self.explore_fraction:
+            return self._random()
+        if len(parents) >= 2 and self.rng.random() < 0.3:
+            a, b = self.rng.choice(len(parents), size=2, replace=False)
+            return self._crossover(parents[int(a)], parents[int(b)])
+        parent = parents[int(self.rng.integers(0, len(parents)))]
+        return self._mutate(parent)
+
+    def _random(self):
+        p = self.rng.uniform(0.05, 0.5)
+        mask = self.rng.random(NUM_TRANSFORMS) < p
+        bits = 0
+        for i, on in enumerate(mask):
+            if on:
+                bits |= 1 << i
+        return Modifier(bits)
+
+    def _mutate(self, parent):
+        bits = parent.bits
+        flips = int(self.rng.integers(1, self.max_flips + 1))
+        for _ in range(flips):
+            bits ^= 1 << int(self.rng.integers(0, NUM_TRANSFORMS))
+        return Modifier(bits)
+
+    def _crossover(self, a, b):
+        mask = 0
+        for i in range(NUM_TRANSFORMS):
+            if self.rng.random() < 0.5:
+                mask |= 1 << i
+        return Modifier((a.bits & mask) | (b.bits & ~mask))

@@ -1,0 +1,85 @@
+"""In-memory experiment records.
+
+One :class:`ExperimentRecord` captures everything the learning pipeline
+needs about a single (method version, modifier) experiment: the feature
+vector extracted before optimization, the modifier bits, the optimization
+level, the compile cost, and the accumulated instrumented running time
+over the invocations of that version.  Records stay in memory during the
+run and are flushed to a compact binary archive afterwards (paper §4.2:
+I/O during execution would perturb the measurements).
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.features import NUM_FEATURES
+
+
+@dataclasses.dataclass
+class ExperimentRecord:
+    """One (method version, modifier) experiment."""
+
+    signature: str
+    level: int                 # OptLevel value
+    modifier_bits: int
+    features: np.ndarray       # float64[NUM_FEATURES]
+    compile_cycles: int
+    running_cycles: int        # accumulated instrumented running time
+    invocations: int           # invocations of this version
+
+    def __post_init__(self):
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.shape != (NUM_FEATURES,):
+            raise ValueError(
+                f"feature vector must have {NUM_FEATURES} components, "
+                f"got {self.features.shape}")
+
+    def mean_invocation_cycles(self):
+        if self.invocations == 0:
+            return 0.0
+        return self.running_cycles / self.invocations
+
+
+class RecordSet:
+    """A mutable collection of experiment records with provenance."""
+
+    def __init__(self, benchmark="", master_seed=0):
+        self.benchmark = benchmark
+        self.master_seed = master_seed
+        self.records = []
+
+    def add(self, record):
+        self.records.append(record)
+        return record
+
+    def extend(self, records):
+        self.records.extend(records)
+
+    def __len__(self):
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def by_level(self, level):
+        return [r for r in self.records if r.level == int(level)]
+
+    def unique_signatures(self):
+        return sorted({r.signature for r in self.records})
+
+    def unique_feature_vectors(self):
+        return {tuple(r.features) for r in self.records}
+
+    def unique_modifiers(self):
+        return {r.modifier_bits for r in self.records}
+
+    def merged_with(self, other):
+        out = RecordSet(benchmark=f"{self.benchmark}+{other.benchmark}",
+                        master_seed=self.master_seed)
+        out.records = list(self.records) + list(other.records)
+        return out
+
+    def __repr__(self):
+        return (f"RecordSet({self.benchmark!r}, {len(self.records)} "
+                f"records)")

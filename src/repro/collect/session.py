@@ -1,0 +1,320 @@
+"""A complete data-collection run (paper §4, Figure 2).
+
+The :class:`CollectingManager` extends the adaptive compilation manager:
+every compilation consumes a compilation-plan modifier from the strategy
+control's queue (with the null modifier every third compilation), compiled
+versions are instrumented with the simulated TSC probes, and a version is
+recompiled -- consuming the next modifier -- once its invocation count
+reaches the calibrated threshold.  A method is never compiled twice with
+the same modifier, stops being recompiled after ``max_recompilations``
+(the paper's L), and the session terminates gracefully once every method
+has either hit L or exhausted the queue.
+
+The :class:`CollectionSession` drives one or more benchmarks through a
+collecting VM and returns the gathered :class:`RecordSet` (optionally
+flushing it to a binary archive only after execution, per §4.2).
+"""
+
+import dataclasses
+
+from repro.collect.instrument import ThresholdConfig, \
+    VersionInstrumentation
+from repro.collect.records import ExperimentRecord, RecordSet
+from repro.collect.tsc import PairedTimer, SimulatedTSC
+from repro.errors import CompilationError
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager, ControlConfig
+from repro.jit.modifiers import (
+    DEFAULT_L,
+    Modifier,
+    ModifierQueue,
+    progressive_modifiers,
+    random_modifiers,
+)
+from repro.jit.plans import OptLevel
+from repro.jvm.vm import VirtualMachine
+from repro.rng import RngStreams
+
+
+@dataclasses.dataclass
+class CollectionConfig:
+    """Knobs of a collection run."""
+
+    #: 'random', 'progressive', 'merged' (both, as the final models
+    #: were trained; paper §8.1) or 'guided' (the paper's future-work
+    #: heuristic search, implemented in :mod:`repro.collect.guided`).
+    search: str = "merged"
+    #: Modifiers generated per level per strategy.
+    modifiers_per_level: int = 400
+    #: Compilations each modifier serves before retiring.
+    uses_per_modifier: int = 50
+    #: The paper's L: maximum recompilations of a single method.
+    max_recompilations: int = DEFAULT_L
+    #: Levels whose compilations explore modifiers (the paper trains
+    #: cold/warm/hot; scorching conflicts with its own instrumentation).
+    explore_levels: tuple = (OptLevel.COLD, OptLevel.WARM, OptLevel.HOT)
+    #: Recompilation-threshold policy.
+    thresholds: ThresholdConfig = dataclasses.field(
+        default_factory=ThresholdConfig)
+    #: Upper bound on benchmark iterations per session.
+    max_iterations: int = 30
+    #: Optional fault injector: callable(modifier, level) -> bool; True
+    #: makes that compilation fail (models the paper's "unsupported
+    #: combinations of code transformations resulted in compilation
+    #: errors").  Sessions that crash are not added to training data.
+    fragility: object = None
+
+
+class SessionCrashed(CompilationError):
+    """A modifier combination crashed the compiler (injected fault)."""
+
+
+class CollectingManager(CompilationManager):
+    """Compilation manager in data-collection mode."""
+
+    def __init__(self, compiler, config, streams, benchmark=""):
+        # Collection keeps the controller's escalation but caps it at the
+        # highest explored level (scorching's own instrumentation would
+        # conflict with collection probes, paper §8.1) and halves the
+        # triggers so more methods enter the experiment pool.
+        control = ControlConfig(max_level=max(config.explore_levels),
+                                immediate_install=True)
+        control.triggers = {
+            level: tuple(max(1, t // 2) for t in trigs)
+            for level, trigs in control.triggers.items()}
+        super().__init__(compiler, strategy=None, config=control)
+        self.collect_config = config
+        self.queues = self._build_queues(config, streams, benchmark)
+        self.tsc = None
+        self.timer = None
+        self._streams = streams
+        self._benchmark = benchmark
+        # Note: self.records (inherited) holds CompileRecords; the
+        # learning-oriented experiment records live here.
+        self.experiment_records = RecordSet(
+            benchmark=benchmark, master_seed=streams.master_seed)
+        self.instrumentation = {}   # signature -> VersionInstrumentation
+        self.used_modifiers = {}    # signature -> set of modifier bits
+        self.recompile_counts = {}  # signature -> count
+        self.finished_methods = set()
+        self._enter_stack = []
+        self._best_value = {}       # signature -> best Eq. 2 value
+
+    @staticmethod
+    def _build_queues(config, streams, benchmark):
+        from repro.collect.guided import GuidedModifierQueue
+        queues = {}
+        for level in config.explore_levels:
+            rng = streams.get(f"collect:{benchmark}:{level.name}")
+            if config.search == "guided":
+                queues[level] = GuidedModifierQueue(
+                    rng, total=config.modifiers_per_level,
+                    uses_per_modifier=config.uses_per_modifier)
+                continue
+            if config.search == "random":
+                mods = random_modifiers(rng, config.modifiers_per_level)
+            elif config.search == "progressive":
+                mods = progressive_modifiers(
+                    rng, config.modifiers_per_level,
+                    total_rounds=config.modifiers_per_level)
+            elif config.search == "merged":
+                # The paper merges the data of two separate collection
+                # campaigns; a single session approximates that by
+                # interleaving the two modifier populations, so both
+                # get explored even when the session ends early.
+                rand = random_modifiers(rng, config.modifiers_per_level)
+                prog = progressive_modifiers(
+                    rng, config.modifiers_per_level,
+                    total_rounds=config.modifiers_per_level)
+                mods = [m for pair in zip(rand, prog) for m in pair]
+            else:
+                raise ValueError(f"unknown search {config.search!r}")
+            queues[level] = ModifierQueue(
+                mods, uses_per_modifier=config.uses_per_modifier)
+        return queues
+
+    # -- VM attachment ----------------------------------------------------
+
+    def on_attach(self, vm):
+        super().on_attach(vm)
+        self.tsc = SimulatedTSC(vm.clock,
+                                self._streams.get(
+                                    f"tsc:{self._benchmark}"))
+        self.timer = PairedTimer(self.tsc)
+
+    # -- modifier selection ---------------------------------------------------
+
+    def compile_method(self, method, level, state):
+        config = self.collect_config
+        signature = method.signature
+        modifier = Modifier.null()
+        if level in config.explore_levels:
+            used = self.used_modifiers.setdefault(signature, set())
+            queue = self.queues[level]
+            for _ in range(64):  # skip duplicates, bounded
+                candidate = queue.next_modifier()
+                if candidate is None:
+                    modifier = None
+                    break
+                if candidate.bits not in used:
+                    modifier = candidate
+                    break
+            else:
+                modifier = None
+            if modifier is None:
+                self.finished_methods.add(signature)
+                return None
+            used.add(modifier.bits)
+        if config.fragility is not None \
+                and config.fragility(modifier, level):
+            raise SessionCrashed(
+                f"{signature}: modifier {modifier!r} crashed at "
+                f"{level.name}")
+        compiled = self.compiler.compile(method, level,
+                                         modifier=modifier)
+        # A new version replaces the old one: flush its measurements.
+        self._flush_version(signature)
+        self.instrumentation[signature] = VersionInstrumentation(
+            compiled)
+        return compiled
+
+    # -- instrumentation probes ----------------------------------------------
+
+    def on_invoke(self, method, count):
+        super().on_invoke(method, count)
+        state = self.states.get(method.signature)
+        active = state.active if state else None
+        if active is not None:
+            self._enter_stack.append(
+                (method.signature, active, self.timer.enter()))
+        else:
+            self._enter_stack.append((method.signature, None, None))
+
+    def on_return(self, method, compiled):
+        signature, active, reading = self._enter_stack.pop()
+        if active is None:
+            return
+        instr = self.instrumentation.get(signature)
+        if instr is None or instr.compiled is not active:
+            return
+        delta = self.timer.exit(reading)
+        instr.record(delta, self.collect_config.thresholds)
+        self._maybe_recompile(method, signature, instr)
+
+    def _maybe_recompile(self, method, signature, instr):
+        if not instr.due_for_recompilation():
+            return
+        if signature in self.finished_methods:
+            return
+        count = self.recompile_counts.get(signature, 0)
+        if count >= self.collect_config.max_recompilations:
+            self.finished_methods.add(signature)
+            return
+        state = self.states[signature]
+        if state.pending is not None:
+            return
+        self.recompile_counts[signature] = count + 1
+        level = state.level if state.level is not None else OptLevel.COLD
+        self._request_compile(method, state, level)
+
+    # -- record flushing ---------------------------------------------------
+
+    def _flush_version(self, signature):
+        instr = self.instrumentation.get(signature)
+        if instr is None or instr.invocations == 0:
+            return
+        compiled = instr.compiled
+        record = ExperimentRecord(
+            signature=signature,
+            level=int(compiled.level),
+            modifier_bits=compiled.modifier.bits,
+            features=compiled.features,
+            compile_cycles=compiled.compile_cycles,
+            running_cycles=instr.running_cycles,
+            invocations=instr.invocations,
+        )
+        self.experiment_records.add(record)
+        self._report_quality(signature, compiled.level, record)
+
+    def _report_quality(self, signature, level, record):
+        """Feed Eq. 2 quality back to feedback-driven (guided) queues."""
+        queue = self.queues.get(level)
+        if queue is None or not hasattr(queue, "feedback"):
+            return
+        from repro.ml.ranking import ranking_value, trigger_for_record
+        value = ranking_value(record, trigger_for_record(record))
+        if value <= 0 or value == float("inf"):
+            return
+        best = self._best_value.get(signature)
+        if best is None or value < best:
+            self._best_value[signature] = best = value
+        queue.feedback(record.modifier_bits, best / value)
+
+    def flush_all(self):
+        for signature in list(self.instrumentation):
+            self._flush_version(signature)
+            del self.instrumentation[signature]
+
+    def all_methods_finished(self):
+        compiled_sigs = set(self.states)
+        return (bool(compiled_sigs)
+                and compiled_sigs <= self.finished_methods)
+
+
+class CollectionSession:
+    """Runs a benchmark in collection mode and gathers records."""
+
+    def __init__(self, program, config=None, master_seed=0,
+                 entry_arg=3):
+        self.program = program
+        self.config = config or CollectionConfig()
+        self.streams = RngStreams(master_seed)
+        self.entry_arg = entry_arg
+        self.crashed = False
+
+    def run(self):
+        """Execute the session; returns the collected RecordSet.
+
+        A session that crashes (injected compiler fault) returns an
+        *empty* record set and sets ``self.crashed`` -- data from crashed
+        sessions is never used for training (paper §8.1).
+        """
+        vm = VirtualMachine()
+        vm.load_program(self.program)
+
+        def resolver(signature):
+            try:
+                return vm.lookup(signature)
+            except Exception:
+                return None
+
+        compiler = JitCompiler(method_resolver=resolver)
+        manager = CollectingManager(compiler, self.config, self.streams,
+                                    benchmark=self.program.name)
+        vm.attach_manager(manager)
+        try:
+            for _ in range(self.config.max_iterations):
+                vm.call(self.program.entry, self.entry_arg)
+                if manager.all_methods_finished():
+                    break
+                if all(q.exhausted() for q in manager.queues.values()):
+                    break
+        except SessionCrashed:
+            self.crashed = True
+            return RecordSet(benchmark=self.program.name,
+                             master_seed=self.streams.master_seed)
+        manager.flush_all()
+        return manager.experiment_records
+
+
+def collect_benchmarks(programs, config=None, master_seed=0):
+    """Run a session per program; returns ``{name: RecordSet}`` with
+    crashed sessions excluded."""
+    out = {}
+    for program in programs:
+        session = CollectionSession(program, config=config,
+                                    master_seed=master_seed)
+        records = session.run()
+        if not session.crashed:
+            out[program.name] = records
+    return out

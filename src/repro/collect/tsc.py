@@ -1,0 +1,86 @@
+"""A simulated multi-core Time-Stamp Counter (paper §4.2).
+
+The paper measures method times with ``rdtscp``, which returns both the
+64-bit cycle counter and the current processor id.  Two real-hardware
+nuisances are modelled:
+
+* **TSC drift** -- each core's counter runs at a slightly different rate,
+  so cross-core deltas are garbage;
+* **thread migration** -- the Linux load balancer moves threads between
+  cores every few seconds, so a method's enter and exit may land on
+  different cores.
+
+The instrumentation discards a measurement whenever the processor id
+differs between the paired readings, exactly as §4.2 prescribes.
+"""
+
+
+class SimulatedTSC:
+    """Per-core cycle counters derived from the VM's virtual clock.
+
+    Core *i* reads ``base + clock * rate_i``: the per-core rates differ by
+    up to ``drift_ppm`` parts per million, and each core has a distinct
+    power-on offset.  Thread migration is a Poisson-like process: after a
+    seeded interval the observing thread hops to another core.
+    """
+
+    def __init__(self, clock, rng, cores=8, drift_ppm=80.0,
+                 mean_migration_cycles=2_000_000_000):
+        if cores < 1:
+            raise ValueError("need at least one core")
+        self.clock = clock
+        self.rng = rng
+        self.cores = cores
+        # Rate multipliers around 1.0 (±drift_ppm).
+        self.rates = 1.0 + rng.uniform(-drift_ppm, drift_ppm,
+                                       size=cores) * 1e-6
+        self.offsets = rng.integers(0, 1 << 30, size=cores)
+        self.mean_migration_cycles = mean_migration_cycles
+        self._core = int(rng.integers(0, cores))
+        self._next_migration = self._draw_migration()
+        self.migrations = 0
+
+    def _draw_migration(self):
+        interval = self.rng.exponential(self.mean_migration_cycles)
+        return self.clock.now() + max(1, int(interval))
+
+    def _maybe_migrate(self):
+        if self.clock.now() >= self._next_migration:
+            if self.cores > 1:
+                new = int(self.rng.integers(0, self.cores - 1))
+                if new >= self._core:
+                    new += 1
+                self._core = new
+                self.migrations += 1
+            self._next_migration = self._draw_migration()
+
+    def rdtscp(self):
+        """Read the counter: returns ``(tsc_value, core_id)``."""
+        self._maybe_migrate()
+        core = self._core
+        value = int(self.offsets[core]
+                    + self.clock.now() * self.rates[core])
+        return value & 0xFFFFFFFFFFFFFFFF, core
+
+
+class PairedTimer:
+    """Enter/exit timing with the cross-core discard rule."""
+
+    def __init__(self, tsc):
+        self.tsc = tsc
+        self.discarded = 0
+        self.accepted = 0
+
+    def enter(self):
+        return self.tsc.rdtscp()
+
+    def exit(self, enter_reading):
+        """Return the measured delta, or None when the reading must be
+        discarded because the thread migrated between the probes."""
+        enter_value, enter_core = enter_reading
+        exit_value, exit_core = self.tsc.rdtscp()
+        if exit_core != enter_core:
+            self.discarded += 1
+            return None
+        self.accepted += 1
+        return max(0, exit_value - enter_value)

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can distinguish library failures from
+programming mistakes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class BytecodeError(ReproError):
+    """Malformed bytecode, bad operands, or verification failure."""
+
+
+class VMError(ReproError):
+    """Runtime failure inside the virtual machine itself (not a guest
+    exception -- guest exceptions are modelled as :class:`JavaThrow`)."""
+
+
+class JavaThrow(ReproError):
+    """An exception thrown *inside* the guest program.
+
+    Carries the guest exception class name so exception handlers in guest
+    code can match on it.  Escaping to the host means the guest program
+    terminated with an uncaught exception.
+    """
+
+    def __init__(self, class_name, message=""):
+        super().__init__(f"{class_name}: {message}" if message else class_name)
+        self.class_name = class_name
+        self.guest_message = message
+
+
+class CompilationError(ReproError):
+    """The JIT failed to compile a method (invalid IL, pass failure)."""
+
+
+class ArchiveError(ReproError):
+    """Corrupt or incompatible data-collection archive."""
+
+
+class DatasetError(ReproError):
+    """Malformed training data set or scaling file."""
+
+
+class TrainingError(ReproError):
+    """SVM training could not proceed (bad parameters, empty data)."""
+
+
+class ProtocolError(ReproError):
+    """Violation of the compiler <-> model communication protocol."""

@@ -1,0 +1,36 @@
+"""The experimental-evaluation harness (paper §8).
+
+``measure`` runs benchmarks under a VM+JIT with seeded replications and
+Student-t confidence intervals; ``evaluation`` implements the start-up /
+throughput methodology including leave-one-out model assignment;
+``context`` caches the expensive collect-and-train stage on disk so the
+per-figure benchmark drivers can share it.
+"""
+
+from repro.experiments.measure import (
+    MeasurementConfig,
+    RunResult,
+    Summary,
+    measure,
+    run_once,
+    summarize,
+)
+from repro.experiments.evaluation import (
+    EvaluationResult,
+    evaluate_benchmark,
+    evaluate_suite,
+)
+from repro.experiments.context import EvaluationContext
+
+__all__ = [
+    "MeasurementConfig",
+    "RunResult",
+    "Summary",
+    "measure",
+    "run_once",
+    "summarize",
+    "EvaluationResult",
+    "evaluate_benchmark",
+    "evaluate_suite",
+    "EvaluationContext",
+]

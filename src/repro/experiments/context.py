@@ -1,0 +1,182 @@
+"""Cached collect-and-train context shared by the figure benchmarks.
+
+Data collection and SVM training are the expensive stages of the
+pipeline.  The context runs them once per (seed, profile) configuration
+and caches the binary archives and trained model sets on disk (default
+``.repro_cache/``), so each of the eight figure benchmarks reuses the
+same models -- exactly as the paper evaluates one set of 15 trained
+models across all figures.
+
+Two built-in presets:
+
+* ``quick`` (default) -- scaled-down collection, 5 replications;
+  regenerates every figure in minutes.
+* ``full``  -- heavier collection and 30 replications (the paper's
+  count); select with ``REPRO_PROFILE=full``.
+"""
+
+import os
+
+from repro.collect.archive import read_archive, write_archive
+from repro.collect.instrument import ThresholdConfig
+from repro.collect.session import CollectionConfig, CollectionSession
+from repro.ml.model import ModelSet
+from repro.ml.pipeline import leave_one_out_models, table4_statistics
+from repro.workloads import (
+    DACAPO_BENCHMARKS,
+    SPECJVM_BENCHMARKS,
+    SPECJVM_TRAINING,
+    dacapo_program,
+    specjvm_program,
+)
+
+PRESETS = {
+    # Minimal end-to-end preset for tests and smoke runs.
+    "tiny": {
+        "modifiers_per_level": 80,
+        "uses_per_modifier": 2,
+        "max_iterations": 8,
+        "threshold_target": 8_000,
+        "threshold_min": 3,
+        "threshold_max": 60,
+        "replications": 2,
+    },
+    "quick": {
+        "modifiers_per_level": 600,
+        "uses_per_modifier": 3,
+        "max_iterations": 70,
+        "threshold_target": 6_000,
+        "threshold_min": 3,
+        "threshold_max": 30,
+        "replications": 5,
+    },
+    "full": {
+        "modifiers_per_level": 1600,
+        "uses_per_modifier": 4,
+        "max_iterations": 250,
+        "threshold_target": 5_000,
+        "threshold_min": 3,
+        "threshold_max": 30,
+        "replications": 30,
+    },
+}
+
+
+def active_preset():
+    return os.environ.get("REPRO_PROFILE", "quick")
+
+
+class EvaluationContext:
+    """Builds (and caches) everything the figures need."""
+
+    def __init__(self, preset=None, master_seed=0, cache_dir=None,
+                 search="merged"):
+        self.preset_name = preset or active_preset()
+        if self.preset_name not in PRESETS:
+            raise ValueError(f"unknown preset {self.preset_name!r}")
+        self.params = PRESETS[self.preset_name]
+        self.master_seed = master_seed
+        self.search = search
+        self.cache_dir = cache_dir or os.environ.get(
+            "REPRO_CACHE", os.path.join(os.getcwd(), ".repro_cache"))
+        self._record_sets = None
+        self._model_sets = None
+        self._programs = {}
+
+    # -- programs ---------------------------------------------------------
+
+    def program(self, suite, name):
+        key = (suite, name)
+        if key not in self._programs:
+            if suite == "specjvm":
+                self._programs[key] = specjvm_program(
+                    name, master_seed=self.master_seed)
+            else:
+                self._programs[key] = dacapo_program(
+                    name, master_seed=self.master_seed)
+        return self._programs[key]
+
+    def spec_programs(self, names=None):
+        names = names or list(SPECJVM_BENCHMARKS)
+        return [self.program("specjvm", n) for n in names]
+
+    def dacapo_programs(self, names=None):
+        names = names or list(DACAPO_BENCHMARKS)
+        return [self.program("dacapo", n) for n in names]
+
+    @property
+    def replications(self):
+        return self.params["replications"]
+
+    # -- collection -------------------------------------------------------------
+
+    def collection_config(self, search=None):
+        p = self.params
+        return CollectionConfig(
+            search=search or self.search,
+            modifiers_per_level=p["modifiers_per_level"],
+            uses_per_modifier=p["uses_per_modifier"],
+            max_iterations=p["max_iterations"],
+            thresholds=ThresholdConfig(
+                target_cycles=p["threshold_target"],
+                min_threshold=p["threshold_min"],
+                max_threshold=p["threshold_max"]),
+        )
+
+    def _cache_path(self, *parts):
+        tag = f"{self.preset_name}-s{self.master_seed}-{self.search}"
+        path = os.path.join(self.cache_dir, tag, *parts)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        return path
+
+    def record_sets(self, search=None):
+        """Collected data per training benchmark, archive-cached."""
+        if self._record_sets is not None and search is None:
+            return self._record_sets
+        config = self.collection_config(search)
+        suffix = search or self.search
+        out = {}
+        for name in SPECJVM_TRAINING:
+            path = self._cache_path("archives",
+                                    f"{name}-{suffix}.trca")
+            if os.path.exists(path):
+                out[name] = read_archive(path)
+                continue
+            program = self.program("specjvm", name)
+            session = CollectionSession(program, config,
+                                        master_seed=self.master_seed)
+            records = session.run()
+            if session.crashed:
+                continue
+            write_archive(path, records)
+            out[name] = records
+        if search is None:
+            self._record_sets = out
+        return out
+
+    # -- models ---------------------------------------------------------
+
+    def model_sets(self):
+        """The five leave-one-out model sets (H1..H5), disk-cached."""
+        if self._model_sets is not None:
+            return self._model_sets
+        base = self._cache_path("models", "marker")
+        models_dir = os.path.dirname(base)
+        manifest = os.path.join(models_dir, "H1", "modelset.json")
+        if os.path.exists(manifest):
+            out = {}
+            for k in range(1, len(SPECJVM_TRAINING) + 1):
+                out[f"H{k}"] = ModelSet.load(
+                    os.path.join(models_dir, f"H{k}"))
+            self._model_sets = out
+            return out
+        out = leave_one_out_models(self.record_sets())
+        for name, model_set in out.items():
+            model_set.save(os.path.join(models_dir, name))
+        self._model_sets = out
+        return out
+
+    # -- table 4 -------------------------------------------------------------
+
+    def table4(self):
+        return table4_statistics(self.record_sets())

@@ -1,0 +1,135 @@
+"""Start-up / throughput evaluation with leave-one-out model assignment.
+
+The paper's methodology (§8.1-8.2):
+
+* *Start-up*: one internal iteration per JVM invocation.
+* *Throughput*: ten internal iterations per JVM invocation.
+* A benchmark that was part of the training set is evaluated only under
+  the model that *excludes* it (leave-one-out -- "hence the single bar");
+  reserved benchmarks are evaluated under all five models.
+* Every bar is relative to the unmodified baseline compiler, with 95%
+  confidence intervals; compilation time is reported the same way
+  (lower is better).
+"""
+
+import dataclasses
+
+from repro.experiments.measure import (
+    MeasurementConfig,
+    measure,
+    relative,
+)
+from repro.service.strategy import ModelStrategy
+
+
+@dataclasses.dataclass
+class EvaluationResult:
+    """One benchmark's evaluation against a set of models."""
+
+    benchmark: str
+    baseline_time: object         # Summary
+    baseline_compile: object      # Summary
+    #: model name -> Summary of run time / compile time
+    model_time: dict
+    model_compile: dict
+
+    def relative_performance(self, model_name):
+        """>1 means the learned model beat the baseline."""
+        return relative(self.baseline_time,
+                        self.model_time[model_name])
+
+    def relative_compile_time(self, model_name):
+        """<1 means the learned model compiled for less time."""
+        base = self.baseline_compile
+        var = self.model_compile[model_name]
+        if base.mean == 0:
+            return None
+        # relative(a, b) computes a.mean / b.mean with a propagated CI,
+        # so swapping the arguments yields model/baseline directly.
+        return relative(var, base)
+
+    def models(self):
+        return sorted(self.model_time)
+
+
+def models_for_benchmark(benchmark, model_sets):
+    """Leave-one-out assignment: the models applicable to *benchmark*.
+
+    If some model excludes this benchmark, only that model applies (the
+    benchmark was in the other folds' training data); otherwise all
+    models apply (a reserved benchmark).
+    """
+    excluding = {name: ms for name, ms in model_sets.items()
+                 if ms.excluded == benchmark}
+    if excluding:
+        return excluding
+    return dict(model_sets)
+
+
+def evaluate_benchmark(program, model_sets, iterations=1,
+                       replications=5, master_seed=0,
+                       honor_leave_one_out=True):
+    """Measure baseline and every applicable model on one benchmark."""
+    config = MeasurementConfig(iterations=iterations,
+                               replications=replications,
+                               master_seed=master_seed)
+    base_time, base_compile, _ = measure(program, None, config)
+    applicable = (models_for_benchmark(program.name, model_sets)
+                  if honor_leave_one_out else dict(model_sets))
+    model_time = {}
+    model_compile = {}
+    for name in sorted(applicable):
+        model_set = applicable[name]
+        t, c, _ = measure(
+            program, lambda ms=model_set: ModelStrategy(ms), config)
+        model_time[name] = t
+        model_compile[name] = c
+    return EvaluationResult(
+        benchmark=program.name,
+        baseline_time=base_time, baseline_compile=base_compile,
+        model_time=model_time, model_compile=model_compile)
+
+
+def evaluate_suite(programs, model_sets, iterations=1, replications=5,
+                   master_seed=0, honor_leave_one_out=True):
+    """Evaluate a list of programs; returns ``{name: EvaluationResult}``."""
+    out = {}
+    for program in programs:
+        out[program.name] = evaluate_benchmark(
+            program, model_sets, iterations=iterations,
+            replications=replications, master_seed=master_seed,
+            honor_leave_one_out=honor_leave_one_out)
+    return out
+
+
+def format_results(results, metric="performance"):
+    """Render results as the paper's figure rows (text table)."""
+    lines = []
+    for name in sorted(results):
+        res = results[name]
+        parts = [f"{name:12s}"]
+        for model in res.models():
+            if metric == "performance":
+                summary = res.relative_performance(model)
+            else:
+                summary = res.relative_compile_time(model)
+            parts.append(f"{model}={summary.mean:5.3f}"
+                         f"±{summary.ci95:5.3f}")
+        lines.append("  ".join(parts))
+    return "\n".join(lines)
+
+
+def geometric_mean_gain(results, metric="performance"):
+    """Average relative value across benchmarks and models."""
+    import math
+    values = []
+    for res in results.values():
+        for model in res.models():
+            if metric == "performance":
+                values.append(res.relative_performance(model).mean)
+            else:
+                values.append(res.relative_compile_time(model).mean)
+    if not values:
+        return 1.0
+    return math.exp(sum(math.log(max(v, 1e-9)) for v in values)
+                    / len(values))

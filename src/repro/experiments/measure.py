@@ -1,0 +1,152 @@
+"""Measurement methodology (paper §8.1).
+
+A *JVM invocation* is one complete run of a benchmark program in a fresh
+VM: start-up performance runs a single internal iteration, throughput
+performance runs ten.  Every measurement is replicated (the paper uses
+30 JVM invocations) and reported as mean with a 95% Student-t confidence
+interval.
+
+Replications differ through seeded disturbance models standing in for
+the paper's OS-level noise: the sampling-profiler interval is jittered
+(changing JIT timing decisions -- a real, structural perturbation) and a
+small multiplicative timing noise models scheduler/GC interference.
+"""
+
+import dataclasses
+import math
+
+import numpy as np
+from scipy import stats
+
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager
+from repro.jvm.vm import DEFAULT_SAMPLE_INTERVAL, VirtualMachine
+from repro.rng import RngStreams
+
+
+@dataclasses.dataclass
+class MeasurementConfig:
+    """How to measure one configuration."""
+
+    iterations: int = 1          # internal iterations per JVM invocation
+    replications: int = 30       # independent JVM invocations
+    entry_arg: int = 3
+    #: Relative jitter applied to the sampling interval per replication.
+    sample_jitter: float = 0.10
+    #: Std-dev of the multiplicative timing noise per replication.
+    timing_noise: float = 0.01
+    master_seed: int = 0
+
+
+@dataclasses.dataclass
+class RunResult:
+    """One JVM invocation's outcome."""
+
+    total_cycles: float
+    compile_cycles: int
+    compilations: int
+    result_value: object
+
+
+@dataclasses.dataclass
+class Summary:
+    """Replicated measurement: mean and 95% confidence interval."""
+
+    mean: float
+    ci95: float
+    n: int
+    samples: tuple
+
+    @property
+    def low(self):
+        return self.mean - self.ci95
+
+    @property
+    def high(self):
+        return self.mean + self.ci95
+
+
+def summarize(samples):
+    """Mean and 95% Student-t half-width of *samples*."""
+    data = np.asarray(list(samples), dtype=np.float64)
+    n = len(data)
+    mean = float(data.mean())
+    if n < 2:
+        return Summary(mean, 0.0, n, tuple(data))
+    sem = float(data.std(ddof=1)) / math.sqrt(n)
+    half = float(stats.t.ppf(0.975, n - 1)) * sem
+    return Summary(mean, half, n, tuple(data))
+
+
+def run_once(program, strategy=None, iterations=1, entry_arg=3,
+             sample_interval=DEFAULT_SAMPLE_INTERVAL, noise=1.0,
+             control_config=None):
+    """One JVM invocation; returns a :class:`RunResult`."""
+    vm = VirtualMachine(sample_interval=sample_interval)
+    vm.load_program(program)
+
+    def resolver(signature):
+        try:
+            return vm.lookup(signature)
+        except Exception:
+            return None
+
+    compiler = JitCompiler(method_resolver=resolver)
+    manager = CompilationManager(compiler, strategy=strategy,
+                                 config=control_config)
+    vm.attach_manager(manager)
+    result = None
+    for _ in range(iterations):
+        result = vm.call(program.entry, entry_arg)
+    return RunResult(
+        total_cycles=vm.clock.now() * noise,
+        compile_cycles=manager.total_compile_cycles,
+        compilations=manager.compilations(),
+        result_value=result,
+    )
+
+
+def measure(program, strategy_factory=None, config=None):
+    """Replicated measurement of one configuration.
+
+    *strategy_factory*: callable returning a fresh strategy per
+    replication (None = baseline: original plans only).
+
+    Returns ``(time_summary, compile_summary, runs)``.
+    """
+    config = config or MeasurementConfig()
+    streams = RngStreams(config.master_seed)
+    rng = streams.get(f"measure:{program.name}:{config.iterations}")
+    times = []
+    compiles = []
+    runs = []
+    for _rep in range(config.replications):
+        jitter = 1.0 + rng.uniform(-config.sample_jitter,
+                                   config.sample_jitter)
+        interval = max(1000, int(DEFAULT_SAMPLE_INTERVAL * jitter))
+        noise = float(rng.normal(1.0, config.timing_noise))
+        noise = max(0.9, min(1.1, noise))
+        strategy = strategy_factory() if strategy_factory else None
+        run = run_once(program, strategy=strategy,
+                       iterations=config.iterations,
+                       entry_arg=config.entry_arg,
+                       sample_interval=interval, noise=noise)
+        times.append(run.total_cycles)
+        compiles.append(run.compile_cycles)
+        runs.append(run)
+    return summarize(times), summarize(compiles), runs
+
+
+def relative(baseline, variant):
+    """Performance of *variant* relative to *baseline* as the paper
+    plots it (>1 = variant is faster), with a propagated 95% CI."""
+    if variant.mean == 0:
+        return Summary(float("inf"), 0.0, variant.n, ())
+    ratio = baseline.mean / variant.mean
+    # First-order error propagation on the ratio of independent means.
+    rel_var = 0.0
+    if baseline.mean != 0:
+        rel_var += (baseline.ci95 / baseline.mean) ** 2
+    rel_var += (variant.ci95 / variant.mean) ** 2
+    return Summary(ratio, ratio * math.sqrt(rel_var),
+                   min(baseline.n, variant.n), ())

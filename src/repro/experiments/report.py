@@ -1,0 +1,90 @@
+"""Report rendering: ASCII figures and a consolidated results report.
+
+The paper presents Figures 6-13 as bar charts; :func:`ascii_figure`
+renders the same data as horizontal bars in plain text so regenerated
+figures are visually comparable at a glance.  :func:`build_report`
+assembles every saved result under ``<cache>/results/`` into one
+markdown document.
+"""
+
+import os
+
+
+def ascii_bar(value, lo, hi, width=40, marker="#", baseline=1.0):
+    """One horizontal bar for *value* on a [lo, hi] axis, with a '|'
+    tick at the baseline."""
+    span = max(hi - lo, 1e-12)
+
+    def col(x):
+        return int(round((min(max(x, lo), hi) - lo) / span * width))
+
+    cells = [" "] * (width + 1)
+    fill_to = col(value)
+    start = col(lo)
+    for i in range(min(start, fill_to), max(start, fill_to) + 1):
+        cells[i] = marker
+    tick = col(baseline)
+    cells[tick] = "|"
+    cells[fill_to] = marker
+    return "".join(cells)
+
+
+def ascii_figure(rows, title, baseline=1.0, width=40, lo=None,
+                 hi=None):
+    """Render a figure payload's rows as labelled ASCII bars.
+
+    *rows*: ``{benchmark: {model: (mean, ci)}}`` as produced by the
+    figure generators.
+    """
+    values = [mean for models in rows.values()
+              for mean, _ci in models.values()]
+    if not values:
+        return title + "\n  (no data)"
+    lo = lo if lo is not None else min(min(values), baseline) - 0.02
+    hi = hi if hi is not None else max(max(values), baseline) + 0.02
+    lines = [title,
+             f"  axis [{lo:.2f} .. {hi:.2f}], '|' marks baseline "
+             f"{baseline:g}"]
+    for bench in sorted(rows):
+        for model in sorted(rows[bench]):
+            mean, ci = rows[bench][model]
+            bar = ascii_bar(mean, lo, hi, width=width,
+                            baseline=baseline)
+            lines.append(f"  {bench:12.12s} {model:3s} {bar} "
+                         f"{mean:6.3f}±{ci:.3f}")
+    return "\n".join(lines)
+
+
+def build_report(cache_dir, preset_name="quick", master_seed=0):
+    """Assemble every saved result into one markdown document."""
+    results_dir = os.path.join(cache_dir, "results")
+    sections = [
+        "# Regenerated evaluation",
+        f"\npreset `{preset_name}`, master seed {master_seed}.",
+        "\nEach section below is the verbatim output of one benchmark "
+        "driver (see `benchmarks/`).\n",
+    ]
+    if not os.path.isdir(results_dir):
+        sections.append("*(no results found -- run "
+                        "`pytest benchmarks/ --benchmark-only` first)*")
+        return "\n".join(sections)
+    order = (["table4"]
+             + [f"figure{n}" for n in range(6, 14)]
+             + ["kernel_study", "ablation_search", "ablation_ranking",
+                "ablation_plans", "ablation_guided"])
+    seen = set()
+    names = [n for n in order
+             if os.path.exists(os.path.join(results_dir, n + ".txt"))]
+    names += sorted(
+        os.path.splitext(f)[0]
+        for f in os.listdir(results_dir)
+        if f.endswith(".txt") and os.path.splitext(f)[0] not in order)
+    for name in names:
+        if name in seen:
+            continue
+        seen.add(name)
+        with open(os.path.join(results_dir, name + ".txt"),
+                  encoding="utf-8") as fh:
+            body = fh.read().rstrip()
+        sections.append(f"## {name}\n\n```\n{body}\n```\n")
+    return "\n".join(sections)

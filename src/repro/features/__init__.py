@@ -1,0 +1,18 @@
+"""Method feature extraction (paper §4.1).
+
+A method is characterized by a 71-dimensional numeric vector: 19 scalar
+features (4 counters + 15 binary attributes, Table 1) and 52 distribution
+counters -- 14 over operand types (16-bit saturating, Table 2) and 38 over
+operations (8-bit saturating, Table 3) -- computed in a single pass over
+the tree-based IL just prior to the optimization stage.
+"""
+
+from repro.features.vector import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    FeatureExtractor,
+    extract_features,
+)
+
+__all__ = ["FEATURE_NAMES", "NUM_FEATURES", "FeatureExtractor",
+           "extract_features"]

@@ -1,0 +1,235 @@
+"""The 71-dimensional feature vector.
+
+Layout (indices are stable; trained models depend on them):
+
+* ``[0, 4)``   -- scalar counters: exception handlers, arguments,
+  temporaries, tree nodes (Table 1, left column).
+* ``[4, 19)``  -- binary attributes (Table 1, right column).
+* ``[19, 33)`` -- type distribution, 16-bit saturating (Table 2).
+* ``[33, 71)`` -- operation distribution, 8-bit saturating (Table 3).
+"""
+
+import numpy as np
+
+from repro.jvm.bytecode import JType
+from repro.jit.ir.tree import ILOp
+
+#: Loop bound at or above which a counted loop counts as many-iteration.
+MANY_ITERATION_THRESHOLD = 64
+
+TYPE_ORDER = (
+    JType.BYTE, JType.CHAR, JType.SHORT, JType.INT, JType.LONG,
+    JType.FLOAT, JType.DOUBLE, JType.VOID, JType.ADDRESS, JType.OBJECT,
+    JType.LONGDOUBLE, JType.PACKED, JType.ZONED, JType.MIXED,
+)
+
+OP_ORDER = (
+    # ALU (12)
+    "op_add", "op_sub", "op_mul", "op_div", "op_rem", "op_neg",
+    "op_shift", "op_or", "op_and", "op_xor", "op_inc", "op_compare",
+    # Cast (13)
+    "cast_byte", "cast_char", "cast_short", "cast_int", "cast_long",
+    "cast_float", "cast_double", "cast_longdouble", "cast_address",
+    "cast_object", "cast_packed", "cast_zoned", "cast_check",
+    # Load/Store (3)
+    "op_load", "op_loadconst", "op_store",
+    # Memory (3)
+    "op_new", "op_newarray", "op_newmultiarray",
+    # JVM (3)
+    "op_instanceof", "op_synchronization", "op_throw",
+    # Branch (2)
+    "op_branch", "op_call",
+    # Array operations (1)
+    "op_arrayops",
+    # Mixed operations (1)
+    "op_mixed",
+)
+
+SCALAR_COUNTERS = ("exception_handlers", "arguments", "temporaries",
+                   "tree_nodes")
+
+ATTRIBUTES = (
+    "is_constructor", "is_final", "is_protected", "is_public",
+    "is_static", "is_synchronized", "many_iteration_loops",
+    "may_have_loops", "may_have_many_iteration_loops",
+    "allocates_dynamic_memory", "unsafe_symbols", "uses_bigdecimal",
+    "virtual_method_overridden", "strict_floating_point",
+    "uses_floating_point",
+)
+
+FEATURE_NAMES = (SCALAR_COUNTERS + ATTRIBUTES
+                 + tuple(f"type_{t.name.lower()}" for t in TYPE_ORDER)
+                 + OP_ORDER)
+
+NUM_FEATURES = len(FEATURE_NAMES)
+assert NUM_FEATURES == 71, NUM_FEATURES
+
+TYPE_COUNTER_CAP = 0xFFFF   # 16-bit counters (Table 2)
+OP_COUNTER_CAP = 0xFF       # 8-bit counters (Table 3)
+
+_CAST_COUNTER = {
+    JType.BYTE: "cast_byte", JType.CHAR: "cast_char",
+    JType.SHORT: "cast_short", JType.INT: "cast_int",
+    JType.LONG: "cast_long", JType.FLOAT: "cast_float",
+    JType.DOUBLE: "cast_double", JType.LONGDOUBLE: "cast_longdouble",
+    JType.ADDRESS: "cast_address", JType.OBJECT: "cast_object",
+    JType.PACKED: "cast_packed", JType.ZONED: "cast_zoned",
+}
+
+_OP_COUNTER = {
+    ILOp.ADD: "op_add", ILOp.SUB: "op_sub", ILOp.MUL: "op_mul",
+    ILOp.DIV: "op_div", ILOp.REM: "op_rem", ILOp.NEG: "op_neg",
+    ILOp.SHL: "op_shift", ILOp.SHR: "op_shift", ILOp.OR: "op_or",
+    ILOp.AND: "op_and", ILOp.XOR: "op_xor", ILOp.INC: "op_inc",
+    ILOp.CMP: "op_compare",
+    ILOp.LOAD: "op_load", ILOp.GETFIELD: "op_load", ILOp.ALOAD: "op_load",
+    ILOp.CONST: "op_loadconst",
+    ILOp.STORE: "op_store", ILOp.PUTFIELD: "op_store",
+    ILOp.ASTORE: "op_store",
+    ILOp.NEW: "op_new", ILOp.NEWARRAY: "op_newarray",
+    ILOp.NEWMULTIARRAY: "op_newmultiarray",
+    ILOp.INSTANCEOF: "op_instanceof",
+    ILOp.MONITORENTER: "op_synchronization",
+    ILOp.MONITOREXIT: "op_synchronization",
+    ILOp.ATHROW: "op_throw",
+    ILOp.IF: "op_branch", ILOp.GOTO: "op_branch",
+    ILOp.CALL: "op_call",
+    ILOp.ARRAYLENGTH: "op_arrayops", ILOp.ARRAYCOPY: "op_arrayops",
+    ILOp.ARRAYCMP: "op_arrayops", ILOp.BNDCHK: "op_arrayops",
+}
+
+_INDEX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+class FeatureExtractor:
+    """Computes feature vectors from IL; one pass per method."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def extract(self, ilmethod, cfg=None, virtual_overridden=None):
+        return extract_features(ilmethod, cfg=cfg,
+                                virtual_overridden=virtual_overridden)
+
+
+def extract_features(ilmethod, cfg=None, virtual_overridden=None):
+    """Return the 71-component feature vector as ``np.float64`` array."""
+    from repro.jit.ir.cfg import CFGInfo
+    method = ilmethod.method
+    if cfg is None:
+        cfg = CFGInfo(ilmethod)
+    vec = np.zeros(NUM_FEATURES, dtype=np.float64)
+
+    def setf(name, value):
+        vec[_INDEX[name]] = float(value)
+
+    def bump(name, cap):
+        i = _INDEX[name]
+        if vec[i] < cap:
+            vec[i] += 1.0
+
+    # -- scalar counters ----------------------------------------------------
+    setf("exception_handlers", len(method.handlers))
+    setf("arguments", method.num_args)
+    setf("temporaries", ilmethod.num_locals - method.num_args)
+    setf("tree_nodes", ilmethod.count_nodes())
+
+    # -- binary attributes --------------------------------------------------
+    setf("is_constructor", method.is_constructor)
+    setf("is_final", method.is_final)
+    setf("is_protected", method.is_protected)
+    setf("is_public", method.is_public)
+    setf("is_static", method.is_static)
+    setf("is_synchronized", method.is_synchronized)
+    setf("strict_floating_point", method.is_strictfp)
+
+    has_loops = bool(cfg.loops)
+    nested = cfg.max_loop_depth() >= 2
+    many, may_many = _loop_iteration_attributes(ilmethod, cfg, nested)
+    setf("may_have_loops", has_loops or method.has_backward_branch())
+    setf("many_iteration_loops", many)
+    setf("may_have_many_iteration_loops", may_many)
+
+    if virtual_overridden is None:
+        virtual_overridden = bool(getattr(method, "virtual_overridden",
+                                          False))
+    setf("virtual_method_overridden", virtual_overridden)
+
+    allocates = False
+    unsafe = False
+    bigdecimal = False
+    uses_fp = False
+
+    # -- distributions (single pass over the trees) --------------------------
+    for _block, treetop in ilmethod.iter_treetops():
+        for node in treetop.walk():
+            t = node.type
+            if t in (JType.FLOAT, JType.DOUBLE, JType.LONGDOUBLE):
+                uses_fp = True
+            type_name = f"type_{t.name.lower()}"
+            if type_name in _INDEX:
+                bump(type_name, TYPE_COUNTER_CAP)
+            if len(node.children) == 2:
+                c0, c1 = node.children
+                if c0.type != c1.type:
+                    bump("type_mixed", TYPE_COUNTER_CAP)
+
+            op = node.op
+            if op is ILOp.CAST:
+                counter = _CAST_COUNTER.get(node.type)
+                if counter is not None:
+                    bump(counter, OP_COUNTER_CAP)
+                continue
+            if op is ILOp.CHECKCAST:
+                bump("cast_check", OP_COUNTER_CAP)
+                continue
+            counter = _OP_COUNTER.get(op)
+            if counter is not None:
+                bump(counter, OP_COUNTER_CAP)
+            else:
+                if op not in (ILOp.RETURN, ILOp.TREETOP, ILOp.NULLCHK,
+                              ILOp.CATCH):
+                    bump("op_mixed", OP_COUNTER_CAP)
+            if op in (ILOp.NEW, ILOp.NEWARRAY, ILOp.NEWMULTIARRAY):
+                allocates = True
+            elif op is ILOp.CALL:
+                if node.value.startswith("sun/misc/Unsafe."):
+                    unsafe = True
+                elif node.value.startswith("java/math/BigDecimal."):
+                    bigdecimal = True
+
+    setf("allocates_dynamic_memory", allocates)
+    setf("unsafe_symbols", unsafe)
+    setf("uses_bigdecimal", bigdecimal)
+    setf("uses_floating_point", uses_fp)
+    return vec
+
+
+def _loop_iteration_attributes(ilmethod, cfg, nested):
+    """(many_iteration_loops, may_have_many_iteration_loops) from loop
+    bounds visible in header conditions and from nesting."""
+    many = False
+    may_many = nested
+    index = ilmethod.block_index()
+    for loop in cfg.loops:
+        header = index.get(loop.header)
+        if header is None:
+            continue
+        term = header.terminator
+        bound = None
+        if term is not None and term.op is ILOp.IF:
+            cond = term.children[0]
+            if cond.op is ILOp.CMP:
+                rhs = cond.children[1]
+                if rhs.is_const() and isinstance(rhs.value, int):
+                    bound = abs(rhs.value)
+        if bound is None:
+            may_many = True  # unknown trip count: could be large
+        elif bound >= MANY_ITERATION_THRESHOLD:
+            many = True
+            may_many = True
+    return many, may_many
+
+
+def feature_index(name):
+    return _INDEX[name]

@@ -1,0 +1,40 @@
+"""The JIT compiler (the Testarossa analogue).
+
+Pipeline: bytecode -> tree-form IL (`ir`), an ordered list of code
+transformations selected by the active compilation plan and filtered by a
+compilation-plan *modifier* (`opt`, `plans`, `modifiers`), then lowering to
+a virtual native ISA with register allocation (`codegen`).  `control`
+implements the adaptive compilation controller (five optimization levels,
+invocation counters + sampling), and `compiler` is the facade tying it all
+together.
+
+Public names are re-exported lazily (PEP 562) so that subsystems such as
+the feature extractor can import IL definitions without triggering the
+full compiler import chain.
+"""
+
+_EXPORTS = {
+    "JitCompiler": ("repro.jit.compiler", "JitCompiler"),
+    "CompiledMethod": ("repro.jit.compiler", "CompiledMethod"),
+    "OptLevel": ("repro.jit.plans", "OptLevel"),
+    "CompilationPlan": ("repro.jit.plans", "CompilationPlan"),
+    "default_plans": ("repro.jit.plans", "default_plans"),
+    "Modifier": ("repro.jit.modifiers", "Modifier"),
+    "ModifierQueue": ("repro.jit.modifiers", "ModifierQueue"),
+    "CompilationManager": ("repro.jit.control", "CompilationManager"),
+    "ControlConfig": ("repro.jit.control", "ControlConfig"),
+}
+
+__all__ = list(_EXPORTS)
+
+
+def __getattr__(name):
+    entry = _EXPORTS.get(name)
+    if entry is None:
+        raise AttributeError(f"module 'repro.jit' has no attribute "
+                             f"{name!r}")
+    import importlib
+    module = importlib.import_module(entry[0])
+    value = getattr(module, entry[1])
+    globals()[name] = value
+    return value

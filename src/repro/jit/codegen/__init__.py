@@ -1,0 +1,14 @@
+"""Code generation: tree IL -> virtual native ISA -> executable code.
+
+`isa` defines the linear virtual instruction set and its cycle costs,
+`lower` translates IL trees into it, `regalloc` runs linear-scan register
+allocation (emitting real spill code), `peephole` holds the native-level
+cleanup passes, and `native` is the register-machine simulator that
+executes compiled methods, advancing the VM clock.
+"""
+
+from repro.jit.codegen.isa import NOp, NInstr
+from repro.jit.codegen.lower import lower_method, CodegenOptions
+from repro.jit.codegen.native import NativeCode
+
+__all__ = ["NOp", "NInstr", "lower_method", "CodegenOptions", "NativeCode"]

@@ -1,0 +1,143 @@
+"""The virtual native instruction set.
+
+Compiled methods run on a register machine with an unbounded register
+namespace; the register allocator maps virtual registers onto a small
+physical set and emits real spill traffic.  Per-instruction cycle costs are
+what make compiled code faster than interpretation: the interpreter pays
+~8-15 cycles of dispatch per bytecode, native instructions cost 1-4 cycles
+(division, allocation and calls excepted).
+"""
+
+import enum
+
+
+class NOp(enum.IntEnum):
+    CONST = 1     # dst <- imm (typed)
+    MOV = 2       # dst <- src
+    ADD = 3
+    SUB = 4
+    MUL = 5
+    DIV = 6
+    REM = 7
+    NEG = 8
+    SHL = 9
+    SHR = 10
+    OR = 11
+    AND = 12
+    XOR = 13
+    CMP = 14
+    ADDI = 15     # dst <- src + imm (immediate form)
+    ALUI = 16     # dst <- src <aux-op> imm (immediate ALU, aux=NOp of op)
+    CAST = 17
+    LDLOC = 18    # dst <- locals[imm]
+    STLOC = 19    # locals[imm] <- src
+    INCLOC = 20   # locals[aux] += imm
+    GETF = 21     # dst <- src.field(aux)
+    PUTF = 22     # srcs=(ref, val); aux=field
+    ALD = 23      # dst <- srcs[0][srcs[1]]
+    AST = 24      # srcs=(ref, idx, val)
+    ALEN = 25
+    ACOPY = 26    # srcs=(src, srcoff, dst, dstoff, count)
+    ACMP = 27
+    NEW = 28      # aux=class name; imm=1 when stack-allocated
+    NEWARR = 29   # aux=elem type; srcs=(len,); imm=1 when stack-allocated
+    NEWMULTI = 30  # aux=(elem type, ndims); srcs=lens
+    INST = 31     # dst <- src instanceof aux
+    CCAST = 32    # checkcast src against aux
+    MONE = 33
+    MONX = 34
+    THROW = 35
+    NULLCHK = 36
+    BNDCHK = 37
+    CALL = 38     # aux=(signature, argtypes, rtype); dst may be None
+    RET = 39      # srcs=() or (val,)
+    BR = 40       # aux=target label (block id)
+    BC = 41       # aux=(relop, target label); srcs=(cond,)
+    CATCH = 42    # dst <- in-flight exception object
+    SPST = 43     # spill store: mem[aux] <- src
+    SPLD = 44     # spill load: dst <- mem[aux]
+    LABEL = 45    # aux=block id marker (zero cost, not executed)
+    THROWLOCAL = 46  # aux=(target label, class): compile-time-resolved
+                     # throw to a handler in the same frame (EDO)
+
+
+#: Cycle cost per native instruction.
+NATIVE_COST = {
+    NOp.CONST: 1, NOp.MOV: 1,
+    NOp.ADD: 1, NOp.SUB: 1, NOp.MUL: 3, NOp.DIV: 20, NOp.REM: 20,
+    NOp.NEG: 1, NOp.SHL: 1, NOp.SHR: 1, NOp.OR: 1, NOp.AND: 1, NOp.XOR: 1,
+    NOp.CMP: 1, NOp.ADDI: 1, NOp.ALUI: 1, NOp.CAST: 1,
+    NOp.LDLOC: 2, NOp.STLOC: 2, NOp.INCLOC: 2,
+    NOp.GETF: 3, NOp.PUTF: 3, NOp.ALD: 3, NOp.AST: 3, NOp.ALEN: 2,
+    NOp.ACOPY: 8, NOp.ACMP: 4,
+    NOp.NEW: 30, NOp.NEWARR: 30, NOp.NEWMULTI: 60,
+    NOp.INST: 4, NOp.CCAST: 5,
+    NOp.MONE: 10, NOp.MONX: 10, NOp.THROW: 40,
+    NOp.NULLCHK: 1, NOp.BNDCHK: 1,
+    NOp.CALL: 8, NOp.RET: 2, NOp.BR: 1, NOp.BC: 2, NOp.CATCH: 1,
+    NOp.SPST: 3, NOp.SPLD: 3, NOp.LABEL: 0, NOp.THROWLOCAL: 3,
+}
+
+#: Cost of NEW/NEWARR when escape analysis proved the allocation local
+#: (object header on the stack, no GC pressure).
+STACK_ALLOC_COST = 6
+
+#: Number of physical registers available to the allocator (two of which
+#: are reserved as spill scratch).
+PHYS_REGS = 12
+SCRATCH_REGS = 2
+
+#: Method prologue/epilogue overhead charged per compiled invocation.
+FRAME_COST = 12
+LEAF_FRAME_COST = 4
+
+#: Extra cycle charged when an instruction consumes the result of the
+#: immediately preceding instruction (pipeline forwarding stall); the
+#: instruction-scheduling transformation exists to avoid these.
+STALL_COST = 1
+
+
+class NInstr:
+    """One native instruction."""
+
+    __slots__ = ("op", "dst", "srcs", "imm", "type", "aux", "block")
+
+    def __init__(self, op, dst=None, srcs=(), imm=None, jtype=None,
+                 aux=None, block=0):
+        self.op = op
+        self.dst = dst
+        self.srcs = tuple(srcs)
+        self.imm = imm
+        self.type = jtype
+        self.aux = aux
+        self.block = block  # originating IL block (for handler scopes)
+
+    def regs_read(self):
+        return self.srcs
+
+    def __repr__(self):
+        parts = [self.op.name.lower()]
+        if self.dst is not None:
+            parts.append(f"r{self.dst}")
+        parts.extend(f"r{s}" for s in self.srcs)
+        if self.imm is not None:
+            parts.append(f"#{self.imm!r}")
+        if self.aux is not None:
+            parts.append(f"<{self.aux!r}>")
+        return " ".join(parts)
+
+
+#: Instructions with side effects or ordering constraints: the scheduler
+#: and peephole passes never move or delete these relative to one another.
+SIDE_EFFECT_OPS = frozenset({
+    NOp.STLOC, NOp.INCLOC, NOp.PUTF, NOp.AST, NOp.ACOPY, NOp.NEW,
+    NOp.NEWARR, NOp.NEWMULTI, NOp.MONE, NOp.MONX, NOp.THROW, NOp.NULLCHK,
+    NOp.BNDCHK, NOp.CALL, NOp.RET, NOp.BR, NOp.BC, NOp.CATCH, NOp.SPST,
+    NOp.SPLD, NOp.LABEL, NOp.CCAST, NOp.DIV, NOp.REM,
+    NOp.GETF, NOp.ALD, NOp.ALEN, NOp.ACMP, NOp.LDLOC, NOp.THROWLOCAL,
+})
+
+#: The subset of side-effecting ops that only *read* state; these may move
+#: past pure computation but not past writes/calls.
+READ_ONLY_OPS = frozenset({NOp.GETF, NOp.ALD, NOp.ALEN, NOp.ACMP,
+                           NOp.LDLOC})

@@ -1,0 +1,314 @@
+"""Lowering: tree IL -> linear virtual native code.
+
+The lowerer walks each block's treetops, recursively materializing
+expression trees into virtual registers.  Several *controllable* codegen
+transformations are applied here when enabled by the compilation plan (and
+not masked by the plan modifier):
+
+* ``const_operand_folding`` -- use immediate ALU forms for constant
+  right-hand operands instead of materializing the constant.
+* ``address_mode_folding`` -- fold constant array indices into the memory
+  instruction.
+* ``leaf_frames`` -- methods making no calls get a cheap prologue.
+
+The remaining native-level transformations (peephole, compact null checks,
+scheduling, coalescing, rematerialization) are applied afterwards by
+:mod:`repro.jit.codegen.peephole` and :mod:`repro.jit.codegen.regalloc`.
+"""
+
+import dataclasses
+
+from repro.errors import CompilationError
+from repro.jvm.bytecode import JType
+from repro.jit.ir.tree import ILOp
+from repro.jit.codegen.isa import NInstr, NOp
+
+#: Compile-cycles charged per IL node lowered (the Code Generator stage).
+LOWER_COST_PER_NODE = 20
+
+_BIN_NOPS = {
+    ILOp.ADD: NOp.ADD, ILOp.SUB: NOp.SUB, ILOp.MUL: NOp.MUL,
+    ILOp.DIV: NOp.DIV, ILOp.REM: NOp.REM, ILOp.SHL: NOp.SHL,
+    ILOp.SHR: NOp.SHR, ILOp.OR: NOp.OR, ILOp.AND: NOp.AND,
+    ILOp.XOR: NOp.XOR, ILOp.CMP: NOp.CMP,
+}
+
+#: ALU ops eligible for the immediate form.
+_IMM_FOLDABLE = frozenset({NOp.ADD, NOp.SUB, NOp.MUL, NOp.SHL, NOp.SHR,
+                           NOp.OR, NOp.AND, NOp.XOR})
+
+
+@dataclasses.dataclass
+class CodegenOptions:
+    """Codegen-level transformation switches (set by the plan/modifier)."""
+
+    const_operand_folding: bool = False
+    address_mode_folding: bool = False
+    leaf_frames: bool = False
+    compact_null_checks: bool = False
+    peephole: bool = False
+    scheduling: bool = False
+    coalescing: bool = False
+    rematerialization: bool = False
+    #: ids of NEW/NEWARRAY nodes proven non-escaping by escape analysis.
+    stack_alloc_ids: frozenset = frozenset()
+
+
+class _Lowerer:
+    def __init__(self, ilmethod, options):
+        self.il = ilmethod
+        self.opts = options
+        self.instrs = []
+        self.next_reg = 0
+        self.cost = 0
+        self.block = 0
+
+    def reg(self):
+        r = self.next_reg
+        self.next_reg += 1
+        return r
+
+    def emit(self, op, dst=None, srcs=(), imm=None, jtype=None, aux=None):
+        ins = NInstr(op, dst, srcs, imm, jtype, aux, self.block)
+        self.instrs.append(ins)
+        return ins
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node):
+        self.cost += LOWER_COST_PER_NODE
+        op = node.op
+        if op is ILOp.CONST:
+            r = self.reg()
+            self.emit(NOp.CONST, r, (), node.value, node.type)
+            return r
+        if op is ILOp.LOAD:
+            r = self.reg()
+            self.emit(NOp.LDLOC, r, (), node.value, node.type)
+            return r
+        if op in _BIN_NOPS:
+            a, b = node.children
+            nop = _BIN_NOPS[op]
+            if (self.opts.const_operand_folding and b.is_const()
+                    and nop in _IMM_FOLDABLE):
+                ra = self.expr(a)
+                r = self.reg()
+                self.emit(NOp.ALUI, r, (ra,), b.value, node.type, nop)
+                return r
+            ra = self.expr(a)
+            rb = self.expr(b)
+            r = self.reg()
+            self.emit(nop, r, (ra, rb), None, node.type)
+            return r
+        if op is ILOp.NEG:
+            ra = self.expr(node.children[0])
+            r = self.reg()
+            self.emit(NOp.NEG, r, (ra,), None, node.type)
+            return r
+        if op is ILOp.CAST:
+            ra = self.expr(node.children[0])
+            r = self.reg()
+            self.emit(NOp.CAST, r, (ra,), None, node.type)
+            return r
+        if op is ILOp.GETFIELD:
+            ra = self.expr(node.children[0])
+            r = self.reg()
+            self.emit(NOp.GETF, r, (ra,), None, node.type, node.value)
+            return r
+        if op is ILOp.ALOAD:
+            ref, idx = node.children
+            rref = self.expr(ref)
+            if self.opts.address_mode_folding and idx.is_const():
+                r = self.reg()
+                self.emit(NOp.ALD, r, (rref,), idx.value, node.type)
+                return r
+            ridx = self.expr(idx)
+            r = self.reg()
+            self.emit(NOp.ALD, r, (rref, ridx), None, node.type)
+            return r
+        if op is ILOp.ARRAYLENGTH:
+            ra = self.expr(node.children[0])
+            r = self.reg()
+            self.emit(NOp.ALEN, r, (ra,), None, JType.INT)
+            return r
+        if op is ILOp.ARRAYCMP:
+            ra = self.expr(node.children[0])
+            rb = self.expr(node.children[1])
+            r = self.reg()
+            self.emit(NOp.ACMP, r, (ra, rb), None, JType.INT)
+            return r
+        if op is ILOp.INSTANCEOF:
+            ra = self.expr(node.children[0])
+            r = self.reg()
+            self.emit(NOp.INST, r, (ra,), None, JType.INT, node.value)
+            return r
+        if op is ILOp.NEW:
+            r = self.reg()
+            stack = 1 if id(node) in self.opts.stack_alloc_ids else 0
+            self.emit(NOp.NEW, r, (), stack, JType.OBJECT, node.value)
+            return r
+        if op is ILOp.NEWARRAY:
+            rlen = self.expr(node.children[0])
+            r = self.reg()
+            stack = 1 if id(node) in self.opts.stack_alloc_ids else 0
+            self.emit(NOp.NEWARR, r, (rlen,), stack, JType.ADDRESS,
+                      node.value)
+            return r
+        if op is ILOp.NEWMULTIARRAY:
+            rdims = tuple(self.expr(c) for c in node.children)
+            r = self.reg()
+            self.emit(NOp.NEWMULTI, r, rdims, None, JType.ADDRESS,
+                      node.value)
+            return r
+        if op is ILOp.CALL:
+            return self.call(node, want_result=True)
+        if op is ILOp.CATCH:
+            r = self.reg()
+            self.emit(NOp.CATCH, r, (), None, JType.OBJECT)
+            return r
+        raise CompilationError(f"lower: unhandled expression {op.name}")
+
+    def call(self, node, want_result):
+        argregs = tuple(self.expr(c) for c in node.children)
+        argtypes = tuple(c.type for c in node.children)
+        dst = self.reg() if want_result and node.type is not JType.VOID \
+            else None
+        self.emit(NOp.CALL, dst, argregs, None, node.type,
+                  (node.value, argtypes, node.type))
+        return dst
+
+    # -- treetops ---------------------------------------------------------
+
+    def treetop(self, node):
+        self.cost += LOWER_COST_PER_NODE
+        op = node.op
+        if op is ILOp.STORE:
+            r = self.expr(node.children[0])
+            self.emit(NOp.STLOC, None, (r,), node.value, node.type)
+            return
+        if op is ILOp.INC:
+            slot, amount = node.value
+            self.emit(NOp.INCLOC, None, (), amount, node.type, slot)
+            return
+        if op is ILOp.PUTFIELD:
+            ref, val = node.children
+            rref = self.expr(ref)
+            rval = self.expr(val)
+            self.emit(NOp.PUTF, None, (rref, rval), None, node.type,
+                      node.value)
+            return
+        if op is ILOp.ASTORE:
+            ref, idx, val = node.children
+            rref = self.expr(ref)
+            if self.opts.address_mode_folding and idx.is_const():
+                rval = self.expr(val)
+                self.emit(NOp.AST, None, (rref, rval), idx.value,
+                          node.type, "imm_idx")
+                return
+            ridx = self.expr(idx)
+            rval = self.expr(val)
+            self.emit(NOp.AST, None, (rref, ridx, rval), None, node.type)
+            return
+        if op is ILOp.TREETOP:
+            child = node.children[0]
+            if child.op is ILOp.CALL:
+                self.call(child, want_result=False)
+            elif child.op is ILOp.CATCH:
+                pass  # exception already delivered; nothing to evaluate
+            else:
+                self.expr(child)
+            return
+        if op is ILOp.RETURN:
+            if node.children:
+                r = self.expr(node.children[0])
+                self.emit(NOp.RET, None, (r,), None, node.type)
+            else:
+                self.emit(NOp.RET, None, (), None, JType.VOID)
+            return
+        if op is ILOp.GOTO:
+            self.emit(NOp.BR, None, (), None, None, node.value)
+            return
+        if op is ILOp.IF:
+            relop, target = node.value
+            r = self.expr(node.children[0])
+            self.emit(NOp.BC, None, (r,), None, None, (relop, target))
+            return
+        if op is ILOp.ATHROW:
+            r = self.expr(node.children[0])
+            self.emit(NOp.THROW, None, (r,))
+            return
+        if op is ILOp.THROWTO:
+            target, class_name = node.value
+            self.emit(NOp.THROWLOCAL, None, (), None, None,
+                      (target, class_name))
+            return
+        if op is ILOp.MONITORENTER:
+            r = self.expr(node.children[0])
+            self.emit(NOp.MONE, None, (r,))
+            return
+        if op is ILOp.MONITOREXIT:
+            r = self.expr(node.children[0])
+            self.emit(NOp.MONX, None, (r,))
+            return
+        if op is ILOp.ARRAYCOPY:
+            regs = tuple(self.expr(c) for c in node.children)
+            self.emit(NOp.ACOPY, None, regs)
+            return
+        if op is ILOp.CHECKCAST:
+            r = self.expr(node.children[0])
+            self.emit(NOp.CCAST, None, (r,), None, None, node.value)
+            return
+        if op is ILOp.NULLCHK:
+            r = self.expr(node.children[0])
+            self.emit(NOp.NULLCHK, None, (r,))
+            return
+        if op is ILOp.BNDCHK:
+            rref = self.expr(node.children[0])
+            ridx = self.expr(node.children[1])
+            self.emit(NOp.BNDCHK, None, (rref, ridx))
+            return
+        raise CompilationError(f"lower: unhandled treetop {op.name}")
+
+
+def lower_method(ilmethod, options=None):
+    """Lower an :class:`ILMethod`; returns ``(NativeCode, compile_cost)``."""
+    from repro.jit.codegen.native import NativeCode
+    from repro.jit.codegen import peephole as ph
+    from repro.jit.codegen.regalloc import allocate
+
+    opts = options or CodegenOptions()
+    lo = _Lowerer(ilmethod, opts)
+    for block in ilmethod.blocks:
+        lo.block = block.bid
+        lo.emit(NOp.LABEL, None, (), None, None, block.bid)
+        for tt in block.treetops:
+            lo.treetop(tt)
+        term = block.terminator
+        if term is None or term.op is ILOp.IF:
+            lo.emit(NOp.BR, None, (), None, None, block.fallthrough)
+    instrs = lo.instrs
+    cost = lo.cost
+
+    if opts.coalescing:
+        instrs, c = ph.coalesce_moves(instrs)
+        cost += c
+    if opts.compact_null_checks:
+        instrs, c = ph.compact_null_checks(instrs)
+        cost += c
+    if opts.peephole:
+        instrs, c = ph.peephole(instrs)
+        cost += c
+
+    instrs, c = allocate(instrs, rematerialize=opts.rematerialization)
+    cost += c
+
+    if opts.scheduling:
+        instrs, c = ph.schedule(instrs)
+        cost += c
+
+    instrs = ph.elide_fallthrough_branches(instrs)
+
+    is_leaf = not any(i.op is NOp.CALL for i in instrs)
+    code = NativeCode(ilmethod, instrs,
+                      leaf=(is_leaf and opts.leaf_frames))
+    return code, cost

@@ -1,0 +1,182 @@
+"""Native-level cleanup transformations.
+
+These run on the linear instruction list.  All four are *controllable*
+code transformations in the plan:
+
+* ``coalesce_moves`` -- store-to-load forwarding through locals: a
+  ``LDLOC`` that re-reads a slot just written in the same block becomes a
+  register ``MOV`` (locals are frame-private, so no call can invalidate
+  the forwarded value).
+* ``compact_null_checks`` -- drop an explicit ``NULLCHK`` when the guarded
+  access itself traps immediately afterwards with the same exception.
+* ``peephole`` -- algebraic no-ops and dead pure definitions.
+* ``schedule`` -- forwarding-stall avoidance by hoisting an independent
+  instruction between a producer and its immediate consumer.
+"""
+
+from repro.jit.codegen.isa import NInstr, NOp, SIDE_EFFECT_OPS
+
+#: Compile-cycles per instruction scanned by each of these passes.
+PASS_COST_PER_INSTR = 5
+
+#: Pure, freely movable computation (no memory, no traps).
+_PURE_COMPUTE = frozenset({
+    NOp.CONST, NOp.MOV, NOp.ADD, NOp.SUB, NOp.MUL, NOp.NEG, NOp.SHL,
+    NOp.SHR, NOp.OR, NOp.AND, NOp.XOR, NOp.CMP, NOp.ADDI, NOp.ALUI,
+    NOp.CAST,
+})
+
+#: Memory accesses that trap on a null base register (first source).
+_NULL_TRAPPING = frozenset({
+    NOp.GETF, NOp.PUTF, NOp.ALD, NOp.AST, NOp.ALEN, NOp.MONE, NOp.MONX,
+})
+
+
+def coalesce_moves(instrs):
+    """Forward STLOC values to subsequent LDLOCs of the same slot."""
+    out = []
+    available = {}  # slot -> register currently holding its value
+    for ins in instrs:
+        op = ins.op
+        if op is NOp.LABEL or op is NOp.BR or op is NOp.BC \
+                or op is NOp.CALL or op is NOp.CATCH:
+            # Control flow joins and calls end the forwarding window
+            # (calls may re-enter this frame only via recursion into a
+            # *different* frame, but a conservative kill is cheapest).
+            available = {}
+            out.append(ins)
+            continue
+        if op is NOp.STLOC:
+            available[ins.imm] = ins.srcs[0]
+            out.append(ins)
+            continue
+        if op is NOp.INCLOC:
+            available.pop(ins.aux, None)
+            out.append(ins)
+            continue
+        if op is NOp.LDLOC and ins.imm in available:
+            out.append(NInstr(NOp.MOV, ins.dst, (available[ins.imm],),
+                              None, ins.type, None, ins.block))
+            continue
+        if ins.dst is not None:
+            # The forwarded register may be overwritten.
+            available = {s: r for s, r in available.items()
+                         if r != ins.dst}
+        out.append(ins)
+    return out, PASS_COST_PER_INSTR * len(instrs)
+
+
+def compact_null_checks(instrs):
+    """Remove NULLCHKs subsumed by an immediately following trapping access.
+
+    Only pure computation may sit between the check and the access, so the
+    externally observable state at the (identical) exception is unchanged.
+    Runs pre-allocation where registers are single-definition, so a
+    register loaded from a local slot can be identified with any other
+    register loaded from the same slot (any intervening store ends the
+    scan window, keeping the identification sound).
+    """
+    defs = {}
+    for ins in instrs:
+        if ins.dst is not None and ins.dst not in defs:
+            defs[ins.dst] = ins
+
+    def provenance(reg):
+        d = defs.get(reg)
+        if d is not None and d.op is NOp.LDLOC:
+            return ("loc", d.imm)
+        return ("reg", reg)
+
+    out = []
+    n = len(instrs)
+    for i, ins in enumerate(instrs):
+        if ins.op is NOp.NULLCHK:
+            ref_prov = provenance(ins.srcs[0])
+            subsumed = False
+            for j in range(i + 1, min(i + 6, n)):
+                nxt = instrs[j]
+                if nxt.op in _NULL_TRAPPING and nxt.srcs \
+                        and provenance(nxt.srcs[0]) == ref_prov:
+                    subsumed = True
+                    break
+                if nxt.op in _PURE_COMPUTE or nxt.op is NOp.LDLOC:
+                    continue
+                break  # side effect / trap / control flow: stop
+            if subsumed:
+                continue
+        out.append(ins)
+    return out, PASS_COST_PER_INSTR * len(instrs)
+
+
+def peephole(instrs):
+    """Algebraic no-ops and dead pure definitions (runs pre-allocation,
+    where every virtual register has a single definition)."""
+    # Algebraic identities on immediate forms.
+    out = []
+    for ins in instrs:
+        if ins.op is NOp.ALUI and ins.imm == 0 and ins.aux in (
+                NOp.ADD, NOp.SUB, NOp.OR, NOp.XOR, NOp.SHL, NOp.SHR):
+            out.append(NInstr(NOp.MOV, ins.dst, ins.srcs, None, ins.type,
+                              None, ins.block))
+        elif ins.op is NOp.MOV and ins.dst == ins.srcs[0]:
+            continue
+        else:
+            out.append(ins)
+    # Dead pure definitions: single-def registers never read.
+    changed = True
+    while changed:
+        changed = False
+        uses = {}
+        for ins in out:
+            for s in ins.srcs:
+                uses[s] = uses.get(s, 0) + 1
+        kept = []
+        for ins in out:
+            if (ins.dst is not None and ins.op in _PURE_COMPUTE
+                    and uses.get(ins.dst, 0) == 0):
+                changed = True
+                continue
+            kept.append(ins)
+        out = kept
+    return out, PASS_COST_PER_INSTR * len(instrs)
+
+
+def schedule(instrs):
+    """Reduce forwarding stalls: when instruction B consumes the result of
+    its immediate predecessor A, try to move an independent pure
+    instruction C between them."""
+    out = list(instrs)
+    cost = PASS_COST_PER_INSTR * len(instrs)
+    i = 0
+    while i + 2 < len(out):
+        a, b, c = out[i], out[i + 1], out[i + 2]
+        stall = a.dst is not None and a.dst in b.srcs
+        if stall and c.op in _PURE_COMPUTE:
+            # C may move before B if they are independent.
+            indep = (c.dst not in b.srcs
+                     and (b.dst is None or (b.dst not in c.srcs
+                                            and b.dst != c.dst))
+                     and c.dst != b.dst
+                     and c.dst is not None and c.dst not in a.srcs
+                     and c.dst != a.dst
+                     and (a.dst is None or a.dst not in c.srcs)
+                     and b.op not in (NOp.BR, NOp.BC, NOp.RET,
+                                      NOp.LABEL))
+            if indep and b.op not in SIDE_EFFECT_OPS:
+                out[i + 1], out[i + 2] = c, b
+                i += 2
+                continue
+        i += 1
+    return out, cost
+
+
+def elide_fallthrough_branches(instrs):
+    """Remove BRs that target the label immediately following them."""
+    out = []
+    for i, ins in enumerate(instrs):
+        if (ins.op is NOp.BR and i + 1 < len(instrs)
+                and instrs[i + 1].op is NOp.LABEL
+                and instrs[i + 1].aux == ins.aux):
+            continue
+        out.append(ins)
+    return out

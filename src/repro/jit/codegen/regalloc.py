@@ -1,0 +1,124 @@
+"""Linear-scan register allocation.
+
+By construction of the lowerer every virtual register is defined once and
+all of its uses are in the same basic block (values crossing blocks flow
+through locals), so live intervals are exact under a linear scan.
+
+The allocator maps virtual registers onto ``PHYS_REGS - SCRATCH_REGS``
+allocatable physical registers.  Intervals that do not fit are spilled:
+their definition is followed by a real ``SPST`` store to a spill slot and
+each use is preceded by a real ``SPLD`` into a scratch register -- spill
+traffic costs actual cycles in the native simulator.
+
+When *rematerialize* is enabled (the ``rematerialization`` transformation
+of the plan), a spilled value whose definition was a constant is not stored
+at all: each use re-materializes the constant (1 cycle) instead of
+reloading from the spill slot (3 cycles), exactly the trade the paper's
+footnote 2 describes.
+"""
+
+from repro.jit.codegen.isa import (
+    NInstr,
+    NOp,
+    PHYS_REGS,
+    SCRATCH_REGS,
+)
+
+#: Compile-cycles charged per instruction processed by the allocator.
+REGALLOC_COST_PER_INSTR = 13
+
+
+def _intervals(instrs):
+    """vreg -> [def_index, last_use_index]."""
+    start = {}
+    end = {}
+    for i, ins in enumerate(instrs):
+        if ins.dst is not None and ins.dst not in start:
+            start[ins.dst] = i
+            end[ins.dst] = i
+        for s in ins.srcs:
+            end[s] = i
+    return start, end
+
+
+def allocate(instrs, rematerialize=False):
+    """Run linear scan; returns ``(new_instrs, compile_cost)``."""
+    cost = REGALLOC_COST_PER_INSTR * len(instrs)
+    start, end = _intervals(instrs)
+    allocatable = PHYS_REGS - SCRATCH_REGS
+    scratch_base = allocatable  # scratch phys ids follow the allocatables
+
+    # Pass 1: decide assignment.
+    mapping = {}
+    spilled = set()
+    free = list(range(allocatable))
+    active = []  # (end, vreg) sorted by end
+    for vreg in sorted(start, key=lambda v: start[v]):
+        s = start[vreg]
+        # Expire intervals that ended before this definition.
+        still = []
+        for e, v in active:
+            if e < s:
+                free.append(mapping[v])
+            else:
+                still.append((e, v))
+        active = sorted(still)
+        if free:
+            mapping[vreg] = free.pop()
+            active.append((end[vreg], vreg))
+            active.sort()
+        else:
+            # Spill the interval with the furthest end point.
+            far_end, far_vreg = active[-1]
+            if far_end > end[vreg]:
+                mapping[vreg] = mapping[far_vreg]
+                spilled.add(far_vreg)
+                del mapping[far_vreg]
+                active[-1] = (end[vreg], vreg)
+                active.sort()
+            else:
+                spilled.add(vreg)
+
+    # Pass 2: rewrite instructions, inserting spill traffic.
+    slot_of = {}
+    remat_const = {}
+    out = []
+    for ins in instrs:
+        # Rewrite spilled sources via scratch registers.
+        new_srcs = []
+        scratch_used = 0
+        for s in ins.srcs:
+            if s in spilled:
+                if s in remat_const:
+                    imm, jtype = remat_const[s]
+                    scr = scratch_base + scratch_used
+                    scratch_used = (scratch_used + 1) % SCRATCH_REGS
+                    out.append(NInstr(NOp.CONST, scr, (), imm, jtype,
+                                      None, ins.block))
+                    new_srcs.append(scr)
+                else:
+                    scr = scratch_base + scratch_used
+                    scratch_used = (scratch_used + 1) % SCRATCH_REGS
+                    out.append(NInstr(NOp.SPLD, scr, (),
+                                      None, None, slot_of[s], ins.block))
+                    new_srcs.append(scr)
+            else:
+                new_srcs.append(mapping[s])
+        ins.srcs = tuple(new_srcs)
+
+        if ins.dst is not None and ins.dst in spilled:
+            vreg = ins.dst
+            if (rematerialize and ins.op is NOp.CONST):
+                # Don't store at all; every use re-materializes.
+                remat_const[vreg] = (ins.imm, ins.type)
+                continue
+            slot = slot_of.setdefault(vreg, len(slot_of))
+            ins.dst = scratch_base
+            out.append(ins)
+            out.append(NInstr(NOp.SPST, None, (scratch_base,), None,
+                              None, slot, ins.block))
+            continue
+        if ins.dst is not None:
+            ins.dst = mapping[ins.dst]
+        out.append(ins)
+    return out, cost

@@ -1,0 +1,157 @@
+"""The JIT compiler facade.
+
+``JitCompiler.compile`` runs the full pipeline of the paper's Figure 1 for
+one method: IL generation, feature extraction (just prior to the
+optimization stage, §4.1), the optimizer under the selected plan and
+modifier, then code generation.  The returned :class:`CompiledMethod`
+carries the compile-cycle cost -- the "compilation effort" half of the
+trade-off the learned models optimize.
+"""
+
+from repro.errors import CompilationError
+from repro.features import extract_features
+from repro.jit.codegen.lower import CodegenOptions, lower_method
+from repro.jit.ir.cfg import CFGInfo
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.modifiers import Modifier
+from repro.jit.opt.base import PassManager
+from repro.jit.plans import OptLevel, default_plans
+
+
+class CompiledMethod:
+    """A compiled method version: executable code plus provenance."""
+
+    __slots__ = ("method", "level", "modifier", "native",
+                 "compile_cycles", "features", "install_time",
+                 "pass_log", "profile")
+
+    def __init__(self, method, level, modifier, native, compile_cycles,
+                 features, pass_log=()):
+        self.method = method
+        self.level = level
+        self.modifier = modifier
+        self.native = native
+        self.compile_cycles = compile_cycles
+        self.features = features
+        self.install_time = 0  # set by the compilation manager
+        self.pass_log = pass_log
+        # When the controller arms branch profiling (pre-scorching),
+        # it installs the profile dict here; executions feed it.
+        self.profile = None
+
+    def execute(self, vm, args):
+        return self.native.execute(vm, args, profile=self.profile)
+
+    def __repr__(self):
+        return (f"CompiledMethod({self.method.signature}, "
+                f"{self.level.name}, {self.compile_cycles} cyc, "
+                f"{self.native.size()} instrs)")
+
+
+class JitCompiler:
+    """Compiles guest methods at one of five optimization levels.
+
+    Parameters
+    ----------
+    method_resolver:
+        Callable ``signature -> JMethod`` used to type call results and to
+        feed the inliners; usually ``vm.lookup`` wrapped to return None
+        for missing methods.
+    plans:
+        Level -> :class:`~repro.jit.plans.CompilationPlan`; defaults to
+        the hand-tuned plans.
+    debug_check:
+        Re-validate IL integrity after every pass (slow; for tests).
+    """
+
+    def __init__(self, method_resolver=None, plans=None,
+                 debug_check=False):
+        self.method_resolver = method_resolver
+        self.plans = plans or default_plans()
+        self.debug_check = debug_check
+        self.stats = {"compilations": 0, "compile_cycles": 0}
+
+    # -- helpers ---------------------------------------------------------
+
+    def _resolve_return_type(self, signature):
+        if self.method_resolver is None:
+            return None
+        method = self.method_resolver(signature)
+        return method.return_type if method is not None else None
+
+    def extract_method_features(self, method):
+        """Features as the data-collection path sees them (fresh IL)."""
+        il, _ = generate_il(method, self._rtype_fn())
+        return extract_features(il)
+
+    def _rtype_fn(self):
+        if self.method_resolver is None:
+            return None
+
+        def fn(signature):
+            rtype = self._resolve_return_type(signature)
+            if rtype is None:
+                raise CompilationError(
+                    f"cannot resolve return type of {signature}")
+            return rtype
+
+        return fn
+
+    # -- the pipeline ---------------------------------------------------------
+
+    def compile(self, method, level, modifier=None, strategy=None,
+                profile=None):
+        """Compile *method* at *level*.
+
+        The plan modifier comes from, in priority order: the explicit
+        *modifier* argument, the *strategy* object (its
+        ``choose_modifier(method, level, features)`` is called with the
+        freshly extracted features -- this is where the learned model or
+        the data-collection exploration plugs in), or the null modifier.
+
+        *profile*, when supplied, is a branch profile gathered by the
+        previous compiled version's instrumentation (keys:
+        ``(block bytecode pc, taken) -> count``); the scorching-level
+        feedback-directed transformations consume it.
+        """
+        if not isinstance(level, OptLevel):
+            raise CompilationError(f"not an OptLevel: {level!r}")
+        il, ilgen_cost = generate_il(method, self._rtype_fn())
+        features = extract_features(il, cfg=CFGInfo(il))
+        if modifier is None and strategy is not None:
+            modifier = strategy.choose_modifier(method, level, features)
+        if modifier is None:
+            modifier = Modifier.null()
+
+        plan = self.plans[level]
+        manager = PassManager(plan.entries, modifier,
+                              resolver=self.method_resolver,
+                              debug_check=self.debug_check)
+        if profile:
+            il.notes["branch_profile"] = dict(profile)
+        il, opt_cost, pass_log = manager.optimize(il)
+
+        options = self._codegen_options(il)
+        native, lower_cost = lower_method(il, options)
+
+        total = ilgen_cost + opt_cost + lower_cost
+        self.stats["compilations"] += 1
+        self.stats["compile_cycles"] += total
+        return CompiledMethod(method, level, modifier, native, total,
+                              features, pass_log)
+
+    @staticmethod
+    def _codegen_options(il):
+        flags = il.notes.get("codegen_flags", set())
+        return CodegenOptions(
+            const_operand_folding="const_operand_folding" in flags,
+            address_mode_folding="address_mode_folding" in flags,
+            leaf_frames="leaf_frames" in flags,
+            compact_null_checks="compact_null_checks" in flags,
+            peephole="peephole" in flags,
+            scheduling="scheduling" in flags,
+            coalescing="coalescing" in flags,
+            rematerialization="rematerialization" in flags,
+            stack_alloc_ids=frozenset(
+                il.notes.get("codegen_stack_alloc", ())),
+        )

@@ -1,0 +1,241 @@
+"""Adaptive compilation control (the paper's Compilation Control box).
+
+Decides *when* to compile or recompile each method and at which level,
+from invocation counters plus timer-sampling ticks.  Per the paper's
+footnote 6, every level has three distinct triggers -- methods without
+loops, methods likely to have loops, and methods with many-iteration
+loops -- with loopy methods compiled sooner.  The trigger values
+``T_h`` are also the normalizer of the ranking function (Eq. 2).
+
+Compilations run on an asynchronous JIT thread modelled in virtual time:
+the compiled body installs at ``max(now, jit_free) + compile_cycles``,
+until which the method keeps running in its previous tier.  A small
+synchronous request overhead and a configurable contention factor charge
+the application thread for sharing the machine with the compiler.
+"""
+
+import dataclasses
+
+from repro.jit.plans import OptLevel
+
+#: Loop character classes (index into trigger tuples).
+NO_LOOPS, HAS_LOOPS, MANY_ITER = 0, 1, 2
+
+
+@dataclasses.dataclass
+class ControlConfig:
+    """Tunables of the adaptive controller.
+
+    Trigger values are invocation-equivalents, scaled down from J9's
+    thousands to keep simulated workloads tractable; their *ratios*
+    (levels 𝗑 loop classes) follow the production shape.
+    """
+
+    triggers: dict = None
+    #: Hotness contributed by one sampling tick, in invocation units.
+    sample_weight: float = 25.0
+    #: Cycles charged synchronously for issuing a compile request.
+    request_overhead: int = 400
+    #: Fraction of compile cycles charged to the application thread
+    #: (cache/memory-bandwidth contention with the JIT thread).
+    contention: float = 0.18
+    #: Highest level the controller will escalate to.
+    max_level: OptLevel = OptLevel.SCORCHING
+    #: Install compiled code immediately instead of modelling the
+    #: asynchronous JIT thread (used by the data-collection mode, where
+    #: throughput of experiments matters and timing is measured per
+    #: invocation, not end to end).
+    immediate_install: bool = False
+
+    def __post_init__(self):
+        if self.triggers is None:
+            # Cold compilation is invocation-count driven; upgrades to
+            # higher levels need sustained hotness (sampling evidence),
+            # so their triggers sit much higher -- most methods live and
+            # die at cold/warm, a few key ones climb (paper §1).
+            # Cold is a brief stepping stone: like Testarossa (whose
+            # default initial compile level is warm), most methods are
+            # (re)compiled at warm soon after they prove themselves.
+            self.triggers = {
+                OptLevel.COLD: (12, 6, 3),
+                OptLevel.WARM: (26, 13, 7),
+                OptLevel.HOT: (520, 260, 130),
+                OptLevel.VERY_HOT: (1900, 950, 480),
+                OptLevel.SCORCHING: (5600, 2800, 1400),
+            }
+
+    def trigger(self, level, loop_class):
+        return self.triggers[level][loop_class]
+
+
+def loop_class_of(method, features=None):
+    """Classify a method's loop character for trigger selection."""
+    from repro.features.vector import feature_index
+    if features is not None:
+        if features[feature_index("may_have_many_iteration_loops")] > 0 \
+                or features[feature_index("many_iteration_loops")] > 0:
+            return MANY_ITER
+        if features[feature_index("may_have_loops")] > 0:
+            return HAS_LOOPS
+        return NO_LOOPS
+    return HAS_LOOPS if method.has_backward_branch() else NO_LOOPS
+
+
+class _MethodState:
+    __slots__ = ("level", "active", "pending", "samples", "loop_class",
+                 "compile_count", "disabled")
+
+    def __init__(self):
+        self.level = None        # OptLevel of the active version
+        self.active = None       # installed CompiledMethod
+        self.pending = None      # CompiledMethod awaiting install_time
+        self.samples = 0
+        self.loop_class = None
+        self.compile_count = 0
+        self.disabled = False    # no further recompilation
+
+
+@dataclasses.dataclass
+class CompileRecord:
+    """One compilation event (feeds the compilation-time figures)."""
+
+    signature: str
+    level: OptLevel
+    modifier: object
+    compile_cycles: int
+    requested_at: int
+    installed_at: int
+
+
+class CompilationManager:
+    """The VM-facing controller: counts, samples, escalates, installs."""
+
+    def __init__(self, compiler, strategy=None, config=None):
+        self.compiler = compiler
+        self.strategy = strategy
+        self.config = config or ControlConfig()
+        self.vm = None
+        self.states = {}
+        self.records = []
+        self.jit_free = 0
+        self.total_compile_cycles = 0
+
+    # -- VM protocol ---------------------------------------------------------
+
+    def on_attach(self, vm):
+        self.vm = vm
+
+    def on_invoke(self, method, count):
+        state = self._state(method)
+        if state.disabled:
+            return
+        self._install_if_due(state)
+        if state.pending is not None:
+            return
+        hotness = count + state.samples * self.config.sample_weight
+        target = self._target_level(state, hotness)
+        if target is None:
+            return
+        current = -1 if state.level is None else int(state.level)
+        if int(target) > current:
+            self._request_compile(method, state, target)
+
+    def on_sample(self, method):
+        state = self._state(method)
+        state.samples += 1
+
+    def on_return(self, method, compiled):
+        """Hook for instrumented subclasses; default: nothing."""
+
+    def compiled_for(self, method, now):
+        state = self.states.get(method.signature)
+        if state is None:
+            return None
+        self._install_if_due(state)
+        return state.active
+
+    # -- internals ----------------------------------------------------------
+
+    def _state(self, method):
+        state = self.states.get(method.signature)
+        if state is None:
+            state = _MethodState()
+            state.loop_class = loop_class_of(method)
+            self.states[method.signature] = state
+        return state
+
+    def _install_if_due(self, state):
+        if state.pending is not None \
+                and self.vm.clock.now() >= state.pending.install_time:
+            state.active = state.pending
+            state.level = state.pending.level
+            state.pending = None
+            if state.level is OptLevel.VERY_HOT:
+                # Arm the lightweight branch instrumentation: if this
+                # method keeps heating up, the scorching recompilation
+                # consumes the profile (feedback-directed optimization,
+                # the instrumentation paper §8.1 says conflicts with
+                # data collection).
+                state.active.profile = {}
+
+    def _target_level(self, state, hotness):
+        """Highest level whose trigger this hotness reaches."""
+        best = None
+        for level in OptLevel:
+            if level > self.config.max_level:
+                break
+            if hotness >= self.config.trigger(level, state.loop_class):
+                best = level
+        return best
+
+    def _request_compile(self, method, state, level):
+        vm = self.vm
+        now = vm.clock.now()
+        vm.clock.advance(self.config.request_overhead)
+        # Consulting a learned model costs real time on the application
+        # thread (the linear-kernel prediction latency, paper §6).
+        prediction_cost = getattr(self.strategy,
+                                  "prediction_cost_cycles", 0)
+        if self.strategy is not None and prediction_cost:
+            vm.clock.advance(prediction_cost)
+        compiled = self.compile_method(method, level, state)
+        if compiled is None:
+            state.disabled = True
+            return
+        # Refine the loop classification now that features exist.
+        state.loop_class = loop_class_of(method, compiled.features)
+        if self.config.immediate_install:
+            install = now
+        else:
+            install = max(now, self.jit_free) + compiled.compile_cycles
+            self.jit_free = install
+        compiled.install_time = install
+        state.pending = compiled
+        state.compile_count += 1
+        self.total_compile_cycles += compiled.compile_cycles
+        if self.config.contention > 0:
+            vm.clock.advance(
+                int(compiled.compile_cycles * self.config.contention))
+        self.records.append(CompileRecord(
+            method.signature, level, compiled.modifier,
+            compiled.compile_cycles, now, install))
+        self._install_if_due(state)
+
+    def compile_method(self, method, level, state):
+        """Run the actual compilation; overridable by the collection
+        controller.  Returning None permanently disables compilation of
+        the method (the graceful bail-out path)."""
+        profile = None
+        if level is OptLevel.SCORCHING and state.active is not None:
+            profile = state.active.profile
+        return self.compiler.compile(method, level,
+                                     strategy=self.strategy,
+                                     profile=profile)
+
+    # -- reporting ---------------------------------------------------------
+
+    def compile_time_total(self):
+        return self.total_compile_cycles
+
+    def compilations(self):
+        return len(self.records)

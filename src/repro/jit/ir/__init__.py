@@ -1,0 +1,22 @@
+"""Tree-form intermediate language (IL).
+
+Mirrors the Testarossa design sketched in the paper's Figure 1: methods are
+lists of basic blocks, each holding a list of *treetops* (statement-level
+trees); expressions hang beneath the treetops.  The IL is both the input
+and the output of every optimization pass.
+"""
+
+from repro.jit.ir.tree import ILOp, Node, RELOPS
+from repro.jit.ir.block import ILBlock, ILMethod
+from repro.jit.ir.cfg import CFGInfo
+from repro.jit.ir.ilgen import generate_il
+
+__all__ = [
+    "ILOp",
+    "Node",
+    "RELOPS",
+    "ILBlock",
+    "ILMethod",
+    "CFGInfo",
+    "generate_il",
+]

@@ -1,0 +1,200 @@
+"""Basic blocks and the per-method IL container."""
+
+from repro.errors import CompilationError
+from repro.jit.ir.tree import ILOp
+
+
+class ILBlock:
+    """A basic block: an id, a treetop list, and explicit control flow.
+
+    Control transfer at the end of a block is encoded by its final treetop
+    (GOTO / IF / RETURN / ATHROW); a block whose last treetop is an IF (or a
+    plain statement) additionally falls through to ``fallthrough``.
+    """
+
+    __slots__ = ("bid", "treetops", "fallthrough", "bc_start", "is_handler")
+
+    def __init__(self, bid, bc_start=0):
+        self.bid = bid
+        self.treetops = []
+        self.fallthrough = None   # block id or None
+        self.bc_start = bc_start  # first bytecode pc covered (for handlers)
+        self.is_handler = False
+
+    def append(self, treetop):
+        if not treetop.is_treetop():
+            raise CompilationError(
+                f"block {self.bid}: {treetop.op.name} is not a treetop")
+        self.treetops.append(treetop)
+        return treetop
+
+    @property
+    def terminator(self):
+        """The last treetop if it transfers control, else None."""
+        if self.treetops:
+            last = self.treetops[-1]
+            if last.op in (ILOp.GOTO, ILOp.IF, ILOp.RETURN, ILOp.ATHROW,
+                           ILOp.THROWTO):
+                return last
+        return None
+
+    def successors(self):
+        """Block ids reachable by normal (non-exceptional) control flow."""
+        out = []
+        term = self.terminator
+        if term is None:
+            if self.fallthrough is not None:
+                out.append(self.fallthrough)
+            return out
+        if term.op is ILOp.GOTO:
+            out.append(term.value)
+        elif term.op is ILOp.IF:
+            out.append(term.value[1])
+            if self.fallthrough is not None:
+                out.append(self.fallthrough)
+        elif term.op is ILOp.THROWTO:
+            out.append(term.value[0])
+        # RETURN / ATHROW: no normal successors
+        return out
+
+    def count_nodes(self):
+        return sum(t.count_nodes() for t in self.treetops)
+
+    def __repr__(self):
+        return (f"ILBlock(b{self.bid}, {len(self.treetops)} treetops, "
+                f"fallthrough={self.fallthrough})")
+
+
+class ILHandler:
+    """Exception-handler scope in block terms."""
+
+    __slots__ = ("covered", "handler_bid", "class_name")
+
+    def __init__(self, covered, handler_bid, class_name):
+        self.covered = frozenset(covered)  # block ids protected
+        self.handler_bid = handler_bid
+        self.class_name = class_name
+
+    def matches(self, thrown_class):
+        return (self.class_name == "java/lang/Throwable"
+                or self.class_name == thrown_class)
+
+
+class ILMethod:
+    """The IL form of one method: blocks + locals layout + handler scopes.
+
+    Local slots: ``[0, num_args)`` arguments, then original temporaries,
+    then compiler-generated temps allocated through :meth:`new_temp`.
+    """
+
+    def __init__(self, method, blocks, num_locals, handlers=(),
+                 exception_temp=None):
+        self.method = method
+        self.blocks = list(blocks)
+        self.num_locals = num_locals
+        self.handlers = list(handlers)
+        # Slot receiving the in-flight exception at handler entries.
+        self.exception_temp = exception_temp
+        # Populated by analyses/passes, purely informational:
+        self.notes = {}
+
+    # -- locals ---------------------------------------------------------
+
+    def new_temp(self):
+        slot = self.num_locals
+        self.num_locals += 1
+        return slot
+
+    # -- navigation ---------------------------------------------------------
+
+    def block(self, bid):
+        for b in self.blocks:
+            if b.bid == bid:
+                return b
+        raise CompilationError(f"no block b{bid}")
+
+    def block_index(self):
+        return {b.bid: b for b in self.blocks}
+
+    def entry(self):
+        return self.blocks[0]
+
+    def iter_treetops(self):
+        for b in self.blocks:
+            for t in b.treetops:
+                yield b, t
+
+    def count_nodes(self):
+        return sum(b.count_nodes() for b in self.blocks)
+
+    def handlers_covering(self, bid):
+        return [h for h in self.handlers if bid in h.covered]
+
+    def new_block_id(self):
+        return 1 + max(b.bid for b in self.blocks)
+
+    # -- integrity ---------------------------------------------------------
+
+    def check(self):
+        """Structural invariants; raises CompilationError on violation.
+
+        Passes call this (in tests and under ``ILMethod.check`` in the pass
+        manager's debug mode) to catch IL corruption early.
+        """
+        ids = [b.bid for b in self.blocks]
+        if len(set(ids)) != len(ids):
+            raise CompilationError(f"duplicate block ids: {ids}")
+        idset = set(ids)
+        for b in self.blocks:
+            for i, t in enumerate(b.treetops):
+                if not t.is_treetop():
+                    raise CompilationError(
+                        f"b{b.bid}[{i}]: {t.op.name} not a treetop")
+                if t.op in (ILOp.GOTO, ILOp.IF, ILOp.RETURN, ILOp.ATHROW,
+                            ILOp.THROWTO) \
+                        and i != len(b.treetops) - 1:
+                    raise CompilationError(
+                        f"b{b.bid}[{i}]: terminator {t.op.name} "
+                        "not at block end")
+                for n in t.walk():
+                    if n is not t and n.is_treetop():
+                        raise CompilationError(
+                            f"b{b.bid}[{i}]: nested treetop {n.op.name}")
+                    if n.op is ILOp.LOAD and not (
+                            0 <= n.value < self.num_locals):
+                        raise CompilationError(
+                            f"b{b.bid}[{i}]: load of bad slot {n.value}")
+            for s in b.successors():
+                if s not in idset:
+                    raise CompilationError(
+                        f"b{b.bid}: successor b{s} does not exist")
+            term = b.terminator
+            if term is None or term.op is ILOp.IF:
+                if b.fallthrough is None:
+                    raise CompilationError(
+                        f"b{b.bid}: missing fallthrough")
+        for h in self.handlers:
+            if h.handler_bid not in idset:
+                raise CompilationError(
+                    f"handler block b{h.handler_bid} does not exist")
+        return True
+
+    def __repr__(self):
+        return (f"ILMethod({self.method.signature}, "
+                f"{len(self.blocks)} blocks, {self.count_nodes()} nodes)")
+
+    def dump(self):
+        """Human-readable listing of the whole method."""
+        lines = [f"; {self.method.signature} "
+                 f"locals={self.num_locals}"]
+        for b in self.blocks:
+            flags = " (handler)" if b.is_handler else ""
+            lines.append(f"b{b.bid}:{flags}  ; fallthrough="
+                         f"{b.fallthrough}")
+            for t in b.treetops:
+                lines.append("\n".join("  " + ln
+                                       for ln in repr(t).splitlines()))
+        for h in self.handlers:
+            lines.append(f"; handler {sorted(h.covered)} -> "
+                         f"b{h.handler_bid} ({h.class_name})")
+        return "\n".join(lines)

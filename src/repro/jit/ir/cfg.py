@@ -1,0 +1,177 @@
+"""Control-flow analyses: reachability, dominators, natural loops.
+
+Dominators use the iterative algorithm of Cooper, Harvey & Kennedy
+("A Simple, Fast Dominance Algorithm"), which is robust on the modest CFGs
+our methods have.  Loop discovery finds back edges (``t -> h`` with ``h``
+dominating ``t``) and their natural loop bodies; per-block loop depth
+drives LICM, unrolling and the compilation-control loop triggers.
+
+Exceptional edges (block -> handler) are included in predecessor/successor
+sets for safety of the *global* dataflow passes, but are excluded from
+loop discovery.
+"""
+
+
+class Loop:
+    """A natural loop: header block id and the set of member block ids."""
+
+    __slots__ = ("header", "body", "back_edges")
+
+    def __init__(self, header, body, back_edges):
+        self.header = header
+        self.body = frozenset(body)
+        self.back_edges = tuple(back_edges)
+
+    def __repr__(self):
+        return f"Loop(header=b{self.header}, body={sorted(self.body)})"
+
+
+class CFGInfo:
+    """All control-flow facts for one :class:`ILMethod`, computed eagerly."""
+
+    def __init__(self, ilmethod, include_exceptional=True):
+        self.ilmethod = ilmethod
+        blocks = ilmethod.blocks
+        self.ids = [b.bid for b in blocks]
+        index = {b.bid: b for b in blocks}
+        self.succs = {}
+        self.preds = {bid: [] for bid in self.ids}
+        for b in blocks:
+            succ = list(b.successors())
+            if include_exceptional:
+                for h in ilmethod.handlers_covering(b.bid):
+                    if h.handler_bid not in succ:
+                        succ.append(h.handler_bid)
+            self.succs[b.bid] = succ
+        for bid, ss in self.succs.items():
+            for s in ss:
+                self.preds[s].append(bid)
+        self.entry = blocks[0].bid
+        self.rpo = self._reverse_postorder(index)
+        self.reachable = set(self.rpo)
+        self.idom = self._dominators()
+        self.loops = self._natural_loops()
+        self.loop_depth = self._loop_depths()
+
+    # -- orders ---------------------------------------------------------
+
+    def _reverse_postorder(self, index):
+        seen = set()
+        post = []
+
+        def dfs(bid):
+            stack = [(bid, iter(self.succs[bid]))]
+            seen.add(bid)
+            while stack:
+                cur, it = stack[-1]
+                advanced = False
+                for s in it:
+                    if s not in seen:
+                        seen.add(s)
+                        stack.append((s, iter(self.succs[s])))
+                        advanced = True
+                        break
+                if not advanced:
+                    post.append(cur)
+                    stack.pop()
+
+        dfs(self.entry)
+        return list(reversed(post))
+
+    # -- dominators ---------------------------------------------------------
+
+    def _dominators(self):
+        rpo_index = {bid: i for i, bid in enumerate(self.rpo)}
+        idom = {self.entry: self.entry}
+
+        def intersect(a, b):
+            while a != b:
+                while rpo_index[a] > rpo_index[b]:
+                    a = idom[a]
+                while rpo_index[b] > rpo_index[a]:
+                    b = idom[b]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for bid in self.rpo:
+                if bid == self.entry:
+                    continue
+                new_idom = None
+                for p in self.preds[bid]:
+                    if p in idom:
+                        new_idom = (p if new_idom is None
+                                    else intersect(p, new_idom))
+                if new_idom is not None and idom.get(bid) != new_idom:
+                    idom[bid] = new_idom
+                    changed = True
+        return idom
+
+    def dominates(self, a, b):
+        """True when block *a* dominates block *b*."""
+        if b not in self.idom:
+            return False
+        cur = b
+        while True:
+            if cur == a:
+                return True
+            nxt = self.idom.get(cur)
+            if nxt is None or nxt == cur:
+                return cur == a
+            cur = nxt
+
+    def dominators_of(self, bid):
+        """All blocks dominating *bid*, from bid up to entry."""
+        out = []
+        cur = bid
+        while cur in self.idom:
+            out.append(cur)
+            nxt = self.idom[cur]
+            if nxt == cur:
+                break
+            cur = nxt
+        return out
+
+    # -- loops ---------------------------------------------------------
+
+    def _normal_succs(self, bid):
+        block = self.ilmethod.block(bid)
+        return block.successors()
+
+    def _natural_loops(self):
+        loops = {}
+        for bid in self.rpo:
+            for s in self._normal_succs(bid):
+                if s in self.reachable and self.dominates(s, bid):
+                    # back edge bid -> s
+                    body = set(loops[s].body) if s in loops else {s}
+                    edges = (list(loops[s].back_edges)
+                             if s in loops else [])
+                    edges.append((bid, s))
+                    work = [bid]
+                    while work:
+                        cur = work.pop()
+                        if cur in body:
+                            continue
+                        body.add(cur)
+                        work.extend(p for p in self.preds[cur]
+                                    if p in self.reachable)
+                    loops[s] = Loop(s, body, edges)
+        return list(loops.values())
+
+    def _loop_depths(self):
+        depth = {bid: 0 for bid in self.ids}
+        for loop in self.loops:
+            for bid in loop.body:
+                depth[bid] += 1
+        return depth
+
+    def max_loop_depth(self):
+        return max(self.loop_depth.values()) if self.loop_depth else 0
+
+    def loop_of(self, header):
+        for loop in self.loops:
+            if loop.header == header:
+                return loop
+        return None

@@ -1,0 +1,453 @@
+"""IL generation: bytecode -> tree-form IL.
+
+Classic abstract interpretation of the operand stack.  Design rules that
+the optimizer relies on:
+
+* Side-effecting value producers (calls, allocations) are *anchored*: the
+  IL generator stores their result to a fresh temp in a dedicated treetop
+  and pushes a LOAD of that temp, so expressions beneath treetops contain
+  only computation and heap reads.
+* Null checks and array-bounds checks are materialized as explicit NULLCHK
+  / BNDCHK treetops immediately before the access, exactly like
+  Testarossa's check trees; check-elimination passes delete them.  Safety
+  does not depend on them: the native simulator re-validates on access
+  (the moral analogue of the hardware trap), so removing a check never
+  changes observable behaviour, only cost.
+* Each local slot has a single static type, established by the method
+  signature and the first store; the synthetic workload generator and the
+  assembler-built tests respect this invariant (mirroring javac output).
+
+The generator also assigns each block its bytecode start pc so handler
+scopes can be mapped to block sets.
+"""
+
+from repro.errors import CompilationError
+from repro.jvm.bytecode import COND_BRANCHES, JType, Op
+from repro.jvm.interpreter import promote
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.ir.block import ILBlock, ILHandler, ILMethod
+
+#: Cost in compile-cycles charged per bytecode translated (Figure 1's IL
+#: Generator stage).
+ILGEN_COST_PER_BYTECODE = 28
+
+_COND_TO_RELOP = {
+    Op.IFEQ: "eq", Op.IFNE: "ne", Op.IFLT: "lt",
+    Op.IFLE: "le", Op.IFGT: "gt", Op.IFGE: "ge",
+}
+
+_ALU_BINOPS = {
+    Op.ADD: ILOp.ADD, Op.SUB: ILOp.SUB, Op.MUL: ILOp.MUL,
+    Op.DIV: ILOp.DIV, Op.REM: ILOp.REM, Op.SHL: ILOp.SHL,
+    Op.SHR: ILOp.SHR, Op.OR: ILOp.OR, Op.AND: ILOp.AND, Op.XOR: ILOp.XOR,
+}
+
+#: Guest field-name convention establishing static field types (the
+#: substitute for the constant pool's field descriptors): ``*_d`` double,
+#: ``*_f`` float, ``*_l`` long, ``*_o`` object, ``*_a`` array, else int.
+_FIELD_SUFFIX_TYPES = {
+    "_d": JType.DOUBLE, "_f": JType.FLOAT, "_l": JType.LONG,
+    "_o": JType.OBJECT, "_a": JType.ADDRESS,
+}
+
+
+def field_type(name):
+    """Static type of a guest field, derived from its descriptor suffix."""
+    return _FIELD_SUFFIX_TYPES.get(name[-2:], JType.INT)
+
+
+def _leaders(method):
+    """Bytecode pcs that start a basic block."""
+    leaders = {0}
+    code = method.code
+    for pc, ins in enumerate(code):
+        if ins.op is Op.GOTO or ins.op in COND_BRANCHES:
+            leaders.add(ins.a)
+            if pc + 1 < len(code):
+                leaders.add(pc + 1)
+        elif ins.op in (Op.RET, Op.RETVAL, Op.ATHROW):
+            if pc + 1 < len(code):
+                leaders.add(pc + 1)
+    for h in method.handlers:
+        leaders.add(h.handler_pc)
+        leaders.add(h.start_pc)
+        if h.end_pc < len(code):
+            leaders.add(h.end_pc)
+    return sorted(leaders)
+
+
+class _BlockBuilder:
+    """Per-block simulation state."""
+
+    def __init__(self, ilgen, block):
+        self.g = ilgen
+        self.block = block
+        self.stack = []
+
+    def push(self, node):
+        self.stack.append(node)
+
+    def pop(self):
+        if not self.stack:
+            raise CompilationError(
+                f"{self.g.method.signature}: operand stack underflow "
+                f"in block b{self.block.bid}")
+        return self.stack.pop()
+
+    def emit(self, node):
+        self.block.append(node)
+
+    def anchor(self, node):
+        """Return a cheap pure node for *node*, storing it if needed."""
+        if node.op in (ILOp.LOAD, ILOp.CONST, ILOp.CATCH):
+            return node
+        temp = self.g.new_temp()
+        self.emit(Node(ILOp.STORE, node.type, (node,), temp))
+        return Node.load(temp, node.type)
+
+    def anchor_if_impure(self, node):
+        if node.is_pure(allow_loads=True, allow_heap_reads=False):
+            return node
+        return self.anchor(node)
+
+
+class ILGenerator:
+    """Translates one :class:`JMethod` to an :class:`ILMethod`."""
+
+    def __init__(self, method):
+        self.method = method
+        self.num_locals = method.max_locals
+        self.slot_types = list(method.param_types) + (
+            [JType.INT] * method.num_temps)
+        # Element type per slot known to hold an array (for typed ALOADs).
+        self.elem_types = dict(getattr(method, "array_elems", None) or {})
+        self.cost = 0
+
+    def new_temp(self):
+        self.num_locals += 1
+        self.slot_types.append(JType.INT)
+        return self.num_locals - 1
+
+    def slot_type(self, slot):
+        return self.slot_types[slot]
+
+    def note_store_type(self, slot, jtype):
+        if slot >= self.method.num_args and jtype is not JType.VOID:
+            self.slot_types[slot] = jtype
+
+    # -- main ---------------------------------------------------------
+
+    def generate(self, resolve_return_type=None):
+        """Build the ILMethod.
+
+        *resolve_return_type*: callable(signature) -> JType for non
+        intrinsic call targets; defaults to looking only at intrinsics and
+        raising for unknown targets is avoided by assuming INT.
+        """
+        method = self.method
+        self.resolve_return_type = resolve_return_type
+        self.cost += ILGEN_COST_PER_BYTECODE * len(method.code)
+
+        leaders = _leaders(method)
+        pc_to_bid = {pc: i for i, pc in enumerate(leaders)}
+        bounds = leaders + [len(method.code)]
+        blocks = [ILBlock(i, bc_start=pc) for i, pc in enumerate(leaders)]
+        handler_bids = {pc_to_bid[h.handler_pc] for h in method.handlers}
+        for bid in handler_bids:
+            blocks[bid].is_handler = True
+
+        # Entry stack depth per block (pending values across block edges).
+        entry_depth = {0: 0}
+        pending_slots = []  # temp slot per stack depth index
+        pending_types = {}
+
+        def pending_slot(i, jtype):
+            while len(pending_slots) <= i:
+                pending_slots.append(self.new_temp())
+            if i in pending_types and pending_types[i] != jtype:
+                raise CompilationError(
+                    f"{method.signature}: inconsistent cross-block stack "
+                    f"type at depth {i}")
+            pending_types[i] = jtype
+            return pending_slots[i]
+
+        for i, block in enumerate(blocks):
+            bb = _BlockBuilder(self, block)
+            if block.is_handler:
+                if entry_depth.get(i, 0) != 0:
+                    raise CompilationError(
+                        f"{method.signature}: handler block b{i} entered "
+                        "with non-empty stack")
+                bb.push(Node(ILOp.CATCH, JType.OBJECT))
+            else:
+                depth = entry_depth.get(i, 0)
+                for d in range(depth):
+                    slot = pending_slot(d, pending_types.get(d, JType.INT))
+                    bb.push(Node.load(slot, pending_types.get(d, JType.INT)))
+
+            start, end = bounds[i], bounds[i + 1]
+            terminated = False
+            for pc in range(start, end):
+                ins = method.code[pc]
+                terminated = self._translate(bb, ins, pc, pc_to_bid)
+                if terminated:
+                    break
+
+            if not terminated:
+                # Fell through: spill remaining stack, record succ depth.
+                self._finish_edge(bb, i + 1, entry_depth, pending_slot)
+                block.fallthrough = i + 1
+            else:
+                term = block.terminator
+                if term is not None and term.op is ILOp.IF:
+                    block.fallthrough = i + 1
+
+        handlers = []
+        for h in method.handlers:
+            covered = {bid for bid, pc in
+                       ((pc_to_bid[p], p) for p in leaders)
+                       if h.start_pc <= pc < h.end_pc}
+            handlers.append(ILHandler(covered, pc_to_bid[h.handler_pc],
+                                      h.class_name))
+
+        il = ILMethod(method, blocks, self.num_locals, handlers)
+        il.check()
+        return il
+
+    def _finish_edge(self, bb, succ_bid, entry_depth, pending_slot):
+        """Spill the simulated stack into pending temps for the successor."""
+        depth = len(bb.stack)
+        known = entry_depth.get(succ_bid)
+        if known is not None and known != depth:
+            raise CompilationError(
+                f"{self.method.signature}: stack depth mismatch entering "
+                f"b{succ_bid}: {known} vs {depth}")
+        entry_depth[succ_bid] = depth
+        for d in reversed(range(depth)):
+            node = bb.stack[d]
+            slot = pending_slot(d, node.type)
+            bb.emit(Node(ILOp.STORE, node.type, (node,), slot))
+        bb.stack.clear()
+
+    # -- translation of one bytecode -----------------------------------------
+
+    def _translate(self, bb, ins, pc, pc_to_bid):
+        """Translate one instruction; True when the block is terminated."""
+        op = ins.op
+        g = self
+
+        if op in _ALU_BINOPS:
+            b = bb.pop()
+            a = bb.pop()
+            t = promote(a.type, b.type)
+            if op in (Op.SHL, Op.SHR, Op.OR, Op.AND, Op.XOR):
+                t = a.type if a.type is JType.LONG else JType.INT
+            bb.push(Node(_ALU_BINOPS[op], t, (a, b)))
+            return False
+        if op is Op.NEG:
+            a = bb.pop()
+            bb.push(Node(ILOp.NEG, a.type, (a,)))
+            return False
+        if op is Op.CMP:
+            b = bb.pop()
+            a = bb.pop()
+            bb.push(Node(ILOp.CMP, JType.INT, (a, b)))
+            return False
+        if op is Op.INC:
+            bb.emit(Node(ILOp.INC, g.slot_type(ins.a), (),
+                         (ins.a, ins.b)))
+            return False
+
+        if op is Op.CAST:
+            a = bb.pop()
+            bb.push(Node(ILOp.CAST, ins.a, (a,)))
+            return False
+        if op is Op.CHECKCAST:
+            ref = bb.anchor(bb.pop())
+            bb.emit(Node(ILOp.CHECKCAST, JType.VOID, (ref.copy(),), ins.a))
+            bb.push(ref)
+            return False
+
+        if op is Op.LOAD:
+            bb.push(Node.load(ins.a, g.slot_type(ins.a)))
+            return False
+        if op is Op.LOADCONST:
+            bb.push(Node.const(ins.a, ins.b))
+            return False
+        if op is Op.STORE:
+            rhs = bb.pop()
+            g.note_store_type(ins.a, rhs.type)
+            if rhs.op is ILOp.LOAD and rhs.value in g.elem_types:
+                g.elem_types[ins.a] = g.elem_types[rhs.value]
+            bb.emit(Node(ILOp.STORE, rhs.type, (rhs,), ins.a))
+            return False
+        if op is Op.GETFIELD:
+            ref = bb.anchor(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (ref.copy(),)))
+            bb.push(Node(ILOp.GETFIELD, field_type(ins.a), (ref,), ins.a))
+            return False
+        if op is Op.PUTFIELD:
+            value = bb.anchor_if_impure(bb.pop())
+            ref = bb.anchor(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (ref.copy(),)))
+            bb.emit(Node(ILOp.PUTFIELD, value.type, (ref, value), ins.a))
+            return False
+        if op is Op.ALOAD:
+            idx = bb.anchor_if_impure(bb.pop())
+            ref = bb.anchor(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (ref.copy(),)))
+            bb.emit(Node(ILOp.BNDCHK, JType.VOID,
+                         (ref.copy(), idx.copy())))
+            elem = JType.INT
+            if ref.op is ILOp.LOAD:
+                elem = g.elem_types.get(ref.value, JType.INT)
+            bb.push(Node(ILOp.ALOAD, elem, (ref, idx)))
+            return False
+        if op is Op.ASTORE:
+            value = bb.anchor_if_impure(bb.pop())
+            idx = bb.anchor_if_impure(bb.pop())
+            ref = bb.anchor(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (ref.copy(),)))
+            bb.emit(Node(ILOp.BNDCHK, JType.VOID,
+                         (ref.copy(), idx.copy())))
+            bb.emit(Node(ILOp.ASTORE, value.type, (ref, idx, value)))
+            return False
+
+        if op is Op.NEW:
+            bb.push(bb.anchor(Node(ILOp.NEW, JType.OBJECT, (), ins.a)))
+            return False
+        if op is Op.NEWARRAY:
+            length = bb.pop()
+            anchored = bb.anchor(Node(ILOp.NEWARRAY, JType.ADDRESS,
+                                      (length,), ins.a))
+            if anchored.op is ILOp.LOAD:
+                g.elem_types[anchored.value] = ins.a
+            bb.push(anchored)
+            return False
+        if op is Op.NEWMULTIARRAY:
+            dims = [bb.pop() for _ in range(ins.b)]
+            dims.reverse()
+            bb.push(bb.anchor(Node(ILOp.NEWMULTIARRAY, JType.ADDRESS,
+                                   dims, (ins.a, ins.b))))
+            return False
+
+        if op is Op.GOTO:
+            bb.emit(Node(ILOp.GOTO, JType.VOID, (), pc_to_bid[ins.a]))
+            bb.stack.clear()
+            return True
+        if op in COND_BRANCHES:
+            cond = bb.pop()
+            if bb.stack:
+                raise CompilationError(
+                    f"{g.method.signature}: conditional branch at pc {pc} "
+                    "with residual stack values")
+            bb.emit(Node(ILOp.IF, JType.VOID, (cond,),
+                         (_COND_TO_RELOP[op], pc_to_bid[ins.a])))
+            return True
+        if op is Op.CALL:
+            nargs = ins.b
+            args = [bb.pop() for _ in range(nargs)]
+            args.reverse()
+            rtype = self._return_type(ins.a)
+            call = Node(ILOp.CALL, rtype, args, ins.a)
+            if rtype is JType.VOID:
+                bb.emit(Node(ILOp.TREETOP, JType.VOID, (call,)))
+            else:
+                bb.push(bb.anchor(call))
+            return False
+        if op is Op.RET:
+            bb.emit(Node(ILOp.RETURN, JType.VOID))
+            bb.stack.clear()
+            return True
+        if op is Op.RETVAL:
+            value = bb.pop()
+            bb.emit(Node(ILOp.RETURN, value.type, (value,)))
+            bb.stack.clear()
+            return True
+
+        if op is Op.INSTANCEOF:
+            ref = bb.anchor_if_impure(bb.pop())
+            bb.push(Node(ILOp.INSTANCEOF, JType.INT, (ref,), ins.a))
+            return False
+        if op is Op.MONITORENTER:
+            ref = bb.anchor_if_impure(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (ref.copy(),)))
+            bb.emit(Node(ILOp.MONITORENTER, JType.VOID, (ref,)))
+            return False
+        if op is Op.MONITOREXIT:
+            ref = bb.anchor_if_impure(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (ref.copy(),)))
+            bb.emit(Node(ILOp.MONITOREXIT, JType.VOID, (ref,)))
+            return False
+        if op is Op.ATHROW:
+            ref = bb.anchor_if_impure(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (ref.copy(),)))
+            bb.emit(Node(ILOp.ATHROW, JType.VOID, (ref,)))
+            bb.stack.clear()
+            return True
+
+        if op is Op.ARRAYLENGTH:
+            ref = bb.anchor(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (ref.copy(),)))
+            bb.push(Node(ILOp.ARRAYLENGTH, JType.INT, (ref,)))
+            return False
+        if op is Op.ARRAYCOPY:
+            count = bb.anchor_if_impure(bb.pop())
+            dstoff = bb.anchor_if_impure(bb.pop())
+            dst = bb.anchor(bb.pop())
+            srcoff = bb.anchor_if_impure(bb.pop())
+            src = bb.anchor(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (src.copy(),)))
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (dst.copy(),)))
+            bb.emit(Node(ILOp.ARRAYCOPY, JType.VOID,
+                         (src, srcoff, dst, dstoff, count)))
+            return False
+        if op is Op.ARRAYCMP:
+            b = bb.anchor(bb.pop())
+            a = bb.anchor(bb.pop())
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (a.copy(),)))
+            bb.emit(Node(ILOp.NULLCHK, JType.VOID, (b.copy(),)))
+            bb.push(Node(ILOp.ARRAYCMP, JType.INT, (a, b)))
+            return False
+
+        if op is Op.DUP:
+            top = bb.pop()
+            if top.is_pure(allow_loads=True, allow_heap_reads=False):
+                bb.push(top)
+                bb.push(top.copy())
+            else:
+                anchored = bb.anchor(top)
+                bb.push(anchored)
+                bb.push(anchored.copy())
+            return False
+        if op is Op.POP:
+            top = bb.pop()
+            if not top.is_pure(allow_loads=True, allow_heap_reads=True):
+                bb.emit(Node(ILOp.TREETOP, JType.VOID, (top,)))
+            return False
+        if op is Op.SWAP:
+            b = bb.anchor_if_impure(bb.pop())
+            a = bb.anchor_if_impure(bb.pop())
+            bb.push(b)
+            bb.push(a)
+            return False
+        if op is Op.NOP:
+            return False
+
+        raise CompilationError(f"ILGen: unhandled opcode {op!r}")
+
+    def _return_type(self, signature):
+        from repro.jvm.classfile import is_intrinsic
+        from repro.jvm.intrinsics import INTRINSICS
+        if is_intrinsic(signature):
+            return INTRINSICS[signature][1]
+        if self.resolve_return_type is not None:
+            return self.resolve_return_type(signature)
+        return JType.INT
+
+
+def generate_il(method, resolve_return_type=None):
+    """Generate IL for *method*; returns ``(ILMethod, compile_cost)``."""
+    gen = ILGenerator(method)
+    il = gen.generate(resolve_return_type)
+    return il, gen.cost

@@ -1,0 +1,236 @@
+"""IL tree nodes.
+
+A :class:`Node` is an operation with a result type, child nodes, and an
+operation-specific ``value`` (constant, local slot, signature, class name,
+relational operator, or branch target).  Statement-level nodes are called
+*treetops*; expression nodes live beneath them.
+
+Purity matters to the optimizer: a *pure* expression has no side effects
+and reads no mutable state, so it can be folded, commoned and hoisted.
+Loads of locals are pure within a region where the slot is not redefined;
+field and array reads are "read-only impure" (killed by stores and calls);
+calls and allocations are anchored in their own treetops by the IL
+generator, so they never appear mid-expression.
+"""
+
+import enum
+
+from repro.jvm.bytecode import JType
+
+
+class ILOp(enum.IntEnum):
+    # Expressions ------------------------------------------------------
+    CONST = 1       # value: constant
+    LOAD = 2        # value: local slot
+    ADD = 3
+    SUB = 4
+    MUL = 5
+    DIV = 6
+    REM = 7
+    NEG = 8
+    SHL = 9
+    SHR = 10
+    OR = 11
+    AND = 12
+    XOR = 13
+    CMP = 14
+    CAST = 15       # type is the target type
+    GETFIELD = 16   # value: field name; child: ref
+    ALOAD = 17      # children: ref, index
+    ARRAYLENGTH = 18
+    ARRAYCMP = 19
+    INSTANCEOF = 20  # value: class name; child: ref
+    NEW = 21         # value: class name (anchored under a store treetop)
+    NEWARRAY = 22    # value: elem type; child: length
+    NEWMULTIARRAY = 23  # value: (elem type, ndims); children: lengths
+    CALL = 24        # value: signature (anchored under a treetop)
+    CATCH = 25       # handler entry: the incoming exception object
+
+    # Treetops ----------------------------------------------------------
+    STORE = 40       # value: local slot; child: rhs
+    INC = 41         # value: (slot, amount) -- no children
+    PUTFIELD = 42    # value: field name; children: ref, rhs
+    ASTORE = 43      # children: ref, index, rhs
+    TREETOP = 44     # child evaluated for side effects (e.g. void call)
+    RETURN = 45      # zero or one child
+    GOTO = 46        # value: target block id
+    IF = 47          # value: (relop, target block id); child: int expr
+    ATHROW = 48      # child: exception ref
+    MONITORENTER = 49
+    MONITOREXIT = 50
+    ARRAYCOPY = 51   # children: src, srcoff, dst, dstoff, count
+    CHECKCAST = 52   # value: class name; child: ref
+    NULLCHK = 53     # child: ref
+    BNDCHK = 54      # children: array ref, index
+    THROWTO = 55     # value: (handler block id, class name) -- a throw
+                     # whose handler was resolved at compile time (EDO)
+
+
+#: Relational operators used by IF nodes (compare child against zero).
+RELOPS = ("eq", "ne", "lt", "le", "gt", "ge")
+
+#: relop -> Python predicate on the (integer) condition value.
+RELOP_FN = {
+    "eq": lambda v: v == 0,
+    "ne": lambda v: v != 0,
+    "lt": lambda v: v < 0,
+    "le": lambda v: v <= 0,
+    "gt": lambda v: v > 0,
+    "ge": lambda v: v >= 0,
+}
+
+#: relop -> relop testing the opposite outcome.
+RELOP_NEGATE = {"eq": "ne", "ne": "eq", "lt": "ge", "ge": "lt",
+                "le": "gt", "gt": "le"}
+
+TREETOP_OPS = frozenset({
+    ILOp.STORE, ILOp.INC, ILOp.PUTFIELD, ILOp.ASTORE, ILOp.TREETOP,
+    ILOp.RETURN, ILOp.GOTO, ILOp.IF, ILOp.ATHROW, ILOp.MONITORENTER,
+    ILOp.MONITOREXIT, ILOp.ARRAYCOPY, ILOp.CHECKCAST, ILOp.NULLCHK,
+    ILOp.BNDCHK, ILOp.THROWTO,
+})
+
+#: Expressions with no side effects and no reads of mutable state
+#: (local LOADs are handled separately by the passes that need them).
+_ALWAYS_PURE = frozenset({
+    ILOp.CONST, ILOp.ADD, ILOp.SUB, ILOp.MUL, ILOp.NEG, ILOp.SHL, ILOp.SHR,
+    ILOp.OR, ILOp.AND, ILOp.XOR, ILOp.CMP, ILOp.CAST, ILOp.INSTANCEOF,
+    ILOp.CATCH,
+})
+
+#: Expressions that read heap state: pure for reordering among themselves
+#: but killed by stores, calls and allocations.
+HEAP_READS = frozenset({ILOp.GETFIELD, ILOp.ALOAD, ILOp.ARRAYLENGTH,
+                        ILOp.ARRAYCMP})
+
+BINARY_ALU = frozenset({ILOp.ADD, ILOp.SUB, ILOp.MUL, ILOp.DIV, ILOp.REM,
+                        ILOp.SHL, ILOp.SHR, ILOp.OR, ILOp.AND, ILOp.XOR,
+                        ILOp.CMP})
+
+COMMUTATIVE = frozenset({ILOp.ADD, ILOp.MUL, ILOp.OR, ILOp.AND, ILOp.XOR})
+
+
+class Node:
+    """One IL tree node."""
+
+    __slots__ = ("op", "type", "children", "value")
+
+    def __init__(self, op, jtype=JType.VOID, children=(), value=None):
+        self.op = op
+        self.type = jtype
+        self.children = list(children)
+        self.value = value
+
+    # -- construction helpers ---------------------------------------------
+
+    @staticmethod
+    def const(jtype, value):
+        return Node(ILOp.CONST, jtype, (), value)
+
+    @staticmethod
+    def load(slot, jtype):
+        return Node(ILOp.LOAD, jtype, (), slot)
+
+    @staticmethod
+    def store(slot, rhs):
+        return Node(ILOp.STORE, rhs.type, (rhs,), slot)
+
+    # -- structural properties ---------------------------------------------
+
+    def is_treetop(self):
+        return self.op in TREETOP_OPS
+
+    def is_const(self):
+        return self.op is ILOp.CONST
+
+    def is_pure(self, allow_loads=True, allow_heap_reads=False):
+        """Whether this whole tree is free of side effects.
+
+        ``allow_loads``: treat local LOADs as pure (true within a region
+        with no redefinition).  ``allow_heap_reads``: additionally treat
+        field/array reads as pure (true within a region with no stores,
+        calls or allocations).  DIV/REM are never pure: they can throw.
+        """
+        op = self.op
+        if op is ILOp.LOAD:
+            ok = allow_loads
+        elif op in _ALWAYS_PURE:
+            ok = True
+        elif op in HEAP_READS:
+            ok = allow_heap_reads
+        else:
+            return False
+        if not ok:
+            return False
+        return all(c.is_pure(allow_loads, allow_heap_reads)
+                   for c in self.children)
+
+    def can_throw(self):
+        """Whether evaluating this tree may raise a guest exception."""
+        op = self.op
+        if op in (ILOp.DIV, ILOp.REM):
+            # Integral division by zero throws.
+            if self.type.is_integral or self.type.is_decimal:
+                return True
+        if op in (ILOp.GETFIELD, ILOp.ALOAD, ILOp.ARRAYLENGTH, ILOp.ARRAYCMP,
+                  ILOp.CALL, ILOp.NEWARRAY, ILOp.NEWMULTIARRAY, ILOp.ATHROW,
+                  ILOp.ASTORE, ILOp.PUTFIELD, ILOp.NULLCHK, ILOp.BNDCHK,
+                  ILOp.CHECKCAST, ILOp.ARRAYCOPY, ILOp.MONITORENTER,
+                  ILOp.MONITOREXIT):
+            return True
+        return any(c.can_throw() for c in self.children)
+
+    def key(self):
+        """Structural identity for value numbering / CSE."""
+        return (int(self.op), int(self.type), self.value,
+                tuple(c.key() for c in self.children))
+
+    def loads_used(self, out=None):
+        """Set of local slots read anywhere in this tree."""
+        if out is None:
+            out = set()
+        if self.op is ILOp.LOAD:
+            out.add(self.value)
+        for c in self.children:
+            c.loads_used(out)
+        return out
+
+    def contains_op(self, op):
+        if self.op is op:
+            return True
+        return any(c.contains_op(op) for c in self.children)
+
+    def count_nodes(self):
+        return 1 + sum(c.count_nodes() for c in self.children)
+
+    def walk(self):
+        """Yield every node of the tree, preorder."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def copy(self):
+        """Deep copy of the tree."""
+        return Node(self.op, self.type,
+                    [c.copy() for c in self.children], self.value)
+
+    def replace_with(self, other):
+        """Mutate this node in place to become *other* (keeps identity)."""
+        self.op = other.op
+        self.type = other.type
+        self.children = list(other.children)
+        self.value = other.value
+
+    def __repr__(self):
+        return self._fmt(0)
+
+    def _fmt(self, depth):
+        pad = "  " * depth
+        head = f"{pad}{self.op.name.lower()}"
+        if self.value is not None:
+            head += f" {self.value!r}"
+        head += f" [{self.type.name.lower()}]"
+        lines = [head]
+        for c in self.children:
+            lines.append(c._fmt(depth + 1))
+        return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Compilation-plan modifiers (paper §5).
+
+A modifier is a bit vector over the 58 controllable transformations: a set
+bit *disables* every occurrence of that transformation in the active plan.
+Modifiers never add or reorder transformations ("transformations may be
+removed from the original compilation plan but no transformations are
+added and transformations are not reordered").
+
+Two generation strategies are implemented, exactly as in the paper:
+
+* **Randomized search** -- M modifiers drawn ahead of time with aggressive
+  exploration; each is used for 50 compilations and then retired.
+* **Progressive randomized search** -- the i-th modifier disables each
+  transformation independently with probability
+  ``D_i = i * 0.25 / L`` (Eq. 1), so exploration starts at the original
+  plan (D_0 = 0) and drifts away at 0.000125 per round up to D_L = 0.25.
+"""
+
+from repro.jit.opt.registry import NUM_TRANSFORMS
+
+#: Modifiers are retired after this many compilations (paper §5).
+USES_PER_MODIFIER = 50
+
+#: Default number of progressive-search rounds (paper: L = 2000).
+DEFAULT_L = 2000
+
+#: Upper bound of the progressive disabling probability (Eq. 1).
+PROGRESSIVE_CAP = 0.25
+
+
+class Modifier:
+    """An immutable compilation-plan modifier."""
+
+    __slots__ = ("bits",)
+
+    def __init__(self, bits=0):
+        self.bits = int(bits) & ((1 << NUM_TRANSFORMS) - 1)
+
+    @staticmethod
+    def null():
+        """The null modifier: the original, unmodified plan."""
+        return Modifier(0)
+
+    @staticmethod
+    def disabling(indices):
+        bits = 0
+        for i in indices:
+            if not 0 <= i < NUM_TRANSFORMS:
+                raise ValueError(f"transformation index {i} out of range")
+            bits |= 1 << i
+        return Modifier(bits)
+
+    def disabled(self, index):
+        return bool(self.bits >> index & 1)
+
+    def disabled_indices(self):
+        return [i for i in range(NUM_TRANSFORMS) if self.disabled(i)]
+
+    def count_disabled(self):
+        return bin(self.bits).count("1")
+
+    def is_null(self):
+        return self.bits == 0
+
+    def __eq__(self, other):
+        return isinstance(other, Modifier) and self.bits == other.bits
+
+    def __hash__(self):
+        return hash(self.bits)
+
+    def __repr__(self):
+        return f"Modifier({self.bits:#016x}, {self.count_disabled()} off)"
+
+
+def random_modifiers(rng, count, min_p=0.05, max_p=0.5):
+    """Pure randomized search with aggressive exploration: each modifier
+    draws its own disabling probability from [min_p, max_p]."""
+    out = []
+    for _ in range(count):
+        p = rng.uniform(min_p, max_p)
+        mask = rng.random(NUM_TRANSFORMS) < p
+        bits = 0
+        for i, on in enumerate(mask):
+            if on:
+                bits |= 1 << i
+        out.append(Modifier(bits))
+    return out
+
+
+def progressive_modifiers(rng, count, total_rounds=DEFAULT_L,
+                          start_round=0):
+    """Progressive randomized search (Eq. 1): round i disables each
+    transformation with probability ``i * PROGRESSIVE_CAP / L``."""
+    out = []
+    for i in range(start_round, start_round + count):
+        round_index = min(i, total_rounds)
+        p = round_index * PROGRESSIVE_CAP / total_rounds
+        mask = rng.random(NUM_TRANSFORMS) < p
+        bits = 0
+        for j, on in enumerate(mask):
+            if on:
+                bits |= 1 << j
+        out.append(Modifier(bits))
+    return out
+
+
+class ModifierQueue:
+    """The strategy-control queue of pre-computed modifiers.
+
+    Each modifier is handed out for :data:`USES_PER_MODIFIER` compilations
+    and then retired.  Every third compilation receives the null modifier
+    instead ("a special null modifier ... is tried with every compiled
+    method to ensure that the machine-learned model will be exposed to the
+    original compilation strategy").
+    """
+
+    def __init__(self, modifiers, uses_per_modifier=USES_PER_MODIFIER,
+                 null_every=3):
+        self._queue = list(modifiers)
+        self.uses_per_modifier = uses_per_modifier
+        self.null_every = null_every
+        self._position = 0
+        self._uses_of_current = 0
+        self._dispensed = 0
+        self._null = Modifier.null()
+
+    def exhausted(self):
+        return self._position >= len(self._queue)
+
+    def remaining(self):
+        return max(0, len(self._queue) - self._position)
+
+    def next_modifier(self):
+        """The modifier for the next compilation (None when exhausted)."""
+        self._dispensed += 1
+        if self.null_every and self._dispensed % self.null_every == 0:
+            return self._null
+        if self.exhausted():
+            return None
+        modifier = self._queue[self._position]
+        self._uses_of_current += 1
+        if self._uses_of_current >= self.uses_per_modifier:
+            self._position += 1
+            self._uses_of_current = 0
+        return modifier

@@ -1,0 +1,30 @@
+"""The optimizer: 58 controllable code transformations.
+
+Each transformation is a :class:`~repro.jit.opt.base.Pass` registered in
+:mod:`repro.jit.opt.registry` under a stable index in ``[0, 58)`` -- the
+bit positions that compilation-plan modifiers mask (paper §5: "there are 58
+distinct code transformations that are controllable").
+
+A compilation plan (see :mod:`repro.jit.plans`) is an ordered list of
+transformation names, with cleanup passes repeated; before a pass runs,
+its ``applicable`` predicate checks method characteristics ("loop
+transformations are never applied to methods that do not contain loops").
+"""
+
+from repro.jit.opt.base import Pass, PassContext, PassManager
+from repro.jit.opt.registry import (
+    ALL_TRANSFORMS,
+    NUM_TRANSFORMS,
+    transform_by_name,
+    transform_index,
+)
+
+__all__ = [
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "ALL_TRANSFORMS",
+    "NUM_TRANSFORMS",
+    "transform_by_name",
+    "transform_index",
+]

@@ -1,0 +1,192 @@
+"""Pass framework.
+
+A :class:`Pass` transforms an :class:`~repro.jit.ir.block.ILMethod` in
+place and reports whether it changed anything.  The
+:class:`PassManager` runs the plan's ordered transformation list, skipping
+entries disabled by the active modifier or inapplicable to the method, and
+charges deterministic compile cycles per pass in proportion to the IL size
+it had to examine (plus each pass's relative cost factor) -- that charge is
+the "compilation effort" side of the paper's central trade-off.
+"""
+
+from repro.errors import CompilationError
+from repro.jit.ir.cfg import CFGInfo
+
+#: Base compile-cycles charged per IL node examined per pass.
+COST_PER_NODE = 18
+
+
+class PassContext:
+    """Shared state across the passes of one compilation.
+
+    Caches CFG facts (invalidated by passes that reshape control flow) and
+    accumulates compile cost.  ``resolver`` maps a call signature to the
+    callee :class:`~repro.jvm.classfile.JMethod` (used by inlining);
+    ``debug_check`` re-validates IL integrity after every pass.
+    """
+
+    def __init__(self, ilmethod, resolver=None, debug_check=False):
+        self.il = ilmethod
+        self.resolver = resolver
+        self.debug_check = debug_check
+        self.cost = 0
+        self._cfg = None
+        #: Method-characteristic facts computed once (and refreshed when
+        #: the CFG changes); used by ``Pass.applicable``.
+        self._facts = None
+
+    def cfg(self):
+        if self._cfg is None:
+            self._cfg = CFGInfo(self.il)
+        return self._cfg
+
+    def invalidate(self):
+        self._cfg = None
+        self._facts = None
+
+    def facts(self):
+        if self._facts is None:
+            self._facts = _method_facts(self.il, self.cfg())
+        return self._facts
+
+    def charge(self, pass_obj, nodes):
+        self.cost += int(COST_PER_NODE * pass_obj.cost_factor
+                         * max(nodes, 1))
+
+
+def _method_facts(il, cfg):
+    from repro.jit.ir.tree import ILOp
+    has_loops = bool(cfg.loops)
+    has_allocs = False
+    has_monitors = False
+    has_calls = False
+    has_checks = False
+    has_throws = False
+    has_arrays = False
+    for _b, t in il.iter_treetops():
+        for n in t.walk():
+            op = n.op
+            if op in (ILOp.NEW, ILOp.NEWARRAY, ILOp.NEWMULTIARRAY):
+                has_allocs = True
+            elif op in (ILOp.MONITORENTER, ILOp.MONITOREXIT):
+                has_monitors = True
+            elif op is ILOp.CALL:
+                has_calls = True
+            elif op in (ILOp.NULLCHK, ILOp.BNDCHK, ILOp.CHECKCAST):
+                has_checks = True
+            elif op is ILOp.ATHROW:
+                has_throws = True
+            elif op in (ILOp.ALOAD, ILOp.ASTORE, ILOp.ARRAYLENGTH,
+                        ILOp.ARRAYCOPY, ILOp.ARRAYCMP):
+                has_arrays = True
+    return {
+        "has_loops": has_loops,
+        "has_allocations": has_allocs,
+        "has_monitors": has_monitors,
+        "has_calls": has_calls,
+        "has_checks": has_checks,
+        "has_throws": has_throws,
+        "has_arrays": has_arrays,
+        "is_strictfp": il.method.is_strictfp,
+        "has_handlers": bool(il.handlers),
+    }
+
+
+class Pass:
+    """Base class of all IL-level transformations."""
+
+    #: Stable transformation name (used in plans and the registry).
+    name = "abstract"
+    #: Relative compile-cost multiplier (cheap pattern passes < 1,
+    #: whole-CFG dataflow passes > 1).
+    cost_factor = 1.0
+    #: Fact names from ``PassContext.facts()`` that must all be true for
+    #: this pass to be worth running at all.
+    requires = ()
+    #: Whether the pass may reshape the CFG (blocks/edges), forcing CFG
+    #: facts to be recomputed.
+    reshapes_cfg = False
+
+    def applicable(self, ctx):
+        facts = ctx.facts()
+        return all(facts.get(r, False) for r in self.requires)
+
+    def run(self, ctx):
+        """Transform ``ctx.il``; return True when something changed."""
+        raise NotImplementedError
+
+    def execute(self, ctx):
+        ctx.charge(self, ctx.il.count_nodes())
+        if not self.applicable(ctx):
+            return False
+        changed = bool(self.run(ctx))
+        if changed and self.reshapes_cfg:
+            ctx.invalidate()
+        if changed and ctx.debug_check:
+            try:
+                ctx.il.check()
+            except CompilationError as exc:
+                raise CompilationError(
+                    f"pass {self.name} corrupted IL: {exc}") from exc
+        return changed
+
+    def __repr__(self):
+        return f"<Pass {self.name}>"
+
+
+class CodegenFlagPass(Pass):
+    """A controllable transformation realized inside the code generator.
+
+    Running it merely records the corresponding flag in
+    ``il.notes['codegen_flags']``; the compiler translates the collected
+    flags into :class:`~repro.jit.codegen.lower.CodegenOptions`.
+    """
+
+    cost_factor = 0.1
+    flag = None
+
+    def __init__(self, name, flag, cost_factor=0.1, requires=()):
+        self.name = name
+        self.flag = flag
+        self.cost_factor = cost_factor
+        self.requires = tuple(requires)
+
+    def run(self, ctx):
+        flags = ctx.il.notes.setdefault("codegen_flags", set())
+        if self.flag in flags:
+            return False
+        flags.add(self.flag)
+        return True
+
+
+class PassManager:
+    """Runs a compilation plan's transformations under a modifier mask."""
+
+    def __init__(self, plan_entries, modifier=None, resolver=None,
+                 debug_check=False):
+        """*plan_entries*: ordered list of transformation names.
+
+        *modifier*: a :class:`repro.jit.modifiers.Modifier` (or None for
+        the unmodified plan); a disabled bit suppresses every occurrence
+        of that transformation in the plan.
+        """
+        self.plan_entries = list(plan_entries)
+        self.modifier = modifier
+        self.resolver = resolver
+        self.debug_check = debug_check
+
+    def optimize(self, ilmethod):
+        """Run the plan; returns ``(ilmethod, compile_cost, log)``."""
+        from repro.jit.opt.registry import transform_by_name, \
+            transform_index
+        ctx = PassContext(ilmethod, resolver=self.resolver,
+                          debug_check=self.debug_check)
+        log = []
+        for entry in self.plan_entries:
+            pass_obj = transform_by_name(entry)
+            if self.modifier is not None and self.modifier.disabled(
+                    transform_index(entry)):
+                continue
+            changed = pass_obj.execute(ctx)
+            log.append((entry, changed))
+        return ilmethod, ctx.cost, log

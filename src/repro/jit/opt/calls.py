@@ -1,0 +1,269 @@
+"""Call transformations (3 IL-level of the 58; leaf-frame analysis is a
+codegen flag registered alongside them).
+
+Inlining needs a *resolver* (signature -> JMethod), supplied by the
+compiler through the :class:`~repro.jit.opt.base.PassContext`; without one
+(e.g. unit tests on a bare pass manager) the inliners are inert.
+Argument passing is modelled faithfully: the inliner emits explicit stores
+(with casts to the declared parameter types), so an inlined call computes
+bit-identical results to a real one.
+"""
+
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import is_intrinsic
+from repro.jit.ir.block import ILBlock
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import Pass
+
+#: Pure math intrinsics: no side effects, no guest exceptions.
+_PURE_INTRINSICS = frozenset({
+    "java/lang/Math.sqrt", "java/lang/Math.sin", "java/lang/Math.cos",
+    "java/lang/Math.abs", "java/lang/Math.max", "java/lang/Math.min",
+})
+
+
+def _remap_slots(node, mapping):
+    for n in node.walk():
+        if n.op is ILOp.LOAD or n.op is ILOp.STORE:
+            n.value = mapping[n.value]
+        elif n.op is ILOp.INC:
+            slot, amount = n.value
+            n.value = (mapping[slot], amount)
+
+
+def _call_site(treetop):
+    """Return (call node, result slot or None) when *treetop* is an
+    anchored call, else None."""
+    if treetop.op is ILOp.STORE and treetop.children[0].op is ILOp.CALL:
+        return treetop.children[0], treetop.value
+    if treetop.op is ILOp.TREETOP \
+            and treetop.children[0].op is ILOp.CALL:
+        return treetop.children[0], None
+    return None
+
+
+def _arg_stores(il, call, callee, mapping):
+    """Stores materializing the arguments into the callee's (remapped)
+    parameter slots, with casts to the declared types."""
+    stores = []
+    for i, (arg, ptype) in enumerate(zip(call.children,
+                                         callee.param_types)):
+        rhs = arg.copy()
+        if rhs.type != ptype and not ptype.is_reference \
+                and ptype is not JType.VOID:
+            rhs = Node(ILOp.CAST, ptype, (rhs,))
+        stores.append(Node(ILOp.STORE, ptype, (rhs,), mapping[i]))
+    return stores
+
+
+def _result_treetop(ret, result_slot, return_type):
+    """Convert a callee RETURN into caller-side treetops."""
+    if not ret.children:
+        return []
+    expr = ret.children[0]
+    if result_slot is not None:
+        if expr.type != return_type and not return_type.is_reference:
+            expr = Node(ILOp.CAST, return_type, (expr,))
+        return [Node(ILOp.STORE, return_type, (expr,), result_slot)]
+    if not expr.is_pure(allow_loads=True, allow_heap_reads=True):
+        return [Node(ILOp.TREETOP, JType.VOID, (expr,))]
+    return []
+
+
+class _InliningBase(Pass):
+    max_inlines = 8
+
+    def _callee_il(self, ctx, signature):
+        from repro.jit.ir.ilgen import generate_il
+        resolver = ctx.resolver
+        if resolver is None:
+            return None
+        callee = resolver(signature)
+        if callee is None:
+            return None
+
+        def rtypes(sig):
+            m = resolver(sig)
+            return m.return_type if m is not None else JType.INT
+
+        il, cost = generate_il(callee, resolve_return_type=rtypes)
+        ctx.cost += cost  # generating callee IL is real compile effort
+        return il
+
+    def run(self, ctx):
+        il = ctx.il
+        budget = self.max_inlines
+        changed = False
+        progress = True
+        while progress and budget > 0:
+            progress = False
+            for block in list(il.blocks):
+                for i, tt in enumerate(block.treetops):
+                    site = _call_site(tt)
+                    if site is None:
+                        continue
+                    call, result_slot = site
+                    if is_intrinsic(call.value) \
+                            or call.value == il.method.signature:
+                        continue
+                    callee_il = self._callee_il(ctx, call.value)
+                    if callee_il is None \
+                            or not self._inlinable(callee_il):
+                        continue
+                    self._splice(ctx, block, i, call, result_slot,
+                                 callee_il)
+                    budget -= 1
+                    changed = True
+                    progress = True
+                    break
+                if progress:
+                    break
+        return changed
+
+    def _inlinable(self, callee_il):
+        raise NotImplementedError
+
+    def _splice(self, ctx, block, index, call, result_slot, callee_il):
+        raise NotImplementedError
+
+
+class TrivialInlining(_InliningBase):
+    """Inline single-block, call-free, handler-free callees of at most 8
+    treetops directly into the calling block."""
+
+    name = "trivialInlining"
+    cost_factor = 2.0
+    requires = ("has_calls",)
+    max_treetops = 8
+
+    def _inlinable(self, callee_il):
+        if len(callee_il.blocks) != 1 or callee_il.handlers:
+            return False
+        entry = callee_il.blocks[0]
+        if len(entry.treetops) > self.max_treetops:
+            return False
+        term = entry.terminator
+        if term is None or term.op is not ILOp.RETURN:
+            return False
+        return not any(n.op is ILOp.CALL for t in entry.treetops
+                       for n in t.walk())
+
+    def _splice(self, ctx, block, index, call, result_slot, callee_il):
+        il = ctx.il
+        callee = callee_il.method
+        mapping = {k: il.new_temp()
+                   for k in range(callee_il.num_locals)}
+        new_tts = _arg_stores(il, call, callee, mapping)
+        body = callee_il.blocks[0].treetops
+        for tt in body[:-1]:
+            copy = tt.copy()
+            _remap_slots(copy, mapping)
+            new_tts.append(copy)
+        ret = body[-1].copy()
+        _remap_slots(ret, mapping)
+        new_tts.extend(_result_treetop(ret, result_slot,
+                                       callee.return_type))
+        block.treetops[index:index + 1] = new_tts
+
+
+class AggressiveInlining(_InliningBase):
+    """Inline multi-block callees (up to 5 blocks / 24 treetops, no
+    handlers) by splitting the calling block and splicing the callee's
+    CFG between the halves."""
+
+    name = "aggressiveInlining"
+    cost_factor = 3.0
+    reshapes_cfg = True
+    requires = ("has_calls",)
+    max_inlines = 4
+    max_blocks = 5
+    max_treetops = 24
+
+    def _inlinable(self, callee_il):
+        if callee_il.handlers or len(callee_il.blocks) > self.max_blocks:
+            return False
+        total = sum(len(b.treetops) for b in callee_il.blocks)
+        if total > self.max_treetops:
+            return False
+        return True
+
+    def _splice(self, ctx, block, index, call, result_slot, callee_il):
+        il = ctx.il
+        callee = callee_il.method
+        slot_map = {k: il.new_temp()
+                    for k in range(callee_il.num_locals)}
+        next_bid = il.new_block_id()
+        bid_map = {b.bid: next_bid + j
+                   for j, b in enumerate(callee_il.blocks)}
+        cont_bid = next_bid + len(callee_il.blocks)
+
+        # Continuation: the tail of the calling block.
+        cont = ILBlock(cont_bid, bc_start=block.bc_start)
+        cont.treetops = block.treetops[index + 1:]
+        cont.fallthrough = block.fallthrough
+        block.treetops = block.treetops[:index]
+        block.treetops.extend(_arg_stores(il, call, callee, slot_map))
+        block.fallthrough = bid_map[callee_il.blocks[0].bid]
+
+        new_blocks = []
+        for cb in callee_il.blocks:
+            nb = ILBlock(bid_map[cb.bid], bc_start=block.bc_start)
+            nb.fallthrough = (bid_map[cb.fallthrough]
+                              if cb.fallthrough is not None else None)
+            for tt in cb.treetops:
+                copy = tt.copy()
+                _remap_slots(copy, slot_map)
+                if copy.op is ILOp.GOTO:
+                    copy.value = bid_map[copy.value]
+                elif copy.op is ILOp.IF:
+                    copy.value = (copy.value[0], bid_map[copy.value[1]])
+                if copy.op is ILOp.RETURN:
+                    nb.treetops.extend(_result_treetop(
+                        copy, result_slot, callee.return_type))
+                    nb.append(Node(ILOp.GOTO, value=cont_bid))
+                else:
+                    nb.append(copy)
+            new_blocks.append(nb)
+
+        pos = il.blocks.index(block) + 1
+        il.blocks[pos:pos] = new_blocks + [cont]
+        # Inherited exception coverage: code inlined into this block is
+        # protected by whatever protects the call site.
+        for h in il.handlers:
+            if block.bid in h.covered:
+                h.covered = frozenset(
+                    h.covered | set(bid_map.values()) | {cont_bid})
+        ctx.invalidate()
+
+
+class PureCallElimination(Pass):
+    """Remove calls to pure math intrinsics whose results are discarded
+    (typically left behind after other passes forwarded the value)."""
+
+    name = "pureCallElimination"
+    cost_factor = 0.5
+    requires = ("has_calls",)
+
+    def run(self, ctx):
+        changed = False
+        for block in ctx.il.blocks:
+            kept = []
+            for tt in block.treetops:
+                if tt.op is ILOp.TREETOP:
+                    child = tt.children[0]
+                    if child.op is ILOp.CALL \
+                            and child.value in _PURE_INTRINSICS \
+                            and all(a.is_pure(allow_loads=True)
+                                    for a in child.children):
+                        changed = True
+                        continue
+                kept.append(tt)
+            block.treetops[:] = kept
+        return changed
+
+
+CALL_PASSES = (
+    TrivialInlining(),
+    AggressiveInlining(),
+    PureCallElimination(),
+)

@@ -1,0 +1,446 @@
+"""Check- and object-related transformations (8 of the 58).
+
+Removing a NULLCHK or BNDCHK treetop never changes observable behaviour in
+this system: the native memory operations re-validate and raise the same
+guest exception (the analogue of the hardware trap).  The passes therefore
+only have to prove *redundancy* to harvest their cycles.
+
+Escape analysis is an enabling pass: it computes which allocations never
+escape the frame and records them in ``il.notes``; stack allocation and
+monitor elision consume that information (and do nothing if escape
+analysis was disabled by the plan modifier -- a real inter-pass dependence
+the learning process can discover).
+"""
+
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import Pass
+
+#: Dereferencing ops: successful execution proves the ref was non-null.
+_DEREFS = frozenset({ILOp.GETFIELD, ILOp.ALOAD, ILOp.ARRAYLENGTH,
+                     ILOp.MONITORENTER, ILOp.MONITOREXIT})
+
+
+def _slots_stored(tt):
+    if tt.op is ILOp.STORE:
+        return (tt.value,)
+    if tt.op is ILOp.INC:
+        return (tt.value[0],)
+    return ()
+
+
+class NullCheckElimination(Pass):
+    """Remove NULLCHKs of slots already proven non-null -- by an earlier
+    check, a dereference, or a store of a fresh allocation -- within the
+    block, and across blocks for never-written slots via dominators."""
+
+    name = "nullCheckElimination"
+    cost_factor = 1.0
+    requires = ("has_checks",)
+
+    def run(self, ctx):
+        il = ctx.il
+        cfg = ctx.cfg()
+        defs = {}
+        for _b, tt in il.iter_treetops():
+            for s in _slots_stored(tt):
+                defs[s] = defs.get(s, 0) + 1
+        never_written = {s for s in range(il.num_locals)
+                         if defs.get(s, 0) == 0}
+
+        # Blocks that prove a never-written slot non-null (for dominators).
+        proves = {b.bid: set() for b in il.blocks}
+        for block in il.blocks:
+            for tt in block.treetops:
+                slot = self._proved_slot(tt)
+                if slot is not None and slot in never_written:
+                    proves[block.bid].add(slot)
+
+        changed = False
+        for block in il.blocks:
+            known = set()
+            for dom in cfg.dominators_of(block.bid):
+                if dom != block.bid:
+                    known |= proves.get(dom, set())
+            kept = []
+            for tt in block.treetops:
+                if tt.op is ILOp.NULLCHK \
+                        and tt.children[0].op is ILOp.LOAD \
+                        and tt.children[0].value in known:
+                    changed = True
+                    continue
+                slot = self._proved_slot(tt)
+                if slot is not None:
+                    known.add(slot)
+                rhs_nonnull = False
+                if tt.op is ILOp.STORE:
+                    rhs = tt.children[0]
+                    rhs_nonnull = (self._rhs_nonnull(tt)
+                                   or (rhs.op is ILOp.LOAD
+                                       and rhs.value in known))
+                for s in _slots_stored(tt):
+                    known.discard(s)
+                if rhs_nonnull:
+                    known.add(tt.value)
+                kept.append(tt)
+            block.treetops[:] = kept
+        return changed
+
+    @staticmethod
+    def _proved_slot(tt):
+        """Slot proven non-null by successfully executing *tt*."""
+        if tt.op is ILOp.NULLCHK and tt.children[0].op is ILOp.LOAD:
+            return tt.children[0].value
+        for node in tt.walk():
+            if node.op in _DEREFS and node.children \
+                    and node.children[0].op is ILOp.LOAD:
+                return node.children[0].value
+        return None
+
+    @staticmethod
+    def _rhs_nonnull(tt):
+        rhs = tt.children[0]
+        return rhs.op in (ILOp.NEW, ILOp.NEWARRAY, ILOp.NEWMULTIARRAY)
+
+
+class BoundsCheckElimination(Pass):
+    """Remove BNDCHKs proven redundant by an identical dominating or
+    preceding check (array lengths are immutable, so a check stays valid
+    until the ref or index slots are redefined); a constant-index check
+    also subsumes smaller constant indices on the same array."""
+
+    name = "boundsCheckElimination"
+    cost_factor = 1.2
+    requires = ("has_arrays",)
+
+    def run(self, ctx):
+        il = ctx.il
+        changed = False
+        for block in il.blocks:
+            valid = {}   # key -> True for exact checks
+            consts = {}  # ref key -> max constant index proven
+            kept = []
+            for tt in block.treetops:
+                if tt.op is ILOp.BNDCHK:
+                    ref, idx = tt.children
+                    if ref.is_pure(allow_loads=True) \
+                            and idx.is_pure(allow_loads=True):
+                        key = (ref.key(), idx.key())
+                        rkey = ref.key()
+                        if key in valid:
+                            changed = True
+                            continue
+                        if idx.is_const() and isinstance(idx.value, int):
+                            if consts.get(rkey, -1) >= idx.value >= 0:
+                                changed = True
+                                continue
+                            consts[rkey] = max(consts.get(rkey, -1),
+                                               idx.value)
+                        valid[key] = True
+                stored = _slots_stored(tt)
+                if stored:
+                    stored = set(stored)
+
+                    def uses(keypair):
+                        used = set()
+                        for part in keypair:
+                            _collect_key_loads(part, used)
+                        return used
+
+                    valid = {k: v for k, v in valid.items()
+                             if not (uses(k) & stored)}
+                    consts = {rk: v for rk, v in consts.items()
+                              if not (_key_loads(rk) & stored)}
+                kept.append(tt)
+            block.treetops[:] = kept
+        return changed
+
+
+def _collect_key_loads(key, out):
+    """Extract the local slots referenced by a Node.key() tuple."""
+    op, _jt, value, children = key
+    if op == int(ILOp.LOAD):
+        out.add(value)
+    for c in children:
+        _collect_key_loads(c, out)
+
+
+def _key_loads(key):
+    out = set()
+    _collect_key_loads(key, out)
+    return out
+
+
+class CheckcastElimination(Pass):
+    """Remove CHECKCASTs already satisfied: duplicates of an earlier cast
+    of the same slot to the same class, or casts of a slot holding a
+    freshly allocated object of exactly that class."""
+
+    name = "checkcastElimination"
+    cost_factor = 0.8
+    requires = ("has_checks",)
+
+    def run(self, ctx):
+        changed = False
+        for block in ctx.il.blocks:
+            proven = {}  # slot -> set of class names proven
+            kept = []
+            for tt in block.treetops:
+                if tt.op is ILOp.CHECKCAST \
+                        and tt.children[0].op is ILOp.LOAD:
+                    slot = tt.children[0].value
+                    cls = tt.value
+                    if cls in proven.get(slot, ()):
+                        changed = True
+                        continue
+                    proven.setdefault(slot, set()).add(cls)
+                    kept.append(tt)
+                    continue
+                incoming = None
+                if tt.op is ILOp.STORE:
+                    rhs = tt.children[0]
+                    if rhs.op is ILOp.NEW:
+                        incoming = {rhs.value}
+                    elif rhs.op is ILOp.LOAD:
+                        incoming = set(proven.get(rhs.value, ()))
+                for s in _slots_stored(tt):
+                    proven.pop(s, None)
+                if incoming:
+                    proven[tt.value] = incoming
+                kept.append(tt)
+            block.treetops[:] = kept
+        return changed
+
+
+class InstanceofSimplification(Pass):
+    """Fold ``instanceof`` on a slot known to hold a freshly allocated
+    object of exactly the tested class."""
+
+    name = "instanceofSimplification"
+    cost_factor = 0.8
+
+    def applicable(self, ctx):
+        return any(n.op is ILOp.INSTANCEOF
+                   for _b, t in ctx.il.iter_treetops()
+                   for n in t.walk())
+
+    def run(self, ctx):
+        from repro.jvm.bytecode import JType
+        changed = False
+        for block in ctx.il.blocks:
+            fresh = {}  # slot -> class name
+            for tt in block.treetops:
+                for child in tt.children:
+                    for node in child.walk():
+                        if node.op is ILOp.INSTANCEOF \
+                                and node.children[0].op is ILOp.LOAD:
+                            slot = node.children[0].value
+                            if fresh.get(slot) == node.value:
+                                node.replace_with(
+                                    Node.const(JType.INT, 1))
+                                changed = True
+                incoming = None
+                if tt.op is ILOp.STORE:
+                    rhs = tt.children[0]
+                    if rhs.op is ILOp.NEW:
+                        incoming = rhs.value
+                    elif rhs.op is ILOp.LOAD:
+                        incoming = fresh.get(rhs.value)
+                for s in _slots_stored(tt):
+                    fresh.pop(s, None)
+                if incoming is not None:
+                    fresh[tt.value] = incoming
+        return changed
+
+
+class EscapeAnalysis(Pass):
+    """Compute the set of allocations that never escape the frame.
+
+    An allocation escapes when any alias of it is passed to a call,
+    returned, thrown, stored into a field or an array element, or copied
+    into another object.  Results are recorded in ``il.notes`` for the
+    stackAllocation and monitorElision transformations."""
+
+    name = "escapeAnalysis"
+    cost_factor = 2.2
+    requires = ("has_allocations",)
+
+    def run(self, ctx):
+        il = ctx.il
+        allocations = []  # (alloc node, initial slot)
+        for _b, tt in il.iter_treetops():
+            if tt.op is ILOp.STORE and tt.children[0].op in (
+                    ILOp.NEW, ILOp.NEWARRAY):
+                allocations.append((tt.children[0], tt.value))
+        if not allocations:
+            return False
+
+        # Alias closure: slot -> slots its value flows to via copies.
+        copies = {}
+        for _b, tt in il.iter_treetops():
+            if tt.op is ILOp.STORE and tt.children[0].op is ILOp.LOAD:
+                copies.setdefault(tt.children[0].value, set()).add(
+                    tt.value)
+
+        def alias_set(slot):
+            out = {slot}
+            work = [slot]
+            while work:
+                cur = work.pop()
+                for nxt in copies.get(cur, ()):
+                    if nxt not in out:
+                        out.add(nxt)
+                        work.append(nxt)
+            return out
+
+        escaping_slots = self._escaping_slots(il)
+
+        stack_ids = set()
+        nonescaping_slots = set()
+        escaping_alias_union = set()
+        for alloc, slot in allocations:
+            aliases = alias_set(slot)
+            if aliases & escaping_slots:
+                escaping_alias_union |= aliases
+            else:
+                stack_ids.add(id(alloc))
+                nonescaping_slots |= aliases
+        nonescaping_slots -= escaping_alias_union
+        il.notes["stack_alloc_candidates"] = stack_ids
+        il.notes["nonescaping_slots"] = nonescaping_slots
+        return True
+
+    @staticmethod
+    def _escaping_slots(il):
+        escaping = set()
+        for _b, tt in il.iter_treetops():
+            for node in tt.walk():
+                if node.op is ILOp.CALL:
+                    for arg in node.children:
+                        if arg.op is ILOp.LOAD:
+                            escaping.add(arg.value)
+            if tt.op is ILOp.RETURN and tt.children \
+                    and tt.children[0].op is ILOp.LOAD:
+                escaping.add(tt.children[0].value)
+            elif tt.op is ILOp.ATHROW \
+                    and tt.children[0].op is ILOp.LOAD:
+                escaping.add(tt.children[0].value)
+            elif tt.op is ILOp.PUTFIELD \
+                    and tt.children[1].op is ILOp.LOAD:
+                escaping.add(tt.children[1].value)
+            elif tt.op is ILOp.ASTORE \
+                    and tt.children[2].op is ILOp.LOAD:
+                escaping.add(tt.children[2].value)
+            elif tt.op is ILOp.ARRAYCOPY:
+                for child in tt.children:
+                    if child.op is ILOp.LOAD:
+                        escaping.add(child.value)
+        return escaping
+
+
+class StackAllocation(Pass):
+    """Allocate non-escaping objects on the stack: the code generator
+    emits the cheap allocation form (no GC pressure) for allocations
+    flagged by escape analysis."""
+
+    name = "stackAllocation"
+    cost_factor = 0.4
+    requires = ("has_allocations",)
+
+    def run(self, ctx):
+        il = ctx.il
+        candidates = il.notes.get("stack_alloc_candidates")
+        if not candidates:
+            return False
+        flagged = il.notes.setdefault("codegen_stack_alloc", set())
+        before = len(flagged)
+        flagged |= candidates
+        return len(flagged) > before
+
+
+class MonitorElision(Pass):
+    """Remove synchronization on objects that never escape the frame (no
+    other thread can ever contend on them)."""
+
+    name = "monitorElision"
+    cost_factor = 0.8
+    requires = ("has_monitors",)
+
+    def run(self, ctx):
+        il = ctx.il
+        safe = il.notes.get("nonescaping_slots")
+        if not safe:
+            return False
+        changed = False
+        for block in il.blocks:
+            kept = []
+            for tt in block.treetops:
+                if tt.op in (ILOp.MONITORENTER, ILOp.MONITOREXIT) \
+                        and tt.children[0].op is ILOp.LOAD \
+                        and tt.children[0].value in safe:
+                    changed = True
+                    continue
+                kept.append(tt)
+            block.treetops[:] = kept
+        return changed
+
+
+class ExceptionDirectedOptimization(Pass):
+    """Resolve throws whose handler is known at compile time: an ATHROW
+    of a freshly allocated exception whose innermost matching handler is
+    in the same method becomes a direct branch (THROWTO), skipping the
+    expensive unwind machinery."""
+
+    name = "exceptionDirectedOptimization"
+    cost_factor = 1.2
+    reshapes_cfg = True
+    requires = ("has_throws", "has_handlers")
+
+    def run(self, ctx):
+        il = ctx.il
+        changed = False
+        for block in il.blocks:
+            term = block.terminator
+            if term is None or term.op is not ILOp.ATHROW:
+                continue
+            ref = term.children[0]
+            if ref.op is not ILOp.LOAD:
+                continue
+            cls = self._fresh_class(block, ref.value)
+            if cls is None:
+                continue
+            target = None
+            for h in il.handlers:
+                if block.bid in h.covered and h.matches(cls):
+                    target = h.handler_bid
+                    break
+            if target is None:
+                continue
+            term.replace_with(Node(ILOp.THROWTO, children=(),
+                                   value=(target, cls)))
+            changed = True
+        return changed
+
+    @staticmethod
+    def _fresh_class(block, slot):
+        """Class of the NEW assigned to *slot* in this block with no
+        intervening redefinition before the terminator."""
+        cls = None
+        for tt in block.treetops[:-1]:
+            if tt.op is ILOp.STORE and tt.value == slot:
+                cls = tt.children[0].value \
+                    if tt.children[0].op is ILOp.NEW else None
+            elif tt.op is ILOp.INC and tt.value[0] == slot:
+                cls = None
+        return cls
+
+
+CHECK_PASSES = (
+    NullCheckElimination(),
+    BoundsCheckElimination(),
+    CheckcastElimination(),
+    InstanceofSimplification(),
+    EscapeAnalysis(),
+    StackAllocation(),
+    MonitorElision(),
+    ExceptionDirectedOptimization(),
+)

@@ -1,0 +1,371 @@
+"""Control-flow transformations (8 of the 58).
+
+These reshape the CFG: folding branches with known outcomes, threading
+jumps through trivial blocks, deleting unreachable code, merging
+straight-line chains, laying blocks out for fall-through, duplicating tiny
+return blocks into their predecessors, reversing branch polarity to kill
+trampoline blocks, and canonicalizing loops with dedicated preheaders
+(an enabling transformation for the loop family).
+"""
+
+from repro.jit.ir.block import ILBlock
+from repro.jit.ir.tree import ILOp, Node, RELOP_FN, RELOP_NEGATE
+from repro.jit.opt.base import Pass
+
+
+def _is_goto_only(block):
+    return (len(block.treetops) == 1
+            and block.treetops[0].op is ILOp.GOTO)
+
+
+def _retarget(block, old, new):
+    """Redirect every edge of *block* that points at *old* to *new*."""
+    changed = False
+    term = block.terminator
+    if term is not None:
+        if term.op is ILOp.GOTO and term.value == old:
+            term.value = new
+            changed = True
+        elif term.op is ILOp.IF and term.value[1] == old:
+            term.value = (term.value[0], new)
+            changed = True
+    if block.fallthrough == old:
+        block.fallthrough = new
+        changed = True
+    return changed
+
+
+class BranchFolding(Pass):
+    """Resolve IF treetops whose condition is a constant."""
+
+    name = "branchFolding"
+    cost_factor = 0.5
+    reshapes_cfg = True
+
+    def run(self, ctx):
+        changed = False
+        for block in ctx.il.blocks:
+            term = block.terminator
+            if term is None or term.op is not ILOp.IF:
+                continue
+            cond = term.children[0]
+            if not (cond.is_const() and isinstance(cond.value,
+                                                   (int, float))):
+                continue
+            relop, target = term.value
+            if RELOP_FN[relop](cond.value):
+                term.replace_with(Node(ILOp.GOTO, term.type, (), target))
+                block.fallthrough = None
+            else:
+                block.treetops.pop()
+            changed = True
+        return changed
+
+
+class JumpThreading(Pass):
+    """Thread control flow through blocks that only contain a GOTO."""
+
+    name = "jumpThreading"
+    cost_factor = 0.6
+    reshapes_cfg = True
+
+    def run(self, ctx):
+        il = ctx.il
+        index = il.block_index()
+        # Resolve the final destination of every goto-only block,
+        # guarding against goto cycles.
+        final = {}
+        for block in il.blocks:
+            if not _is_goto_only(block) or block.is_handler:
+                continue
+            seen = {block.bid}
+            cur = block.treetops[0].value
+            while cur in index and _is_goto_only(index[cur]) \
+                    and cur not in seen and not index[cur].is_handler:
+                seen.add(cur)
+                cur = index[cur].treetops[0].value
+            if cur != block.bid:
+                final[block.bid] = cur
+        changed = False
+        if not final:
+            return False
+        for block in il.blocks:
+            term = block.terminator
+            for old, new in final.items():
+                if old == block.bid:
+                    continue
+                # Thread explicit branch targets only; fall-through
+                # trampolines are branchReversal's and blockOrdering's
+                # business (they can often do better than a retarget).
+                if term is not None:
+                    if term.op is ILOp.GOTO and term.value == old:
+                        term.value = new
+                        changed = True
+                    elif term.op is ILOp.IF and term.value[1] == old:
+                        term.value = (term.value[0], new)
+                        changed = True
+        return changed
+
+
+class UnreachableCodeElimination(Pass):
+    """Delete blocks not reachable from the entry (following exceptional
+    edges), pruning handler scopes accordingly."""
+
+    name = "unreachableCodeElimination"
+    cost_factor = 0.6
+    reshapes_cfg = True
+
+    def run(self, ctx):
+        il = ctx.il
+        reachable = set(ctx.cfg().reachable)
+        if len(reachable) == len(il.blocks):
+            return False
+        il.blocks = [b for b in il.blocks if b.bid in reachable]
+        new_handlers = []
+        for h in il.handlers:
+            covered = h.covered & reachable
+            if covered and h.handler_bid in reachable:
+                h.covered = frozenset(covered)
+                new_handlers.append(h)
+        il.handlers = new_handlers
+        return True
+
+
+class EmptyBlockMerging(Pass):
+    """Merge straight-line block chains: append B to A when A's sole
+    normal successor is B and B's sole predecessor is A."""
+
+    name = "emptyBlockMerging"
+    cost_factor = 0.7
+    reshapes_cfg = True
+
+    def run(self, ctx):
+        il = ctx.il
+        changed = False
+        merged = True
+        while merged:
+            merged = False
+            cfg = ctx.cfg()
+            index = il.block_index()
+            for a in il.blocks:
+                succs = a.successors()
+                if len(succs) != 1:
+                    continue
+                b_id = succs[0]
+                if b_id == a.bid or b_id not in index:
+                    continue
+                b = index[b_id]
+                if b.is_handler or b is il.entry():
+                    continue
+                if cfg.preds.get(b_id, []) != [a.bid]:
+                    continue
+                cov_a = {id(h) for h in il.handlers_covering(a.bid)}
+                cov_b = {id(h) for h in il.handlers_covering(b_id)}
+                if cov_a != cov_b:
+                    continue
+                term = a.terminator
+                if term is not None and term.op is ILOp.GOTO:
+                    a.treetops.pop()
+                a.treetops.extend(b.treetops)
+                a.fallthrough = b.fallthrough
+                il.blocks.remove(b)
+                for h in il.handlers:
+                    if b_id in h.covered:
+                        h.covered = frozenset(h.covered - {b_id})
+                for other in il.blocks:
+                    _retarget(other, b_id, a.bid)
+                ctx.invalidate()
+                changed = True
+                merged = True
+                break
+        return changed
+
+
+class BlockOrdering(Pass):
+    """Lay blocks out so branch targets follow their branches; the code
+    generator elides a branch to the immediately following block, so good
+    layout removes real instructions.
+
+    When a branch profile is available (scorching's feedback-directed
+    path, ``il.notes['branch_profile']``), conditional branches whose
+    *taken* edge is hotter than their fall-through are inverted first,
+    so the frequent path becomes the free fall-through."""
+
+    name = "blockOrdering"
+    cost_factor = 0.5
+    reshapes_cfg = True
+
+    def run(self, ctx):
+        il = ctx.il
+        changed_by_profile = self._apply_profile(il)
+        index = il.block_index()
+        placed = []
+        placed_set = set()
+
+        def place_chain(bid):
+            while bid is not None and bid not in placed_set \
+                    and bid in index:
+                block = index[bid]
+                placed.append(block)
+                placed_set.add(bid)
+                term = block.terminator
+                if term is None or term.op is ILOp.IF:
+                    bid = block.fallthrough
+                elif term.op is ILOp.GOTO:
+                    bid = term.value
+                else:
+                    bid = None
+
+        place_chain(il.blocks[0].bid)
+        for block in il.blocks:
+            if block.bid not in placed_set:
+                place_chain(block.bid)
+        if [b.bid for b in placed] == [b.bid for b in il.blocks]:
+            return changed_by_profile
+        il.blocks = placed
+        return True
+
+    @staticmethod
+    def _apply_profile(il):
+        """Invert IFs whose taken edge dominates the fall-through."""
+        profile = il.notes.get("branch_profile")
+        if not profile:
+            return False
+        changed = False
+        for block in il.blocks:
+            term = block.terminator
+            if term is None or term.op is not ILOp.IF:
+                continue
+            taken = profile.get((block.bc_start, True), 0)
+            fall = profile.get((block.bc_start, False), 0)
+            if taken <= fall or block.fallthrough is None:
+                continue
+            relop, target = term.value
+            if target == block.fallthrough:
+                continue
+            term.value = (RELOP_NEGATE[relop], block.fallthrough)
+            block.fallthrough = target
+            changed = True
+        return changed
+
+
+class TailDuplication(Pass):
+    """Copy a tiny return block into predecessors that jump to it,
+    trading code size for the taken branch."""
+
+    name = "tailDuplication"
+    cost_factor = 0.8
+    reshapes_cfg = True
+    max_treetops = 2
+
+    def run(self, ctx):
+        il = ctx.il
+        cfg = ctx.cfg()
+        index = il.block_index()
+        changed = False
+        for block in list(il.blocks):
+            term = block.terminator
+            if term is None or term.op is not ILOp.GOTO:
+                continue
+            target = index.get(term.value)
+            if target is None or target.is_handler:
+                continue
+            tterm = target.terminator
+            if tterm is None or tterm.op is not ILOp.RETURN:
+                continue
+            if len(target.treetops) > self.max_treetops:
+                continue
+            if len(cfg.preds.get(target.bid, [])) < 2:
+                continue
+            cov_p = {id(h) for h in il.handlers_covering(block.bid)}
+            cov_t = {id(h) for h in il.handlers_covering(target.bid)}
+            if cov_p != cov_t:
+                continue
+            block.treetops.pop()  # the GOTO
+            block.treetops.extend(t.copy() for t in target.treetops)
+            block.fallthrough = None
+            changed = True
+        return changed
+
+
+class BranchReversal(Pass):
+    """Reverse an IF whose fall-through is a single-predecessor GOTO
+    trampoline, eliminating the trampoline from the hot path."""
+
+    name = "branchReversal"
+    cost_factor = 0.5
+    reshapes_cfg = True
+
+    def run(self, ctx):
+        il = ctx.il
+        cfg = ctx.cfg()
+        index = il.block_index()
+        changed = False
+        for block in il.blocks:
+            term = block.terminator
+            if term is None or term.op is not ILOp.IF:
+                continue
+            ft = index.get(block.fallthrough)
+            if ft is None or not _is_goto_only(ft) or ft.is_handler:
+                continue
+            if cfg.preds.get(ft.bid, []) != [block.bid]:
+                continue
+            relop, taken = term.value
+            goto_target = ft.treetops[0].value
+            if goto_target == ft.bid:
+                continue
+            term.value = (RELOP_NEGATE[relop], goto_target)
+            block.fallthrough = taken
+            changed = True
+        return changed
+
+
+class LoopCanonicalization(Pass):
+    """Give every loop header a dedicated preheader block, the landing
+    pad that LICM, unrolling and field privatization hoist code into."""
+
+    name = "loopCanonicalization"
+    cost_factor = 0.7
+    reshapes_cfg = True
+    requires = ("has_loops",)
+
+    def run(self, ctx):
+        il = ctx.il
+        changed = False
+        for loop in list(ctx.cfg().loops):
+            cfg = ctx.cfg()
+            header = loop.header
+            outside_preds = [p for p in cfg.preds.get(header, [])
+                             if p not in loop.body]
+            if not outside_preds:
+                continue
+            index = il.block_index()
+            if len(outside_preds) == 1:
+                pred = index[outside_preds[0]]
+                if _is_goto_only(pred) and not pred.is_handler:
+                    il.notes.setdefault("preheaders", {})[header] = \
+                        pred.bid
+                    continue
+            pre = ILBlock(il.new_block_id(),
+                          bc_start=index[header].bc_start)
+            pre.append(Node(ILOp.GOTO, value=header))
+            for pid in outside_preds:
+                _retarget(index[pid], header, pre.bid)
+            pos = il.blocks.index(index[header])
+            il.blocks.insert(pos, pre)
+            il.notes.setdefault("preheaders", {})[header] = pre.bid
+            ctx.invalidate()
+            changed = True
+        return changed
+
+
+CONTROLFLOW_PASSES = (
+    BranchFolding(),
+    JumpThreading(),
+    UnreachableCodeElimination(),
+    EmptyBlockMerging(),
+    BlockOrdering(),
+    TailDuplication(),
+    BranchReversal(),
+    LoopCanonicalization(),
+)

@@ -1,0 +1,314 @@
+"""Whole-method dataflow transformations (5 of the 58).
+
+The global propagation passes exploit *single-definition* slots (a slot
+stored exactly once in the whole method -- very common after the IL
+generator's anchoring and the local passes' temp introduction), for which
+dominance of the definition makes substitution sound everywhere the value
+is read.
+"""
+
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import Pass
+
+
+def _all_defs(il):
+    """slot -> list of (block, index, treetop) definitions."""
+    defs = {}
+    for block in il.blocks:
+        for i, tt in enumerate(block.treetops):
+            if tt.op is ILOp.STORE:
+                defs.setdefault(tt.value, []).append((block, i, tt))
+            elif tt.op is ILOp.INC:
+                defs.setdefault(tt.value[0], []).append((block, i, tt))
+    return defs
+
+
+def _replace_loads_global(il, cfg, slot, make_replacement, def_block,
+                          def_index):
+    """Replace every load of a single-def *slot* whose position is
+    dominated by the definition."""
+    changes = 0
+    for block in il.blocks:
+        if block is def_block:
+            treetops = block.treetops[def_index + 1:]
+        elif cfg.dominates(def_block.bid, block.bid):
+            treetops = block.treetops
+        else:
+            continue
+        for tt in treetops:
+            for child in tt.children:
+                for node in child.walk():
+                    if node.op is ILOp.LOAD and node.value == slot:
+                        replacement = make_replacement(node)
+                        if replacement is not None:
+                            node.replace_with(replacement)
+                            changes += 1
+    return changes
+
+
+class GlobalConstantPropagation(Pass):
+    """Propagate constants from single-definition slots to every
+    dominated load."""
+
+    name = "globalConstantPropagation"
+    cost_factor = 1.4
+
+    def run(self, ctx):
+        il = ctx.il
+        cfg = ctx.cfg()
+        defs = _all_defs(il)
+        changes = 0
+        for slot, dlist in defs.items():
+            if len(dlist) != 1:
+                continue
+            block, index, tt = dlist[0]
+            if tt.op is not ILOp.STORE:
+                continue
+            rhs = tt.children[0]
+            if not rhs.is_const():
+                continue
+            const = rhs
+
+            def make(node, const=const):
+                if node.type == const.type:
+                    return const.copy()
+                return None
+
+            changes += _replace_loads_global(il, cfg, slot, make,
+                                             block, index)
+        return changes > 0
+
+
+class GlobalCopyPropagation(Pass):
+    """Propagate ``s1 = arg`` copies when s1 is single-definition and the
+    source is an argument that is never written (so its value is the same
+    at the copy and at every load)."""
+
+    name = "globalCopyPropagation"
+    cost_factor = 1.4
+
+    def run(self, ctx):
+        il = ctx.il
+        cfg = ctx.cfg()
+        defs = _all_defs(il)
+        changes = 0
+        for slot, dlist in defs.items():
+            if len(dlist) != 1:
+                continue
+            block, index, tt = dlist[0]
+            if tt.op is not ILOp.STORE:
+                continue
+            rhs = tt.children[0]
+            if rhs.op is not ILOp.LOAD or rhs.value == slot:
+                continue
+            src = rhs.value
+            if not (src < il.method.num_args and src not in defs):
+                continue  # only never-written arguments are stable
+
+            def make(node, rhs=rhs):
+                if node.type == rhs.type:
+                    return rhs.copy()
+                return None
+
+            changes += _replace_loads_global(il, cfg, slot, make,
+                                             block, index)
+        return changes > 0
+
+
+class GlobalCSE(Pass):
+    """Dominator-based commoning of pure expressions whose operand slots
+    are provably *value-stable*: arguments that are never written, or
+    slots with a single definition that executes at most once (its block
+    has loop depth zero) and dominates the expression's first occurrence.
+    Under those conditions the expression evaluates to the same value at
+    every dominated occurrence."""
+
+    name = "globalCSE"
+    cost_factor = 2.0
+    min_size = 3
+
+    def run(self, ctx):
+        il = ctx.il
+        cfg = ctx.cfg()
+        defs = _all_defs(il)
+        args_never_written = {
+            s for s in range(il.method.num_args) if s not in defs}
+        once_defs = {}
+        for s, dlist in defs.items():
+            if len(dlist) == 1:
+                block, i, tt = dlist[0]
+                if tt.op is ILOp.STORE \
+                        and cfg.loop_depth.get(block.bid, 1) == 0:
+                    once_defs[s] = (block.bid, i)
+
+        def stable_at(slot, f_bid, f_i):
+            if slot in args_never_written:
+                return True
+            d = once_defs.get(slot)
+            if d is None:
+                return False
+            d_bid, d_i = d
+            if d_bid == f_bid:
+                return d_i < f_i
+            return cfg.dominates(d_bid, f_bid)
+
+        index = il.block_index()
+        first = {}
+        occurrences = {}
+        for bid in cfg.rpo:
+            block = index.get(bid)
+            if block is None:
+                continue
+            for i, tt in enumerate(block.treetops):
+                for child in tt.children:
+                    for node in child.walk():
+                        if not self._eligible(node):
+                            continue
+                        key = node.key()
+                        occurrences.setdefault(key, []).append(
+                            (bid, i, node))
+                        if key not in first:
+                            first[key] = (bid, i, node)
+        changed = False
+        for key, occ in occurrences.items():
+            if len(occ) < 2:
+                continue
+            f_bid, f_i, f_node = first[key]
+            if not all(stable_at(s, f_bid, f_i)
+                       for s in f_node.loads_used()):
+                continue
+            dominated = [
+                (bid, i, node) for bid, i, node in occ
+                if node is not f_node
+                and (cfg.dominates(f_bid, bid) if bid != f_bid
+                     else i >= f_i)]
+            if not dominated:
+                continue
+            # Guard against nested occurrences already rewritten.
+            if f_node.op is ILOp.LOAD:
+                continue
+            temp = il.new_temp()
+            store = Node(ILOp.STORE, f_node.type, (f_node.copy(),), temp)
+            load = Node.load(temp, f_node.type)
+            f_node.replace_with(load)
+            for _bid, _i, node in dominated:
+                if node.op is not ILOp.LOAD:  # skip nodes inside f_node
+                    node.replace_with(load.copy())
+            index[f_bid].treetops.insert(f_i, store)
+            changed = True
+        return changed
+
+    def _eligible(self, node):
+        if node.count_nodes() < self.min_size:
+            return False
+        return node.is_pure(allow_loads=True)
+
+
+class GlobalDeadStoreElimination(Pass):
+    """Liveness-based removal of stores to slots that are never loaded
+    again on any path.  Conservative around exception handlers: any block
+    covered by a handler keeps all its stores."""
+
+    name = "globalDeadStoreElimination"
+    cost_factor = 1.6
+
+    def run(self, ctx):
+        il = ctx.il
+        cfg = ctx.cfg()
+        # live_in[b] = slots whose value may be read before redefinition.
+        use, defb = {}, {}
+        for block in il.blocks:
+            u, d = set(), set()
+            for tt in block.treetops:
+                read = set()
+                for child in tt.children:
+                    child.loads_used(read)
+                if tt.op is ILOp.INC:
+                    read.add(tt.value[0])
+                u |= read - d
+                if tt.op is ILOp.STORE:
+                    d.add(tt.value)
+            use[block.bid], defb[block.bid] = u, d
+        live_in = {b.bid: set() for b in il.blocks}
+        changed_lv = True
+        while changed_lv:
+            changed_lv = False
+            for block in reversed(il.blocks):
+                out = set()
+                for s in cfg.succs.get(block.bid, ()):
+                    out |= live_in.get(s, set())
+                new_in = use[block.bid] | (out - defb[block.bid])
+                if new_in != live_in[block.bid]:
+                    live_in[block.bid] = new_in
+                    changed_lv = True
+
+        changed = False
+        for block in il.blocks:
+            if il.handlers_covering(block.bid):
+                continue
+            out = set()
+            for s in cfg.succs.get(block.bid, ()):
+                out |= live_in.get(s, set())
+            live = set(out)
+            kept = []
+            for tt in reversed(block.treetops):
+                if tt.op is ILOp.STORE:
+                    slot = tt.value
+                    rhs = tt.children[0]
+                    if slot not in live and rhs.is_pure(allow_loads=True) \
+                            and not rhs.can_throw():
+                        changed = True
+                        continue
+                    live.discard(slot)
+                read = set()
+                for child in tt.children:
+                    child.loads_used(read)
+                if tt.op is ILOp.INC:
+                    read.add(tt.value[0])
+                live |= read
+                kept.append(tt)
+            kept.reverse()
+            block.treetops[:] = kept
+        return changed
+
+
+class GlobalDCE(Pass):
+    """Remove stores to compiler temps that are never loaded anywhere in
+    the method (keeping impure right-hand sides as bare treetops)."""
+
+    name = "globalDCE"
+    cost_factor = 1.2
+
+    def run(self, ctx):
+        il = ctx.il
+        loaded = set()
+        inced = set()
+        for _b, tt in il.iter_treetops():
+            for child in tt.children:
+                child.loads_used(loaded)
+            if tt.op is ILOp.INC:
+                inced.add(tt.value[0])
+        changed = False
+        first_temp = il.method.max_locals
+        for block in il.blocks:
+            new = []
+            for tt in block.treetops:
+                if tt.op is ILOp.STORE and tt.value >= first_temp \
+                        and tt.value not in loaded \
+                        and tt.value not in inced:
+                    rhs = tt.children[0]
+                    if rhs.is_pure(allow_loads=True) \
+                            and not rhs.can_throw():
+                        changed = True
+                        continue
+                    if rhs.op in (ILOp.CALL, ILOp.NEW, ILOp.NEWARRAY,
+                                  ILOp.NEWMULTIARRAY, ILOp.GETFIELD,
+                                  ILOp.ALOAD, ILOp.ARRAYLENGTH,
+                                  ILOp.ARRAYCMP, ILOp.CATCH):
+                        # Keep the effects, drop the store.
+                        tt.replace_with(Node(ILOp.TREETOP, tt.type,
+                                             (rhs,)))
+                        changed = True
+                new.append(tt)
+            block.treetops[:] = new
+        return changed

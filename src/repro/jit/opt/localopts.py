@@ -1,0 +1,307 @@
+"""Block-local dataflow transformations (7 of the 58).
+
+These work within a single basic block, maintaining small environments
+that are killed at the obvious barriers (redefinitions, calls, heap
+writes, synchronization).
+"""
+
+from repro.jit.ir.tree import HEAP_READS, ILOp, Node
+from repro.jit.opt.base import Pass
+
+#: Treetop ops that write the heap or synchronize: they invalidate
+#: remembered heap reads.
+_HEAP_KILLERS = frozenset({ILOp.PUTFIELD, ILOp.ASTORE, ILOp.ARRAYCOPY,
+                           ILOp.MONITORENTER, ILOp.MONITOREXIT})
+
+
+def _slots_stored(treetop):
+    """Local slots (re)defined by a treetop."""
+    if treetop.op is ILOp.STORE:
+        return (treetop.value,)
+    if treetop.op is ILOp.INC:
+        return (treetop.value[0],)
+    return ()
+
+
+def _contains_call(treetop):
+    return treetop.contains_op(ILOp.CALL)
+
+
+def _replace_loads(node, env, counter):
+    """Replace LOAD nodes that have a mapping in *env*, bottom-up."""
+    for child in node.children:
+        _replace_loads(child, env, counter)
+    if node.op is ILOp.LOAD and node.value in env:
+        replacement = env[node.value]
+        if replacement.type == node.type:
+            node.replace_with(replacement.copy())
+            counter.append(1)
+
+
+class _PropagationPass(Pass):
+    """Shared machinery for local constant/copy propagation."""
+
+    track_consts = False
+    track_copies = False
+
+    def run(self, ctx):
+        changes = []
+        for block in ctx.il.blocks:
+            env = {}
+            for tt in block.treetops:
+                # Uses first (the rhs refers to pre-store values).
+                for child in tt.children:
+                    _replace_loads(child, env, changes)
+                # Then effects.
+                for slot in _slots_stored(tt):
+                    env.pop(slot, None)
+                    env = {s: v for s, v in env.items()
+                           if not (v.op is ILOp.LOAD and v.value == slot)}
+                if tt.op is ILOp.STORE:
+                    rhs = tt.children[0]
+                    if self.track_consts and rhs.is_const():
+                        env[tt.value] = rhs
+                    elif self.track_copies and rhs.op is ILOp.LOAD \
+                            and rhs.value != tt.value:
+                        env[tt.value] = rhs
+        return bool(changes)
+
+
+class LocalConstantPropagation(_PropagationPass):
+    """Within a block, replace loads of slots holding known constants."""
+
+    name = "localConstantPropagation"
+    cost_factor = 0.6
+    track_consts = True
+
+
+class LocalCopyPropagation(_PropagationPass):
+    """Within a block, forward ``store s1 = load s2`` through later loads
+    of s1 (until either slot is redefined)."""
+
+    name = "localCopyPropagation"
+    cost_factor = 0.6
+    track_copies = True
+
+
+class _CommoningPass(Pass):
+    """Shared machinery for local CSE and redundant-load elimination.
+
+    Finds a repeated expression within a block (with kill rules supplied
+    by the subclass), stores its first occurrence to a temp, and replaces
+    later occurrences with loads of the temp.  One commoning per scan;
+    scans repeat until a fixed point.
+    """
+
+    #: Minimum node count for an expression to be worth a temp.
+    min_size = 3
+    max_rounds = 25
+
+    def _eligible(self, node):
+        raise NotImplementedError
+
+    def _killed_by(self, treetop, key_node):
+        raise NotImplementedError
+
+    def run(self, ctx):
+        changed = False
+        for block in ctx.il.blocks:
+            for _ in range(self.max_rounds):
+                if not self._common_one(ctx.il, block):
+                    break
+                changed = True
+        return changed
+
+    def _common_one(self, il, block):
+        seen = {}  # key -> (treetop index, node)
+        for i, tt in enumerate(block.treetops):
+            for child in tt.children:
+                for node in child.walk():
+                    if not self._eligible(node):
+                        continue
+                    key = node.key()
+                    if key in seen:
+                        first_i, first_node = seen[key]
+                        if first_node is node:
+                            continue
+                        return self._materialize(
+                            il, block, first_i, first_node, node)
+                    seen[key] = (i, node)
+            # Apply kills after the treetop's uses.
+            seen = {k: v for k, v in seen.items()
+                    if not self._killed_by(tt, v[1])}
+        return False
+
+    def _materialize(self, il, block, first_i, first_node, second_node):
+        temp = il.new_temp()
+        store = Node(ILOp.STORE, first_node.type,
+                     (first_node.copy(),), temp)
+        load = Node.load(temp, first_node.type)
+        first_node.replace_with(load)
+        second_node.replace_with(load.copy())
+        block.treetops.insert(first_i, store)
+        return True
+
+
+class LocalCSE(_CommoningPass):
+    """Common pure subexpressions within a block."""
+
+    name = "localCSE"
+    cost_factor = 1.2
+
+    def _eligible(self, node):
+        return (node.count_nodes() >= self.min_size
+                and node.is_pure(allow_loads=True, allow_heap_reads=False))
+
+    def _killed_by(self, treetop, key_node):
+        stored = _slots_stored(treetop)
+        if not stored:
+            return False
+        used = key_node.loads_used()
+        return any(s in used for s in stored)
+
+
+class RedundantLoadElimination(_CommoningPass):
+    """Common repeated field/array reads within a block; killed by heap
+    writes, calls and synchronization."""
+
+    name = "redundantLoadElimination"
+    cost_factor = 1.2
+    min_size = 1
+
+    def applicable(self, ctx):
+        facts = ctx.facts()
+        return facts["has_arrays"] or self._has_field_reads(ctx)
+
+    @staticmethod
+    def _has_field_reads(ctx):
+        return any(n.op is ILOp.GETFIELD
+                   for _b, t in ctx.il.iter_treetops()
+                   for n in t.walk())
+
+    def _eligible(self, node):
+        if node.op not in HEAP_READS or node.op is ILOp.ARRAYCMP:
+            return False
+        return node.is_pure(allow_loads=True, allow_heap_reads=True)
+
+    def _killed_by(self, treetop, key_node):
+        if treetop.op in _HEAP_KILLERS or _contains_call(treetop):
+            return True
+        stored = _slots_stored(treetop)
+        if stored:
+            used = key_node.loads_used()
+            if any(s in used for s in stored):
+                return True
+        return False
+
+
+class LocalDeadStoreElimination(Pass):
+    """Remove a store whose slot is overwritten later in the same block
+    with no intervening read.  Skipped in blocks covered by an exception
+    handler (the handler could observe the stored value)."""
+
+    name = "localDeadStoreElimination"
+    cost_factor = 0.8
+
+    def run(self, ctx):
+        il = ctx.il
+        changed = False
+        for block in il.blocks:
+            if il.handlers_covering(block.bid):
+                continue
+            dead = []
+            for i, tt in enumerate(block.treetops):
+                if tt.op is not ILOp.STORE:
+                    continue
+                rhs = tt.children[0]
+                if not rhs.is_pure(allow_loads=True) or rhs.can_throw():
+                    continue
+                slot = tt.value
+                for later in block.treetops[i + 1:]:
+                    used = set()
+                    for child in later.children:
+                        child.loads_used(used)
+                    if slot in used:
+                        break
+                    if later.op is ILOp.INC and later.value[0] == slot:
+                        break
+                    if later.op is ILOp.STORE and later.value == slot:
+                        dead.append(i)
+                        break
+            for i in reversed(dead):
+                del block.treetops[i]
+                changed = True
+        return changed
+
+
+class LocalDCE(Pass):
+    """Remove treetops that evaluate a pure, non-throwing expression for
+    no effect (typically left behind by other transformations)."""
+
+    name = "localDCE"
+    cost_factor = 0.5
+
+    def run(self, ctx):
+        changed = False
+        for block in ctx.il.blocks:
+            kept = []
+            for tt in block.treetops:
+                if tt.op is ILOp.TREETOP:
+                    child = tt.children[0]
+                    if child.is_pure(allow_loads=True) \
+                            and not child.can_throw():
+                        changed = True
+                        continue
+                kept.append(tt)
+            block.treetops[:] = kept
+        return changed
+
+
+class ArrayOpSimplification(Pass):
+    """Array-operation algebra: drop zero-length array copies and fold
+    comparisons of an array against itself (null checks for the operands
+    remain as their own treetops, so exception behaviour is preserved)."""
+
+    name = "arrayOpSimplification"
+    cost_factor = 0.4
+    requires = ("has_arrays",)
+
+    def run(self, ctx):
+        changed = False
+        for block in ctx.il.blocks:
+            kept = []
+            for tt in block.treetops:
+                if tt.op is ILOp.ARRAYCOPY:
+                    count = tt.children[4]
+                    # Only offset 0 is provably in range for a
+                    # zero-length copy (offset > length still throws).
+                    offs_ok = all(
+                        c.is_const() and c.value == 0
+                        for c in (tt.children[1], tt.children[3]))
+                    if count.is_const() and count.value == 0 and offs_ok:
+                        changed = True
+                        continue
+                kept.append(tt)
+            block.treetops[:] = kept
+            for tt in block.treetops:
+                for child in tt.children:
+                    for node in child.walk():
+                        if node.op is ILOp.ARRAYCMP:
+                            a, b = node.children
+                            if a.op is ILOp.LOAD and b.op is ILOp.LOAD \
+                                    and a.value == b.value:
+                                node.replace_with(
+                                    Node.const(node.type, 0))
+                                changed = True
+        return changed
+
+
+LOCAL_PASSES = (
+    LocalConstantPropagation(),
+    LocalCopyPropagation(),
+    LocalCSE(),
+    RedundantLoadElimination(),
+    LocalDeadStoreElimination(),
+    LocalDCE(),
+    ArrayOpSimplification(),
+)

@@ -1,0 +1,656 @@
+"""Loop transformations (6 of the 58).
+
+All six are gated on the method actually containing loops (paper §2:
+"loop transformations are never applied to methods that do not contain
+loops").  The structural ones recognize the *canonical counted loop* shape
+the workload generator (and javac) produce:
+
+    H:  if (exit-cond) goto E      ; header: test only, or test+work
+    B:  ...body... ; goto H        ; single body block with the back edge
+
+which keeps the duplication logic exact rather than heuristic.
+"""
+
+from repro.jit.ir.block import ILBlock
+from repro.jit.ir.tree import ILOp, Node, RELOP_NEGATE
+from repro.jit.opt.base import Pass
+
+
+# -- shared helpers ---------------------------------------------------------
+
+def ensure_preheader(ctx, header):
+    """Return the preheader block id for *header*, creating one if the
+    loopCanonicalization pass has not already run."""
+    il = ctx.il
+    pre = il.notes.get("preheaders", {}).get(header)
+    if pre is not None and any(b.bid == pre for b in il.blocks):
+        return pre
+    cfg = ctx.cfg()
+    loop = cfg.loop_of(header)
+    body = loop.body if loop else {header}
+    outside = [p for p in cfg.preds.get(header, []) if p not in body]
+    index = il.block_index()
+    pre_block = ILBlock(il.new_block_id(),
+                        bc_start=index[header].bc_start)
+    pre_block.append(Node(ILOp.GOTO, value=header))
+    from repro.jit.opt.controlflow import _retarget
+    for pid in outside:
+        _retarget(index[pid], header, pre_block.bid)
+    il.blocks.insert(il.blocks.index(index[header]), pre_block)
+    il.notes.setdefault("preheaders", {})[header] = pre_block.bid
+    ctx.invalidate()
+    return pre_block.bid
+
+
+def slots_defined_in(il, block_ids):
+    """Local slots stored or incremented within the given blocks."""
+    defs = {}
+    index = il.block_index()
+    for bid in block_ids:
+        for tt in index[bid].treetops:
+            if tt.op is ILOp.STORE:
+                defs.setdefault(tt.value, []).append((bid, tt))
+            elif tt.op is ILOp.INC:
+                defs.setdefault(tt.value[0], []).append((bid, tt))
+    return defs
+
+
+def loop_contains(il, block_ids, ops):
+    index = il.block_index()
+    for bid in block_ids:
+        for tt in index[bid].treetops:
+            for n in tt.walk():
+                if n.op in ops:
+                    return True
+    return False
+
+
+def match_two_block_loop(ctx, loop):
+    """Recognize the canonical {header, body} counted-loop shape; returns
+    ``(header_block, body_block, exit_bid)`` or None."""
+    il = ctx.il
+    if len(loop.body) != 2:
+        return None
+    index = il.block_index()
+    header = index.get(loop.header)
+    if header is None or header.is_handler:
+        return None
+    term = header.terminator
+    if term is None or term.op is not ILOp.IF:
+        return None
+    _relop, exit_bid = term.value
+    if exit_bid in loop.body:
+        return None
+    body_bid = header.fallthrough
+    if body_bid not in loop.body or body_bid == loop.header:
+        return None
+    body = index.get(body_bid)
+    if body is None or body.is_handler:
+        return None
+    bterm = body.terminator
+    if bterm is None or bterm.op is not ILOp.GOTO \
+            or bterm.value != loop.header:
+        return None
+    cond = term.children[0]
+    if not cond.is_pure(allow_loads=True) or cond.can_throw():
+        return None
+    return header, body, exit_bid
+
+
+def _same_coverage(il, a_bid, b_bid):
+    return ({id(h) for h in il.handlers_covering(a_bid)}
+            == {id(h) for h in il.handlers_covering(b_bid)})
+
+
+def first_throwing(node):
+    """The first node, in evaluation order, that may throw; or None."""
+    for child in node.children:
+        found = first_throwing(child)
+        if found is not None:
+            return found
+    if node.can_throw() and all(not c.can_throw()
+                                for c in node.children):
+        return node
+    return None
+
+
+# -- the passes -------------------------------------------------------------
+
+class LoopInvariantCodeMotion(Pass):
+    """Hoist stores of loop-invariant pure expressions into the
+    preheader, from any loop block that executes on every iteration
+    (i.e. dominates every back-edge source)."""
+
+    name = "loopInvariantCodeMotion"
+    cost_factor = 1.6
+    reshapes_cfg = True
+    requires = ("has_loops",)
+
+    def run(self, ctx):
+        changed = False
+        for loop in list(ctx.cfg().loops):
+            if self._hoist_loop(ctx, loop):
+                changed = True
+        return changed
+
+    def _hoist_loop(self, ctx, loop):
+        il = ctx.il
+        cfg = ctx.cfg()
+        index = il.block_index()
+        defs = slots_defined_in(il, loop.body)
+        loads_outside = set()
+        for block in il.blocks:
+            if block.bid in loop.body:
+                continue
+            for tt in block.treetops:
+                for child in tt.children:
+                    child.loads_used(loads_outside)
+
+        # Blocks on every iteration's path: they dominate all back edges.
+        every_iteration = [
+            bid for bid in loop.body
+            if all(cfg.dominates(bid, tail)
+                   for tail, _h in loop.back_edges)]
+
+        hoistable = []  # (block, treetop index)
+        for bid in every_iteration:
+            block = index.get(bid)
+            if block is None:
+                continue
+            for i, tt in enumerate(block.treetops):
+                if tt.op is not ILOp.STORE:
+                    continue
+                slot = tt.value
+                rhs = tt.children[0]
+                if not rhs.is_pure(allow_loads=True) or rhs.can_throw():
+                    continue
+                if len(defs.get(slot, ())) != 1:
+                    continue
+                if slot in loads_outside:
+                    continue
+                if any(s in defs for s in rhs.loads_used()):
+                    continue
+                # Every in-loop read of the slot must observe this
+                # store's (invariant) value: no read may precede the
+                # store within its own block, and reads elsewhere must
+                # be dominated by the store's block.
+                if not self._loads_follow(il, cfg, loop, block, i,
+                                          slot):
+                    continue
+                hoistable.append((block, tt))
+        if not hoistable:
+            return False
+        pre_bid = ensure_preheader(ctx, loop.header)
+        pre = il.block(pre_bid)
+        insert_at = len(pre.treetops) - 1  # before the GOTO
+        for offset, (block, tt) in enumerate(hoistable):
+            # Remove by identity: indices shift when a block donates
+            # more than one store.
+            block.treetops.remove(tt)
+            pre.treetops.insert(insert_at + offset, tt)
+        return True
+
+    @staticmethod
+    def _loads_follow(il, cfg, loop, store_block, store_index, slot):
+        index = il.block_index()
+        for bid in loop.body:
+            block = index.get(bid)
+            if block is None:
+                continue
+            if block is store_block:
+                # Reads at or before the store (including its own rhs)
+                # would observe the pre-loop value on iteration one.
+                for tt in block.treetops[:store_index + 1]:
+                    used = set()
+                    for child in tt.children:
+                        child.loads_used(used)
+                    if slot in used:
+                        return False
+            else:
+                used = set()
+                for tt in block.treetops:
+                    for child in tt.children:
+                        child.loads_used(used)
+                if slot in used \
+                        and not cfg.dominates(store_block.bid, bid):
+                    return False
+        return True
+
+
+class LoopUnrolling(Pass):
+    """Unroll canonical counted loops by a factor of two, re-testing the
+    exit condition between the copies (always safe); the payoff is one
+    fewer taken back edge per pair of iterations plus a doubled window
+    for the local passes."""
+
+    name = "loopUnrolling"
+    cost_factor = 2.0
+    reshapes_cfg = True
+    requires = ("has_loops",)
+    max_body_treetops = 14
+
+    def run(self, ctx):
+        changed = False
+        for loop in list(ctx.cfg().loops):
+            if self._unroll_self_loop(ctx, loop):
+                changed = True
+                continue
+            match = match_two_block_loop(ctx, loop)
+            if match is None:
+                continue
+            header, body, exit_bid = match
+            if len(body.treetops) > self.max_body_treetops:
+                continue
+            if not _same_coverage(ctx.il, header.bid, body.bid):
+                continue
+            il = ctx.il
+            term = header.terminator
+            cond = term.children[0]
+            relop, _ = term.value
+            second = ILBlock(il.new_block_id(), bc_start=body.bc_start)
+            for tt in body.treetops[:-1]:
+                second.append(tt.copy())
+            second.append(Node(ILOp.GOTO, value=loop.header))
+            body.treetops.pop()  # the GOTO back edge
+            body.append(Node(ILOp.IF, children=(cond.copy(),),
+                             value=(relop, exit_bid)))
+            body.fallthrough = second.bid
+            il.blocks.insert(il.blocks.index(body) + 1, second)
+            for h in il.handlers:
+                if body.bid in h.covered:
+                    h.covered = frozenset(h.covered | {second.bid})
+            ctx.invalidate()
+            changed = True
+        return changed
+
+    def _unroll_self_loop(self, ctx, loop):
+        """Unroll a bottom-tested single-block self loop (the shape loop
+        inversion produces): duplicate the body with an early-exit test
+        between the copies."""
+        il = ctx.il
+        if len(loop.body) != 1:
+            return False
+        index = il.block_index()
+        body = index.get(loop.header)
+        if body is None or body.is_handler:
+            return False
+        term = body.terminator
+        if term is None or term.op is not ILOp.IF \
+                or term.value[1] != body.bid:
+            return False
+        if body.fallthrough is None or body.fallthrough in loop.body:
+            return False
+        if len(body.treetops) > self.max_body_treetops:
+            return False
+        stay_relop, _ = term.value
+        cond = term.children[0]
+        if not cond.is_pure(allow_loads=True) or cond.can_throw():
+            return False
+        exit_bid = body.fallthrough
+
+        second = ILBlock(il.new_block_id(), bc_start=body.bc_start)
+        for tt in body.treetops[:-1]:
+            second.append(tt.copy())
+        second.append(Node(ILOp.IF, children=(cond.copy(),),
+                           value=(stay_relop, body.bid)))
+        second.fallthrough = exit_bid
+
+        # The original block now exits early when the stay-condition
+        # fails, and otherwise falls into the duplicated body.
+        body.treetops.pop()
+        body.append(Node(ILOp.IF, children=(cond.copy(),),
+                         value=(RELOP_NEGATE[stay_relop], exit_bid)))
+        body.fallthrough = second.bid
+        il.blocks.insert(il.blocks.index(body) + 1, second)
+        for h in il.handlers:
+            if body.bid in h.covered:
+                h.covered = frozenset(h.covered | {second.bid})
+        ctx.invalidate()
+        return True
+
+
+class LoopPeeling(Pass):
+    """Peel the first iteration of a canonical loop into straight-line
+    code before the loop, exposing the entry values to the global
+    propagation passes."""
+
+    name = "loopPeeling"
+    cost_factor = 1.8
+    reshapes_cfg = True
+    requires = ("has_loops",)
+    max_body_treetops = 10
+
+    def run(self, ctx):
+        changed = False
+        for loop in list(ctx.cfg().loops):
+            match = match_two_block_loop(ctx, loop)
+            if match is None:
+                continue
+            header, body, exit_bid = match
+            il = ctx.il
+            if len(body.treetops) + len(header.treetops) \
+                    > self.max_body_treetops:
+                continue
+            if not _same_coverage(il, header.bid, body.bid):
+                continue
+            if il.notes.setdefault("peeled", set()) & {loop.header}:
+                continue
+            cfg = ctx.cfg()
+            outside = [p for p in cfg.preds.get(loop.header, [])
+                       if p not in loop.body]
+            if not outside:
+                continue
+            index = il.block_index()
+            relop, _ = header.terminator.value
+            cond = header.terminator.children[0]
+            h_copy = ILBlock(il.new_block_id(), bc_start=header.bc_start)
+            for tt in header.treetops[:-1]:
+                h_copy.append(tt.copy())
+            h_copy.append(Node(ILOp.IF, children=(cond.copy(),),
+                               value=(relop, exit_bid)))
+            b_copy = ILBlock(h_copy.bid + 1, bc_start=body.bc_start)
+            for tt in body.treetops[:-1]:
+                b_copy.append(tt.copy())
+            b_copy.append(Node(ILOp.GOTO, value=loop.header))
+            h_copy.fallthrough = b_copy.bid
+            from repro.jit.opt.controlflow import _retarget
+            for pid in outside:
+                _retarget(index[pid], loop.header, h_copy.bid)
+            pos = il.blocks.index(header)
+            il.blocks.insert(pos, b_copy)
+            il.blocks.insert(pos, h_copy)
+            for h in il.handlers:
+                extra = set()
+                if header.bid in h.covered:
+                    extra.add(h_copy.bid)
+                if body.bid in h.covered:
+                    extra.add(b_copy.bid)
+                if extra:
+                    h.covered = frozenset(h.covered | extra)
+            il.notes["peeled"].add(loop.header)
+            # Invalidate stale preheader note: entry now goes through the
+            # peeled copy.
+            il.notes.get("preheaders", {}).pop(loop.header, None)
+            ctx.invalidate()
+            changed = True
+        return changed
+
+
+class InductionVariableElimination(Pass):
+    """Strength-reduce ``i * c`` inside a counted loop into an additive
+    induction temp updated in lockstep with ``i``'s increments."""
+
+    name = "inductionVariableElimination"
+    cost_factor = 1.6
+    reshapes_cfg = True
+    requires = ("has_loops",)
+
+    def run(self, ctx):
+        from repro.jvm.bytecode import JType
+        changed = False
+        for loop in list(ctx.cfg().loops):
+            il = ctx.il
+            index = il.block_index()
+            defs = slots_defined_in(il, loop.body)
+            # Basic induction variables: every in-loop def is an INC.
+            basics = {s: ds for s, ds in defs.items()
+                      if all(tt.op is ILOp.INC for _b, tt in ds)}
+            if not basics:
+                continue
+            for slot, incs in basics.items():
+                muls = self._find_muls(il, loop, index, slot)
+                if not muls:
+                    continue
+                const = muls[0].children[1].value \
+                    if muls[0].children[1].is_const() \
+                    else muls[0].children[0].value
+                if not all(self._const_of(m) == const for m in muls):
+                    continue
+                iv = il.new_temp()
+                pre_bid = ensure_preheader(ctx, loop.header)
+                index = il.block_index()
+                pre = index[pre_bid]
+                init = Node(ILOp.STORE, JType.INT, (
+                    Node(ILOp.MUL, JType.INT,
+                         (Node.load(slot, JType.INT),
+                          Node.const(JType.INT, const))),), iv)
+                pre.treetops.insert(len(pre.treetops) - 1, init)
+                for mul in muls:
+                    mul.replace_with(Node.load(iv, JType.INT))
+                for bid, inc in incs:
+                    block = index[bid]
+                    pos = block.treetops.index(inc)
+                    step = inc.value[1]
+                    block.treetops.insert(
+                        pos + 1,
+                        Node(ILOp.INC, JType.INT, (),
+                             (iv, step * const)))
+                ctx.invalidate()
+                changed = True
+        return changed
+
+    @staticmethod
+    def _const_of(mul):
+        a, b = mul.children
+        return b.value if b.is_const() else a.value
+
+    @staticmethod
+    def _find_muls(il, loop, index, slot):
+        from repro.jvm.bytecode import JType
+        muls = []
+        for bid in loop.body:
+            for tt in index[bid].treetops:
+                for child in tt.children:
+                    for node in child.walk():
+                        if node.op is ILOp.MUL \
+                                and node.type is JType.INT:
+                            a, b = node.children
+                            if a.op is ILOp.LOAD and a.value == slot \
+                                    and a.type is JType.INT \
+                                    and b.is_const() \
+                                    and isinstance(b.value, int):
+                                muls.append(node)
+                            elif b.op is ILOp.LOAD \
+                                    and b.value == slot \
+                                    and b.type is JType.INT \
+                                    and a.is_const() \
+                                    and isinstance(a.value, int):
+                                muls.append(node)
+        return muls
+
+
+class LoopInversion(Pass):
+    """Rotate a test-at-top loop into a guarded test-at-bottom loop,
+    saving the unconditional back-edge branch every iteration."""
+
+    name = "loopInversion"
+    cost_factor = 1.2
+    reshapes_cfg = True
+    requires = ("has_loops",)
+
+    def run(self, ctx):
+        changed = False
+        for loop in list(ctx.cfg().loops):
+            match = match_two_block_loop(ctx, loop)
+            if match is None:
+                continue
+            header, body, exit_bid = match
+            if len(header.treetops) != 1:
+                continue  # test-only headers keep the duplication free
+            il = ctx.il
+            if not _same_coverage(il, header.bid, body.bid):
+                continue
+            relop, _ = header.terminator.value
+            cond = header.terminator.children[0]
+            body.treetops.pop()  # goto header
+            body.append(Node(ILOp.IF, children=(cond.copy(),),
+                             value=(RELOP_NEGATE[relop], body.bid)))
+            body.fallthrough = exit_bid
+            ctx.invalidate()
+            changed = True
+        return changed
+
+
+class FieldPrivatization(Pass):
+    """Scalar replacement: hoist a loop-invariant field read out of the
+    loop when the loop cannot write the field (no calls, no stores to the
+    field, no synchronization) and the hoisted read faults at the same
+    point the original would (it is the first faulting operation of the
+    header)."""
+
+    name = "fieldPrivatization"
+    cost_factor = 1.8
+    reshapes_cfg = True
+    requires = ("has_loops",)
+
+    def run(self, ctx):
+        changed = False
+        for loop in list(ctx.cfg().loops):
+            if self._privatize(ctx, loop):
+                changed = True
+        return changed
+
+    def _privatize(self, ctx, loop):
+        il = ctx.il
+        index = il.block_index()
+        header = index.get(loop.header)
+        if header is None:
+            return False
+        if loop_contains(il, loop.body,
+                         (ILOp.CALL, ILOp.MONITORENTER, ILOp.MONITOREXIT)):
+            return False
+        written_fields = {
+            tt.value for bid in loop.body
+            for tt in index[bid].treetops if tt.op is ILOp.PUTFIELD}
+        defs = slots_defined_in(il, loop.body)
+        target = self._header_candidate(header, defs, written_fields)
+        if target is None:
+            target = self._nonnull_candidate(ctx, loop, index, defs,
+                                             written_fields)
+        if target is None:
+            return False
+        field = target.value
+        ref_slot = target.children[0].value
+        temp = il.new_temp()
+        pre_bid = ensure_preheader(ctx, loop.header)
+        index = il.block_index()
+        pre = index[pre_bid]
+        hoisted = Node(ILOp.STORE, target.type,
+                       (target.copy(),), temp)
+        pre.treetops.insert(len(pre.treetops) - 1, hoisted)
+        replaced = 0
+        for bid in loop.body:
+            for tt in index[bid].treetops:
+                for child in tt.children:
+                    for node in child.walk():
+                        if node.op is ILOp.GETFIELD \
+                                and node.value == field \
+                                and node.children[0].op is ILOp.LOAD \
+                                and node.children[0].value == ref_slot:
+                            node.replace_with(
+                                Node.load(temp, node.type))
+                            replaced += 1
+        ctx.invalidate()
+        return replaced > 0
+
+    @staticmethod
+    def _header_candidate(header, defs, written_fields):
+        """The first potentially-faulting operation of the header must
+        be a GETFIELD(load s, f) with s, f invariant; NULLCHKs of the
+        same slot before it raise the same NPE and are permitted."""
+        for i, tt in enumerate(header.treetops):
+            throwing = first_throwing(tt)
+            if throwing is None:
+                continue
+            if tt.op is ILOp.NULLCHK:
+                continue  # examined via the slot check below
+            if throwing.op is ILOp.GETFIELD:
+                ref = throwing.children[0]
+                if ref.op is ILOp.LOAD and ref.value not in defs \
+                        and throwing.value not in written_fields \
+                        and FieldPrivatization._only_nullchk_before(
+                            header, i, ref.value):
+                    return throwing
+            break
+        return None
+
+    def _nonnull_candidate(self, ctx, loop, index, defs,
+                           written_fields):
+        """A GETFIELD anywhere in the loop whose base slot is *provably
+        non-null* (assigned a fresh allocation, possibly via copies, in
+        blocks dominating the loop) cannot fault, so hoisting it cannot
+        introduce an exception on the zero-trip path."""
+        il = ctx.il
+        cfg = ctx.cfg()
+        nonnull = self._nonnull_slots_before(il, cfg, loop)
+        for bid in loop.body:
+            block = index.get(bid)
+            if block is None:
+                continue
+            for tt in block.treetops:
+                for child in tt.children:
+                    for node in child.walk():
+                        if node.op is not ILOp.GETFIELD:
+                            continue
+                        ref = node.children[0]
+                        if ref.op is ILOp.LOAD \
+                                and ref.value in nonnull \
+                                and ref.value not in defs \
+                                and node.value not in written_fields:
+                            return node
+        return None
+
+    @staticmethod
+    def _nonnull_slots_before(il, cfg, loop):
+        """Slots holding a fresh allocation at loop entry: single-def
+        slots whose store (of a NEW, or a copy of such a slot) sits in a
+        block outside the loop that dominates the loop header."""
+        defs = {}
+        for block in il.blocks:
+            for tt in block.treetops:
+                if tt.op is ILOp.STORE:
+                    defs.setdefault(tt.value, []).append((block, tt))
+                elif tt.op is ILOp.INC:
+                    defs.setdefault(tt.value[0], []).append((block, tt))
+        nonnull = set()
+        changed = True
+        while changed:
+            changed = False
+            for slot, dlist in defs.items():
+                if slot in nonnull or len(dlist) != 1:
+                    continue
+                block, tt = dlist[0]
+                if tt.op is not ILOp.STORE:
+                    continue
+                if block.bid in loop.body \
+                        or not cfg.dominates(block.bid, loop.header):
+                    continue
+                rhs = tt.children[0]
+                fresh = rhs.op in (ILOp.NEW, ILOp.NEWARRAY) or (
+                    rhs.op is ILOp.LOAD and rhs.value in nonnull)
+                if fresh:
+                    nonnull.add(slot)
+                    changed = True
+        return nonnull
+
+    @staticmethod
+    def _only_nullchk_before(header, idx, ref_slot):
+        for tt in header.treetops[:idx]:
+            if not tt.can_throw():
+                continue
+            if tt.op is ILOp.NULLCHK \
+                    and tt.children[0].op is ILOp.LOAD \
+                    and tt.children[0].value == ref_slot:
+                continue
+            return False
+        return True
+
+
+LOOP_PASSES = (
+    LoopInvariantCodeMotion(),
+    LoopUnrolling(),
+    LoopPeeling(),
+    InductionVariableElimination(),
+    LoopInversion(),
+    FieldPrivatization(),
+)

@@ -1,0 +1,91 @@
+"""The registry of the 58 controllable code transformations.
+
+Every transformation has a stable index in ``[0, NUM_TRANSFORMS)``; a
+compilation-plan modifier (paper §5) is a bit vector over these indices,
+where a set bit *disables* every occurrence of that transformation in the
+plan.  The search space is therefore 2^58 per method, matching the paper.
+
+Indices are append-only: models map class labels back to modifiers through
+these indices, so reordering them would silently corrupt trained models.
+"""
+
+from repro.errors import CompilationError
+from repro.jit.opt.base import CodegenFlagPass
+from repro.jit.opt.calls import CALL_PASSES
+from repro.jit.opt.checks import CHECK_PASSES
+from repro.jit.opt.controlflow import CONTROLFLOW_PASSES
+from repro.jit.opt.globalopts import (
+    GlobalCSE,
+    GlobalConstantPropagation,
+    GlobalCopyPropagation,
+    GlobalDCE,
+    GlobalDeadStoreElimination,
+)
+from repro.jit.opt.localopts import LOCAL_PASSES
+from repro.jit.opt.loops import LOOP_PASSES
+from repro.jit.opt.simplify import SIMPLIFY_PASSES
+
+#: Codegen-level controllable transformations (flags consumed by
+#: :class:`repro.jit.codegen.lower.CodegenOptions`).
+CODEGEN_FLAG_PASSES = (
+    CodegenFlagPass("peepholeOptimization", "peephole"),
+    CodegenFlagPass("instructionScheduling", "scheduling",
+                    cost_factor=0.5),
+    CodegenFlagPass("registerCoalescing", "coalescing",
+                    cost_factor=0.3),
+    CodegenFlagPass("addressModeFolding", "address_mode_folding"),
+    CodegenFlagPass("immediateOperandFolding", "const_operand_folding"),
+    CodegenFlagPass("compactNullChecks", "compact_null_checks",
+                    requires=("has_checks",)),
+    CodegenFlagPass("rematerialization", "rematerialization",
+                    cost_factor=0.3),
+    CodegenFlagPass("leafRoutineAnalysis", "leaf_frames",
+                    cost_factor=0.2),
+)
+
+GLOBAL_PASSES = (
+    GlobalConstantPropagation(),
+    GlobalCopyPropagation(),
+    GlobalCSE(),
+    GlobalDeadStoreElimination(),
+    GlobalDCE(),
+)
+
+#: The full ordered registry.  58 transformations, exactly as many as the
+#: paper's Testarossa exposes to plan control.
+ALL_TRANSFORMS = (
+    SIMPLIFY_PASSES        # 13 (indices 0-12)
+    + LOCAL_PASSES         # 7  (13-19)
+    + GLOBAL_PASSES        # 5  (20-24)
+    + CONTROLFLOW_PASSES   # 8  (25-32)
+    + LOOP_PASSES          # 6  (33-38)
+    + CHECK_PASSES         # 8  (39-46)
+    + CALL_PASSES          # 3  (47-49)
+    + CODEGEN_FLAG_PASSES  # 8  (50-57)
+)
+
+NUM_TRANSFORMS = len(ALL_TRANSFORMS)
+
+_BY_NAME = {p.name: p for p in ALL_TRANSFORMS}
+_INDEX = {p.name: i for i, p in enumerate(ALL_TRANSFORMS)}
+
+if len(_BY_NAME) != NUM_TRANSFORMS:
+    raise CompilationError("duplicate transformation names in registry")
+
+
+def transform_by_name(name):
+    pass_obj = _BY_NAME.get(name)
+    if pass_obj is None:
+        raise CompilationError(f"unknown transformation {name!r}")
+    return pass_obj
+
+
+def transform_index(name):
+    index = _INDEX.get(name)
+    if index is None:
+        raise CompilationError(f"unknown transformation {name!r}")
+    return index
+
+
+def transform_names():
+    return [p.name for p in ALL_TRANSFORMS]

@@ -1,0 +1,105 @@
+"""Shared machinery for tree-rewriting passes.
+
+``TreeRewriter`` applies a node-level rewrite function bottom-up to every
+tree in the method and counts changes.  ``fold_binary``/``fold_unary``
+evaluate constant subtrees with exactly the interpreter's semantics
+(masking, truncation toward zero, NaN ordering), so folding can never
+change observable behaviour.
+"""
+
+import math
+
+from repro.jvm.bytecode import JType, convert_to_integral, mask_integral
+from repro.jvm.interpreter import coerce
+from repro.jit.ir.tree import ILOp, Node
+
+
+def fold_binary(op, jtype, a, b):
+    """Evaluate a binary ALU op on constants; None when not foldable."""
+    if op is ILOp.ADD:
+        return coerce(a + b, jtype)
+    if op is ILOp.SUB:
+        return coerce(a - b, jtype)
+    if op is ILOp.MUL:
+        return coerce(a * b, jtype)
+    if op in (ILOp.DIV, ILOp.REM):
+        if jtype.is_floating:
+            if b == 0:
+                if op is ILOp.REM:
+                    return math.nan
+                return (math.inf if a > 0 else -math.inf if a < 0
+                        else math.nan)
+            return a / b if op is ILOp.DIV else math.fmod(a, b)
+        if b == 0:
+            return None  # must throw at run time
+        q = abs(a) // abs(b)
+        if (a < 0) != (b < 0):
+            q = -q
+        return coerce(q if op is ILOp.DIV else a - q * b, jtype)
+    if op in (ILOp.SHL, ILOp.SHR):
+        bits = 63 if jtype is JType.LONG else 31
+        t = jtype if jtype is JType.LONG else JType.INT
+        r = (int(a) << (int(b) & bits) if op is ILOp.SHL
+             else int(a) >> (int(b) & bits))
+        return mask_integral(r, t)
+    if op is ILOp.OR:
+        return coerce(int(a) | int(b), jtype)
+    if op is ILOp.AND:
+        return coerce(int(a) & int(b), jtype)
+    if op is ILOp.XOR:
+        return coerce(int(a) ^ int(b), jtype)
+    if op is ILOp.CMP:
+        if isinstance(a, float) and math.isnan(a):
+            return -1
+        if isinstance(b, float) and math.isnan(b):
+            return -1
+        return (a > b) - (a < b)
+    return None
+
+
+def fold_unary(op, jtype, a):
+    if op is ILOp.NEG:
+        return coerce(-a, jtype)
+    if op is ILOp.CAST:
+        if jtype.is_floating:
+            return float(a)
+        return convert_to_integral(a, jtype)
+    return None
+
+
+class TreeRewriter:
+    """Applies ``rewrite(node) -> Node | None`` bottom-up to the method."""
+
+    def __init__(self, rewrite):
+        self.rewrite = rewrite
+        self.changes = 0
+
+    def apply(self, ilmethod):
+        for _block, treetop in ilmethod.iter_treetops():
+            self._visit_children(treetop)
+        return self.changes
+
+    def _visit_children(self, node):
+        for child in node.children:
+            self._visit(child)
+
+    def _visit(self, node):
+        self._visit_children(node)
+        replacement = self.rewrite(node)
+        if replacement is not None and replacement is not node:
+            node.replace_with(replacement)
+            self.changes += 1
+            # The replacement may expose further opportunities directly
+            # at this node (e.g. neg(neg(x)) introduced by a rewrite).
+            again = self.rewrite(node)
+            if again is not None and again is not node:
+                node.replace_with(again)
+                self.changes += 1
+
+
+def is_power_of_two(value):
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def log2(value):
+    return value.bit_length() - 1

@@ -1,0 +1,411 @@
+"""Tree-level simplification transformations (12 of the 58).
+
+Each pass rewrites expression trees bottom-up using semantics-preserving
+algebraic identities.  They are deliberately split finely -- constant
+folding for integer, floating-point and BCD-decimal types are *separate
+controllable transformations* (floating-point folding must respect
+``strictfp``), mirroring the granularity at which a production compiler
+exposes its optimizer to plan control.
+"""
+
+from repro.jvm.bytecode import JType
+from repro.jvm.intrinsics import INTRINSICS
+from repro.jit.ir.tree import (
+    BINARY_ALU,
+    ILOp,
+    Node,
+    RELOP_NEGATE,
+)
+from repro.jit.opt.base import Pass
+from repro.jit.opt.rewrite import (
+    TreeRewriter,
+    fold_binary,
+    fold_unary,
+    is_power_of_two,
+    log2,
+)
+
+
+class _RewritePass(Pass):
+    """Base for passes expressible as a single bottom-up rewrite."""
+
+    def run(self, ctx):
+        rewriter = TreeRewriter(self.rewrite)
+        return rewriter.apply(ctx.il) > 0
+
+    def rewrite(self, node):
+        raise NotImplementedError
+
+
+def _both_const(node):
+    return (len(node.children) == 2 and node.children[0].is_const()
+            and node.children[1].is_const())
+
+
+class ConstantFolding(_RewritePass):
+    """Fold integral ALU expressions with constant operands."""
+
+    name = "constantFolding"
+    cost_factor = 0.5
+
+    def rewrite(self, node):
+        if node.op in BINARY_ALU and _both_const(node) \
+                and (node.type.is_integral or node.op is ILOp.CMP):
+            a, b = node.children
+            if not (isinstance(a.value, (int, float))
+                    and isinstance(b.value, (int, float))):
+                return None
+            folded = fold_binary(node.op, node.type, a.value, b.value)
+            if folded is not None:
+                out_type = JType.INT if node.op is ILOp.CMP else node.type
+                return Node.const(out_type, folded)
+        if node.op is ILOp.NEG and node.children[0].is_const() \
+                and node.type.is_integral:
+            return Node.const(node.type,
+                              fold_unary(ILOp.NEG, node.type,
+                                         node.children[0].value))
+        return None
+
+
+class FPConstantFolding(_RewritePass):
+    """Fold floating-point ALU expressions (not under ``strictfp``)."""
+
+    name = "fpConstantFolding"
+    cost_factor = 0.5
+
+    def applicable(self, ctx):
+        return not ctx.facts()["is_strictfp"]
+
+    def rewrite(self, node):
+        if node.op in BINARY_ALU and node.type.is_floating \
+                and _both_const(node):
+            a, b = node.children
+            folded = fold_binary(node.op, node.type, a.value, b.value)
+            if folded is not None:
+                return Node.const(node.type, folded)
+        if node.op is ILOp.NEG and node.type.is_floating \
+                and node.children[0].is_const():
+            return Node.const(node.type, -float(node.children[0].value))
+        return None
+
+
+class DecimalConstantFolding(_RewritePass):
+    """Fold packed/zoned BCD-decimal ALU expressions."""
+
+    name = "decimalConstantFolding"
+    cost_factor = 0.5
+
+    def rewrite(self, node):
+        if node.op in BINARY_ALU and node.type.is_decimal \
+                and _both_const(node):
+            a, b = node.children
+            folded = fold_binary(node.op, node.type, a.value, b.value)
+            if folded is not None:
+                return Node.const(node.type, folded)
+        return None
+
+
+class ArithmeticSimplification(_RewritePass):
+    """Identity elimination: x+0, x-0, x*1, x/1, x|0, x^0, x&-1, shifts
+    by zero."""
+
+    name = "arithmeticSimplification"
+    cost_factor = 0.5
+
+    def rewrite(self, node):
+        if len(node.children) != 2:
+            return None
+        a, b = node.children
+        op = node.op
+        if b.is_const() and isinstance(b.value, (int, float)):
+            v = b.value
+            if op in (ILOp.ADD, ILOp.SUB, ILOp.OR, ILOp.XOR, ILOp.SHL,
+                      ILOp.SHR) and v == 0 and a.type == node.type:
+                return a
+            if op in (ILOp.MUL, ILOp.DIV) and v == 1 \
+                    and a.type == node.type:
+                return a
+            if op is ILOp.AND and v == -1 and a.type == node.type:
+                return a
+        if a.is_const() and isinstance(a.value, (int, float)):
+            v = a.value
+            if op in (ILOp.ADD, ILOp.OR, ILOp.XOR) and v == 0 \
+                    and b.type == node.type:
+                return b
+            if op is ILOp.MUL and v == 1 and b.type == node.type:
+                return b
+        return None
+
+
+class ZeroPropagation(_RewritePass):
+    """Annihilators: x*0 -> 0, x&0 -> 0, x-x -> 0, x^x -> 0, x|x -> x,
+    x&x -> x (pure x only: the discarded operand must have no effects)."""
+
+    name = "zeroPropagation"
+    cost_factor = 0.5
+
+    def rewrite(self, node):
+        if len(node.children) != 2:
+            return None
+        a, b = node.children
+        op = node.op
+        pure_a = a.is_pure(allow_loads=True)
+        pure_b = b.is_pure(allow_loads=True)
+        if op in (ILOp.MUL, ILOp.AND) and node.type.is_integral:
+            if b.is_const() and b.value == 0 and pure_a:
+                return Node.const(node.type, 0)
+            if a.is_const() and a.value == 0 and pure_b:
+                return Node.const(node.type, 0)
+        if pure_a and pure_b and a.key() == b.key() \
+                and node.type.is_integral:
+            if op in (ILOp.SUB, ILOp.XOR):
+                return Node.const(node.type, 0)
+            if op in (ILOp.OR, ILOp.AND):
+                return a
+        return None
+
+
+class MulToShift(_RewritePass):
+    """Strength reduction: integral multiply by 2^k -> left shift."""
+
+    name = "mulToShift"
+    cost_factor = 0.4
+
+    def rewrite(self, node):
+        if node.op is ILOp.MUL and node.type in (JType.INT, JType.LONG):
+            a, b = node.children
+            if b.is_const() and is_power_of_two(b.value) and b.value > 1:
+                return Node(ILOp.SHL, node.type,
+                            (a, Node.const(JType.INT, log2(b.value))))
+            if a.is_const() and is_power_of_two(a.value) and a.value > 1:
+                return Node(ILOp.SHL, node.type,
+                            (b, Node.const(JType.INT, log2(a.value))))
+        return None
+
+
+class DivRemToShiftMask(_RewritePass):
+    """Strength reduction of division/remainder by 2^k for operands that
+    are provably non-negative (array lengths, masked values, comparison
+    results); Java's truncate-toward-zero semantics forbid a plain
+    arithmetic shift for possibly-negative operands."""
+
+    name = "divRemToShiftMask"
+    cost_factor = 0.4
+
+    @staticmethod
+    def _non_negative(node):
+        if node.op is ILOp.ARRAYLENGTH:
+            return True
+        if node.op is ILOp.CONST and isinstance(node.value, int):
+            return node.value >= 0
+        if node.op is ILOp.AND:
+            return any(c.is_const() and isinstance(c.value, int)
+                       and c.value >= 0 for c in node.children)
+        if node.op in (ILOp.REM,):
+            d = node.children[1]
+            return d.is_const() and d.value > 0 and \
+                DivRemToShiftMask._non_negative(node.children[0])
+        if node.op is ILOp.SHR:
+            return DivRemToShiftMask._non_negative(node.children[0])
+        return False
+
+    def rewrite(self, node):
+        if node.op not in (ILOp.DIV, ILOp.REM):
+            return None
+        if node.type not in (JType.INT, JType.LONG):
+            return None
+        a, b = node.children
+        if not (b.is_const() and is_power_of_two(b.value) and b.value > 1):
+            return None
+        if not self._non_negative(a):
+            return None
+        if node.op is ILOp.DIV:
+            return Node(ILOp.SHR, node.type,
+                        (a, Node.const(JType.INT, log2(b.value))))
+        return Node(ILOp.AND, node.type,
+                    (a, Node.const(node.type, b.value - 1)))
+
+
+class Reassociation(_RewritePass):
+    """Constant re-grouping: (x op c1) op c2 -> x op (c1 op c2) for
+    associative integral ADD/MUL/AND/OR/XOR."""
+
+    name = "reassociation"
+    cost_factor = 0.5
+
+    _ASSOC = (ILOp.ADD, ILOp.MUL, ILOp.AND, ILOp.OR, ILOp.XOR)
+
+    def rewrite(self, node):
+        op = node.op
+        if op not in self._ASSOC or not node.type.is_integral:
+            return None
+        a, b = node.children
+        if not b.is_const():
+            return None
+        if a.op is op and a.type == node.type \
+                and a.children[1].is_const():
+            inner_x, c1 = a.children
+            folded = fold_binary(op, node.type, c1.value, b.value)
+            if folded is not None:
+                return Node(op, node.type,
+                            (inner_x, Node.const(node.type, folded)))
+        return None
+
+
+class CmpSimplification(_RewritePass):
+    """``cmp(x, 0)`` feeding a sign test is redundant for integral x: the
+    comparison result has the same sign as x, so the IF can test x
+    directly.  Also folds constant-vs-constant comparisons."""
+
+    name = "cmpSimplification"
+    cost_factor = 0.5
+
+    def run(self, ctx):
+        changed = TreeRewriter(self.rewrite).apply(ctx.il)
+        # IF(relop, cmp(x, const 0)) -> IF(relop, x) for integral x.
+        for _block, tt in ctx.il.iter_treetops():
+            if tt.op is ILOp.IF:
+                cond = tt.children[0]
+                if cond.op is ILOp.CMP:
+                    x, zero = cond.children
+                    if zero.is_const() and zero.value == 0 \
+                            and x.type in (JType.INT, JType.LONG,
+                                           JType.BYTE, JType.SHORT):
+                        tt.children[0] = x
+                        changed += 1
+        return changed > 0
+
+    def rewrite(self, node):
+        if node.op is ILOp.CMP and _both_const(node):
+            a, b = node.children
+            if isinstance(a.value, (int, float)) \
+                    and isinstance(b.value, (int, float)):
+                folded = fold_binary(ILOp.CMP, JType.INT,
+                                     a.value, b.value)
+                return Node.const(JType.INT, folded)
+        return None
+
+
+class NegSimplification(_RewritePass):
+    """neg(neg(x)) -> x; 0 - x -> neg(x); x + neg(y) -> x - y."""
+
+    name = "negSimplification"
+    cost_factor = 0.4
+
+    def rewrite(self, node):
+        if node.op is ILOp.NEG:
+            inner = node.children[0]
+            if inner.op is ILOp.NEG and inner.type == node.type:
+                return inner.children[0]
+        if node.op is ILOp.SUB:
+            a, b = node.children
+            if a.is_const() and a.value == 0 and b.type == node.type:
+                return Node(ILOp.NEG, node.type, (b,))
+        if node.op is ILOp.ADD:
+            a, b = node.children
+            if b.op is ILOp.NEG and b.type == node.type:
+                return Node(ILOp.SUB, node.type, (a, b.children[0]))
+        return None
+
+
+class CastSimplification(_RewritePass):
+    """Drop identity casts; fold casts of constants; collapse a widening
+    cast chain that returns to the original type."""
+
+    name = "castSimplification"
+    cost_factor = 0.4
+
+    _WIDENS = {
+        (JType.BYTE, JType.SHORT), (JType.BYTE, JType.INT),
+        (JType.BYTE, JType.LONG), (JType.SHORT, JType.INT),
+        (JType.SHORT, JType.LONG), (JType.INT, JType.LONG),
+        (JType.FLOAT, JType.DOUBLE),
+    }
+
+    def rewrite(self, node):
+        if node.op is not ILOp.CAST:
+            return None
+        inner = node.children[0]
+        if inner.type == node.type:
+            return inner
+        if inner.is_const() and isinstance(inner.value, (int, float)) \
+                and (node.type.is_integral or node.type.is_floating
+                     or node.type.is_decimal):
+            return Node.const(node.type,
+                              fold_unary(ILOp.CAST, node.type,
+                                         inner.value))
+        if inner.op is ILOp.CAST:
+            # cast_T(cast_W(x)) == cast_T(x) when x -> W was widening.
+            src = inner.children[0]
+            if (src.type, inner.type) in self._WIDENS:
+                return Node(ILOp.CAST, node.type, (src,))
+        return None
+
+
+class MathSimplification(_RewritePass):
+    """Algebra on math intrinsics: fold constant-argument calls and
+    collapse max/min with structurally identical operands."""
+
+    name = "mathSimplification"
+    cost_factor = 0.4
+
+    _FOLDABLE = ("java/lang/Math.sqrt", "java/lang/Math.abs",
+                 "java/lang/Math.max", "java/lang/Math.min",
+                 "java/lang/Math.sin", "java/lang/Math.cos")
+
+    def rewrite(self, node):
+        if node.op is not ILOp.CALL or node.value not in self._FOLDABLE:
+            return None
+        args = node.children
+        if all(a.is_const() and isinstance(a.value, (int, float))
+               for a in args):
+            _n, rtype, _cost, fn = INTRINSICS[node.value]
+            return Node.const(rtype,
+                              float(fn(*[a.value for a in args])))
+        if node.value in ("java/lang/Math.max", "java/lang/Math.min") \
+                and len(args) == 2:
+            a, b = args
+            if a.is_pure(allow_loads=True) and a.key() == b.key():
+                if a.type == node.type:
+                    return a
+                return Node(ILOp.CAST, node.type, (a,))
+        return None
+
+
+class TreeCleanup(Pass):
+    """Composite cleanup: one round of constant folding plus identity and
+    comparison simplification.  Larger plans repeat this after each major
+    structural pass (the "multiple application of some transformations
+    that are used as cleanup steps" of paper §2)."""
+
+    name = "treeCleanup"
+    cost_factor = 0.8
+
+    def __init__(self):
+        self._parts = (ConstantFolding(), ArithmeticSimplification(),
+                       ZeroPropagation(), CmpSimplification(),
+                       CastSimplification())
+
+    def run(self, ctx):
+        changed = False
+        for part in self._parts:
+            if part.applicable(ctx) and part.run(ctx):
+                changed = True
+        return changed
+
+
+SIMPLIFY_PASSES = (
+    ConstantFolding(),
+    FPConstantFolding(),
+    DecimalConstantFolding(),
+    ArithmeticSimplification(),
+    ZeroPropagation(),
+    MulToShift(),
+    DivRemToShiftMask(),
+    Reassociation(),
+    CmpSimplification(),
+    NegSimplification(),
+    CastSimplification(),
+    MathSimplification(),
+    TreeCleanup(),
+)

@@ -1,0 +1,124 @@
+"""Compiler introspection: pass tracing and CFG dumps.
+
+Debugging a plan (or understanding what a learned modifier actually
+changed) needs visibility into the optimizer.  :class:`TracingManager`
+wraps the pass manager and records, per plan entry, whether it ran, what
+it did to the IL size, and what it cost; ``cfg_to_dot`` renders a
+method's control-flow graph in Graphviz format.
+"""
+
+import dataclasses
+
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.registry import transform_by_name, transform_index
+
+
+@dataclasses.dataclass
+class PassTraceEntry:
+    """What one plan entry did."""
+
+    name: str
+    ran: bool               # False when masked by the modifier
+    applicable: bool        # method-characteristic gate
+    changed: bool
+    nodes_before: int
+    nodes_after: int
+    blocks_before: int
+    blocks_after: int
+    cost: int
+
+    @property
+    def node_delta(self):
+        return self.nodes_after - self.nodes_before
+
+
+class TracingManager:
+    """A pass manager that records a :class:`PassTraceEntry` per entry.
+
+    Same optimize() contract as
+    :class:`repro.jit.opt.base.PassManager`, plus a ``trace`` list and
+    a ``report()`` text renderer.
+    """
+
+    def __init__(self, plan_entries, modifier=None, resolver=None):
+        self.plan_entries = list(plan_entries)
+        self.modifier = modifier
+        self.resolver = resolver
+        self.trace = []
+
+    def optimize(self, ilmethod):
+        ctx = PassContext(ilmethod, resolver=self.resolver)
+        self.trace = []
+        for entry in self.plan_entries:
+            pass_obj = transform_by_name(entry)
+            masked = (self.modifier is not None
+                      and self.modifier.disabled(transform_index(entry)))
+            nodes_before = ilmethod.count_nodes()
+            blocks_before = len(ilmethod.blocks)
+            cost_before = ctx.cost
+            applicable = False
+            changed = False
+            if not masked:
+                applicable = pass_obj.applicable(ctx)
+                changed = bool(pass_obj.execute(ctx))
+            self.trace.append(PassTraceEntry(
+                name=entry, ran=not masked, applicable=applicable,
+                changed=changed,
+                nodes_before=nodes_before,
+                nodes_after=ilmethod.count_nodes(),
+                blocks_before=blocks_before,
+                blocks_after=len(ilmethod.blocks),
+                cost=ctx.cost - cost_before))
+        log = [(t.name, t.changed) for t in self.trace]
+        return ilmethod, ctx.cost, log
+
+    def report(self, only_changed=False):
+        """A human-readable per-pass table."""
+        lines = [f"{'pass':30s} {'ran':>4s} {'chg':>4s} "
+                 f"{'nodes':>12s} {'blocks':>8s} {'cost':>8s}"]
+        for t in self.trace:
+            if only_changed and not t.changed:
+                continue
+            ran = "yes" if t.ran else "OFF"
+            chg = "*" if t.changed else ""
+            lines.append(
+                f"{t.name:30s} {ran:>4s} {chg:>4s} "
+                f"{t.nodes_before:5d}->{t.nodes_after:<5d} "
+                f"{t.blocks_before:3d}->{t.blocks_after:<3d} "
+                f"{t.cost:8d}")
+        return "\n".join(lines)
+
+    def changed_passes(self):
+        return [t.name for t in self.trace if t.changed]
+
+    def masked_passes(self):
+        return [t.name for t in self.trace if not t.ran]
+
+
+def cfg_to_dot(ilmethod, title=None):
+    """Render the method's CFG as a Graphviz digraph string."""
+    from repro.jit.ir.tree import ILOp
+    name = title or ilmethod.method.signature
+    lines = [f'digraph "{name}" {{',
+             '  node [shape=box, fontname="monospace"];']
+    for block in ilmethod.blocks:
+        ops = [t.op.name.lower() for t in block.treetops]
+        label = f"b{block.bid}\\n" + "\\n".join(ops[:8])
+        if len(ops) > 8:
+            label += f"\\n... (+{len(ops) - 8})"
+        shape = ', style=filled, fillcolor="#ffe0e0"' \
+            if block.is_handler else ""
+        lines.append(f'  b{block.bid} [label="{label}"{shape}];')
+        term = block.terminator
+        for succ in block.successors():
+            style = ""
+            if term is not None and term.op is ILOp.IF \
+                    and succ == term.value[1]:
+                style = ' [label="taken"]'
+            lines.append(f"  b{block.bid} -> b{succ}{style};")
+    for handler in ilmethod.handlers:
+        for covered in sorted(handler.covered):
+            lines.append(f"  b{covered} -> b{handler.handler_bid} "
+                         f'[style=dashed, color=red];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Compilation plans: the five adaptive optimization levels.
+
+Testarossa's levels are named after temperatures (paper §2): *cold, warm,
+hot, very hot, scorching*.  Each level is an ordered list of code
+transformations; higher levels apply more transformations and repeat
+cleanup passes between the structural ones ("a plan may apply from 20
+transformations (cold) to more than 170 (scorching), including the
+multiple application of some transformations that are used as cleanup
+steps").
+"""
+
+import enum
+
+
+class OptLevel(enum.IntEnum):
+    COLD = 0
+    WARM = 1
+    HOT = 2
+    VERY_HOT = 3
+    SCORCHING = 4
+
+    @property
+    def label(self):
+        return self.name.lower().replace("_", " ")
+
+
+class CompilationPlan:
+    """An ordered transformation list for one optimization level."""
+
+    def __init__(self, level, entries):
+        from repro.jit.opt.registry import transform_by_name
+        self.level = level
+        self.entries = list(entries)
+        for name in self.entries:
+            transform_by_name(name)  # validate eagerly
+
+    def __len__(self):
+        return len(self.entries)
+
+    def distinct_transforms(self):
+        return sorted(set(self.entries))
+
+    def __repr__(self):
+        return (f"CompilationPlan({self.level.name}, "
+                f"{len(self.entries)} entries, "
+                f"{len(set(self.entries))} distinct)")
+
+
+_CLEANUP = ["treeCleanup", "localDCE", "localConstantPropagation",
+            "localCopyPropagation"]
+
+_COLD = [
+    "constantFolding",
+    "arithmeticSimplification",
+    "zeroPropagation",
+    "cmpSimplification",
+    "negSimplification",
+    "castSimplification",
+    "localConstantPropagation",
+    "localCopyPropagation",
+    "localDeadStoreElimination",
+    "localDCE",
+    "branchFolding",
+    "jumpThreading",
+    "unreachableCodeElimination",
+    "blockOrdering",
+    "nullCheckElimination",
+    "treeCleanup",
+    "registerCoalescing",
+    "immediateOperandFolding",
+    "compactNullChecks",
+    "leafRoutineAnalysis",
+]
+
+_WARM_EXTRA = [
+    "fpConstantFolding",
+    "decimalConstantFolding",
+    "mulToShift",
+    "divRemToShiftMask",
+    "reassociation",
+    "mathSimplification",
+    "localCSE",
+    "redundantLoadElimination",
+    "arrayOpSimplification",
+    "boundsCheckElimination",
+    "checkcastElimination",
+    "instanceofSimplification",
+    "emptyBlockMerging",
+    "branchReversal",
+    "loopCanonicalization",
+    "loopInvariantCodeMotion",
+    "globalConstantPropagation",
+    "globalDCE",
+    "trivialInlining",
+    "peepholeOptimization",
+    "addressModeFolding",
+]
+
+_HOT_EXTRA = [
+    "globalCopyPropagation",
+    "globalCSE",
+    "globalDeadStoreElimination",
+    "loopInversion",
+    "loopUnrolling",
+    "inductionVariableElimination",
+    "fieldPrivatization",
+    "escapeAnalysis",
+    "stackAllocation",
+    "monitorElision",
+    "exceptionDirectedOptimization",
+    "aggressiveInlining",
+    "pureCallElimination",
+    "tailDuplication",
+    "instructionScheduling",
+    "rematerialization",
+]
+
+_VERY_HOT_EXTRA = [
+    "loopPeeling",
+]
+
+
+def _build_cold():
+    return list(_COLD)
+
+
+def _build_warm():
+    plan = list(_COLD)
+    plan += _WARM_EXTRA
+    plan += _CLEANUP
+    return plan
+
+
+def _build_hot():
+    plan = _build_warm()
+    plan += ["trivialInlining", "aggressiveInlining"]
+    plan += _CLEANUP
+    plan += _HOT_EXTRA
+    plan += _CLEANUP
+    plan += ["branchFolding", "jumpThreading",
+             "unreachableCodeElimination", "emptyBlockMerging",
+             "blockOrdering", "nullCheckElimination",
+             "boundsCheckElimination"]
+    plan += _CLEANUP[:2]
+    return plan
+
+
+def _build_very_hot():
+    plan = _build_hot()
+    plan += _VERY_HOT_EXTRA
+    plan += ["loopInvariantCodeMotion", "globalCSE",
+             "globalConstantPropagation", "globalCopyPropagation"]
+    plan += _CLEANUP
+    plan += ["loopUnrolling", "inductionVariableElimination",
+             "redundantLoadElimination", "localCSE",
+             "globalDeadStoreElimination", "globalDCE"]
+    plan += _CLEANUP
+    plan += ["blockOrdering"]
+    return plan
+
+
+def _build_scorching():
+    plan = _build_very_hot()
+    # A third full round of the structural passes with cleanups between:
+    # scorching spends compile time freely.
+    plan += ["trivialInlining", "aggressiveInlining"]
+    plan += _CLEANUP
+    plan += ["loopCanonicalization", "loopPeeling", "loopUnrolling",
+             "loopInvariantCodeMotion", "inductionVariableElimination",
+             "loopInversion", "fieldPrivatization"]
+    plan += _CLEANUP
+    plan += ["escapeAnalysis", "stackAllocation", "monitorElision",
+             "exceptionDirectedOptimization", "globalCSE",
+             "globalConstantPropagation", "globalCopyPropagation",
+             "globalDeadStoreElimination", "globalDCE",
+             "redundantLoadElimination", "localCSE",
+             "localDeadStoreElimination"]
+    plan += _CLEANUP
+    plan += ["branchFolding", "jumpThreading",
+             "unreachableCodeElimination", "emptyBlockMerging",
+             "branchReversal", "tailDuplication", "blockOrdering",
+             "nullCheckElimination", "boundsCheckElimination",
+             "checkcastElimination", "instanceofSimplification",
+             "arrayOpSimplification", "mathSimplification",
+             "pureCallElimination"]
+    plan += _CLEANUP
+    # A final convergence round: cheap pattern passes until stable, then
+    # the codegen-level transformations.
+    plan += ["constantFolding", "fpConstantFolding",
+             "decimalConstantFolding", "arithmeticSimplification",
+             "zeroPropagation", "mulToShift", "divRemToShiftMask",
+             "reassociation", "cmpSimplification", "negSimplification",
+             "castSimplification", "localDeadStoreElimination",
+             "globalDCE"]
+    plan += _CLEANUP
+    plan += ["peepholeOptimization", "instructionScheduling",
+             "registerCoalescing", "rematerialization",
+             "addressModeFolding", "immediateOperandFolding",
+             "compactNullChecks", "leafRoutineAnalysis"]
+    return plan
+
+
+def default_plans():
+    """The hand-tuned plans, keyed by :class:`OptLevel`."""
+    return {
+        OptLevel.COLD: CompilationPlan(OptLevel.COLD, _build_cold()),
+        OptLevel.WARM: CompilationPlan(OptLevel.WARM, _build_warm()),
+        OptLevel.HOT: CompilationPlan(OptLevel.HOT, _build_hot()),
+        OptLevel.VERY_HOT: CompilationPlan(OptLevel.VERY_HOT,
+                                           _build_very_hot()),
+        OptLevel.SCORCHING: CompilationPlan(OptLevel.SCORCHING,
+                                            _build_scorching()),
+    }

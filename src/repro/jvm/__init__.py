@@ -1,0 +1,25 @@
+"""A small stack-based bytecode virtual machine.
+
+This subpackage is the substitute for the IBM J9 JVM: it defines a Java-like
+bytecode (`bytecode`), a class/method model (`classfile`), a stack-machine
+interpreter with per-opcode cycle costs (`interpreter`) and the VM proper
+(`vm`) which owns the virtual clock, invocation counters, the sampling
+profiler and the interpreted-vs-compiled dispatch.
+"""
+
+from repro.jvm.bytecode import JType, Op, Instr
+from repro.jvm.classfile import JClass, JMethod, MethodModifiers, Handler
+from repro.jvm.interpreter import Interpreter
+from repro.jvm.vm import VirtualMachine
+
+__all__ = [
+    "JType",
+    "Op",
+    "Instr",
+    "JClass",
+    "JMethod",
+    "MethodModifiers",
+    "Handler",
+    "Interpreter",
+    "VirtualMachine",
+]

@@ -1,0 +1,268 @@
+"""A tiny bytecode assembler.
+
+Building :class:`Instr` lists by hand requires knowing absolute branch
+targets up front.  :class:`Assembler` provides labels with back-patching::
+
+    a = Assembler()
+    a.loadconst(JType.INT, 0).store(1)
+    top = a.label()
+    a.load(1).loadconst(JType.INT, 10).cmp().ifge("end")
+    a.inc(1, 1).goto(top)
+    a.mark("end")
+    a.load(1).retval()
+    code = a.assemble()
+
+Both tests and the synthetic workload generator use it.
+"""
+
+from repro.errors import BytecodeError
+from repro.jvm.bytecode import Instr, JType, Op
+
+
+class Assembler:
+    """Accumulates instructions; resolves label references at assembly."""
+
+    def __init__(self):
+        self._code = []
+        self._marks = {}
+        self._auto = 0
+
+    # -- labels ---------------------------------------------------------
+
+    def label(self):
+        """Create a label bound to the *current* position and return it."""
+        name = f"__auto_{self._auto}"
+        self._auto += 1
+        self.mark(name)
+        return name
+
+    def new_label(self):
+        """Create an unbound label name for a forward reference."""
+        name = f"__fwd_{self._auto}"
+        self._auto += 1
+        return name
+
+    def mark(self, name):
+        """Bind *name* to the current position."""
+        if name in self._marks:
+            raise BytecodeError(f"label {name!r} already bound")
+        self._marks[name] = len(self._code)
+        return self
+
+    def here(self):
+        """Current instruction index."""
+        return len(self._code)
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, op, a=None, b=None):
+        """Append a raw instruction."""
+        self._code.append(Instr(op, a, b))
+        return self
+
+    def assemble(self):
+        """Resolve labels and return the instruction list."""
+        out = []
+        for ins in self._code:
+            if ins.op in (Op.GOTO, Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFLE,
+                          Op.IFGT, Op.IFGE) and isinstance(ins.a, str):
+                if ins.a not in self._marks:
+                    raise BytecodeError(f"unbound label {ins.a!r}")
+                out.append(Instr(ins.op, self._marks[ins.a], ins.b))
+            else:
+                out.append(ins)
+        return out
+
+    # -- one helper per opcode ----------------------------------------------
+
+    def add(self):
+        """Emit ADD (pop b, a; push a+b)."""
+        return self.emit(Op.ADD)
+
+    def sub(self):
+        """Emit SUB."""
+        return self.emit(Op.SUB)
+
+    def mul(self):
+        """Emit MUL."""
+        return self.emit(Op.MUL)
+
+    def div(self):
+        """Emit DIV."""
+        return self.emit(Op.DIV)
+
+    def rem(self):
+        """Emit REM."""
+        return self.emit(Op.REM)
+
+    def neg(self):
+        """Emit NEG."""
+        return self.emit(Op.NEG)
+
+    def shl(self):
+        """Emit SHL."""
+        return self.emit(Op.SHL)
+
+    def shr(self):
+        """Emit SHR."""
+        return self.emit(Op.SHR)
+
+    def or_(self):
+        """Emit OR."""
+        return self.emit(Op.OR)
+
+    def and_(self):
+        """Emit AND."""
+        return self.emit(Op.AND)
+
+    def xor(self):
+        """Emit XOR."""
+        return self.emit(Op.XOR)
+
+    def inc(self, slot, amount=1):
+        """Emit INC: locals[slot] += amount."""
+        return self.emit(Op.INC, slot, amount)
+
+    def cmp(self):
+        """Emit CMP (push -1/0/1)."""
+        return self.emit(Op.CMP)
+
+    def cast(self, to_type):
+        """Emit CAST to *to_type*."""
+        return self.emit(Op.CAST, to_type)
+
+    def checkcast(self, class_name):
+        """Emit CHECKCAST against *class_name*."""
+        return self.emit(Op.CHECKCAST, class_name)
+
+    def load(self, slot):
+        """Emit LOAD of a local slot."""
+        return self.emit(Op.LOAD, slot)
+
+    def loadconst(self, jtype, value):
+        """Emit LOADCONST of (jtype, value)."""
+        return self.emit(Op.LOADCONST, jtype, value)
+
+    def iconst(self, value):
+        """Emit an INT constant."""
+        return self.emit(Op.LOADCONST, JType.INT, value)
+
+    def dconst(self, value):
+        """Emit a DOUBLE constant."""
+        return self.emit(Op.LOADCONST, JType.DOUBLE, float(value))
+
+    def store(self, slot):
+        """Emit STORE to a local slot."""
+        return self.emit(Op.STORE, slot)
+
+    def getfield(self, name):
+        """Emit GETFIELD *name* (pops objref)."""
+        return self.emit(Op.GETFIELD, name)
+
+    def putfield(self, name):
+        """Emit PUTFIELD *name* (pops value, objref)."""
+        return self.emit(Op.PUTFIELD, name)
+
+    def aload(self):
+        """Emit ALOAD (pops index, arrayref)."""
+        return self.emit(Op.ALOAD)
+
+    def astore(self):
+        """Emit ASTORE (pops value, index, arrayref)."""
+        return self.emit(Op.ASTORE)
+
+    def new(self, class_name):
+        """Emit NEW of *class_name*."""
+        return self.emit(Op.NEW, class_name)
+
+    def newarray(self, elem_type):
+        """Emit NEWARRAY of *elem_type* (pops length)."""
+        return self.emit(Op.NEWARRAY, elem_type)
+
+    def newmultiarray(self, elem_type, ndims):
+        """Emit NEWMULTIARRAY (pops ndims lengths)."""
+        return self.emit(Op.NEWMULTIARRAY, elem_type, ndims)
+
+    def goto(self, target):
+        """Emit GOTO *target* (pc or label)."""
+        return self.emit(Op.GOTO, target)
+
+    def ifeq(self, target):
+        """Emit IFEQ (branch when popped value == 0)."""
+        return self.emit(Op.IFEQ, target)
+
+    def ifne(self, target):
+        """Emit IFNE."""
+        return self.emit(Op.IFNE, target)
+
+    def iflt(self, target):
+        """Emit IFLT."""
+        return self.emit(Op.IFLT, target)
+
+    def ifle(self, target):
+        """Emit IFLE."""
+        return self.emit(Op.IFLE, target)
+
+    def ifgt(self, target):
+        """Emit IFGT."""
+        return self.emit(Op.IFGT, target)
+
+    def ifge(self, target):
+        """Emit IFGE."""
+        return self.emit(Op.IFGE, target)
+
+    def call(self, signature, nargs):
+        """Emit CALL of *signature* with *nargs* stack arguments."""
+        return self.emit(Op.CALL, signature, nargs)
+
+    def ret(self):
+        """Emit RET (return void)."""
+        return self.emit(Op.RET)
+
+    def retval(self):
+        """Emit RETVAL (pops the return value)."""
+        return self.emit(Op.RETVAL)
+
+    def instanceof(self, class_name):
+        """Emit INSTANCEOF test against *class_name*."""
+        return self.emit(Op.INSTANCEOF, class_name)
+
+    def monitorenter(self):
+        """Emit MONITORENTER (pops objref)."""
+        return self.emit(Op.MONITORENTER)
+
+    def monitorexit(self):
+        """Emit MONITOREXIT (pops objref)."""
+        return self.emit(Op.MONITOREXIT)
+
+    def athrow(self):
+        """Emit ATHROW (pops exception ref)."""
+        return self.emit(Op.ATHROW)
+
+    def arraylength(self):
+        """Emit ARRAYLENGTH (pops arrayref)."""
+        return self.emit(Op.ARRAYLENGTH)
+
+    def arraycopy(self):
+        """Emit ARRAYCOPY (pops 5 operands)."""
+        return self.emit(Op.ARRAYCOPY)
+
+    def arraycmp(self):
+        """Emit ARRAYCMP (pops two arrayrefs)."""
+        return self.emit(Op.ARRAYCMP)
+
+    def dup(self):
+        """Emit DUP."""
+        return self.emit(Op.DUP)
+
+    def pop(self):
+        """Emit POP."""
+        return self.emit(Op.POP)
+
+    def swap(self):
+        """Emit SWAP."""
+        return self.emit(Op.SWAP)
+
+    def nop(self):
+        """Emit NOP."""
+        return self.emit(Op.NOP)

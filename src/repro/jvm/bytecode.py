@@ -1,0 +1,272 @@
+"""Bytecode instruction set for the guest virtual machine.
+
+The instruction set is a stack machine modelled on Java bytecode but
+simplified, while deliberately covering every operation family that the
+paper's feature extractor distinguishes (Table 3 of the paper): ALU
+operations, type casts, loads/stores, memory allocation, branches and calls,
+JVM-specific operations (``instanceof``, synchronization, ``athrow``) and
+array operations.
+
+Every instruction is an :class:`Instr` -- an opcode plus up to two operands.
+Types follow Table 2 of the paper, including the Testarossa-specific types
+(128-bit ``long double``, packed and zoned BCD decimals).
+"""
+
+import enum
+
+
+class JType(enum.IntEnum):
+    """Value types (Table 2: Java native, non-scalar, Testarossa types)."""
+
+    BYTE = 0
+    CHAR = 1
+    SHORT = 2
+    INT = 3
+    LONG = 4
+    FLOAT = 5
+    DOUBLE = 6
+    VOID = 7
+    ADDRESS = 8      # arrays (one or more dimensions)
+    OBJECT = 9       # user-defined objects
+    LONGDOUBLE = 10  # quad-precision IEEE-754
+    PACKED = 11      # packed BCD decimal
+    ZONED = 12       # zoned BCD decimal
+    MIXED = 13       # learning-only aggregate bucket
+
+    @property
+    def is_integral(self):
+        return self in (JType.BYTE, JType.CHAR, JType.SHORT, JType.INT,
+                        JType.LONG)
+
+    @property
+    def is_floating(self):
+        return self in (JType.FLOAT, JType.DOUBLE, JType.LONGDOUBLE)
+
+    @property
+    def is_decimal(self):
+        return self in (JType.PACKED, JType.ZONED)
+
+    @property
+    def is_reference(self):
+        return self in (JType.ADDRESS, JType.OBJECT)
+
+    @property
+    def is_numeric(self):
+        return self.is_integral or self.is_floating or self.is_decimal
+
+
+#: Types that a guest program value may concretely have.
+CONCRETE_TYPES = tuple(t for t in JType if t not in (JType.VOID, JType.MIXED))
+
+#: Bit widths for integral masking in the interpreter / native simulator.
+INTEGRAL_BITS = {
+    JType.BYTE: 8,
+    JType.CHAR: 16,
+    JType.SHORT: 16,
+    JType.INT: 32,
+    JType.LONG: 64,
+}
+
+
+class Op(enum.IntEnum):
+    """Opcodes, grouped as in Table 3 of the paper."""
+
+    # --- ALU ---------------------------------------------------------
+    ADD = 1
+    SUB = 2
+    MUL = 3
+    DIV = 4
+    REM = 5
+    NEG = 6
+    SHL = 7
+    SHR = 8
+    OR = 9
+    AND = 10
+    XOR = 11
+    INC = 12      # operands: (slot, amount) -- increments a local in place
+    CMP = 13      # pops b, a; pushes -1/0/1 as INT
+
+    # --- Cast --------------------------------------------------------
+    CAST = 20     # operands: (to_type,) -- value type is tracked dynamically
+    CHECKCAST = 21  # operands: (class_name,)
+
+    # --- Load / store ------------------------------------------------
+    LOAD = 30       # operands: (slot,)
+    LOADCONST = 31  # operands: (type, value)
+    STORE = 32      # operands: (slot,)
+    GETFIELD = 33   # operands: (field_name,) pops objref
+    PUTFIELD = 34   # operands: (field_name,) pops value, objref
+    ALOAD = 35      # pops index, arrayref; pushes element
+    ASTORE = 36     # pops value, index, arrayref
+
+    # --- Memory ------------------------------------------------------
+    NEW = 40            # operands: (class_name,)
+    NEWARRAY = 41       # operands: (elem_type,) pops length
+    NEWMULTIARRAY = 42  # operands: (elem_type, ndims) pops ndims lengths
+
+    # --- Branch ------------------------------------------------------
+    GOTO = 50    # operands: (target_pc,)
+    IFEQ = 51    # pops v; branch if v == 0
+    IFNE = 52
+    IFLT = 53
+    IFLE = 54
+    IFGT = 55
+    IFGE = 56
+    CALL = 57    # operands: (signature, nargs)
+    RET = 58     # return void
+    RETVAL = 59  # pops return value
+
+    # --- JVM ---------------------------------------------------------
+    INSTANCEOF = 70    # operands: (class_name,) pops ref, pushes INT 0/1
+    MONITORENTER = 71  # pops ref
+    MONITOREXIT = 72   # pops ref
+    ATHROW = 73        # pops exception ref
+
+    # --- Array operations --------------------------------------------
+    ARRAYLENGTH = 80  # pops arrayref, pushes INT
+    ARRAYCOPY = 81    # pops count, dstoff, dst, srcoff, src
+    ARRAYCMP = 82     # pops b, a; pushes INT
+
+    # --- Stack housekeeping ------------------------------------------
+    DUP = 90
+    POP = 91
+    SWAP = 92
+    NOP = 93
+
+
+#: Conditional-branch opcodes (pop one INT, compare against zero).
+COND_BRANCHES = (Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFLE, Op.IFGT, Op.IFGE)
+
+#: Opcodes that may transfer control.
+BRANCH_OPS = (Op.GOTO,) + COND_BRANCHES
+
+#: Opcodes that end a method.
+RETURN_OPS = (Op.RET, Op.RETVAL)
+
+ALU_OPS = (Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM, Op.NEG, Op.SHL, Op.SHR,
+           Op.OR, Op.AND, Op.XOR, Op.INC, Op.CMP)
+
+#: Per-opcode interpreted cost in cycles.  Interpretation pays a dispatch
+#: overhead on every bytecode, which is why compiled code wins: the code
+#: generator emits virtual native instructions costing ~1-4 cycles each.
+INTERP_COST = {
+    Op.ADD: 18, Op.SUB: 18, Op.MUL: 24, Op.DIV: 52, Op.REM: 52,
+    Op.NEG: 16, Op.SHL: 18, Op.SHR: 18, Op.OR: 16, Op.AND: 16,
+    Op.XOR: 16, Op.INC: 18, Op.CMP: 20,
+    Op.CAST: 20, Op.CHECKCAST: 36,
+    Op.LOAD: 15, Op.LOADCONST: 13, Op.STORE: 15,
+    Op.GETFIELD: 25, Op.PUTFIELD: 27,
+    Op.ALOAD: 28, Op.ASTORE: 30,
+    Op.NEW: 70, Op.NEWARRAY: 60, Op.NEWMULTIARRAY: 130,
+    Op.GOTO: 14, Op.IFEQ: 18, Op.IFNE: 18, Op.IFLT: 18, Op.IFLE: 18,
+    Op.IFGT: 18, Op.IFGE: 18,
+    Op.CALL: 60, Op.RET: 18, Op.RETVAL: 20,
+    Op.INSTANCEOF: 32, Op.MONITORENTER: 45, Op.MONITOREXIT: 42,
+    Op.ATHROW: 95,
+    Op.DUP: 11, Op.POP: 11, Op.SWAP: 13, Op.NOP: 9,
+    Op.ARRAYLENGTH: 16, Op.ARRAYCOPY: 42, Op.ARRAYCMP: 40,
+}
+
+
+class Instr:
+    """One bytecode instruction: an opcode and its (immutable) operands."""
+
+    __slots__ = ("op", "a", "b")
+
+    def __init__(self, op, a=None, b=None):
+        self.op = op
+        self.a = a
+        self.b = b
+
+    def __repr__(self):
+        parts = [self.op.name.lower()]
+        if self.a is not None:
+            parts.append(repr(self.a))
+        if self.b is not None:
+            parts.append(repr(self.b))
+        return " ".join(parts)
+
+    def __eq__(self, other):
+        return (isinstance(other, Instr) and self.op == other.op
+                and self.a == other.a and self.b == other.b)
+
+    def __hash__(self):
+        return hash((self.op, self.a, self.b))
+
+
+def mask_integral(value, jtype):
+    """Wrap *value* to the two's-complement range of an integral *jtype*."""
+    bits = INTEGRAL_BITS[jtype]
+    value &= (1 << bits) - 1
+    if jtype is not JType.CHAR and value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def convert_to_integral(value, jtype):
+    """Convert *value* (int or float) to an integral/decimal *jtype*.
+
+    Integer inputs wrap (two's complement, as every ALU result does);
+    floating inputs follow Java's d2i/d2l rules -- NaN becomes 0,
+    infinities and out-of-range values saturate at the target bounds --
+    then truncate toward zero.  Decimal (BCD) targets use LONG width.
+    """
+    import math
+    target = jtype if jtype in INTEGRAL_BITS else JType.LONG
+    if isinstance(value, float):
+        if math.isnan(value):
+            return 0
+        bits = INTEGRAL_BITS[target]
+        if target is JType.CHAR:
+            lo, hi = 0, (1 << bits) - 1
+        else:
+            lo, hi = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+        if value <= lo:
+            return lo
+        if value >= hi:
+            return hi
+        return int(value)  # truncates toward zero
+    return mask_integral(int(value), target)
+
+
+def validate_code(code, max_locals):
+    """Structural verification of a bytecode body.
+
+    Checks branch targets, slot indices and operand presence.  Raises
+    :class:`repro.errors.BytecodeError` on the first violation.  This is the
+    moral equivalent of the JVM bytecode verifier; it keeps malformed
+    generated programs from producing confusing interpreter failures.
+    """
+    from repro.errors import BytecodeError
+
+    n = len(code)
+    if n == 0:
+        raise BytecodeError("empty method body")
+    for pc, ins in enumerate(code):
+        if not isinstance(ins, Instr):
+            raise BytecodeError(f"pc {pc}: not an Instr: {ins!r}")
+        if ins.op in BRANCH_OPS:
+            tgt = ins.a
+            if not isinstance(tgt, int) or not (0 <= tgt < n):
+                raise BytecodeError(f"pc {pc}: branch target {tgt!r} "
+                                    f"out of range [0, {n})")
+        elif ins.op in (Op.LOAD, Op.STORE):
+            slot = ins.a
+            if not isinstance(slot, int) or not (0 <= slot < max_locals):
+                raise BytecodeError(f"pc {pc}: slot {slot!r} out of range "
+                                    f"[0, {max_locals})")
+        elif ins.op is Op.INC:
+            slot = ins.a
+            if not isinstance(slot, int) or not (0 <= slot < max_locals):
+                raise BytecodeError(f"pc {pc}: inc slot {slot!r} invalid")
+        elif ins.op is Op.LOADCONST:
+            if not isinstance(ins.a, JType):
+                raise BytecodeError(f"pc {pc}: loadconst needs a JType, "
+                                    f"got {ins.a!r}")
+        elif ins.op is Op.CALL:
+            if not isinstance(ins.a, str) or not isinstance(ins.b, int):
+                raise BytecodeError(f"pc {pc}: call needs (signature, nargs)")
+    last = code[-1]
+    if last.op not in RETURN_OPS and last.op not in (Op.GOTO, Op.ATHROW):
+        raise BytecodeError("method body may fall off the end "
+                            f"(last instruction {last!r})")

@@ -1,0 +1,182 @@
+"""Class and method model of the guest virtual machine.
+
+A :class:`JMethod` carries everything the feature extractor (paper §4.1)
+must be able to observe: declared modifiers (public/protected/static/final/
+synchronized/strictfp), constructor-ness, argument and temporary counts, the
+exception-handler table, and the bytecode body from which loop structure and
+operation distributions are derived.
+"""
+
+import dataclasses
+import enum
+
+from repro.errors import BytecodeError
+from repro.jvm.bytecode import JType, Op, validate_code
+
+
+class MethodModifiers(enum.IntFlag):
+    """Declared method modifiers (the binary attributes of Table 1)."""
+
+    NONE = 0
+    PUBLIC = 1
+    PROTECTED = 2
+    STATIC = 4
+    FINAL = 8
+    SYNCHRONIZED = 16
+    STRICTFP = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class Handler:
+    """One exception-handler table entry: [start_pc, end_pc) -> handler_pc."""
+
+    start_pc: int
+    end_pc: int
+    handler_pc: int
+    class_name: str = "java/lang/Throwable"
+
+    def covers(self, pc):
+        return self.start_pc <= pc < self.end_pc
+
+    def matches(self, thrown_class):
+        # "Throwable" is the root: it catches everything thrown by guests.
+        return (self.class_name == "java/lang/Throwable"
+                or self.class_name == thrown_class)
+
+
+class JMethod:
+    """A guest method: signature, modifiers, locals layout and bytecode.
+
+    Locals layout: slots ``[0, num_args)`` hold the arguments, slots
+    ``[num_args, max_locals)`` are temporaries.
+    """
+
+    def __init__(self, class_name, name, param_types, return_type, code,
+                 modifiers=MethodModifiers.PUBLIC, num_temps=0, handlers=(),
+                 is_constructor=False, array_elems=None):
+        self.class_name = class_name
+        self.name = name
+        self.param_types = tuple(param_types)
+        self.return_type = return_type
+        self.code = list(code)
+        self.modifiers = modifiers
+        self.num_temps = int(num_temps)
+        self.handlers = tuple(handlers)
+        self.is_constructor = is_constructor or name == "<init>"
+        # Optional hint: slot -> element JType for array-typed parameters
+        # (the analogue of array descriptors in real class files).
+        self.array_elems = dict(array_elems) if array_elems else {}
+        validate_code(self.code, self.max_locals)
+        self._validate_handlers()
+
+    # -- layout ----------------------------------------------------------
+
+    @property
+    def num_args(self):
+        return len(self.param_types)
+
+    @property
+    def max_locals(self):
+        return self.num_args + self.num_temps
+
+    @property
+    def signature(self):
+        params = ",".join(t.name for t in self.param_types)
+        return (f"{self.class_name}.{self.name}"
+                f"({params}){self.return_type.name}")
+
+    # -- modifier helpers --------------------------------------------------
+
+    @property
+    def is_static(self):
+        return bool(self.modifiers & MethodModifiers.STATIC)
+
+    @property
+    def is_final(self):
+        return bool(self.modifiers & MethodModifiers.FINAL)
+
+    @property
+    def is_public(self):
+        return bool(self.modifiers & MethodModifiers.PUBLIC)
+
+    @property
+    def is_protected(self):
+        return bool(self.modifiers & MethodModifiers.PROTECTED)
+
+    @property
+    def is_synchronized(self):
+        return bool(self.modifiers & MethodModifiers.SYNCHRONIZED)
+
+    @property
+    def is_strictfp(self):
+        return bool(self.modifiers & MethodModifiers.STRICTFP)
+
+    # -- static analyses used by compilation control ------------------------
+
+    def has_backward_branch(self):
+        """True when any branch targets an earlier pc (``may have loops``)."""
+        from repro.jvm.bytecode import BRANCH_OPS
+        return any(ins.op in BRANCH_OPS and ins.a <= pc
+                   for pc, ins in enumerate(self.code))
+
+    def call_targets(self):
+        """Signatures of all methods this body calls, in order."""
+        return [ins.a for ins in self.code if ins.op is Op.CALL]
+
+    def _validate_handlers(self):
+        n = len(self.code)
+        for h in self.handlers:
+            if not (0 <= h.start_pc < h.end_pc <= n):
+                raise BytecodeError(
+                    f"{self.signature}: handler range "
+                    f"[{h.start_pc}, {h.end_pc}) invalid for {n} instrs")
+            if not (0 <= h.handler_pc < n):
+                raise BytecodeError(
+                    f"{self.signature}: handler pc {h.handler_pc} invalid")
+
+    def __repr__(self):
+        return f"JMethod({self.signature}, {len(self.code)} instrs)"
+
+
+class JClass:
+    """A guest class: a name, an optional superclass and its methods."""
+
+    def __init__(self, name, superclass=None):
+        self.name = name
+        self.superclass = superclass
+        self.methods = {}
+
+    def add_method(self, method):
+        if method.class_name != self.name:
+            raise BytecodeError(
+                f"method {method.signature} declared for class "
+                f"{method.class_name}, added to {self.name}")
+        self.methods[method.name] = method
+        return method
+
+    def __repr__(self):
+        return f"JClass({self.name}, {len(self.methods)} methods)"
+
+
+#: Signatures treated as library intrinsics by the VM.  Calls to these do
+#: not dispatch to guest bytecode; the interpreter and the native simulator
+#: model them directly.  They matter to learning because the feature
+#: extractor flags methods that use BigDecimal or sun.misc.Unsafe (Table 1).
+INTRINSIC_PREFIXES = (
+    "java/math/BigDecimal.",
+    "sun/misc/Unsafe.",
+    "java/lang/Math.",
+)
+
+
+def is_intrinsic(signature):
+    return signature.startswith(INTRINSIC_PREFIXES)
+
+
+def intrinsic_kind(signature):
+    """Return 'bigdecimal' | 'unsafe' | 'math' for an intrinsic signature."""
+    if signature.startswith("java/math/BigDecimal."):
+        return "bigdecimal"
+    if signature.startswith("sun/misc/Unsafe."):
+        return "unsafe"
+    return "math"

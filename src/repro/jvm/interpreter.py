@@ -1,0 +1,400 @@
+"""The interpreted execution tier.
+
+A classic stack-machine interpreter over :mod:`repro.jvm.bytecode`.  Every
+stack slot and local carries ``(value, JType)`` so arithmetic can apply the
+correct two's-complement masking, and so the IL generator's abstract
+interpretation agrees with concrete execution.
+
+Each bytecode advances the VM clock by its ``INTERP_COST`` -- interpretation
+pays dispatch overhead on every instruction, which is precisely the gap JIT
+compilation closes.
+"""
+
+import math
+
+from repro.errors import JavaThrow, VMError
+from repro.jvm.bytecode import (
+    INTERP_COST,
+    JType,
+    Op,
+    convert_to_integral,
+    mask_integral,
+)
+from repro.jvm.classfile import is_intrinsic
+from repro.jvm.intrinsics import call_intrinsic
+from repro.jvm.objects import JArray, JObject, make_multiarray, null_check
+
+#: Hard step bound per method activation; generated programs should never
+#: get near it, so hitting it indicates a bug (e.g. a miscompiled branch).
+MAX_STEPS = 5_000_000
+
+
+def promote(t1, t2):
+    """Binary-operation result type, Java-style numeric promotion."""
+    floats = (JType.LONGDOUBLE, JType.DOUBLE, JType.FLOAT)
+    for ft in floats:
+        if t1 is ft or t2 is ft:
+            return ft
+    if t1 is JType.PACKED or t2 is JType.PACKED:
+        return JType.PACKED
+    if t1 is JType.ZONED or t2 is JType.ZONED:
+        return JType.ZONED
+    if t1 is JType.LONG or t2 is JType.LONG:
+        return JType.LONG
+    return JType.INT
+
+
+def coerce(value, jtype):
+    """Clamp/convert *value* to the representation of *jtype*."""
+    if jtype.is_floating:
+        return float(value)
+    if jtype.is_integral or jtype.is_decimal:
+        return convert_to_integral(value, jtype)
+    return value
+
+
+def default_value(jtype):
+    """The zero value of *jtype* (used for uninitialized temporaries)."""
+    if jtype.is_floating:
+        return 0.0
+    if jtype.is_reference:
+        return None
+    return 0
+
+
+class Interpreter:
+    """Executes guest bytecode on behalf of a :class:`VirtualMachine`.
+
+    The interpreter does not dispatch calls itself; it asks the VM via
+    ``vm.invoke`` so the VM can route to compiled code and maintain
+    invocation counters.
+    """
+
+    def __init__(self, vm):
+        self.vm = vm
+
+    # -- public API -------------------------------------------------------
+
+    def execute(self, method, args):
+        """Run *method* with *args*; returns ``(value, jtype)``.
+
+        Guest exceptions unwound past this frame propagate as
+        :class:`JavaThrow`.
+        """
+        if len(args) != method.num_args:
+            raise VMError(f"{method.signature}: expected {method.num_args} "
+                          f"args, got {len(args)}")
+        locals_ = [None] * method.max_locals
+        # Arguments adopt the *declared* parameter types, exactly as the IL
+        # generator assumes during abstract interpretation.
+        for i, ((value, _jtype), ptype) in enumerate(
+                zip(args, method.param_types)):
+            if ptype.is_reference:
+                locals_[i] = (value, ptype)
+            else:
+                locals_[i] = (coerce(value, ptype), ptype)
+        for i in range(method.num_args, method.max_locals):
+            locals_[i] = (0, JType.INT)
+        return self._run(method, locals_)
+
+    # -- the dispatch loop --------------------------------------------------
+
+    def _run(self, method, locals_):
+        code = method.code
+        clock = self.vm.clock
+        stack = []
+        pc = 0
+        steps = 0
+        while True:
+            steps += 1
+            if steps > MAX_STEPS:
+                raise VMError(f"{method.signature}: exceeded {MAX_STEPS} "
+                              "interpreted steps")
+            ins = code[pc]
+            op = ins.op
+            clock.advance(INTERP_COST[op])
+            try:
+                next_pc = self._step(method, ins, stack, locals_, pc)
+            except JavaThrow as thrown:
+                handler = self._find_handler(method, pc, thrown.class_name)
+                if handler is None:
+                    raise
+                stack.clear()
+                stack.append((JObject(thrown.class_name), JType.OBJECT))
+                pc = handler.handler_pc
+                continue
+            if next_pc is None:
+                pc += 1
+            elif isinstance(next_pc, tuple):  # RETURN sentinel
+                return next_pc[1]
+            else:
+                if next_pc <= pc:
+                    self.vm.on_backward_branch(method)
+                pc = next_pc
+
+    def _find_handler(self, method, pc, thrown_class):
+        for handler in method.handlers:
+            if handler.covers(pc) and handler.matches(thrown_class):
+                return handler
+        return None
+
+    # -- single instruction ---------------------------------------------------
+
+    def _step(self, method, ins, stack, locals_, pc):
+        """Execute one instruction.
+
+        Returns ``None`` to fall through, an int pc to branch, or the tuple
+        ``("return", (value, jtype))`` to leave the method.
+        """
+        op = ins.op
+
+        # ALU ---------------------------------------------------------
+        if op is Op.ADD or op is Op.SUB or op is Op.MUL:
+            b, tb = stack.pop()
+            a, ta = stack.pop()
+            t = promote(ta, tb)
+            if op is Op.ADD:
+                r = a + b
+            elif op is Op.SUB:
+                r = a - b
+            else:
+                r = a * b
+            stack.append((coerce(r, t), t))
+            return None
+        if op is Op.DIV or op is Op.REM:
+            b, tb = stack.pop()
+            a, ta = stack.pop()
+            t = promote(ta, tb)
+            if t.is_floating:
+                if b == 0:
+                    r = (math.inf if a > 0 else -math.inf if a < 0
+                         else math.nan)
+                    if op is Op.REM:
+                        r = math.nan
+                else:
+                    r = a / b if op is Op.DIV else math.fmod(a, b)
+            else:
+                if b == 0:
+                    raise JavaThrow("java/lang/ArithmeticException",
+                                    "/ by zero")
+                # Java semantics: truncate toward zero.
+                q = abs(a) // abs(b)
+                if (a < 0) != (b < 0):
+                    q = -q
+                r = q if op is Op.DIV else a - q * b
+            stack.append((coerce(r, t), t))
+            return None
+        if op is Op.NEG:
+            a, ta = stack.pop()
+            stack.append((coerce(-a, ta), ta))
+            return None
+        if op in (Op.SHL, Op.SHR, Op.OR, Op.AND, Op.XOR):
+            b, tb = stack.pop()
+            a, ta = stack.pop()
+            t = ta if ta is JType.LONG else JType.INT
+            a = int(a)
+            b = int(b)
+            if op is Op.SHL:
+                r = a << (b & (63 if t is JType.LONG else 31))
+            elif op is Op.SHR:
+                r = a >> (b & (63 if t is JType.LONG else 31))
+            elif op is Op.OR:
+                r = a | b
+            elif op is Op.AND:
+                r = a & b
+            else:
+                r = a ^ b
+            stack.append((mask_integral(r, t), t))
+            return None
+        if op is Op.INC:
+            value, jtype = locals_[ins.a]
+            locals_[ins.a] = (coerce(value + ins.b, jtype), jtype)
+            return None
+        if op is Op.CMP:
+            b, _tb = stack.pop()
+            a, _ta = stack.pop()
+            if isinstance(a, float) and math.isnan(a):
+                r = -1
+            elif isinstance(b, float) and math.isnan(b):
+                r = -1
+            else:
+                r = (a > b) - (a < b)
+            stack.append((r, JType.INT))
+            return None
+
+        # Cast --------------------------------------------------------
+        if op is Op.CAST:
+            value, _ = stack.pop()
+            to = ins.a
+            if to.is_floating:
+                stack.append((float(value), to))
+            else:
+                stack.append((convert_to_integral(value, to), to))
+            return None
+        if op is Op.CHECKCAST:
+            ref, t = stack[-1]
+            if ref is not None and isinstance(ref, JObject):
+                if not ref.isinstance_of(ins.a, self.vm.classes):
+                    raise JavaThrow("java/lang/ClassCastException",
+                                    f"{ref.class_name} -> {ins.a}")
+            return None
+
+        # Load / store --------------------------------------------------
+        if op is Op.LOAD:
+            entry = locals_[ins.a]
+            stack.append(entry)
+            return None
+        if op is Op.LOADCONST:
+            stack.append((coerce(ins.b, ins.a), ins.a))
+            return None
+        if op is Op.STORE:
+            locals_[ins.a] = stack.pop()
+            return None
+        if op is Op.GETFIELD:
+            ref, _ = stack.pop()
+            null_check(ref)
+            value = ref.getfield(ins.a)
+            jtype = (JType.OBJECT if isinstance(value, JObject)
+                     else JType.ADDRESS if isinstance(value, JArray)
+                     else JType.DOUBLE if isinstance(value, float)
+                     else JType.INT)
+            stack.append((value, jtype))
+            return None
+        if op is Op.PUTFIELD:
+            value, _ = stack.pop()
+            ref, _ = stack.pop()
+            null_check(ref)
+            ref.putfield(ins.a, value)
+            return None
+        if op is Op.ALOAD:
+            index, _ = stack.pop()
+            ref, _ = stack.pop()
+            null_check(ref)
+            value = ref.load(int(index))
+            stack.append((value, ref.elem_type))
+            return None
+        if op is Op.ASTORE:
+            value, _ = stack.pop()
+            index, _ = stack.pop()
+            ref, _ = stack.pop()
+            null_check(ref)
+            ref.store(int(index), coerce(value, ref.elem_type))
+            return None
+
+        # Memory --------------------------------------------------------
+        if op is Op.NEW:
+            self.vm.on_allocation()
+            stack.append((JObject(ins.a), JType.OBJECT))
+            return None
+        if op is Op.NEWARRAY:
+            length, _ = stack.pop()
+            self.vm.on_allocation()
+            stack.append((JArray(ins.a, int(length)), JType.ADDRESS))
+            return None
+        if op is Op.NEWMULTIARRAY:
+            dims = []
+            for _ in range(ins.b):
+                length, _ = stack.pop()
+                dims.append(int(length))
+            dims.reverse()
+            self.vm.on_allocation()
+            stack.append((make_multiarray(ins.a, dims), JType.ADDRESS))
+            return None
+
+        # Branch --------------------------------------------------------
+        if op is Op.GOTO:
+            return ins.a
+        if op in (Op.IFEQ, Op.IFNE, Op.IFLT, Op.IFLE, Op.IFGT, Op.IFGE):
+            v, _ = stack.pop()
+            taken = {
+                Op.IFEQ: v == 0, Op.IFNE: v != 0, Op.IFLT: v < 0,
+                Op.IFLE: v <= 0, Op.IFGT: v > 0, Op.IFGE: v >= 0,
+            }[op]
+            return ins.a if taken else None
+        if op is Op.CALL:
+            nargs = ins.b
+            call_args = stack[len(stack) - nargs:]
+            del stack[len(stack) - nargs:]
+            if is_intrinsic(ins.a):
+                value, rtype, cost = call_intrinsic(
+                    ins.a, [v for v, _ in call_args])
+                self.vm.clock.advance(cost)
+            else:
+                value, rtype = self.vm.invoke(ins.a, call_args)
+            if rtype is not JType.VOID:
+                stack.append((value, rtype))
+            return None
+        if op is Op.RET:
+            return ("return", (None, JType.VOID))
+        if op is Op.RETVAL:
+            return ("return", stack.pop())
+
+        # JVM ---------------------------------------------------------
+        if op is Op.INSTANCEOF:
+            ref, _ = stack.pop()
+            result = int(isinstance(ref, JObject)
+                         and ref.isinstance_of(ins.a, self.vm.classes))
+            stack.append((result, JType.INT))
+            return None
+        if op is Op.MONITORENTER:
+            ref, _ = stack.pop()
+            null_check(ref)
+            self.vm.on_monitor(enter=True)
+            return None
+        if op is Op.MONITOREXIT:
+            ref, _ = stack.pop()
+            null_check(ref)
+            self.vm.on_monitor(enter=False)
+            return None
+        if op is Op.ATHROW:
+            ref, _ = stack.pop()
+            null_check(ref)
+            raise JavaThrow(ref.class_name)
+
+        # Arrays --------------------------------------------------------
+        if op is Op.ARRAYLENGTH:
+            ref, _ = stack.pop()
+            null_check(ref)
+            stack.append((ref.length, JType.INT))
+            return None
+        if op is Op.ARRAYCOPY:
+            count, _ = stack.pop()
+            dstoff, _ = stack.pop()
+            dst, _ = stack.pop()
+            srcoff, _ = stack.pop()
+            src, _ = stack.pop()
+            null_check(src)
+            null_check(dst)
+            count, srcoff, dstoff = int(count), int(srcoff), int(dstoff)
+            if (count < 0 or srcoff < 0 or dstoff < 0
+                    or srcoff + count > src.length
+                    or dstoff + count > dst.length):
+                raise JavaThrow("java/lang/ArrayIndexOutOfBoundsException",
+                                "arraycopy")
+            dst.data[dstoff:dstoff + count] = src.data[srcoff:srcoff + count]
+            self.vm.clock.advance(2 * count)
+            return None
+        if op is Op.ARRAYCMP:
+            b, _ = stack.pop()
+            a, _ = stack.pop()
+            null_check(a)
+            null_check(b)
+            r = (a.data > b.data) - (a.data < b.data)
+            stack.append((r, JType.INT))
+            self.vm.clock.advance(min(a.length, b.length))
+            return None
+
+        # Stack housekeeping ----------------------------------------------
+        if op is Op.DUP:
+            stack.append(stack[-1])
+            return None
+        if op is Op.POP:
+            stack.pop()
+            return None
+        if op is Op.SWAP:
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+            return None
+        if op is Op.NOP:
+            return None
+
+        raise VMError(f"unimplemented opcode {op!r}")

@@ -1,0 +1,77 @@
+"""Library intrinsics shared by the interpreter and the native simulator.
+
+The guest standard library is tiny: a few ``java/lang/Math`` routines, a
+fixed-point model of ``java/math/BigDecimal`` (values are plain ints holding
+hundredths, which keeps arbitrary-precision semantics deterministic), and
+``sun/misc/Unsafe`` raw accessors.  Each intrinsic has a fixed cycle cost;
+BigDecimal is deliberately expensive, which is why the paper notes such
+methods may not be eligible for rematerialization.
+"""
+
+import math
+
+from repro.errors import JavaThrow, VMError
+from repro.jvm.bytecode import JType, mask_integral
+
+
+def _math_sqrt(x):
+    if x < 0:
+        return float("nan")
+    return math.sqrt(x)
+
+
+def _guarded_div(a, b):
+    if b == 0:
+        raise JavaThrow("java/lang/ArithmeticException", "/ by zero")
+    # Fixed-point division keeping two fractional digits.
+    q = (a * 100) // b if (a >= 0) == (b >= 0) else -((abs(a) * 100) // abs(b))
+    return mask_integral(q, JType.LONG)
+
+
+#: signature -> (number of arguments, result JType, cost in cycles, fn)
+INTRINSICS = {
+    "java/lang/Math.sqrt": (1, JType.DOUBLE, 40, _math_sqrt),
+    "java/lang/Math.sin": (1, JType.DOUBLE, 60, math.sin),
+    "java/lang/Math.cos": (1, JType.DOUBLE, 60, math.cos),
+    "java/lang/Math.abs": (1, JType.DOUBLE, 12, abs),
+    "java/lang/Math.max": (2, JType.DOUBLE, 14, max),
+    "java/lang/Math.min": (2, JType.DOUBLE, 14, min),
+    "java/math/BigDecimal.add": (
+        2, JType.PACKED, 220,
+        lambda a, b: mask_integral(int(a) + int(b), JType.LONG)),
+    "java/math/BigDecimal.subtract": (
+        2, JType.PACKED, 220,
+        lambda a, b: mask_integral(int(a) - int(b), JType.LONG)),
+    "java/math/BigDecimal.multiply": (
+        2, JType.PACKED, 340,
+        lambda a, b: mask_integral((int(a) * int(b)) // 100, JType.LONG)),
+    "java/math/BigDecimal.divide": (2, JType.PACKED, 520, _guarded_div),
+    "sun/misc/Unsafe.getInt": (
+        1, JType.INT, 10,
+        lambda a: mask_integral(int(a), JType.INT)),
+    "sun/misc/Unsafe.putInt": (
+        2, JType.INT, 10,
+        lambda a, b: mask_integral(int(a) ^ int(b), JType.INT)),
+}
+
+
+def call_intrinsic(signature, args):
+    """Execute an intrinsic; returns ``(value, jtype, cost_cycles)``."""
+    entry = INTRINSICS.get(signature)
+    if entry is None:
+        raise VMError(f"unknown intrinsic: {signature}")
+    nargs, rtype, cost, fn = entry
+    if len(args) != nargs:
+        raise VMError(f"{signature} expects {nargs} args, got {len(args)}")
+    numeric = []
+    for value in args:
+        if not isinstance(value, (int, float)):
+            raise JavaThrow("java/lang/IllegalArgumentException",
+                            f"{signature} got reference argument")
+        numeric.append(value)
+    result = fn(*numeric)
+    if rtype.is_integral or rtype.is_decimal:
+        result = mask_integral(int(result), JType.LONG)
+    else:
+        result = float(result)
+    return result, rtype, cost

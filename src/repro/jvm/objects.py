@@ -1,0 +1,95 @@
+"""Runtime heap values of the guest virtual machine.
+
+Guest numeric values are plain Python ints/floats (masked to their declared
+widths by the interpreter and native simulator); references are instances of
+:class:`JObject` or :class:`JArray`.
+"""
+
+from repro.errors import JavaThrow
+from repro.jvm.bytecode import JType
+
+
+class JObject:
+    """A guest heap object: a class name plus named fields."""
+
+    __slots__ = ("class_name", "fields", "stack_allocated")
+
+    def __init__(self, class_name, fields=None):
+        self.class_name = class_name
+        self.fields = dict(fields) if fields else {}
+        # Set by compiled code when escape analysis proved the allocation
+        # local; only affects allocation cost, never semantics.
+        self.stack_allocated = False
+
+    def getfield(self, name):
+        # Unset fields read as zero, like default-initialized Java fields.
+        return self.fields.get(name, 0)
+
+    def putfield(self, name, value):
+        self.fields[name] = value
+
+    def isinstance_of(self, class_name, class_registry=None):
+        """Nominal subtype test; the registry supplies superclass links."""
+        cls = self.class_name
+        while cls is not None:
+            if cls == class_name:
+                return True
+            if class_registry is None:
+                return False
+            jclass = class_registry.get(cls)
+            cls = jclass.superclass if jclass is not None else None
+        return False
+
+    def __repr__(self):
+        return f"JObject({self.class_name}, {len(self.fields)} fields)"
+
+
+class JArray:
+    """A guest array with a fixed element type and length."""
+
+    __slots__ = ("elem_type", "data")
+
+    def __init__(self, elem_type, length, fill=0):
+        if length < 0:
+            raise JavaThrow("java/lang/NegativeArraySizeException",
+                            str(length))
+        self.elem_type = elem_type
+        if elem_type in (JType.FLOAT, JType.DOUBLE, JType.LONGDOUBLE):
+            fill = float(fill)
+        self.data = [fill] * length
+
+    @property
+    def length(self):
+        return len(self.data)
+
+    def load(self, index):
+        if not 0 <= index < len(self.data):
+            raise JavaThrow("java/lang/ArrayIndexOutOfBoundsException",
+                            str(index))
+        return self.data[index]
+
+    def store(self, index, value):
+        if not 0 <= index < len(self.data):
+            raise JavaThrow("java/lang/ArrayIndexOutOfBoundsException",
+                            str(index))
+        self.data[index] = value
+
+    def __repr__(self):
+        return f"JArray({self.elem_type.name}, len={len(self.data)})"
+
+
+def null_check(ref):
+    """Raise the guest NullPointerException when *ref* is None/0."""
+    if ref is None or ref == 0:
+        raise JavaThrow("java/lang/NullPointerException")
+    return ref
+
+
+def make_multiarray(elem_type, dims):
+    """Build a rectangular multi-dimensional array (ADDRESS of ... of elem)."""
+    if len(dims) == 1:
+        return JArray(elem_type, dims[0])
+    outer = JArray(JType.ADDRESS, dims[0])
+    for i in range(dims[0]):
+        outer.data[i] = make_multiarray(elem_type, dims[1:])
+    return outer

@@ -1,0 +1,178 @@
+"""The virtual machine: clock, dispatch, counters and profiling hooks.
+
+The VM owns the virtual clock and routes every guest call either to the
+interpreter or, once the JIT has installed a compiled body whose
+(virtual-time) installation moment has passed, to the native simulator.
+
+A *compilation manager* (see :mod:`repro.jit.control`) may be attached; the
+VM notifies it on every invocation and on sampling ticks, and asks it for
+compiled code.  Keeping the interface this narrow mirrors the paper's
+Figure 1: the VM decides nothing about *how* to compile, only *when* to run
+what it is given.
+"""
+
+from repro.clock import VirtualClock
+from repro.errors import VMError
+from repro.jvm.interpreter import Interpreter
+
+#: Cycles between sampling-profiler ticks (the timer-based half of the
+#: hotness estimate; the other half is invocation counting).
+DEFAULT_SAMPLE_INTERVAL = 200_000
+
+#: Amortized allocation cost (object header + GC pressure), in cycles.
+ALLOCATION_COST = 20
+
+#: Guarded maximum recursion depth for guest calls.
+MAX_CALL_DEPTH = 200
+
+
+class VirtualMachine:
+    """A guest-program execution environment.
+
+    Parameters
+    ----------
+    sample_interval:
+        Virtual cycles between sampling ticks delivered to the attached
+        compilation manager.
+    """
+
+    def __init__(self, sample_interval=DEFAULT_SAMPLE_INTERVAL):
+        self.clock = VirtualClock()
+        self.classes = {}
+        self._methods = {}
+        self.invocation_counts = {}
+        self.interpreter = Interpreter(self)
+        self.manager = None  # compilation manager (JIT control), optional
+        self.sample_interval = sample_interval
+        self._next_sample_at = sample_interval
+        self._depth = 0
+        self._current_method = None
+        # Aggregate statistics, for reports and tests.
+        self.stats = {
+            "invocations": 0,
+            "interpreted_invocations": 0,
+            "compiled_invocations": 0,
+            "allocations": 0,
+            "monitor_ops": 0,
+            "samples": 0,
+        }
+
+    # -- program loading -----------------------------------------------------
+
+    def load_class(self, jclass):
+        """Register *jclass* and index its methods by signature."""
+        if jclass.name in self.classes:
+            raise VMError(f"class {jclass.name} already loaded")
+        self.classes[jclass.name] = jclass
+        for method in jclass.methods.values():
+            self._methods[method.signature] = method
+        return jclass
+
+    def load_program(self, program):
+        """Load every class of a :class:`repro.workloads.Program`."""
+        for jclass in program.classes:
+            self.load_class(jclass)
+        return program
+
+    def lookup(self, signature):
+        method = self._methods.get(signature)
+        if method is None:
+            raise VMError(f"no such method: {signature}")
+        return method
+
+    def methods(self):
+        """All loaded methods, in load order."""
+        return list(self._methods.values())
+
+    # -- manager attachment -----------------------------------------------
+
+    def attach_manager(self, manager):
+        """Attach a compilation manager (or None to detach)."""
+        self.manager = manager
+        if manager is not None:
+            manager.on_attach(self)
+
+    # -- execution ----------------------------------------------------------
+
+    def call(self, signature, *raw_args):
+        """Convenience entry point: call with plain Python values.
+
+        Arguments are paired with the method's declared parameter types;
+        returns the plain result value.
+        """
+        method = self.lookup(signature)
+        if len(raw_args) != method.num_args:
+            raise VMError(f"{signature}: expected {method.num_args} args, "
+                          f"got {len(raw_args)}")
+        args = list(zip(raw_args, method.param_types))
+        value, _ = self.invoke(signature, args)
+        return value
+
+    def invoke(self, signature, args):
+        """Invoke a guest method with typed args; returns (value, jtype).
+
+        This is the dispatch point: counters are bumped, the manager is
+        notified (it may enqueue a compilation), and the best available
+        tier is chosen.
+        """
+        method = self.lookup(signature)
+        count = self.invocation_counts.get(signature, 0) + 1
+        self.invocation_counts[signature] = count
+        self.stats["invocations"] += 1
+        if self._depth >= MAX_CALL_DEPTH:
+            raise VMError(f"guest call depth exceeded at {signature}")
+
+        manager = self.manager
+        compiled = None
+        if manager is not None:
+            manager.on_invoke(method, count)
+            compiled = manager.compiled_for(method, self.clock.now())
+
+        previous = self._current_method
+        self._current_method = method
+        self._depth += 1
+        try:
+            if compiled is not None:
+                self.stats["compiled_invocations"] += 1
+                result = compiled.execute(self, args)
+            else:
+                self.stats["interpreted_invocations"] += 1
+                result = self.interpreter.execute(method, args)
+        finally:
+            self._depth -= 1
+            self._current_method = previous
+        if manager is not None:
+            manager.on_return(method, compiled)
+        return result
+
+    # -- hooks called by the execution tiers ---------------------------------
+
+    def on_backward_branch(self, method):
+        """Safepoint poll: deliver sampling ticks at loop back-edges."""
+        if self.clock.now() >= self._next_sample_at:
+            self._next_sample_at = self.clock.now() + self.sample_interval
+            self.stats["samples"] += 1
+            if self.manager is not None:
+                self.manager.on_sample(method)
+
+    def on_allocation(self):
+        self.stats["allocations"] += 1
+        self.clock.advance(ALLOCATION_COST)
+
+    def on_monitor(self, enter):
+        self.stats["monitor_ops"] += 1
+
+    # -- introspection -------------------------------------------------------
+
+    def current_method(self):
+        return self._current_method
+
+    def elapsed_cycles(self):
+        return self.clock.now()
+
+
+def run_entry(vm, signature, *raw_args):
+    """Run an entry point and return (result, elapsed_cycles)."""
+    start = vm.clock.now()
+    result = vm.call(signature, *raw_args)
+    return result, vm.clock.now() - start

@@ -1,0 +1,37 @@
+"""The learning pipeline (paper §6).
+
+``ranking`` implements the ranking function (Eq. 2) and the selection of
+training modifiers per unique feature vector; ``dataset`` the min-max
+normalization (Eq. 3), the persisted scaling file, and the LIBLINEAR
+sparse text format (Figure 4); ``svm`` the from-scratch multi-class
+linear SVM (Crammer-Singer dual, as in LIBLINEAR) and a kernelized RBF
+variant for the kernel-selection study; ``model`` the serialized trained
+bundle; and ``pipeline`` the end-to-end unarchive -> merge -> rank ->
+normalize -> train flow with leave-one-out cross-validation.
+"""
+
+from repro.ml.dataset import (
+    Scaling,
+    read_liblinear,
+    write_liblinear,
+)
+from repro.ml.ranking import RankedData, rank_records
+from repro.ml.model import LevelModel, ModelSet
+from repro.ml.pipeline import (
+    TrainingPipeline,
+    leave_one_out_models,
+    table4_statistics,
+)
+
+__all__ = [
+    "Scaling",
+    "read_liblinear",
+    "write_liblinear",
+    "RankedData",
+    "rank_records",
+    "LevelModel",
+    "ModelSet",
+    "TrainingPipeline",
+    "leave_one_out_models",
+    "table4_statistics",
+]

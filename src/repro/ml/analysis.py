@@ -1,0 +1,80 @@
+"""Feature analysis.
+
+Paper §4.1: "The original set of features was gradually reduced as data
+collection provided evidence that some of the features were invariant
+across all applications used for data collection."  This module provides
+that evidence pipeline for our 71 features:
+
+* :func:`invariant_features` -- components with zero range across a
+  record set (they carry no information and the scaling maps them to 0);
+* :func:`feature_importance` -- for a trained linear model, the
+  per-feature contribution to class separation (the L2 norm of the
+  feature's column of the p x L weight matrix);
+* :func:`feature_report` -- a human-readable combination of both.
+"""
+
+import numpy as np
+
+from repro.features import FEATURE_NAMES, NUM_FEATURES
+
+
+def feature_matrix(records):
+    """Stack the feature vectors of a record iterable."""
+    rows = [r.features for r in records]
+    if not rows:
+        return np.zeros((0, NUM_FEATURES))
+    return np.vstack(rows)
+
+
+def invariant_features(records):
+    """Names of features with zero range across *records* (§4.1's
+    reduction candidates)."""
+    matrix = feature_matrix(records)
+    if matrix.shape[0] == 0:
+        return list(FEATURE_NAMES)
+    ranges = matrix.max(axis=0) - matrix.min(axis=0)
+    return [FEATURE_NAMES[i] for i in range(NUM_FEATURES)
+            if ranges[i] == 0.0]
+
+
+def feature_importance(level_model):
+    """feature name -> importance, from the linear model's weights.
+
+    The importance of feature j is ``||W[:, j]||_2`` over the class
+    rows: features with large weight columns drive class separation.
+    Scaling-invariant features (zero training range) get importance 0
+    regardless of their weights because the scaled input is always 0.
+    """
+    weights = level_model.svm.W  # (L, p)
+    norms = np.linalg.norm(weights, axis=0)
+    zero_range = level_model.scaling.delta == 0
+    norms = np.where(zero_range, 0.0, norms)
+    return dict(zip(FEATURE_NAMES, norms.tolist()))
+
+
+def top_features(level_model, k=10):
+    """The k most influential features, descending."""
+    importance = feature_importance(level_model)
+    ranked = sorted(importance.items(), key=lambda kv: -kv[1])
+    return ranked[:k]
+
+
+def feature_report(records, level_model=None, k=12):
+    """Render the invariance/importance evidence as text."""
+    lines = []
+    invariant = invariant_features(records)
+    lines.append(f"invariant features ({len(invariant)} of "
+                 f"{NUM_FEATURES}) -- candidates for removal "
+                 "(paper §4.1):")
+    for chunk_start in range(0, len(invariant), 4):
+        chunk = invariant[chunk_start:chunk_start + 4]
+        lines.append("  " + ", ".join(chunk))
+    if level_model is not None:
+        lines.append(f"\ntop {k} features by model weight "
+                     f"({level_model.level.name.lower()} model):")
+        ranked = top_features(level_model, k)
+        top = ranked[0][1] if ranked and ranked[0][1] > 0 else 1.0
+        for name, value in ranked:
+            bar = "#" * max(1, int(round(24 * value / top)))
+            lines.append(f"  {name:32s} {value:8.3f}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Data-set normalization and the LIBLINEAR text format (paper §6).
+
+Normalization (Eq. 3) maps every feature component to [0, 1] using the
+minimum and range observed during data processing; the shift/scale pairs
+are persisted in a *scaling file* so that learning-enabled compilation can
+renormalize unseen methods with exactly the training-time parameters
+(paper §7).
+
+The sparse text format (Figure 4) is one instance per line::
+
+    <label> <index>:<value> <index>:<value> ...
+
+with 1-based component indices and zero components omitted.
+"""
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.features import NUM_FEATURES
+
+
+class Scaling:
+    """Per-component min-max scaling fitted on a training set."""
+
+    def __init__(self, minimum, maximum):
+        self.minimum = np.asarray(minimum, dtype=np.float64)
+        self.maximum = np.asarray(maximum, dtype=np.float64)
+        if self.minimum.shape != self.maximum.shape:
+            raise DatasetError("scaling min/max shape mismatch")
+        self.delta = self.maximum - self.minimum
+
+    @staticmethod
+    def fit(matrix):
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] == 0:
+            raise DatasetError("cannot fit scaling on empty data")
+        return Scaling(matrix.min(axis=0), matrix.max(axis=0))
+
+    def transform(self, vector_or_matrix):
+        data = np.asarray(vector_or_matrix, dtype=np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            out = (data - self.minimum) / self.delta
+        # Components with zero range carry no information: map to 0.
+        if data.ndim == 1:
+            out[self.delta == 0] = 0.0
+        else:
+            out[:, self.delta == 0] = 0.0
+        return np.clip(out, 0.0, 1.0)
+
+    # -- the scaling file ----------------------------------------------------
+
+    def save(self, path):
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(f"# repro scaling file v1 ({len(self.minimum)} "
+                     "components)\n")
+            for lo, hi in zip(self.minimum, self.maximum):
+                fh.write(f"{float(lo)!r} {float(hi)!r}\n")
+
+    @staticmethod
+    def load(path):
+        mins, maxs = [], []
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                parts = line.split()
+                if len(parts) != 2:
+                    raise DatasetError(f"bad scaling line: {line!r}")
+                mins.append(float(parts[0]))
+                maxs.append(float(parts[1]))
+        if not mins:
+            raise DatasetError(f"{path}: empty scaling file")
+        return Scaling(mins, maxs)
+
+    def __eq__(self, other):
+        return (isinstance(other, Scaling)
+                and np.array_equal(self.minimum, other.minimum)
+                and np.array_equal(self.maximum, other.maximum))
+
+
+def write_liblinear(path, labels, matrix):
+    """Write instances in the LIBLINEAR sparse text format."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if len(labels) != matrix.shape[0]:
+        raise DatasetError("labels/instances length mismatch")
+    with open(path, "w", encoding="utf-8") as fh:
+        for label, row in zip(labels, matrix):
+            if not 1 <= int(label) <= 2**31 - 1:
+                raise DatasetError(
+                    f"class label {label} outside [1, 2^31-1]")
+            parts = [str(int(label))]
+            for j, value in enumerate(row):
+                if value != 0.0:
+                    parts.append(f"{j + 1}:{value:.6g}")
+            fh.write(" ".join(parts) + "\n")
+
+
+def read_liblinear(path, num_features=NUM_FEATURES):
+    """Read a LIBLINEAR-format file; returns ``(labels, matrix)``."""
+    labels = []
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            parts = line.split()
+            try:
+                label = int(parts[0])
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{lineno}: bad label {parts[0]!r}") from exc
+            row = np.zeros(num_features, dtype=np.float64)
+            for item in parts[1:]:
+                if ":" not in item:
+                    raise DatasetError(
+                        f"{path}:{lineno}: bad component {item!r}")
+                index_s, value_s = item.split(":", 1)
+                index = int(index_s)
+                if not 1 <= index <= num_features:
+                    raise DatasetError(
+                        f"{path}:{lineno}: component index {index} "
+                        f"outside [1, {num_features}]")
+                row[index - 1] = float(value_s)
+            labels.append(label)
+            rows.append(row)
+    if not rows:
+        return [], np.zeros((0, num_features))
+    return labels, np.vstack(rows)

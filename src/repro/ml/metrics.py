@@ -1,0 +1,124 @@
+"""Model-quality diagnostics.
+
+The paper evaluates its models end to end (run time, compile time); when
+iterating on features or SVM parameters it is also useful to evaluate
+them *as classifiers*.  Two notions of correctness matter here:
+
+* **label accuracy** -- the prediction is exactly one of the modifiers
+  the ranking selected for that feature vector; strict, and pessimistic
+  because many distinct modifiers are near-equivalent plans;
+* **good-plan rate** -- the predicted modifier, *when it was actually
+  measured* on that feature vector during collection, ranked within a
+  quality floor of the best (the paper's 95% rule).  This is the number
+  that tracks the end-to-end results.
+
+`k_fold_cross_validation` complements the paper's leave-one-benchmark-
+out scheme with a per-record k-fold split (useful when only one
+benchmark's data is available).
+"""
+
+import numpy as np
+
+from repro.jit.plans import OptLevel
+from repro.ml.ranking import rank_records, ranking_value, \
+    trigger_for_record
+
+
+def label_accuracy(model, ranked_instances):
+    """Fraction of instances whose exact class label is predicted."""
+    if not ranked_instances:
+        return 0.0
+    by_vector = {}
+    for inst in ranked_instances:
+        by_vector.setdefault(inst.features, set()).add(
+            inst.modifier_bits)
+    hits = 0
+    for features, good_bits in by_vector.items():
+        predicted = model.predict_modifier(np.array(features))
+        if predicted.bits in good_bits:
+            hits += 1
+    return hits / len(by_vector)
+
+
+def good_plan_rate(model, records, level, quality_floor=0.95):
+    """Fraction of feature vectors for which the predicted modifier was
+    measured during collection and ranked within *quality_floor* of the
+    best measured plan.  Vectors whose prediction was never measured are
+    counted in the denominator of ``coverage`` but not of the rate.
+
+    Returns ``(rate, coverage)``.
+    """
+    groups = {}
+    for record in records:
+        if record.level != int(level):
+            continue
+        key = tuple(record.features)
+        value = ranking_value(record, trigger_for_record(record))
+        groups.setdefault(key, {})
+        prev = groups[key].get(record.modifier_bits)
+        if prev is None or value < prev:
+            groups[key][record.modifier_bits] = value
+    if not groups:
+        return 0.0, 0.0
+    judged = 0
+    good = 0
+    for key, by_bits in groups.items():
+        predicted = model.predict_modifier(np.array(key))
+        if predicted.bits not in by_bits:
+            continue  # prediction never measured on this method
+        judged += 1
+        best = min(by_bits.values())
+        value = by_bits[predicted.bits]
+        if value <= 0 or best <= 0:
+            quality = 1.0 if value == best else 0.0
+        else:
+            quality = best / value
+        if quality >= quality_floor:
+            good += 1
+    coverage = judged / len(groups)
+    rate = good / judged if judged else 0.0
+    return rate, coverage
+
+
+def k_fold_cross_validation(records, level=OptLevel.HOT, k=5, C=10.0,
+                            seed=0, quality_floor=0.95):
+    """Per-record k-fold CV; returns per-fold label accuracies.
+
+    Folds split the *unique feature vectors* (splitting raw records
+    would leak the same method into train and test).
+    """
+    ranked = rank_records(list(records), level,
+                          quality_floor=quality_floor)
+    vectors = sorted({inst.features for inst in ranked.instances})
+    if len(vectors) < k:
+        k = max(2, len(vectors))
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(vectors))
+    folds = np.array_split(order, k)
+    accuracies = []
+    for fold in folds:
+        held = {vectors[i] for i in fold}
+        train = [inst for inst in ranked.instances
+                 if inst.features not in held]
+        test = [inst for inst in ranked.instances
+                if inst.features in held]
+        if not train or not test:
+            continue
+        model = _train_from_instances(train, level, C)
+        accuracies.append(label_accuracy(model, test))
+    return accuracies
+
+
+def _train_from_instances(instances, level, C):
+    """Fit a LevelModel directly from pre-ranked instances."""
+    from repro.ml.dataset import Scaling
+    from repro.ml.model import LevelModel
+    from repro.ml.ranking import LabelTable
+    from repro.ml.svm.linear import LinearSVC
+    X_raw = np.array([inst.features for inst in instances])
+    table = LabelTable()
+    y = np.array([table.label_for(inst.modifier_bits)
+                  for inst in instances])
+    scaling = Scaling.fit(X_raw)
+    svm = LinearSVC(C=C).fit(scaling.transform(X_raw), y)
+    return LevelModel(level, svm, scaling, table)

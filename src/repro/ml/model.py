@@ -1,0 +1,125 @@
+"""Trained model bundles.
+
+A :class:`LevelModel` is everything learning-enabled compilation needs
+for one optimization level: the trained SVM, the scaling file parameters
+(features must be renormalized exactly as during training, §7), and the
+label table mapping predicted class labels back to full 58-bit modifier
+patterns.  A :class:`ModelSet` groups the per-level models of one
+training run (e.g. one leave-one-out fold).
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.jit.modifiers import Modifier
+from repro.jit.plans import OptLevel
+from repro.ml.dataset import Scaling
+from repro.ml.ranking import LabelTable
+from repro.ml.svm.linear import LinearSVC
+
+
+class LevelModel:
+    """A trained per-level predictor: features -> plan modifier."""
+
+    def __init__(self, level, svm, scaling, label_table):
+        self.level = OptLevel(level)
+        self.svm = svm
+        self.scaling = scaling
+        self.label_table = label_table
+
+    def predict_label(self, raw_features):
+        normalized = self.scaling.transform(
+            np.asarray(raw_features, dtype=np.float64))
+        return int(self.svm.predict(normalized))
+
+    def predict_modifier(self, raw_features):
+        label = self.predict_label(raw_features)
+        return Modifier(self.label_table.bits_for(label))
+
+    # -- persistence (linear models only; the service loads these) -----------
+
+    def save(self, directory):
+        os.makedirs(directory, exist_ok=True)
+        if not isinstance(self.svm, LinearSVC):
+            raise TrainingError(
+                "only linear models are persisted (RBF models are a "
+                "study artifact, not deployable in the JIT)")
+        np.savez(os.path.join(directory, "weights.npz"),
+                 W=self.svm.W, classes=self.svm.classes_)
+        self.scaling.save(os.path.join(directory, "scaling.txt"))
+        with open(os.path.join(directory, "labels.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump({"level": int(self.level),
+                       "C": self.svm.C,
+                       "modifier_bits": [str(b) for b in
+                                         self.label_table.all_bits()]},
+                      fh)
+
+    @staticmethod
+    def load(directory):
+        data = np.load(os.path.join(directory, "weights.npz"))
+        with open(os.path.join(directory, "labels.json"),
+                  encoding="utf-8") as fh:
+            meta = json.load(fh)
+        svm = LinearSVC(C=meta.get("C", 10.0))
+        svm.W = data["W"]
+        svm.classes_ = data["classes"]
+        scaling = Scaling.load(os.path.join(directory, "scaling.txt"))
+        table = LabelTable(int(b) for b in meta["modifier_bits"])
+        return LevelModel(OptLevel(meta["level"]), svm, scaling, table)
+
+
+class ModelSet:
+    """The per-level models of one training run / cross-validation fold.
+
+    Levels without a model (very hot, scorching -- the paper trains only
+    cold/warm/hot) predict None, which the strategy control maps to the
+    original Testarossa plan.
+    """
+
+    def __init__(self, name, models, excluded=None,
+                 training_benchmarks=()):
+        self.name = name
+        self.models = dict(models)  # OptLevel -> LevelModel
+        self.excluded = excluded
+        self.training_benchmarks = tuple(training_benchmarks)
+
+    def model_for(self, level):
+        return self.models.get(OptLevel(level))
+
+    def predict_modifier(self, level, raw_features):
+        model = self.model_for(level)
+        if model is None:
+            return None
+        return model.predict_modifier(raw_features)
+
+    def save(self, directory):
+        os.makedirs(directory, exist_ok=True)
+        meta = {"name": self.name, "excluded": self.excluded,
+                "training_benchmarks": list(self.training_benchmarks),
+                "levels": [int(lv) for lv in self.models]}
+        with open(os.path.join(directory, "modelset.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump(meta, fh)
+        for level, model in self.models.items():
+            model.save(os.path.join(directory, f"level_{int(level)}"))
+
+    @staticmethod
+    def load(directory):
+        with open(os.path.join(directory, "modelset.json"),
+                  encoding="utf-8") as fh:
+            meta = json.load(fh)
+        models = {}
+        for level_i in meta["levels"]:
+            models[OptLevel(level_i)] = LevelModel.load(
+                os.path.join(directory, f"level_{level_i}"))
+        return ModelSet(meta["name"], models, meta.get("excluded"),
+                        meta.get("training_benchmarks", ()))
+
+    def __repr__(self):
+        levels = ",".join(lv.name for lv in self.models)
+        return (f"ModelSet({self.name}, levels=[{levels}], "
+                f"excluded={self.excluded})")

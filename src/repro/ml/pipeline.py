@@ -1,0 +1,129 @@
+"""End-to-end training pipeline (paper §6) and cross-validation (§8.1).
+
+Flow: unarchive (or take in-memory record sets) -> merge -> rank (Eq. 2)
+-> normalize (Eq. 3, scaling persisted) -> train one multi-class linear
+SVM per optimization level.  ``leave_one_out_models`` builds the paper's
+five model sets, each trained on four of the five training benchmarks;
+``table4_statistics`` computes the merged-vs-ranked data-set statistics
+of Table 4.
+"""
+
+import time
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.jit.plans import OptLevel
+from repro.ml.dataset import Scaling
+from repro.ml.model import LevelModel, ModelSet
+from repro.ml.ranking import LabelTable, rank_records
+from repro.ml.svm.linear import LinearSVC
+
+DEFAULT_LEVELS = (OptLevel.COLD, OptLevel.WARM, OptLevel.HOT)
+
+
+class TrainingPipeline:
+    """Trains a :class:`ModelSet` from experiment records."""
+
+    def __init__(self, levels=DEFAULT_LEVELS, C=10.0, strategy="top_n",
+                 top_n=3, quality_floor=0.95, max_epochs=60, seed=0):
+        self.levels = tuple(levels)
+        self.C = C
+        self.strategy = strategy
+        self.top_n = top_n
+        self.quality_floor = quality_floor
+        self.max_epochs = max_epochs
+        self.seed = seed
+        #: Filled by :meth:`train`: level -> RankedData, training seconds.
+        self.ranked = {}
+        self.training_seconds = {}
+
+    def train(self, records, name="model", excluded=None,
+              training_benchmarks=()):
+        """Rank + normalize + train; returns a :class:`ModelSet`."""
+        models = {}
+        for level in self.levels:
+            ranked = rank_records(
+                records, level, strategy=self.strategy,
+                top_n=self.top_n, quality_floor=self.quality_floor)
+            self.ranked[level] = ranked
+            if not ranked.instances:
+                continue
+            X_raw = np.array([inst.features
+                              for inst in ranked.instances])
+            table = LabelTable()
+            y = np.array([table.label_for(inst.modifier_bits)
+                          for inst in ranked.instances])
+            scaling = Scaling.fit(X_raw)
+            X = scaling.transform(X_raw)
+            svm = LinearSVC(C=self.C, max_epochs=self.max_epochs,
+                            seed=self.seed)
+            started = time.perf_counter()
+            svm.fit(X, y)
+            self.training_seconds[level] = (time.perf_counter()
+                                            - started)
+            models[level] = LevelModel(level, svm, scaling, table)
+        if not models:
+            raise TrainingError(
+                f"no training instances for any of {self.levels}")
+        return ModelSet(name, models, excluded=excluded,
+                        training_benchmarks=training_benchmarks)
+
+
+def merge_record_sets(record_sets):
+    """Concatenate several record sets (the 'merging of intermediate
+    data sets' step enabling cross-validation)."""
+    from repro.collect.records import RecordSet
+    out = RecordSet(benchmark="+".join(sorted(record_sets)))
+    for name in sorted(record_sets):
+        out.extend(record_sets[name].records)
+    return out
+
+
+def leave_one_out_models(record_sets, levels=DEFAULT_LEVELS, C=10.0,
+                         **pipeline_kwargs):
+    """The paper's five model sets: H_k is trained on every training
+    benchmark except the k-th (§8.1: "five sets of models were trained
+    with the SVM, each including four benchmarks")."""
+    names = sorted(record_sets)
+    out = {}
+    for k, held_out in enumerate(names, start=1):
+        included = {n: rs for n, rs in record_sets.items()
+                    if n != held_out}
+        pipeline = TrainingPipeline(levels=levels, C=C,
+                                    **pipeline_kwargs)
+        merged = merge_record_sets(included)
+        model_name = f"H{k}"
+        out[model_name] = pipeline.train(
+            merged, name=model_name, excluded=held_out,
+            training_benchmarks=sorted(included))
+    return out
+
+
+def table4_statistics(record_sets, levels=DEFAULT_LEVELS,
+                      strategy="top_n", top_n=3, quality_floor=0.95):
+    """Rows of Table 4: merged vs ranked data-set sizes per level.
+
+    Returns ``{level: {merged_instances, merged_classes,
+    merged_feature_vectors, merged_ratio, training_instances,
+    training_classes, training_feature_vectors, training_ratio}}``.
+    """
+    merged = merge_record_sets(record_sets)
+    rows = {}
+    for level in levels:
+        ranked = rank_records(merged.records, level, strategy=strategy,
+                              top_n=top_n, quality_floor=quality_floor)
+        merged_fv = max(1, ranked.merged_feature_vectors)
+        training_fv = max(1, len(ranked.unique_feature_vectors()))
+        rows[level] = {
+            "merged_instances": ranked.merged_instances,
+            "merged_classes": ranked.merged_classes,
+            "merged_feature_vectors": ranked.merged_feature_vectors,
+            "merged_ratio": ranked.merged_instances / merged_fv,
+            "training_instances": len(ranked.instances),
+            "training_classes": len(ranked.unique_classes()),
+            "training_feature_vectors":
+                len(ranked.unique_feature_vectors()),
+            "training_ratio": len(ranked.instances) / training_fv,
+        }
+    return rows

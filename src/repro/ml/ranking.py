@@ -1,0 +1,166 @@
+"""Ranking of collected experiments (paper §6, Eq. 2).
+
+The ranking value of the i-th record is::
+
+    V_i = R_i / I_i + C_i / T_h
+
+where ``R_i`` is the accumulated running time of the method compiled with
+the respective modifier, ``I_i`` the invocation count, ``C_i`` the
+compilation time, and ``T_h`` the trigger value the compiler uses for
+recompilation at level *h* (one of three values depending on the method's
+loop character -- footnote 6).  Smaller is better: V combines average
+per-invocation time with compilation cost normalized by how often a
+method at that hotness is expected to be recompiled.
+
+Records are aggregated by *unique feature vector* ("methods are as
+distinct as their respective feature vectors"), lexicographically sorted,
+and for each vector a small set of winning modifiers is selected by one
+of three strategies: the single best, the top-N, or the top-M%.  The
+models in the paper use top-N with N = 3 and the additional rule that a
+selected modifier must rank within 95% of the best.
+"""
+
+import dataclasses
+
+from repro.jit.control import ControlConfig, loop_class_of
+from repro.jit.plans import OptLevel
+
+
+def ranking_value(record, trigger):
+    """Eq. 2 for one record given the level/loop-class trigger T_h."""
+    if record.invocations <= 0:
+        return float("inf")
+    return (record.running_cycles / record.invocations
+            + record.compile_cycles / trigger)
+
+
+def trigger_for_record(record, control_config=None):
+    """T_h for a record: the baseline controller's trigger for the
+    record's level and the method's loop character (from its features)."""
+    config = control_config or ControlConfig()
+    loop_class = loop_class_of(None, features=record.features)
+    return config.trigger(OptLevel(record.level), loop_class)
+
+
+@dataclasses.dataclass
+class RankedInstance:
+    """One training instance: a feature vector labelled with a winning
+    modifier."""
+
+    features: tuple          # raw (unnormalized) feature tuple
+    modifier_bits: int
+    value: float             # Eq. 2 ranking value
+    level: int
+
+
+@dataclasses.dataclass
+class RankedData:
+    """The ranked training set for one optimization level."""
+
+    level: int
+    instances: list
+    #: Aggregate statistics of the *merged* (pre-ranking) data,
+    #: for Table 4.
+    merged_instances: int = 0
+    merged_classes: int = 0
+    merged_feature_vectors: int = 0
+
+    def unique_classes(self):
+        return {i.modifier_bits for i in self.instances}
+
+    def unique_feature_vectors(self):
+        return {i.features for i in self.instances}
+
+
+def rank_records(records, level, strategy="top_n", top_n=3,
+                 top_percent=10.0, quality_floor=0.95,
+                 control_config=None):
+    """Rank the records of one level into training instances.
+
+    *strategy*: ``'best'`` (single best modifier per feature vector),
+    ``'top_n'`` (the paper's choice, with the ``quality_floor`` rule: a
+    selected modifier's value must be within 95% of the best), or
+    ``'top_percent'`` (best M% of a vector's modifiers).
+    """
+    config = control_config or ControlConfig()
+    level_records = [r for r in records if r.level == int(level)]
+
+    # Lexicographic aggregation by feature vector (Figure 3).
+    groups = {}
+    for record in level_records:
+        key = tuple(record.features)
+        groups.setdefault(key, []).append(record)
+
+    instances = []
+    for key in sorted(groups):
+        group = groups[key]
+        scored = []
+        for record in group:
+            trigger = trigger_for_record(record, config)
+            scored.append((ranking_value(record, trigger), record))
+        scored.sort(key=lambda pair: pair[0])
+        best_value = scored[0][0]
+        if strategy == "best":
+            chosen = scored[:1]
+        elif strategy == "top_n":
+            chosen = []
+            for value, record in scored[:top_n]:
+                if value <= 0 or best_value <= 0:
+                    quality = 1.0 if value == best_value else 0.0
+                else:
+                    quality = best_value / value
+                if quality >= quality_floor:
+                    chosen.append((value, record))
+        elif strategy == "top_percent":
+            keep = max(1, int(round(len(scored) * top_percent / 100.0)))
+            chosen = scored[:keep]
+        else:
+            raise ValueError(f"unknown ranking strategy {strategy!r}")
+        seen_bits = set()
+        for value, record in chosen:
+            if record.modifier_bits in seen_bits:
+                continue  # one instance per (vector, modifier)
+            seen_bits.add(record.modifier_bits)
+            instances.append(RankedInstance(
+                features=key, modifier_bits=record.modifier_bits,
+                value=value, level=int(level)))
+
+    return RankedData(
+        level=int(level),
+        instances=instances,
+        merged_instances=len(level_records),
+        merged_classes=len({r.modifier_bits for r in level_records}),
+        merged_feature_vectors=len(groups),
+    )
+
+
+class LabelTable:
+    """Bidirectional mapping between modifier bit patterns and the dense
+    class labels required by the SVM (labels must fit [1, 2^31-1]; the
+    2^58 modifier space is remapped and mapped back through this table,
+    which is persisted with the model)."""
+
+    def __init__(self, modifier_bits_list=()):
+        self._bits = []
+        self._label_of = {}
+        for bits in modifier_bits_list:
+            self.label_for(bits)
+
+    def label_for(self, bits):
+        label = self._label_of.get(bits)
+        if label is None:
+            self._bits.append(bits)
+            label = len(self._bits)  # labels start at 1
+            self._label_of[bits] = label
+        return label
+
+    def bits_for(self, label):
+        if not 1 <= label <= len(self._bits):
+            raise KeyError(f"unknown class label {label}")
+        return self._bits[label - 1]
+
+    def __len__(self):
+        return len(self._bits)
+
+    def all_bits(self):
+        return list(self._bits)

@@ -1,0 +1,15 @@
+"""Support Vector Machines, from scratch.
+
+``linear`` implements the multi-class linear SVM of LIBLINEAR (the
+Crammer-Singer formulation trained by the sequential dual method of
+Keerthi et al., KDD'08 -- the paper's reference [18]); ``rbf`` a
+kernelized one-vs-rest SVM used for the kernel-selection study of §6
+(linear kernel: slower training, microsecond predictions; RBF kernel:
+faster training, predictions far too slow for a JIT).
+"""
+
+from repro.ml.svm.linear import LinearSVC
+from repro.ml.svm.rbf import KernelSVC
+from repro.ml.svm.kernels import linear_kernel, rbf_kernel
+
+__all__ = ["LinearSVC", "KernelSVC", "linear_kernel", "rbf_kernel"]

@@ -1,0 +1,19 @@
+"""Kernel functions for the kernelized SVM."""
+
+import numpy as np
+
+
+def linear_kernel(A, B):
+    """K(a, b) = a . b"""
+    return np.asarray(A) @ np.asarray(B).T
+
+
+def rbf_kernel(A, B, gamma=0.5):
+    """K(a, b) = exp(-gamma * ||a - b||^2)"""
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    aa = np.einsum("ij,ij->i", A, A)[:, None]
+    bb = np.einsum("ij,ij->i", B, B)[None, :]
+    sq = aa + bb - 2.0 * (A @ B.T)
+    np.maximum(sq, 0.0, out=sq)
+    return np.exp(-gamma * sq)

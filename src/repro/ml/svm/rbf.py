@@ -1,0 +1,92 @@
+"""Kernelized one-vs-rest SVM (for the kernel-selection study, §6).
+
+Each class gets a binary L1-loss SVM trained by dual coordinate descent
+over the precomputed kernel matrix (Hsieh et al., ICML 2008).  RBF
+training converges in few epochs on our data (the paper likewise found
+RBF training *faster*), but prediction must evaluate the kernel against
+every support vector -- which is precisely why the paper rejects it for
+use inside a JIT: "a learned RBF model can take up to 660 ms to compute a
+prediction" versus 48 us for the linear model.
+"""
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.ml.svm.kernels import rbf_kernel
+
+
+class KernelSVC:
+    """One-vs-rest kernel SVM with a precomputed-kernel dual CD solver."""
+
+    def __init__(self, C=10.0, gamma=0.5, max_epochs=40, tol=1e-3,
+                 seed=0):
+        self.C = float(C)
+        self.gamma = float(gamma)
+        self.max_epochs = int(max_epochs)
+        self.tol = float(tol)
+        self.seed = seed
+        self.X_ = None
+        self.classes_ = None
+        self.dual_coef_ = None  # (L, n) alpha_i * y_i per class
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2 or X.shape[0] == 0:
+            raise TrainingError("empty training set")
+        classes, y_idx = np.unique(y, return_inverse=True)
+        n = X.shape[0]
+        L = len(classes)
+        K = rbf_kernel(X, X, self.gamma)
+        diag = np.clip(np.diag(K), 1e-12, None)
+        rng = np.random.default_rng(self.seed)
+
+        coef = np.zeros((L, n))
+        for m in range(L):
+            ybin = np.where(y_idx == m, 1.0, -1.0)
+            alpha = np.zeros(n)
+            f = np.zeros(n)  # f_i = sum_j alpha_j y_j K_ij
+            for _epoch in range(self.max_epochs):
+                max_change = 0.0
+                for i in rng.permutation(n):
+                    grad = ybin[i] * f[i] - 1.0
+                    old = alpha[i]
+                    new = min(max(old - grad / diag[i], 0.0), self.C)
+                    delta = new - old
+                    if abs(delta) > 1e-12:
+                        alpha[i] = new
+                        f += delta * ybin[i] * K[:, i]
+                        max_change = max(max_change, abs(delta))
+                if max_change < self.tol:
+                    break
+            coef[m] = alpha * ybin
+
+        self.X_ = X
+        self.classes_ = classes
+        self.dual_coef_ = coef
+        return self
+
+    def decision_function(self, X):
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X[None, :]
+        K = rbf_kernel(X, self.X_, self.gamma)
+        return K @ self.dual_coef_.T
+
+    def predict(self, X):
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        single = X.ndim == 1
+        scores = self.decision_function(X)
+        out = self.classes_[np.argmax(scores, axis=1)]
+        return out[0] if single else out
+
+    def support_vector_count(self):
+        self._check_fitted()
+        return int(np.count_nonzero(np.any(self.dual_coef_ != 0.0,
+                                           axis=0)))
+
+    def _check_fitted(self):
+        if self.dual_coef_ is None:
+            raise TrainingError("model is not trained")

@@ -1,0 +1,32 @@
+"""Compiler <-> model integration (paper §7).
+
+The machine-learned model runs in a separate process (or thread) behind a
+lean binary protocol over named pipes, so models can be swapped without
+any change to the compiler.  ``protocol`` defines the framing,
+``server``/``client`` the two endpoints over OS pipes (including real
+``mkfifo`` named pipes), and ``strategy`` the Strategy-Control extension
+that renormalizes features and maps predicted labels back to modifiers.
+"""
+
+from repro.service.protocol import (
+    MSG_PING,
+    MSG_PREDICT,
+    MSG_SHUTDOWN,
+    read_message,
+    write_message,
+)
+from repro.service.server import ModelServer
+from repro.service.client import ModelClient
+from repro.service.strategy import ModelStrategy, ServiceStrategy
+
+__all__ = [
+    "MSG_PING",
+    "MSG_PREDICT",
+    "MSG_SHUTDOWN",
+    "read_message",
+    "write_message",
+    "ModelServer",
+    "ModelClient",
+    "ModelStrategy",
+    "ServiceStrategy",
+]

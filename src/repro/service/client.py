@@ -1,0 +1,73 @@
+"""The compiler-side client endpoint."""
+
+import os
+
+from repro.errors import ProtocolError
+from repro.jit.modifiers import Modifier
+from repro.service import protocol as P
+
+
+class ModelClient:
+    """Sends prediction requests; blocks for the answer (compilation
+    cannot proceed without the plan)."""
+
+    def __init__(self, write_fd, read_fd):
+        self.write_fd = write_fd
+        self.read_fd = read_fd
+        self._read = lambda n: os.read(read_fd, n)
+        self._write = lambda b: os.write(write_fd, b)
+
+    @staticmethod
+    def connect_fifos(request_path, response_path):
+        """Open the client side of a named-pipe rendezvous."""
+        write_fd = os.open(request_path, os.O_WRONLY)
+        read_fd = os.open(response_path, os.O_RDONLY)
+        return ModelClient(write_fd, read_fd)
+
+    def ping(self):
+        P.write_message(self._write, P.MSG_PING)
+        kind, _ = P.read_message(self._read)
+        if kind != P.MSG_PONG:
+            raise ProtocolError(f"expected PONG, got kind {kind}")
+        return True
+
+    def predict(self, level, features):
+        """Request a modifier for (level, raw features).
+
+        Returns a :class:`Modifier`, or None when the server has no
+        model for the level (the compiler then uses the original plan).
+        """
+        P.write_message(self._write, P.MSG_PREDICT,
+                        P.encode_predict(int(level), features))
+        kind, payload = P.read_message(self._read)
+        if kind != P.MSG_MODIFIER:
+            raise ProtocolError(f"expected MODIFIER, got kind {kind}")
+        bits = P.decode_modifier(payload)
+        if bits == P.NO_MODEL:
+            return None
+        return Modifier(bits)
+
+    def shutdown(self):
+        P.write_message(self._write, P.MSG_SHUTDOWN)
+        kind, _ = P.read_message(self._read)
+        if kind != P.MSG_BYE:
+            raise ProtocolError(f"expected BYE, got kind {kind}")
+
+    def close(self):
+        for fd in (self.write_fd, self.read_fd):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+
+
+def connected_pair(model_set):
+    """Anonymous-pipe rendezvous for in-process tests: starts a server
+    thread and returns a ready :class:`ModelClient`."""
+    from repro.service.server import ModelServer
+    req_r, req_w = os.pipe()
+    resp_r, resp_w = os.pipe()
+    server = ModelServer(model_set, req_r, resp_w)
+    thread = server.serve_in_thread()
+    client = ModelClient(req_w, resp_r)
+    return client, server, thread

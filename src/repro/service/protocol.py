@@ -1,0 +1,96 @@
+"""The lean binary protocol between compiler and model (paper §7).
+
+Frames are length-prefixed::
+
+    u32 length | u8 kind | payload
+
+Kinds:
+
+* ``MSG_PING``      -- payload empty; response is an empty PONG frame.
+* ``MSG_PREDICT``   -- payload: u8 level + 71 little-endian f64 feature
+  components; response payload: u64 modifier bits, or the 8-byte
+  sentinel ``NO_MODEL`` when the server has no model for that level
+  (the compiler then uses the original plan).
+* ``MSG_SHUTDOWN``  -- server acknowledges and exits its loop.
+
+The protocol deliberately carries *raw* features: renormalization with
+the training-time scaling file happens on the model side, keeping the
+compiler unaware of how any particular model was trained.
+"""
+
+import struct
+
+from repro.errors import ProtocolError
+from repro.features import NUM_FEATURES
+
+MSG_PING = 1
+MSG_PREDICT = 2
+MSG_SHUTDOWN = 3
+MSG_PONG = 4
+MSG_MODIFIER = 5
+MSG_BYE = 6
+
+#: Modifier-bits sentinel meaning "no model for this level".
+NO_MODEL = 0xFFFFFFFFFFFFFFFF
+
+_HEADER = struct.Struct("<IB")
+
+
+def write_message(write_fn, kind, payload=b""):
+    """Frame and send one message through *write_fn(bytes)*."""
+    frame = _HEADER.pack(len(payload), kind) + payload
+    write_fn(frame)
+
+
+def read_message(read_fn):
+    """Read one framed message via *read_fn(n) -> bytes*.
+
+    Returns ``(kind, payload)``; raises ProtocolError on a short read or
+    oversized frame.
+    """
+    header = _read_exact(read_fn, _HEADER.size)
+    length, kind = _HEADER.unpack(header)
+    if length > 1 << 20:
+        raise ProtocolError(f"oversized frame: {length} bytes")
+    payload = _read_exact(read_fn, length) if length else b""
+    return kind, payload
+
+
+def _read_exact(read_fn, n):
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = read_fn(remaining)
+        if not chunk:
+            raise ProtocolError("peer closed the pipe mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def encode_predict(level, features):
+    if len(features) != NUM_FEATURES:
+        raise ProtocolError(
+            f"feature vector must have {NUM_FEATURES} components")
+    return struct.pack(f"<B{NUM_FEATURES}d", int(level),
+                       *[float(x) for x in features])
+
+
+def decode_predict(payload):
+    expect = 1 + 8 * NUM_FEATURES
+    if len(payload) != expect:
+        raise ProtocolError(
+            f"predict payload must be {expect} bytes, got "
+            f"{len(payload)}")
+    values = struct.unpack(f"<B{NUM_FEATURES}d", payload)
+    return values[0], list(values[1:])
+
+
+def encode_modifier(bits):
+    return struct.pack("<Q", bits)
+
+
+def decode_modifier(payload):
+    if len(payload) != 8:
+        raise ProtocolError("modifier payload must be 8 bytes")
+    return struct.unpack("<Q", payload)[0]

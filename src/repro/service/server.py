@@ -1,0 +1,80 @@
+"""The model server endpoint.
+
+Serves prediction requests from a read pipe and answers on a write pipe.
+Works over any file-descriptor pair; helpers create real ``mkfifo`` named
+pipes (the paper's transport) or anonymous OS pipes for tests.  Swapping
+models means restarting the server with a different
+:class:`~repro.ml.model.ModelSet` -- the compiler side is untouched.
+"""
+
+import os
+import threading
+
+from repro.errors import ProtocolError
+from repro.jit.plans import OptLevel
+from repro.service import protocol as P
+
+
+class ModelServer:
+    """Answers MSG_PREDICT requests from a :class:`ModelSet`."""
+
+    def __init__(self, model_set, read_fd, write_fd):
+        self.model_set = model_set
+        self.read_fd = read_fd
+        self.write_fd = write_fd
+        self.requests_served = 0
+
+    def serve_forever(self):
+        """Process messages until MSG_SHUTDOWN or pipe closure."""
+        read_fn = lambda n: os.read(self.read_fd, n)  # noqa: E731
+        write_fn = lambda b: os.write(self.write_fd, b)  # noqa: E731
+        while True:
+            try:
+                kind, payload = P.read_message(read_fn)
+            except ProtocolError:
+                break  # peer went away
+            if kind == P.MSG_PING:
+                P.write_message(write_fn, P.MSG_PONG)
+            elif kind == P.MSG_PREDICT:
+                level_i, features = P.decode_predict(payload)
+                self.requests_served += 1
+                modifier = self.model_set.predict_modifier(
+                    OptLevel(level_i), features)
+                bits = P.NO_MODEL if modifier is None else modifier.bits
+                P.write_message(write_fn, P.MSG_MODIFIER,
+                                P.encode_modifier(bits))
+            elif kind == P.MSG_SHUTDOWN:
+                P.write_message(write_fn, P.MSG_BYE)
+                break
+            else:
+                raise ProtocolError(f"unknown message kind {kind}")
+
+    def serve_in_thread(self):
+        thread = threading.Thread(target=self.serve_forever,
+                                  daemon=True)
+        thread.start()
+        return thread
+
+
+def make_fifo_pair(directory):
+    """Create the two named pipes of a service rendezvous; returns
+    ``(request_path, response_path)``."""
+    request = os.path.join(directory, "model_requests.fifo")
+    response = os.path.join(directory, "model_responses.fifo")
+    for path in (request, response):
+        if os.path.exists(path):
+            os.unlink(path)
+        os.mkfifo(path)
+    return request, response
+
+
+def serve_over_fifos(model_set, request_path, response_path):
+    """Open the named pipes (blocking rendezvous with the client) and
+    serve until shutdown.  Intended to run in a thread or subprocess."""
+    read_fd = os.open(request_path, os.O_RDONLY)
+    write_fd = os.open(response_path, os.O_WRONLY)
+    try:
+        ModelServer(model_set, read_fd, write_fd).serve_forever()
+    finally:
+        os.close(read_fd)
+        os.close(write_fd)

@@ -1,0 +1,45 @@
+"""Strategy-Control extensions that consult a learned model.
+
+Both implement the ``choose_modifier(method, level, features)`` hook the
+compiler calls just before the optimization stage (paper Figure 5, steps
+d-f).  :class:`ModelStrategy` queries an in-process
+:class:`~repro.ml.model.ModelSet` directly (fast path used by the
+experiment harness); :class:`ServiceStrategy` goes through the
+named-pipe protocol, exercising the full out-of-process integration.
+
+For levels without a trained model -- very hot and scorching in the
+paper -- both return None, which the compiler maps to the null modifier
+(the original hand-tuned plan).
+"""
+
+from repro.jit.plans import OptLevel
+
+
+class ModelStrategy:
+    """In-process model consultation."""
+
+    def __init__(self, model_set, prediction_cost_cycles=120):
+        self.model_set = model_set
+        #: Synchronous cycles charged per prediction (the linear-kernel
+        #: prediction latency; microseconds at the paper's scale).
+        self.prediction_cost_cycles = prediction_cost_cycles
+        self.predictions = 0
+
+    def choose_modifier(self, method, level, features):
+        model = self.model_set.model_for(OptLevel(level))
+        if model is None:
+            return None
+        self.predictions += 1
+        return model.predict_modifier(features)
+
+
+class ServiceStrategy:
+    """Out-of-process model consultation over the pipe protocol."""
+
+    def __init__(self, client):
+        self.client = client
+        self.predictions = 0
+
+    def choose_modifier(self, method, level, features):
+        self.predictions += 1
+        return self.client.predict(int(level), features)

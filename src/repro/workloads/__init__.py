@@ -1,0 +1,27 @@
+"""Synthetic guest workloads.
+
+`generator` builds deterministic random programs (classes + methods +
+an entry point) from a characteristic :class:`~repro.workloads.profiles.
+WorkloadProfile`; `profiles` defines the per-benchmark mixes for the
+SPECjvm98-like and DaCapo-like suites (`specjvm`, `dacapo`).
+"""
+
+from repro.workloads.generator import Program, ProgramGenerator
+from repro.workloads.profiles import WorkloadProfile
+from repro.workloads.specjvm import (
+    SPECJVM_BENCHMARKS,
+    SPECJVM_TRAINING,
+    specjvm_program,
+)
+from repro.workloads.dacapo import DACAPO_BENCHMARKS, dacapo_program
+
+__all__ = [
+    "Program",
+    "ProgramGenerator",
+    "WorkloadProfile",
+    "SPECJVM_BENCHMARKS",
+    "SPECJVM_TRAINING",
+    "specjvm_program",
+    "DACAPO_BENCHMARKS",
+    "dacapo_program",
+]

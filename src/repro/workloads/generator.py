@@ -1,0 +1,711 @@
+"""Deterministic synthetic program generator.
+
+Produces guest programs whose methods follow the invariants the IL
+generator relies on (single static type per local slot, empty operand
+stack at branch points, locals initialized before use) while covering the
+full feature space of §4.1: loops (counted, many-iteration, nested),
+integer/floating/decimal arithmetic, arrays, object allocation and field
+traffic, exceptions with handlers, synchronization, intrinsic calls
+(Math, BigDecimal, Unsafe) and acyclic call chains.
+
+All randomness comes from the generator's ``numpy`` Generator, so a
+(profile, seed) pair always yields the identical program.
+"""
+
+from repro.errors import ReproError
+from repro.jvm.asm import Assembler
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import Handler, JClass, JMethod, MethodModifiers
+
+_OBJECT_CLASSES = ("app/Node", "app/Point", "app/Record")
+_EXC_CLASS = "app/AppError"
+_INT_FIELDS = ("val", "cnt", "next")
+_DOUBLE_FIELDS = ("w_d", "x_d")
+
+
+class Program:
+    """A generated guest program."""
+
+    def __init__(self, name, classes, entry, profile):
+        self.name = name
+        self.classes = classes
+        self.entry = entry
+        self.profile = profile
+
+    def methods(self):
+        return [m for c in self.classes for m in c.methods.values()]
+
+    def __repr__(self):
+        n = sum(len(c.methods) for c in self.classes)
+        return f"Program({self.name}, {n} methods, entry={self.entry})"
+
+
+class _MethodBuilder:
+    """Structured code emission on top of the assembler."""
+
+    def __init__(self, gen, name, param_types, return_type):
+        self.gen = gen
+        self.rng = gen.rng
+        self.asm = Assembler()
+        self.name = name
+        self.param_types = list(param_types)
+        self.return_type = return_type
+        self.slot_types = list(param_types)
+        self.handlers = []
+        self.array_lengths = {}  # slot -> known constant length
+        self.loop_depth = 0
+        # Active loop counters: never the target of random assignments
+        # (clobbering a counter would break loop termination).
+        self.protected = set()
+
+    # -- slots ---------------------------------------------------------
+
+    def new_slot(self, jtype):
+        self.slot_types.append(jtype)
+        return len(self.slot_types) - 1
+
+    def slots_of(self, jtype, initialized_only=True):
+        return [i for i, t in enumerate(self.slot_types) if t == jtype]
+
+    def writable_slots_of(self, jtype):
+        return [i for i, t in enumerate(self.slot_types)
+                if t == jtype and i not in self.protected]
+
+    def pick_int_target(self):
+        slots = self.writable_slots_of(JType.INT)
+        if slots:
+            return int(self.rng.choice(slots))
+        return self.init_int()
+
+    def pick_double_target(self):
+        slots = self.writable_slots_of(JType.DOUBLE)
+        if slots:
+            return int(self.rng.choice(slots))
+        return self.init_double()
+
+    def init_int(self, value=None):
+        slot = self.new_slot(JType.INT)
+        if value is None:
+            value = int(self.rng.integers(-20, 100))
+        self.asm.iconst(value).store(slot)
+        return slot
+
+    def init_double(self, value=None):
+        slot = self.new_slot(JType.DOUBLE)
+        if value is None:
+            value = round(float(self.rng.uniform(-4.0, 8.0)), 3)
+        self.asm.dconst(value).store(slot)
+        return slot
+
+    # -- expressions (emit stack code producing one value) --------------------
+
+    def int_expr(self, depth=2):
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.35:
+            ints = self.slots_of(JType.INT)
+            if ints and rng.random() < 0.75:
+                self.asm.load(int(rng.choice(ints)))
+            else:
+                self.asm.iconst(int(rng.integers(-8, 65)))
+            return
+        choice = rng.random()
+        if choice < 0.72:
+            op = rng.choice(["add", "sub", "mul", "and", "or", "xor",
+                             "shl", "shr"])
+            self.int_expr(depth - 1)
+            if op in ("shl", "shr"):
+                self.asm.iconst(int(rng.integers(0, 5)))
+            else:
+                self.int_expr(depth - 1)
+            getattr(self.asm, {"and": "and_", "or": "or_"}.get(op, op))()
+        elif choice < 0.84:
+            if rng.random() < 0.4:
+                # Provably non-negative dividend / power-of-two divisor
+                # (the divRemToShiftMask pattern).
+                self.int_expr(depth - 1)
+                self.asm.iconst(63).and_()
+                self.asm.iconst(int(rng.choice([2, 4, 8, 16])))
+                self.asm.div() if rng.random() < 0.5 else self.asm.rem()
+            else:
+                # Safe division: divisor is (expr & 7) + 1, positive.
+                self.int_expr(depth - 1)
+                self.int_expr(depth - 1)
+                self.asm.iconst(7).and_().iconst(1).add()
+                self.asm.div() if rng.random() < 0.5 \
+                    else self.asm.rem()
+        elif choice < 0.92:
+            self.int_expr(depth - 1)
+            self.asm.neg()
+        else:
+            self.int_expr(depth - 1)
+            self.int_expr(depth - 1)
+            self.asm.cmp()
+
+    def double_expr(self, depth=2):
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.4:
+            doubles = self.slots_of(JType.DOUBLE)
+            if doubles and rng.random() < 0.75:
+                self.asm.load(int(rng.choice(doubles)))
+            else:
+                self.asm.dconst(round(float(rng.uniform(0.1, 9.0)), 3))
+            return
+        choice = rng.random()
+        if choice < 0.6:
+            op = rng.choice(["add", "sub", "mul", "div"])
+            self.double_expr(depth - 1)
+            self.double_expr(depth - 1)
+            getattr(self.asm, op)()
+        elif choice < 0.8:
+            fn = rng.choice(["java/lang/Math.sqrt", "java/lang/Math.abs",
+                             "java/lang/Math.sin"])
+            self.double_expr(depth - 1)
+            self.asm.call(str(fn), 1)
+        else:
+            self.int_expr(depth - 1)
+            self.asm.cast(JType.DOUBLE)
+
+    # -- statements ---------------------------------------------------------
+
+    def assign_int(self, depth=2):
+        target = self.pick_int_target()
+        self.int_expr(depth)
+        self.asm.store(target)
+
+    def assign_double(self, depth=2):
+        target = self.pick_double_target()
+        self.double_expr(depth)
+        self.asm.store(target)
+
+    def counted_loop(self, bound, body, step=1):
+        """for (i = 0; i < bound; i += step) body(i)."""
+        i = self.init_int(0)
+        top = self.asm.label()
+        end = self.asm.new_label()
+        self.asm.load(i)
+        if isinstance(bound, int):
+            self.asm.iconst(bound)
+        else:
+            self.asm.load(bound)
+        self.asm.cmp().ifge(end)
+        self.loop_depth += 1
+        self.protected.add(i)
+        body(i)
+        self.protected.discard(i)
+        self.loop_depth -= 1
+        self.asm.inc(i, step).goto(top)
+        self.asm.mark(end)
+        return i
+
+    def if_else(self, then_body, else_body=None):
+        else_l = self.asm.new_label()
+        end_l = self.asm.new_label()
+        self.int_expr(1)
+        if self.rng.random() < 0.3:
+            # javac-style comparison against zero (exercises
+            # cmpSimplification).
+            self.asm.iconst(0).cmp()
+        self.asm.ifle(else_l)
+        then_body()
+        self.asm.goto(end_l)
+        self.asm.mark(else_l)
+        if else_body is not None:
+            else_body()
+        else:
+            self.asm.nop()
+        self.asm.mark(end_l)
+
+    def guarded_jump(self):
+        """`if (c) goto L; goto M` -- the trampoline shape that
+        branch reversal straightens."""
+        hot = self.asm.new_label()
+        done = self.asm.new_label()
+        self.int_expr(1)
+        self.asm.ifgt(hot)
+        self.asm.goto(done)
+        self.asm.mark(hot)
+        self.assign_int(1)
+        self.asm.mark(done)
+        self.asm.nop()
+
+    def make_array(self, elem_type, length):
+        slot = self.new_slot(JType.ADDRESS)
+        self.asm.iconst(length).newarray(elem_type).store(slot)
+        self.array_lengths[slot] = length
+        return slot
+
+    def array_fill_loop(self, arr, length):
+        def body(i):
+            self.asm.load(arr).load(i)
+            if self.gen.rng.random() < 0.5:
+                self.asm.load(i).iconst(
+                    int(self.rng.integers(2, 9))).mul()
+            else:
+                self.int_expr(1)
+            self.asm.astore()
+        self.counted_loop(length, body)
+
+    def array_reduce_loop(self, arr, length, acc):
+        def body(i):
+            self.asm.load(acc).load(arr).load(i).aload().add()
+            self.asm.store(acc)
+        self.counted_loop(length, body)
+
+    def object_traffic(self):
+        cls = str(self.rng.choice(_OBJECT_CLASSES))
+        obj = self.new_slot(JType.OBJECT)
+        self.asm.new(cls).store(obj)
+        field = str(self.rng.choice(_INT_FIELDS))
+        self.asm.load(obj)
+        self.int_expr(1)
+        self.asm.putfield(field)
+        target = self.pick_int_target()
+        self.asm.load(obj).getfield(field)
+        self.asm.store(target)
+        if self.rng.random() < 0.5:
+            # Re-read the same field (redundant-load-elimination food).
+            other = self.pick_int_target()
+            self.asm.load(obj).getfield(field)
+            self.asm.load(target).add().store(other)
+        if self.rng.random() < 0.3:
+            self.asm.load(obj).instanceof(cls)
+            self.asm.store(target)
+        if self.rng.random() < 0.3:
+            self.asm.load(obj).checkcast(cls).store(obj)
+        return obj
+
+    def field_sum_loop(self, iters=6):
+        """Create an object before a loop, read its field every
+        iteration (field-privatization food)."""
+        cls = str(self.rng.choice(_OBJECT_CLASSES))
+        obj = self.new_slot(JType.OBJECT)
+        self.asm.new(cls).store(obj)
+        self.asm.load(obj)
+        self.int_expr(1)
+        self.asm.putfield("val")
+        acc = self.pick_int_target()
+
+        def body(_i):
+            self.asm.load(acc).load(obj).getfield("val").add()
+            self.asm.store(acc)
+        self.counted_loop(iters, body)
+
+    def common_subexpression(self):
+        """The same non-trivial pure expression computed twice in one
+        block (local-CSE food)."""
+        x = self.init_int()
+        y = self.init_int()
+        a = self.pick_int_target()
+        b = self.pick_int_target()
+        for target in (a, b):
+            self.asm.load(x).load(y).mul().load(x).add()
+            self.asm.store(target)
+
+    def discarded_math_call(self):
+        """A pure intrinsic call whose result is dropped -- dead after
+        DCE, removable by pureCallElimination."""
+        self.double_expr(1)
+        self.asm.call("java/lang/Math.sqrt", 1)
+        self.asm.pop()
+
+    def repeated_index_reads(self, arr, idx):
+        """Two reads of the same constant index: the second bounds
+        check is provably redundant."""
+        a = self.pick_int_target()
+        b = self.pick_int_target()
+        self.asm.load(arr).iconst(idx).aload().store(a)
+        self.asm.load(arr).iconst(idx).aload().load(a).add().store(b)
+
+    def array_self_compare(self, arr):
+        target = self.pick_int_target()
+        self.asm.load(arr).load(arr).arraycmp().store(target)
+
+    def synchronized_section(self, body):
+        cls = str(self.rng.choice(_OBJECT_CLASSES))
+        obj = self.new_slot(JType.OBJECT)
+        self.asm.new(cls).store(obj)
+        self.asm.load(obj).monitorenter()
+        body()
+        self.asm.load(obj).monitorexit()
+
+    def try_throw_catch(self):
+        """if ((expr & 3) == 0) throw AppError; caught locally."""
+        result = self.init_int(0)
+        start = self.asm.here()
+        skip = self.asm.new_label()
+        self.int_expr(1)
+        self.asm.iconst(3).and_().ifne(skip)
+        self.asm.new(_EXC_CLASS).athrow()
+        self.asm.mark(skip)
+        self.int_expr(1)
+        self.asm.store(result)
+        end_l = self.asm.new_label()
+        self.asm.goto(end_l)
+        handler_pc = self.asm.here()
+        self.asm.pop()  # the exception object
+        self.asm.iconst(-1).store(result)
+        self.asm.mark(end_l)
+        self.asm.nop()
+        self.handlers.append(Handler(start, handler_pc, handler_pc,
+                                     _EXC_CLASS))
+        return result
+
+    def decimal_work(self):
+        # BCD arithmetic: packed or zoned representation (Table 2).
+        decimal_type = (JType.PACKED if self.rng.random() < 0.7
+                        else JType.ZONED)
+        a = self.init_int(int(self.rng.integers(100, 5000)))
+        b = self.init_int(int(self.rng.integers(1, 400)))
+        out = self.new_slot(decimal_type)
+        if self.rng.random() < 0.4:
+            # Constant decimal operands: foldable at compile time.
+            self.asm.iconst(int(self.rng.integers(100, 900)))
+            self.asm.cast(decimal_type)
+            self.asm.iconst(int(self.rng.integers(1, 90)))
+            self.asm.cast(decimal_type)
+        else:
+            self.asm.load(a).cast(decimal_type)
+            self.asm.load(b).cast(decimal_type)
+        if decimal_type is JType.PACKED:
+            op = str(self.rng.choice(["add", "multiply", "subtract"]))
+            self.asm.call(f"java/math/BigDecimal.{op}", 2)
+        else:
+            self.asm.add()
+        self.asm.store(out)
+        target = self.pick_int_target()
+        self.asm.load(out).cast(JType.INT).store(target)
+
+    def longdouble_work(self):
+        """Quad-precision arithmetic (Testarossa's long double)."""
+        target = self.pick_double_target()
+        self.double_expr(1)
+        self.asm.cast(JType.LONGDOUBLE)
+        self.double_expr(1)
+        self.asm.cast(JType.LONGDOUBLE)
+        self.asm.mul().cast(JType.DOUBLE).store(target)
+
+    def unsafe_work(self):
+        target = self.pick_int_target()
+        self.asm.load(target).call("sun/misc/Unsafe.getInt", 1)
+        self.asm.store(target)
+
+    def call_existing(self, callee):
+        """Call a previously generated method (acyclic by construction)."""
+        for ptype in callee.param_types:
+            if ptype is JType.INT:
+                self.int_expr(1)
+            else:
+                self.double_expr(1)
+        self.asm.call(callee.signature, len(callee.param_types))
+        if callee.return_type is JType.INT:
+            self.asm.store(self.pick_int_target())
+        elif callee.return_type is JType.DOUBLE:
+            self.asm.store(self.pick_double_target())
+        elif callee.return_type is not JType.VOID:
+            self.asm.pop()
+
+    # -- finish ---------------------------------------------------------
+
+    def finish(self, class_name, modifiers, virtual_overridden=False):
+        if self.return_type is JType.INT:
+            ints = self.slots_of(JType.INT)
+            if ints:
+                self.asm.load(ints[-1])
+            else:
+                self.asm.iconst(0)
+            self.asm.retval()
+        elif self.return_type is JType.DOUBLE:
+            doubles = self.slots_of(JType.DOUBLE)
+            if doubles:
+                self.asm.load(doubles[-1])
+            else:
+                self.asm.dconst(0.0)
+            self.asm.retval()
+        else:
+            self.asm.ret()
+        method = JMethod(
+            class_name, self.name, self.param_types, self.return_type,
+            self.asm.assemble(), modifiers=modifiers,
+            num_temps=len(self.slot_types) - len(self.param_types),
+            handlers=self.handlers)
+        method.virtual_overridden = virtual_overridden
+        return method
+
+
+#: Measured per-invocation cost ceilings (interpreted cycles).  Methods
+#: above CALLEE_COST_CAP are never called by other generated methods;
+#: methods above LOOP_CALLEE_COST_CAP are only called outside loops.
+#: This keeps total dynamic cost bounded (no combinatorial call blow-up)
+#: while still producing deep-but-cheap call chains.
+CALLEE_COST_CAP = 40_000
+LOOP_CALLEE_COST_CAP = 2_500
+
+
+class ProgramGenerator:
+    """Generates one :class:`Program` from a profile and an RNG.
+
+    Every finished method is executed once in a scratch VM to measure its
+    per-invocation interpreted cost; the measurement bounds which methods
+    later ones may call (and from where), so generated programs have
+    predictable total work.
+    """
+
+    def __init__(self, profile, rng):
+        self.profile = profile
+        self.rng = rng
+        self.methods = []       # generated so far (callable from later)
+        self.method_cost = {}   # signature -> measured interpreted cycles
+        self._scratch_vm = None
+
+    # -- cost measurement -----------------------------------------------------
+
+    def _measure(self, method):
+        from repro.jvm.vm import VirtualMachine
+        if self._scratch_vm is None:
+            self._scratch_vm = VirtualMachine()
+            self._scratch_class = JClass("bench/_scratch")
+        vm = self._scratch_vm
+        vm._methods[method.signature] = method
+        args = []
+        for ptype in method.param_types:
+            args.append(7 if ptype is JType.INT else 1.5)
+        before = vm.clock.now()
+        vm.call(method.signature, *args)
+        return vm.clock.now() - before
+
+    def callable_methods(self, in_loop):
+        cap = LOOP_CALLEE_COST_CAP if in_loop else CALLEE_COST_CAP
+        return [m for m in self.methods
+                if self.method_cost[m.signature] <= cap]
+
+    # -- top level ----------------------------------------------------------
+
+    def generate(self):
+        profile = self.profile
+        class_name = f"bench/{profile.name.capitalize()}"
+        jclass = JClass(class_name)
+        for i in range(profile.n_methods):
+            method = self._gen_method(class_name, f"m{i}")
+            jclass.add_method(method)
+            self.methods.append(method)
+            self.method_cost[method.signature] = self._measure(method)
+        entry = self._gen_entry(class_name)
+        jclass.add_method(entry)
+        # Object classes (app/Node etc.) carry no methods; the VM creates
+        # their instances by name, so only the bench class is emitted.
+        return Program(profile.name, [jclass], entry.signature, profile)
+
+    # -- a worker method ---------------------------------------------------
+
+    def _gen_method(self, class_name, name):
+        rng = self.rng
+        profile = self.profile
+        uses_fp = rng.random() < profile.fp_weight
+        param_types = [JType.INT]
+        if rng.random() < 0.4:
+            param_types.append(JType.INT)
+        if uses_fp and rng.random() < 0.5:
+            param_types.append(JType.DOUBLE)
+        return_type = JType.DOUBLE if (uses_fp and rng.random() < 0.5) \
+            else JType.INT
+        mb = _MethodBuilder(self, name, param_types, return_type)
+
+        mods = MethodModifiers.PUBLIC
+        if rng.random() < 0.5:
+            mods |= MethodModifiers.STATIC
+        if rng.random() < 0.15:
+            mods |= MethodModifiers.FINAL
+        if rng.random() < 0.1:
+            mods = (mods & ~MethodModifiers.PUBLIC) \
+                | MethodModifiers.PROTECTED
+        if rng.random() < profile.sync_weight:
+            mods |= MethodModifiers.SYNCHRONIZED
+        if uses_fp and rng.random() < 0.15:
+            mods |= MethodModifiers.STRICTFP
+
+        acc = mb.init_int(0)
+        mb.init_int()
+        if uses_fp:
+            mb.init_double()
+
+        has_loop = rng.random() < profile.loop_weight
+        heavy = has_loop and rng.random() < profile.heavy_loop_weight
+        bound = profile.heavy_loop_iters if heavy else max(
+            2, int(rng.integers(2, profile.loop_iters + 1)))
+
+        loop_safe, outside = self._pick_statements(mb, uses_fp,
+                                                   in_loop=has_loop)
+
+        if has_loop:
+            self._run_statements(mb, outside)
+            nested = heavy and rng.random() < 0.3
+
+            def loop_body(_i):
+                if nested and loop_safe:
+                    inner_bound = max(2, min(8, bound // 12))
+                    mb.counted_loop(
+                        inner_bound,
+                        lambda _j: self._run_statements(
+                            mb, loop_safe[:1]))
+                    self._run_statements(mb, loop_safe[1:])
+                else:
+                    self._run_statements(mb, loop_safe)
+                # Accumulate so the loop is never dead code.
+                mb.asm.load(acc)
+                mb.int_expr(1)
+                mb.asm.add().store(acc)
+
+            mb.counted_loop(bound, loop_body)
+        else:
+            self._run_statements(mb, loop_safe + outside)
+            mb.asm.load(acc)
+            mb.int_expr(1)
+            mb.asm.add().store(acc)
+
+        if return_type is JType.DOUBLE:
+            mb.asm.load(acc).cast(JType.DOUBLE)
+            doubles = mb.slots_of(JType.DOUBLE)
+            mb.asm.load(doubles[0]).add()
+            out = mb.new_slot(JType.DOUBLE)
+            mb.asm.store(out)
+
+        return mb.finish(class_name, mods,
+                         virtual_overridden=rng.random() < 0.05)
+
+    def _pick_statements(self, mb, uses_fp, in_loop):
+        """Choose statement thunks according to the profile; returns
+        ``(loop_safe, outside_only)``: expensive calls may only execute
+        outside loops so total dynamic cost stays bounded."""
+        rng = self.rng
+        profile = self.profile
+        pool = [(lambda: mb.assign_int(2), True)]
+        if uses_fp:
+            pool.append((lambda: mb.assign_double(2), True))
+        if rng.random() < profile.array_weight:
+            length = max(4, int(rng.integers(4, 17)))
+            arr = mb.make_array(JType.INT, length)
+            mb.array_fill_loop(arr, length)
+            acc = mb.init_int(0)
+            pool.append((lambda: mb.array_reduce_loop(arr, length, acc),
+                         False))
+            if rng.random() < 0.5:
+                idx = int(rng.integers(0, length))
+                pool.append((lambda: mb.repeated_index_reads(arr, idx),
+                             True))
+            if rng.random() < 0.2:
+                pool.append((lambda: mb.array_self_compare(arr), True))
+        if rng.random() < profile.alloc_weight:
+            pool.append((mb.object_traffic, True))
+        if rng.random() < profile.alloc_weight * 0.5:
+            pool.append((lambda: mb.field_sum_loop(
+                max(3, int(rng.integers(3, 10)))), False))
+        if rng.random() < profile.exception_weight:
+            pool.append((mb.try_throw_catch, True))
+        if rng.random() < profile.decimal_weight:
+            pool.append((mb.decimal_work, True))
+        if uses_fp and rng.random() < profile.decimal_weight:
+            pool.append((mb.longdouble_work, True))
+        if rng.random() < profile.unsafe_weight:
+            pool.append((mb.unsafe_work, True))
+        if rng.random() < profile.sync_weight:
+            pool.append((lambda: mb.synchronized_section(
+                lambda: mb.assign_int(1)), True))
+        if rng.random() < profile.call_weight:
+            cheap = self.callable_methods(in_loop=True)
+            any_cost = self.callable_methods(in_loop=False)
+            if in_loop and cheap and rng.random() < 0.6:
+                callee = cheap[int(rng.integers(0, len(cheap)))]
+                pool.append((lambda: mb.call_existing(callee), True))
+            elif any_cost:
+                callee = any_cost[int(rng.integers(0, len(any_cost)))]
+                pool.append((lambda: mb.call_existing(callee), False))
+        if rng.random() < 0.3:
+            pool.append((lambda: mb.if_else(
+                lambda: mb.assign_int(1), lambda: mb.assign_int(1)),
+                True))
+        if rng.random() < 0.25:
+            pool.append((mb.guarded_jump, True))
+        if rng.random() < 0.3:
+            pool.append((mb.common_subexpression, True))
+        if uses_fp and rng.random() < 0.15:
+            pool.append((mb.discarded_math_call, True))
+        count = min(len(pool), int(rng.integers(2, 5)))
+        picks = rng.choice(len(pool), size=count, replace=False)
+        chosen = [pool[int(p)] for p in picks]
+        loop_safe = [fn for fn, safe in chosen if safe]
+        outside = [fn for fn, safe in chosen if not safe]
+        return loop_safe, outside
+
+    @staticmethod
+    def _run_statements(mb, statements):
+        for stmt in statements:
+            stmt()
+
+    # -- the entry point ----------------------------------------------------
+
+    def _gen_entry(self, class_name):
+        """main(n): repeats sweeps over the phase methods, each phase
+        invoked with its own per-sweep multiplicity so invocation counts
+        spread across the compilation-trigger ladder."""
+        profile = self.profile
+        rng = self.rng
+        # Phases: prefer cheap-to-moderate methods so one iteration makes
+        # *many* invocations (what drives the adaptive controller), with
+        # one expensive method mixed in when available.
+        costs = [(self.method_cost[m.signature], i)
+                 for i, m in enumerate(self.methods)]
+        cheap = [i for c, i in costs if c <= 20_000]
+        pricey = [i for c, i in costs if c > 20_000]
+        want = min(profile.phase_calls, len(self.methods))
+        phases = list(rng.choice(cheap, size=min(want, len(cheap)),
+                                 replace=False)) if cheap else []
+        if pricey and len(phases) < want:
+            phases.append(int(rng.choice(pricey)))
+        mb = _MethodBuilder(self, "main", [JType.INT], JType.INT)
+        acc = mb.init_int(0)
+        dacc = mb.init_double(0.0)
+
+        # Per-iteration cycle budget: multiplicities are scaled so that
+        # one call of main() costs roughly this much interpreted.
+        budget = 420_000 * profile.scale
+        per_phase = budget / max(1, len(phases) * profile.repeats())
+
+        def sweep(_r):
+            for p in phases:
+                callee = self.methods[int(p)]
+                cost = max(1, self.method_cost[callee.signature])
+                multiplicity = int(min(30, max(1, per_phase // cost)))
+                multiplicity = max(1, int(rng.integers(
+                    max(1, multiplicity // 2), multiplicity + 1)))
+
+                def call_phase(_i, callee=callee):
+                    for ptype in callee.param_types:
+                        if ptype is JType.INT:
+                            mb.asm.load(0)  # main's n
+                        else:
+                            mb.asm.load(dacc)
+                    mb.asm.call(callee.signature,
+                                len(callee.param_types))
+                    if callee.return_type is JType.INT:
+                        mb.asm.load(acc).add().store(acc)
+                    elif callee.return_type is JType.DOUBLE:
+                        mb.asm.load(dacc).add().store(dacc)
+
+                mb.counted_loop(multiplicity, call_phase)
+
+        mb.counted_loop(profile.repeats(), sweep)
+        # Fold the double accumulator into the result deterministically.
+        mb.asm.load(dacc).cast(JType.INT).load(acc).add()
+        out = mb.new_slot(JType.INT)
+        mb.asm.store(out)
+        return mb.finish(class_name,
+                         MethodModifiers.PUBLIC | MethodModifiers.STATIC)
+
+
+def generate_program(profile, rng):
+    """Convenience wrapper: build the program for (profile, rng)."""
+    generator = ProgramGenerator(profile, rng)
+    program = generator.generate()
+    if not program.methods():
+        raise ReproError(f"profile {profile.name} produced no methods")
+    return program

@@ -1,0 +1,54 @@
+"""Workload characteristic profiles.
+
+A profile is the statistical fingerprint of a benchmark: how many methods
+it has, how loopy/floaty/allocation-heavy they are, how deep call chains
+go, and how much work one iteration performs.  The learning pipeline only
+ever observes method features and timings, so two benchmarks with
+different profiles are "different programs" in every way that matters to
+the paper's experiments.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadProfile:
+    """Knobs of the synthetic program generator (all weights in [0,1])."""
+
+    name: str
+    seed_salt: str = ""
+    #: Number of generated worker methods (excluding the entry point).
+    n_methods: int = 40
+    #: Fraction of methods containing loops.
+    loop_weight: float = 0.6
+    #: Fraction of loopy methods with many-iteration loops.
+    heavy_loop_weight: float = 0.3
+    #: Floating-point usage.
+    fp_weight: float = 0.3
+    #: Allocation-heavy methods (objects/arrays created per call).
+    alloc_weight: float = 0.25
+    #: Array-processing methods.
+    array_weight: float = 0.35
+    #: Methods that throw/catch exceptions.
+    exception_weight: float = 0.1
+    #: Methods using BCD-decimal arithmetic (BigDecimal).
+    decimal_weight: float = 0.05
+    #: Methods touching sun.misc.Unsafe.
+    unsafe_weight: float = 0.03
+    #: Methods with synchronized sections.
+    sync_weight: float = 0.08
+    #: Probability a method calls other (earlier) methods.
+    call_weight: float = 0.5
+    #: Typical counted-loop bound (scaled by `scale`).
+    loop_iters: int = 12
+    #: Bound used for many-iteration loops.
+    heavy_loop_iters: int = 96
+    #: Number of phase-method invocations one benchmark iteration makes.
+    phase_calls: int = 6
+    #: Repetitions of the phase sweep per iteration (the work knob).
+    sweep_repeats: int = 4
+    #: Global work multiplier applied to sweep_repeats.
+    scale: float = 1.0
+
+    def repeats(self):
+        return max(1, int(round(self.sweep_repeats * self.scale)))

@@ -1,0 +1,79 @@
+"""The SPECjvm98-like suite.
+
+Eight benchmarks with the paper's names and two-letter codes.  The five
+training benchmarks (paper §8.1) are ``compress``, ``db``, ``mpegaudio``,
+``mtrt`` and ``raytrace``; ``jess``, ``javac`` and ``jack`` are
+evaluation-only.  Profiles are modelled on the well-known character of
+each benchmark (compress: tight integer loops; mpegaudio: FP-heavy
+kernels; db: allocation + object traffic; mtrt/raytrace: FP with object
+churn; javac: call-heavy with exceptions; jess: rule-engine branching;
+jack: parser with exception-driven control flow).
+"""
+
+from repro.rng import RngStreams
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import WorkloadProfile
+
+#: benchmark name -> (two-letter code, profile)
+SPECJVM_BENCHMARKS = {
+    "compress": ("co", WorkloadProfile(
+        name="compress", n_methods=28, loop_weight=0.85,
+        heavy_loop_weight=0.5, fp_weight=0.05, alloc_weight=0.1,
+        array_weight=0.7, exception_weight=0.02, call_weight=0.35,
+        loop_iters=14, phase_calls=5, sweep_repeats=4)),
+    "jess": ("je", WorkloadProfile(
+        name="jess", n_methods=46, loop_weight=0.45,
+        heavy_loop_weight=0.15, fp_weight=0.1, alloc_weight=0.35,
+        array_weight=0.25, exception_weight=0.12, call_weight=0.65,
+        loop_iters=8, phase_calls=7, sweep_repeats=4)),
+    "db": ("db", WorkloadProfile(
+        name="db", n_methods=32, loop_weight=0.6,
+        heavy_loop_weight=0.35, fp_weight=0.05, alloc_weight=0.45,
+        array_weight=0.5, exception_weight=0.05, call_weight=0.45,
+        sync_weight=0.15, loop_iters=12, phase_calls=5,
+        sweep_repeats=4)),
+    "javac": ("jc", WorkloadProfile(
+        name="javac", n_methods=56, loop_weight=0.4,
+        heavy_loop_weight=0.1, fp_weight=0.05, alloc_weight=0.4,
+        array_weight=0.3, exception_weight=0.18, call_weight=0.7,
+        loop_iters=7, phase_calls=8, sweep_repeats=3)),
+    "mpegaudio": ("mp", WorkloadProfile(
+        name="mpegaudio", n_methods=30, loop_weight=0.8,
+        heavy_loop_weight=0.55, fp_weight=0.75, alloc_weight=0.08,
+        array_weight=0.6, exception_weight=0.02, call_weight=0.3,
+        loop_iters=16, phase_calls=5, sweep_repeats=3)),
+    "mtrt": ("mt", WorkloadProfile(
+        name="mtrt", n_methods=36, loop_weight=0.6,
+        heavy_loop_weight=0.3, fp_weight=0.6, alloc_weight=0.35,
+        array_weight=0.35, exception_weight=0.04, call_weight=0.55,
+        sync_weight=0.12, loop_iters=10, phase_calls=6,
+        sweep_repeats=3)),
+    "raytrace": ("rt", WorkloadProfile(
+        name="raytrace", n_methods=34, loop_weight=0.65,
+        heavy_loop_weight=0.3, fp_weight=0.65, alloc_weight=0.3,
+        array_weight=0.35, exception_weight=0.03, call_weight=0.5,
+        loop_iters=10, phase_calls=6, sweep_repeats=3)),
+    "jack": ("ja", WorkloadProfile(
+        name="jack", n_methods=40, loop_weight=0.5,
+        heavy_loop_weight=0.15, fp_weight=0.05, alloc_weight=0.3,
+        array_weight=0.3, exception_weight=0.22, call_weight=0.6,
+        loop_iters=8, phase_calls=6, sweep_repeats=3)),
+}
+
+#: The five benchmarks used for data collection / training (paper §8.1).
+SPECJVM_TRAINING = ("compress", "db", "mpegaudio", "mtrt", "raytrace")
+
+#: Two-letter identifiers used in the paper's figures.
+SPECJVM_CODES = {name: code for name, (code, _p)
+                 in SPECJVM_BENCHMARKS.items()}
+
+
+def specjvm_program(name, master_seed=0, scale=1.0):
+    """Build the named SPECjvm98-like benchmark program."""
+    code, profile = SPECJVM_BENCHMARKS[name]
+    if scale != 1.0:
+        import dataclasses
+        profile = dataclasses.replace(profile, scale=scale)
+    streams = RngStreams(master_seed)
+    rng = streams.get(f"workload:specjvm:{name}")
+    return generate_program(profile, rng)

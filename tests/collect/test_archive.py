@@ -1,0 +1,154 @@
+"""The compact binary archive format, including corruption handling."""
+
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collect.archive import read_archive, write_archive
+from repro.collect.records import ExperimentRecord, RecordSet
+from repro.errors import ArchiveError
+from repro.features import NUM_FEATURES
+
+
+def record(signature="T.m(INT)INT", level=1, bits=0b1010,
+           compile_cycles=1000, running=5000, invocations=7,
+           feature_seed=0):
+    rng = np.random.default_rng(feature_seed)
+    features = np.zeros(NUM_FEATURES)
+    for i in rng.integers(0, NUM_FEATURES, size=12):
+        features[i] = float(rng.integers(0, 200))
+    return ExperimentRecord(signature=signature, level=level,
+                            modifier_bits=bits,
+                            features=features,
+                            compile_cycles=compile_cycles,
+                            running_cycles=running,
+                            invocations=invocations)
+
+
+def record_set(n=5, benchmark="bench"):
+    rs = RecordSet(benchmark=benchmark, master_seed=42)
+    for i in range(n):
+        rs.add(record(signature=f"T.m{i % 3}(INT)INT",
+                      feature_seed=i, bits=i))
+    return rs
+
+
+class TestRoundTrip:
+    def test_lossless(self, tmp_path):
+        rs = record_set(20)
+        path = tmp_path / "a.trca"
+        write_archive(path, rs)
+        back = read_archive(path)
+        assert back.benchmark == rs.benchmark
+        assert back.master_seed == rs.master_seed
+        assert len(back) == len(rs)
+        for a, b in zip(rs, back):
+            assert a.signature == b.signature
+            assert a.level == b.level
+            assert a.modifier_bits == b.modifier_bits
+            assert a.compile_cycles == b.compile_cycles
+            assert a.running_cycles == b.running_cycles
+            assert a.invocations == b.invocations
+            assert np.array_equal(a.features, b.features)
+
+    def test_empty_set(self, tmp_path):
+        rs = RecordSet(benchmark="empty")
+        path = tmp_path / "e.trca"
+        write_archive(path, rs)
+        assert len(read_archive(path)) == 0
+
+    def test_dictionary_compacts_signatures(self, tmp_path):
+        many = RecordSet(benchmark="dict")
+        for i in range(200):
+            many.add(record(signature="Very.long_signature_here"
+                                      "(INT,INT,DOUBLE)INT", bits=i))
+        path = tmp_path / "d.trca"
+        size = write_archive(path, many)
+        # One signature stored once: < 100 bytes/record on average
+        # (29 fixed + ~60 sparse-feature bytes).
+        assert size / 200 < 100
+
+    @settings(max_examples=20, deadline=None)
+    @given(bits=st.integers(0, 2**58 - 1),
+           level=st.integers(0, 4),
+           invocations=st.integers(0, 2**31))
+    def test_field_ranges_roundtrip(self, tmp_path_factory, bits,
+                                    level, invocations):
+        rs = RecordSet(benchmark="prop")
+        rs.add(record(bits=bits, level=level, invocations=invocations))
+        path = tmp_path_factory.mktemp("arch") / "p.trca"
+        write_archive(path, rs)
+        back = read_archive(path)
+        assert back.records[0].modifier_bits == bits
+        assert back.records[0].level == level
+        assert back.records[0].invocations == invocations
+
+
+class TestCorruption:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.trca"
+        path.write_bytes(b"NOPE" + b"\x00" * 40)
+        with pytest.raises(ArchiveError, match="not a collection"):
+            read_archive(path)
+
+    def test_truncated_file(self, tmp_path):
+        rs = record_set(5)
+        path = tmp_path / "t.trca"
+        write_archive(path, rs)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(ArchiveError):
+            read_archive(path)
+
+    def test_flipped_byte_detected(self, tmp_path):
+        rs = record_set(5)
+        path = tmp_path / "f.trca"
+        write_archive(path, rs)
+        data = bytearray(path.read_bytes())
+        data[30] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArchiveError, match="checksum"):
+            read_archive(path)
+
+    def test_bad_version(self, tmp_path):
+        rs = record_set(1)
+        path = tmp_path / "v.trca"
+        write_archive(path, rs)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, 4, 99)  # version field
+        body = bytes(data[:-4])
+        import zlib
+        data[-4:] = struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArchiveError, match="version"):
+            read_archive(path)
+
+
+class TestRecordSet:
+    def test_unique_queries(self):
+        rs = record_set(9)
+        assert len(rs.unique_signatures()) == 3
+        assert len(rs.unique_modifiers()) == 9
+        assert len(rs.unique_feature_vectors()) == 9
+
+    def test_by_level(self):
+        rs = RecordSet()
+        rs.add(record(level=0))
+        rs.add(record(level=2))
+        rs.add(record(level=2))
+        assert len(rs.by_level(2)) == 2
+
+    def test_merge(self):
+        a = record_set(3, benchmark="a")
+        b = record_set(4, benchmark="b")
+        merged = a.merged_with(b)
+        assert len(merged) == 7
+        assert "a" in merged.benchmark and "b" in merged.benchmark
+
+    def test_feature_shape_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentRecord(signature="s", level=0, modifier_bits=0,
+                             features=np.zeros(5), compile_cycles=0,
+                             running_cycles=0, invocations=0)

@@ -1,0 +1,84 @@
+"""Archive robustness: arbitrary corruption must never crash the reader
+with anything other than ArchiveError, and intact archives must always
+round-trip."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collect.archive import read_archive, write_archive
+from repro.collect.records import ExperimentRecord, RecordSet
+from repro.errors import ArchiveError
+from repro.features import NUM_FEATURES
+
+
+def small_record_set(seed):
+    rng = np.random.default_rng(seed)
+    rs = RecordSet(benchmark=f"fuzz{seed}", master_seed=seed)
+    for i in range(int(rng.integers(1, 6))):
+        features = np.zeros(NUM_FEATURES)
+        for j in rng.integers(0, NUM_FEATURES, size=6):
+            features[j] = float(rng.integers(0, 255))
+        rs.add(ExperimentRecord(
+            signature=f"C.m{i}(INT)INT",
+            level=int(rng.integers(0, 5)),
+            modifier_bits=int(rng.integers(0, 2**58)),
+            features=features,
+            compile_cycles=int(rng.integers(0, 1 << 20)),
+            running_cycles=int(rng.integers(0, 1 << 30)),
+            invocations=int(rng.integers(1, 1000))))
+    return rs
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_roundtrip_random_record_sets(tmp_path_factory, seed):
+    rs = small_record_set(seed)
+    path = tmp_path_factory.mktemp("fz") / "a.trca"
+    write_archive(path, rs)
+    back = read_archive(path)
+    assert len(back) == len(rs)
+    for a, b in zip(rs, back):
+        assert a.modifier_bits == b.modifier_bits
+        assert np.array_equal(a.features, b.features)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100), flip_at=st.integers(0, 500),
+       flip_val=st.integers(1, 255))
+def test_single_byte_corruption_always_detected(tmp_path_factory, seed,
+                                                flip_at, flip_val):
+    rs = small_record_set(seed)
+    path = tmp_path_factory.mktemp("fz") / "c.trca"
+    write_archive(path, rs)
+    data = bytearray(path.read_bytes())
+    flip_at %= len(data)
+    data[flip_at] ^= flip_val
+    path.write_bytes(bytes(data))
+    # CRC-32 catches every single-byte flip.
+    with pytest.raises(ArchiveError):
+        read_archive(path)
+
+
+@settings(max_examples=25, deadline=None)
+@given(garbage=st.binary(min_size=0, max_size=200))
+def test_garbage_input_raises_archive_error(tmp_path_factory, garbage):
+    path = tmp_path_factory.mktemp("fz") / "g.trca"
+    path.write_bytes(garbage)
+    with pytest.raises(ArchiveError):
+        read_archive(path)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100), cut=st.floats(0.01, 0.99))
+def test_truncation_always_detected(tmp_path_factory, seed, cut):
+    rs = small_record_set(seed)
+    path = tmp_path_factory.mktemp("fz") / "t.trca"
+    write_archive(path, rs)
+    data = path.read_bytes()
+    keep = max(1, int(len(data) * cut))
+    if keep == len(data):
+        keep -= 1
+    path.write_bytes(data[:keep])
+    with pytest.raises(ArchiveError):
+        read_archive(path)

@@ -1,0 +1,126 @@
+"""The heuristic-guided modifier search (the paper's future work)."""
+
+import numpy as np
+import pytest
+
+from repro.collect.guided import GuidedModifierQueue
+from repro.collect.instrument import ThresholdConfig
+from repro.collect.session import CollectionConfig, CollectionSession
+from repro.jit.modifiers import Modifier
+from repro.jit.opt.registry import NUM_TRANSFORMS
+
+from tests.collect.test_session import small_program
+
+
+def make_queue(seed=0, **kw):
+    return GuidedModifierQueue(np.random.default_rng(seed), **kw)
+
+
+class TestQueueInterface:
+    def test_null_every_third(self):
+        queue = make_queue(total=100)
+        out = [queue.next_modifier() for _ in range(12)]
+        for i, m in enumerate(out, start=1):
+            assert m.is_null() == (i % 3 == 0)
+
+    def test_exhaustion_after_total(self):
+        queue = make_queue(total=3, uses_per_modifier=1, null_every=0)
+        out = [queue.next_modifier() for _ in range(3)]
+        assert all(m is not None for m in out)
+        assert queue.next_modifier() is None
+        assert queue.exhausted()
+
+    def test_uses_per_modifier_respected(self):
+        queue = make_queue(total=10, uses_per_modifier=3, null_every=0)
+        a = [queue.next_modifier() for _ in range(3)]
+        b = queue.next_modifier()
+        assert a[0] is a[1] is a[2]
+        assert b is not a[0]
+
+    def test_deterministic(self):
+        a = make_queue(7, total=20, null_every=0)
+        b = make_queue(7, total=20, null_every=0)
+        for _ in range(20):
+            assert a.next_modifier() == b.next_modifier()
+
+
+class TestFeedbackSteering:
+    def test_scores_aggregate(self):
+        queue = make_queue()
+        queue.feedback(0b101, 0.8)
+        queue.feedback(0b101, 0.6)
+        assert queue.mean_quality(0b101) == pytest.approx(0.7)
+        assert queue.mean_quality(0b111) is None
+
+    def test_best_modifiers_sorted_by_quality(self):
+        queue = make_queue()
+        queue.feedback(1, 0.5)
+        queue.feedback(2, 0.9)
+        queue.feedback(3, 0.7)
+        best = queue.best_modifiers(2)
+        assert [m.bits for m in best] == [2, 3]
+
+    def test_mutations_stay_near_good_parents(self):
+        queue = make_queue(seed=1, total=400, uses_per_modifier=1,
+                           null_every=0, explore_fraction=0.0,
+                           max_flips=2)
+        parent_bits = 0b111000111
+        queue.feedback(parent_bits, 1.0)
+        hamming = []
+        for _ in range(60):
+            child = queue.next_modifier()
+            hamming.append(bin(child.bits ^ parent_bits).count("1"))
+        # children are mutations/crossovers of the sole parent
+        assert np.mean(hamming) <= 2.5
+
+    def test_exploration_fraction_stays_random(self):
+        queue = make_queue(seed=2, total=400, uses_per_modifier=1,
+                           null_every=0, explore_fraction=1.0)
+        queue.feedback(0, 1.0)
+        bits = [queue.next_modifier().count_disabled()
+                for _ in range(50)]
+        assert np.mean(bits) > 4  # random draws, not null mutations
+
+    def test_crossover_mixes_parents(self):
+        queue = make_queue(seed=3)
+        a, b = Modifier(0b1111 << 20), Modifier(0b1111)
+        child = queue._crossover(a, b)
+        assert child.bits | (a.bits | b.bits) == (a.bits | b.bits)
+
+
+class TestGuidedSession:
+    def test_guided_collection_runs(self):
+        config = CollectionConfig(
+            search="guided", modifiers_per_level=40,
+            uses_per_modifier=2, max_iterations=6,
+            thresholds=ThresholdConfig(target_cycles=6000,
+                                       min_threshold=3,
+                                       max_threshold=30))
+        session = CollectionSession(small_program(), config)
+        records = session.run()
+        assert not session.crashed
+        assert len(records) > 0
+
+    def test_guided_receives_feedback(self):
+        from repro.collect.session import CollectingManager
+        from repro.jit.compiler import JitCompiler
+        from repro.jvm.vm import VirtualMachine
+        from repro.rng import RngStreams
+        config = CollectionConfig(
+            search="guided", modifiers_per_level=40,
+            uses_per_modifier=2, max_iterations=6,
+            thresholds=ThresholdConfig(target_cycles=6000,
+                                       min_threshold=3,
+                                       max_threshold=30))
+        program = small_program()
+        vm = VirtualMachine()
+        vm.load_program(program)
+        manager = CollectingManager(
+            JitCompiler(method_resolver=vm._methods.get), config,
+            RngStreams(0), benchmark=program.name)
+        vm.attach_manager(manager)
+        for _ in range(6):
+            vm.call(program.entry, 3)
+        manager.flush_all()
+        fed = sum(len(q._scores) for q in manager.queues.values())
+        assert fed > 0

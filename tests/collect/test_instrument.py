@@ -1,0 +1,81 @@
+"""Recompilation thresholds and version instrumentation (§4.2)."""
+
+from repro.clock import ms_to_cycles
+from repro.collect.instrument import (
+    CALIBRATION_INVOCATIONS,
+    ThresholdConfig,
+    VersionInstrumentation,
+)
+
+
+class TestThresholdConfig:
+    def test_paper_scale_bounds(self):
+        paper = ThresholdConfig.paper_scale()
+        assert paper.min_threshold == 50
+        assert paper.max_threshold == 50_000
+        assert paper.target_cycles == ms_to_cycles(10)
+
+    def test_threshold_clamped_low(self):
+        config = ThresholdConfig(target_cycles=1000, min_threshold=4,
+                                 max_threshold=400)
+        # very slow method: raw threshold < min
+        assert config.threshold_for(10_000) == 4
+
+    def test_threshold_clamped_high(self):
+        config = ThresholdConfig(target_cycles=1000, min_threshold=4,
+                                 max_threshold=400)
+        assert config.threshold_for(0.01) == 400
+
+    def test_threshold_mid_range(self):
+        config = ThresholdConfig(target_cycles=1000, min_threshold=4,
+                                 max_threshold=400)
+        assert config.threshold_for(100) == 10
+
+    def test_zero_time_maps_to_max(self):
+        config = ThresholdConfig()
+        assert config.threshold_for(0) == config.max_threshold
+
+
+class TestVersionInstrumentation:
+    def test_threshold_fixed_after_calibration(self):
+        config = ThresholdConfig(target_cycles=800, min_threshold=2,
+                                 max_threshold=100)
+        instr = VersionInstrumentation(compiled=object())
+        for _ in range(CALIBRATION_INVOCATIONS - 1):
+            instr.record(100, config)
+            assert instr.threshold is None
+        instr.record(100, config)
+        assert instr.threshold == 8
+
+    def test_discarded_readings_not_counted_in_calibration(self):
+        config = ThresholdConfig(target_cycles=800, min_threshold=2,
+                                 max_threshold=100)
+        instr = VersionInstrumentation(compiled=object())
+        for _ in range(5):
+            instr.record(None, config)
+        assert instr.discarded == 5
+        assert instr.threshold is None
+        for _ in range(CALIBRATION_INVOCATIONS):
+            instr.record(100, config)
+        assert instr.threshold == 8
+
+    def test_due_for_recompilation(self):
+        config = ThresholdConfig(target_cycles=2000, min_threshold=2,
+                                 max_threshold=100)
+        instr = VersionInstrumentation(compiled=object())
+        for _ in range(CALIBRATION_INVOCATIONS):
+            instr.record(100, config)
+        # threshold is 20; 8 calibration invocations are not yet due.
+        assert instr.threshold == 20
+        assert not instr.due_for_recompilation()
+        for _ in range(12):
+            instr.record(100, config)
+        assert instr.due_for_recompilation()
+
+    def test_mean_excludes_discards(self):
+        config = ThresholdConfig()
+        instr = VersionInstrumentation(compiled=object())
+        instr.record(100, config)
+        instr.record(None, config)
+        instr.record(300, config)
+        assert instr.mean_invocation_cycles() == 200

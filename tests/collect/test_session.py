@@ -1,0 +1,146 @@
+"""Data-collection sessions (§4 end to end)."""
+
+import pytest
+
+from repro.collect.instrument import ThresholdConfig
+from repro.collect.session import (
+    CollectionConfig,
+    CollectionSession,
+    collect_benchmarks,
+)
+from repro.jit.plans import OptLevel
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import WorkloadProfile
+
+import numpy as np
+
+
+def small_program(seed=0, name="collectme"):
+    profile = WorkloadProfile(
+        name=name, n_methods=8, loop_weight=0.8, heavy_loop_weight=0.4,
+        fp_weight=0.2, alloc_weight=0.3, array_weight=0.4,
+        exception_weight=0.1, call_weight=0.4, loop_iters=8,
+        phase_calls=4, sweep_repeats=3)
+    rng = np.random.default_rng(seed)
+    return generate_program(profile, rng)
+
+
+def quick_config(**kw):
+    defaults = dict(
+        modifiers_per_level=40, uses_per_modifier=2, max_iterations=6,
+        thresholds=ThresholdConfig(target_cycles=6000, min_threshold=3,
+                                   max_threshold=30))
+    defaults.update(kw)
+    return CollectionConfig(**defaults)
+
+
+class TestSession:
+    def test_produces_records(self):
+        session = CollectionSession(small_program(), quick_config())
+        records = session.run()
+        assert not session.crashed
+        assert len(records) > 0
+        for r in records:
+            assert r.invocations > 0
+            assert r.compile_cycles > 0
+            assert r.features.shape == (71,)
+
+    def test_levels_within_explored_set(self):
+        config = quick_config(
+            explore_levels=(OptLevel.COLD, OptLevel.WARM))
+        records = CollectionSession(small_program(), config).run()
+        assert {r.level for r in records} <= {0, 1}
+
+    def test_never_same_modifier_twice_per_method(self):
+        records = CollectionSession(small_program(),
+                                    quick_config()).run()
+        seen = {}
+        for r in records:
+            key = (r.signature, r.level)
+            assert r.modifier_bits not in seen.get(key, set()), key
+            seen.setdefault(key, set()).add(r.modifier_bits)
+
+    def test_null_modifier_appears(self):
+        records = CollectionSession(small_program(),
+                                    quick_config()).run()
+        assert any(r.modifier_bits == 0 for r in records)
+
+    def test_deterministic(self):
+        a = CollectionSession(small_program(), quick_config(),
+                              master_seed=5).run()
+        b = CollectionSession(small_program(), quick_config(),
+                              master_seed=5).run()
+        assert len(a) == len(b)
+        assert [(r.signature, r.modifier_bits) for r in a] \
+            == [(r.signature, r.modifier_bits) for r in b]
+
+    def test_search_strategies_differ(self):
+        random_rs = CollectionSession(
+            small_program(), quick_config(search="random")).run()
+        prog_rs = CollectionSession(
+            small_program(), quick_config(search="progressive")).run()
+        # progressive starts near the null plan: fewer disabled bits.
+        def mean_bits(rs):
+            vals = [bin(r.modifier_bits).count("1") for r in rs
+                    if r.modifier_bits]
+            return sum(vals) / max(1, len(vals))
+        assert mean_bits(prog_rs) < mean_bits(random_rs)
+
+    def test_unknown_search_rejected(self):
+        with pytest.raises(ValueError):
+            CollectionSession(small_program(),
+                              quick_config(search="exhaustive")).run()
+
+
+class TestCrashHandling:
+    def test_fragility_crashes_session(self):
+        def fragile(modifier, level):
+            return modifier is not None \
+                and modifier.count_disabled() > 5
+
+        config = quick_config(fragility=fragile)
+        session = CollectionSession(small_program(), config)
+        records = session.run()
+        assert session.crashed
+        assert len(records) == 0
+
+    def test_collect_benchmarks_excludes_crashed(self):
+        def fragile(modifier, level):
+            return modifier is not None \
+                and modifier.count_disabled() > 5
+
+        programs = [small_program(0, "ok"), small_program(1, "boom")]
+        out = collect_benchmarks(
+            [programs[0]], config=quick_config(), master_seed=0)
+        crashed = collect_benchmarks(
+            [programs[1]], config=quick_config(fragility=fragile),
+            master_seed=0)
+        assert "ok" in out
+        assert crashed == {}
+
+
+class TestMergedSearchInterleaving:
+    def test_merged_queue_alternates_populations(self):
+        """The merged strategy must expose BOTH modifier populations
+        early (the paper merges two collection campaigns; a
+        concatenated queue would effectively be random-only)."""
+        import numpy as np
+        from repro.collect.session import CollectingManager
+        from repro.jit.compiler import JitCompiler
+        from repro.jit.plans import OptLevel
+        from repro.rng import RngStreams
+        config = quick_config(search="merged", uses_per_modifier=1)
+        manager = CollectingManager(JitCompiler(), config,
+                                    RngStreams(0), "x")
+        queue = manager.queues[OptLevel.COLD]
+        bits = []
+        while len(bits) < 40:
+            modifier = queue.next_modifier()
+            if modifier is None:
+                break
+            if not modifier.is_null():
+                bits.append(modifier.count_disabled())
+        evens = np.mean(bits[0::2])
+        odds = np.mean(bits[1::2])
+        # Random population is aggressive, progressive conservative.
+        assert abs(evens - odds) > 2

@@ -1,0 +1,72 @@
+"""The simulated TSC: drift, migration, discard rule."""
+
+import numpy as np
+
+from repro.clock import VirtualClock
+from repro.collect.tsc import PairedTimer, SimulatedTSC
+
+
+def make_tsc(cores=4, mean_migration=10_000, seed=0):
+    clock = VirtualClock()
+    rng = np.random.default_rng(seed)
+    return clock, SimulatedTSC(clock, rng, cores=cores,
+                               mean_migration_cycles=mean_migration)
+
+
+class TestReadings:
+    def test_monotone_on_same_core(self):
+        clock, tsc = make_tsc(cores=1)
+        v1, c1 = tsc.rdtscp()
+        clock.advance(1000)
+        v2, c2 = tsc.rdtscp()
+        assert c1 == c2
+        assert v2 > v1
+
+    def test_cores_have_distinct_offsets(self):
+        _clock, tsc = make_tsc(cores=8)
+        assert len(set(tsc.offsets.tolist())) > 1
+
+    def test_drift_rates_differ(self):
+        _clock, tsc = make_tsc(cores=8)
+        assert len(set(tsc.rates.tolist())) > 1
+        assert np.all(np.abs(tsc.rates - 1.0) < 1e-3)
+
+    def test_migration_happens(self):
+        clock, tsc = make_tsc(cores=4, mean_migration=1_000)
+        for _ in range(200):
+            clock.advance(1_000)
+            tsc.rdtscp()
+        assert tsc.migrations > 0
+
+
+class TestPairedTimer:
+    def test_same_core_measurement_accepted(self):
+        clock, tsc = make_tsc(cores=1)
+        timer = PairedTimer(tsc)
+        reading = timer.enter()
+        clock.advance(5000)
+        delta = timer.exit(reading)
+        assert delta is not None
+        assert 4000 < delta < 6000
+        assert timer.accepted == 1
+
+    def test_cross_core_measurement_discarded(self):
+        clock, tsc = make_tsc(cores=4, mean_migration=100)
+        timer = PairedTimer(tsc)
+        discarded = 0
+        for _ in range(300):
+            reading = timer.enter()
+            clock.advance(500)
+            if timer.exit(reading) is None:
+                discarded += 1
+        assert discarded > 0
+        assert timer.discarded == discarded
+
+    def test_deltas_never_negative(self):
+        clock, tsc = make_tsc(cores=4, mean_migration=2_000, seed=3)
+        timer = PairedTimer(tsc)
+        for _ in range(200):
+            reading = timer.enter()
+            clock.advance(100)
+            delta = timer.exit(reading)
+            assert delta is None or delta >= 0

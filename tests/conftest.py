@@ -1,0 +1,60 @@
+"""Shared fixtures."""
+
+import pytest
+
+from repro.jvm.asm import Assembler
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import JClass, JMethod, MethodModifiers
+from repro.jvm.vm import VirtualMachine
+
+
+def build_method(body_fn, params=(JType.INT,), ret=JType.INT,
+                 num_temps=4, name="m", class_name="T",
+                 modifiers=MethodModifiers.PUBLIC, handlers=None,
+                 array_elems=None):
+    """Assemble a method from a body-building callback."""
+    asm = Assembler()
+    returned = body_fn(asm)
+    hlist = list(returned) if isinstance(returned, (list, tuple)) else []
+    if handlers:
+        hlist = list(hlist) + list(handlers)
+    return JMethod(class_name, name, params, ret, asm.assemble(),
+                   modifiers=modifiers, num_temps=num_temps,
+                   handlers=hlist, array_elems=array_elems)
+
+
+def vm_with(*methods):
+    """A VM loaded with the given methods (grouped by class name)."""
+    vm = VirtualMachine()
+    classes = {}
+    for method in methods:
+        jclass = classes.get(method.class_name)
+        if jclass is None:
+            jclass = JClass(method.class_name)
+            classes[method.class_name] = jclass
+        jclass.add_method(method)
+    for jclass in classes.values():
+        vm.load_class(jclass)
+    return vm
+
+
+@pytest.fixture
+def sum_to_method():
+    """sumTo(n): sum of 0..n-1 via a counted loop."""
+
+    def body(a):
+        a.iconst(0).store(1)
+        a.iconst(0).store(2)
+        top = a.label()
+        a.load(2).load(0).cmp().ifge("end")
+        a.load(1).load(2).add().store(1)
+        a.inc(2, 1).goto(top)
+        a.mark("end")
+        a.load(1).retval()
+
+    return build_method(body, num_temps=2, name="sumTo")
+
+
+@pytest.fixture
+def loaded_vm(sum_to_method):
+    return vm_with(sum_to_method), sum_to_method

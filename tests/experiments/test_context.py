@@ -1,0 +1,70 @@
+"""The cached evaluation context (tiny preset end-to-end)."""
+
+import os
+
+import pytest
+
+from repro.experiments.context import PRESETS, EvaluationContext
+from repro.jit.plans import OptLevel
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("cache")
+    return EvaluationContext(preset="tiny", cache_dir=str(cache))
+
+
+class TestPresets:
+    def test_known_presets(self):
+        assert {"tiny", "quick", "full"} <= set(PRESETS)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationContext(preset="galactic")
+
+    def test_full_is_heavier_than_quick(self):
+        assert PRESETS["full"]["replications"] == 30  # the paper's 30
+        assert PRESETS["full"]["max_iterations"] \
+            > PRESETS["quick"]["max_iterations"]
+
+
+class TestPipelineCaching:
+    def test_record_sets_collected_and_cached(self, ctx):
+        first = ctx.record_sets()
+        assert set(first) == {"compress", "db", "mpegaudio", "mtrt",
+                              "raytrace"}
+        assert all(len(rs) > 0 for rs in first.values())
+        # Archives must exist on disk now.
+        archives = []
+        for root, _dirs, files in os.walk(ctx.cache_dir):
+            archives += [f for f in files if f.endswith(".trca")]
+        assert len(archives) == 5
+
+    def test_second_context_reads_cache(self, ctx):
+        again = EvaluationContext(preset="tiny",
+                                  cache_dir=ctx.cache_dir)
+        sets = again.record_sets()
+        first = ctx.record_sets()
+        for name in first:
+            assert len(sets[name]) == len(first[name])
+
+    def test_model_sets_trained_and_cached(self, ctx):
+        models = ctx.model_sets()
+        assert set(models) == {"H1", "H2", "H3", "H4", "H5"}
+        reloaded = EvaluationContext(
+            preset="tiny", cache_dir=ctx.cache_dir).model_sets()
+        assert set(reloaded) == set(models)
+        for name in models:
+            assert reloaded[name].excluded == models[name].excluded
+
+    def test_table4_statistics(self, ctx):
+        stats = ctx.table4()
+        for level in (OptLevel.COLD, OptLevel.WARM, OptLevel.HOT):
+            row = stats[level]
+            assert row["merged_instances"] \
+                >= row["training_instances"]
+
+    def test_programs_cached_by_name(self, ctx):
+        a = ctx.program("specjvm", "db")
+        b = ctx.program("specjvm", "db")
+        assert a is b

@@ -1,0 +1,66 @@
+"""Evaluation methodology: leave-one-out assignment, relative metrics."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.evaluation import (
+    evaluate_benchmark,
+    format_results,
+    geometric_mean_gain,
+    models_for_benchmark,
+)
+from repro.jit.plans import OptLevel
+from repro.ml.pipeline import TrainingPipeline
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import WorkloadProfile
+
+from tests.ml.test_pipeline import synth_record_set
+
+
+def model_sets():
+    out = {}
+    for k, excluded in enumerate(["compress", "db", "mpegaudio"],
+                                 start=1):
+        rs = synth_record_set(f"train{k}", k)
+        out[f"H{k}"] = TrainingPipeline(levels=(OptLevel.HOT,)).train(
+            rs, name=f"H{k}", excluded=excluded)
+    return out
+
+
+class TestModelAssignment:
+    def test_training_benchmark_gets_single_model(self):
+        models = models_for_benchmark("compress", model_sets())
+        assert list(models) == ["H1"]
+
+    def test_reserved_benchmark_gets_all_models(self):
+        models = models_for_benchmark("javac", model_sets())
+        assert len(models) == 3
+
+
+class TestEvaluateBenchmark:
+    @pytest.fixture(scope="class")
+    def program(self):
+        profile = WorkloadProfile(name="evalme", n_methods=8,
+                                  loop_weight=0.7, phase_calls=3,
+                                  sweep_repeats=2)
+        return generate_program(profile, np.random.default_rng(0))
+
+    def test_result_structure(self, program):
+        result = evaluate_benchmark(program, model_sets(),
+                                    iterations=1, replications=2)
+        assert result.benchmark == "evalme"
+        assert result.baseline_time.mean > 0
+        assert set(result.models()) == {"H1", "H2", "H3"}
+        for m in result.models():
+            rel = result.relative_performance(m)
+            assert rel.mean > 0
+            cmp_rel = result.relative_compile_time(m)
+            assert cmp_rel is None or cmp_rel.mean >= 0
+
+    def test_formatting(self, program):
+        result = evaluate_benchmark(program, model_sets(),
+                                    iterations=1, replications=2)
+        text = format_results({"evalme": result})
+        assert "evalme" in text and "H1=" in text
+        gain = geometric_mean_gain({"evalme": result})
+        assert gain > 0

@@ -1,0 +1,132 @@
+"""End-to-end integration: the paper's central claims on a live
+pipeline (tiny scale).
+
+These are behavioural tests of the whole stack -- collection, training,
+learned compilation -- not of any single module.
+"""
+
+import pytest
+
+from repro.experiments import EvaluationContext
+from repro.experiments.measure import run_once
+from repro.jit.plans import OptLevel
+from repro.service.strategy import ModelStrategy
+
+
+@pytest.fixture(scope="module")
+def ctx(tmp_path_factory):
+    return EvaluationContext(
+        preset="tiny",
+        cache_dir=str(tmp_path_factory.mktemp("e2e-cache")))
+
+
+@pytest.fixture(scope="module")
+def models(ctx):
+    return ctx.model_sets()
+
+
+class TestCentralClaims:
+    def test_learned_models_cut_compile_time(self, ctx, models):
+        """Across the training benchmarks, learned plans must compile
+        for less than the original plans in aggregate."""
+        base_total = 0
+        model_total = 0
+        for name in ("mtrt", "raytrace", "db"):
+            program = ctx.program("specjvm", name)
+            base = run_once(program, None, iterations=1)
+            learned = run_once(program, ModelStrategy(models["H1"]),
+                               iterations=1)
+            base_total += base.compile_cycles
+            model_total += learned.compile_cycles
+        assert model_total < base_total
+
+    def test_results_identical_under_learned_plans(self, ctx, models):
+        """Learned plans must never change program output."""
+        for name in ("mtrt", "javac"):
+            program = ctx.program("specjvm", name)
+            base = run_once(program, None, iterations=1)
+            learned = run_once(program, ModelStrategy(models["H3"]),
+                               iterations=1)
+            assert base.result_value == learned.result_value
+
+    def test_predictions_are_nontrivial(self, ctx, models):
+        """Models must actually disable transformations, not just echo
+        the null modifier."""
+        import numpy as np
+        merged = []
+        for rs in ctx.record_sets().values():
+            merged.extend(rs.records)
+        model = models["H2"].model_for(OptLevel.HOT)
+        if model is None:
+            pytest.skip("tiny run produced no hot data")
+        disabled = [model.predict_modifier(np.array(r.features))
+                    .count_disabled()
+                    for r in merged[:30] if r.level == int(OptLevel.HOT)]
+        if not disabled:
+            pytest.skip("no hot records")
+        assert max(disabled) > 0
+
+    def test_scorching_stays_unmodelled(self, models):
+        import numpy as np
+        from repro.features import NUM_FEATURES
+        for model_set in models.values():
+            assert model_set.predict_modifier(
+                OptLevel.SCORCHING, np.zeros(NUM_FEATURES)) is None
+            assert model_set.predict_modifier(
+                OptLevel.VERY_HOT, np.zeros(NUM_FEATURES)) is None
+
+
+class TestVMSampling:
+    def test_sampling_ticks_fire_on_long_loops(self):
+        from repro.jvm.vm import VirtualMachine
+        from tests.conftest import build_method, vm_with
+
+        def body(a):
+            a.iconst(0).store(1)
+            top = a.label()
+            a.load(1).load(0).cmp().ifge("end")
+            a.inc(1, 1).goto(top)
+            a.mark("end")
+            a.load(1).retval()
+        method = build_method(body, num_temps=1, name="spin")
+        vm = vm_with(method)
+        vm.sample_interval = 5_000
+        vm._next_sample_at = 5_000
+        vm.call(method.signature, 2_000)
+        assert vm.stats["samples"] > 0
+
+    def test_samples_reach_manager(self):
+        from tests.conftest import build_method, vm_with
+
+        hits = []
+
+        class Probe:
+            def on_attach(self, vm):
+                pass
+
+            def on_invoke(self, method, count):
+                pass
+
+            def on_return(self, method, compiled):
+                pass
+
+            def on_sample(self, method):
+                hits.append(method.signature)
+
+            def compiled_for(self, method, now):
+                return None
+
+        def body(a):
+            a.iconst(0).store(1)
+            top = a.label()
+            a.load(1).load(0).cmp().ifge("end")
+            a.inc(1, 1).goto(top)
+            a.mark("end")
+            a.load(1).retval()
+        method = build_method(body, num_temps=1, name="spin2")
+        vm = vm_with(method)
+        vm.sample_interval = 5_000
+        vm._next_sample_at = 5_000
+        vm.attach_manager(Probe())
+        vm.call(method.signature, 2_000)
+        assert hits and hits[0] == method.signature

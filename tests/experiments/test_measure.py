@@ -1,0 +1,99 @@
+"""Measurement methodology: summaries, relatives, replications."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.measure import (
+    MeasurementConfig,
+    measure,
+    relative,
+    run_once,
+    summarize,
+)
+from repro.workloads import specjvm_program
+
+
+class TestSummarize:
+    def test_mean_and_ci(self):
+        s = summarize([10.0, 12.0, 11.0, 13.0, 9.0])
+        assert s.mean == pytest.approx(11.0)
+        assert s.ci95 > 0
+        assert s.low < s.mean < s.high
+        assert s.n == 5
+
+    def test_single_sample_no_ci(self):
+        s = summarize([42.0])
+        assert s.mean == 42.0 and s.ci95 == 0.0
+
+    def test_ci_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = summarize(rng.normal(100, 5, size=5))
+        large = summarize(rng.normal(100, 5, size=50))
+        assert large.ci95 < small.ci95
+
+    def test_t_quantile_matches_scipy(self):
+        from scipy import stats
+        data = [1.0, 2.0, 3.0, 4.0]
+        s = summarize(data)
+        sem = np.std(data, ddof=1) / 2
+        assert s.ci95 == pytest.approx(stats.t.ppf(0.975, 3) * sem)
+
+
+class TestRelative:
+    def test_ratio_direction(self):
+        base = summarize([100.0, 102.0, 98.0])
+        fast = summarize([50.0, 51.0, 49.0])
+        rel = relative(base, fast)
+        assert rel.mean == pytest.approx(2.0, rel=0.05)
+
+    def test_propagated_ci_positive(self):
+        base = summarize([100.0, 110.0, 90.0])
+        var = summarize([100.0, 105.0, 95.0])
+        assert relative(base, var).ci95 > 0
+
+
+class TestRunOnce:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return specjvm_program("db")
+
+    def test_baseline_run(self, program):
+        run = run_once(program, iterations=1)
+        assert run.total_cycles > 0
+        assert run.compilations >= 0
+
+    def test_iterations_add_time_sublinearly(self, program):
+        # The JIT warms up: extra iterations are cheaper than the first
+        # but still add time.
+        one = run_once(program, iterations=1)
+        three = run_once(program, iterations=3)
+        assert one.total_cycles < three.total_cycles \
+            < 3 * one.total_cycles
+
+    def test_noise_multiplies_time(self, program):
+        quiet = run_once(program, iterations=1, noise=1.0)
+        noisy = run_once(program, iterations=1, noise=1.05)
+        assert noisy.total_cycles == pytest.approx(
+            quiet.total_cycles * 1.05, rel=1e-6)
+
+    def test_result_deterministic_across_noise(self, program):
+        a = run_once(program, iterations=1, noise=1.0)
+        b = run_once(program, iterations=1, noise=1.1)
+        assert a.result_value == b.result_value
+
+
+class TestMeasure:
+    def test_replication_count(self):
+        program = specjvm_program("db")
+        config = MeasurementConfig(iterations=1, replications=3)
+        time_s, compile_s, runs = measure(program, None, config)
+        assert time_s.n == 3
+        assert len(runs) == 3
+
+    def test_deterministic_given_seed(self):
+        program = specjvm_program("db")
+        config = MeasurementConfig(iterations=1, replications=3,
+                                   master_seed=77)
+        a, _, _ = measure(program, None, config)
+        b, _, _ = measure(program, None, config)
+        assert a.samples == b.samples

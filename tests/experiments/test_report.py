@@ -1,0 +1,131 @@
+"""Report rendering and feature analysis."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ascii_bar, ascii_figure, \
+    build_report
+from repro.features import FEATURE_NAMES
+from repro.jit.plans import OptLevel
+from repro.ml.analysis import (
+    feature_importance,
+    feature_report,
+    invariant_features,
+    top_features,
+)
+from repro.ml.pipeline import TrainingPipeline
+
+from tests.ml.test_pipeline import synth_record_set
+
+
+class TestAsciiRendering:
+    def test_bar_contains_baseline_tick(self):
+        bar = ascii_bar(1.05, 0.9, 1.2, baseline=1.0)
+        assert "|" in bar or "#" in bar
+        assert len(bar) == 41
+
+    def test_bar_clamps_out_of_range(self):
+        bar = ascii_bar(5.0, 0.9, 1.1)
+        assert bar.rstrip().endswith("#")
+
+    def test_figure_lists_every_row(self):
+        rows = {"javac": {"H1": (1.02, 0.01), "H2": (0.98, 0.02)},
+                "jess": {"H1": (1.10, 0.01)}}
+        text = ascii_figure(rows, "Figure X")
+        assert text.count("javac") == 2
+        assert "jess" in text
+        assert "Figure X" in text
+
+    def test_empty_rows(self):
+        assert "(no data)" in ascii_figure({}, "t")
+
+
+class TestBuildReport:
+    def test_assembles_saved_results(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "figure6.txt").write_text("FIGURE SIX BODY\n")
+        (results / "custom.txt").write_text("CUSTOM BODY\n")
+        report = build_report(str(tmp_path))
+        assert "## figure6" in report
+        assert "FIGURE SIX BODY" in report
+        assert "## custom" in report
+
+    def test_empty_cache(self, tmp_path):
+        report = build_report(str(tmp_path))
+        assert "no results found" in report
+
+    def test_canonical_order(self, tmp_path):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "figure7.txt").write_text("x")
+        (results / "table4.txt").write_text("x")
+        report = build_report(str(tmp_path))
+        assert report.index("## table4") < report.index("## figure7")
+
+
+@pytest.fixture(scope="module")
+def trained_for_analysis():
+    rs = synth_record_set("fa", 0)
+    model_set = TrainingPipeline(levels=(OptLevel.HOT,)).train(
+        rs, name="A")
+    return rs, model_set.model_for(OptLevel.HOT)
+
+
+class TestFeatureAnalysis:
+    def test_invariant_features_detected(self, trained_for_analysis):
+        rs, _model = trained_for_analysis
+        invariant = invariant_features(rs.records)
+        # synth records only vary components 3 and 7
+        assert FEATURE_NAMES[3] not in invariant
+        assert FEATURE_NAMES[7] not in invariant
+        assert len(invariant) == len(FEATURE_NAMES) - 2
+
+    def test_importance_zero_for_invariant(self, trained_for_analysis):
+        _rs, model = trained_for_analysis
+        importance = feature_importance(model)
+        assert importance[FEATURE_NAMES[0]] == 0.0
+        assert importance[FEATURE_NAMES[3]] > 0.0
+
+    def test_top_features_are_the_varying_ones(self,
+                                               trained_for_analysis):
+        _rs, model = trained_for_analysis
+        names = [name for name, _v in top_features(model, 2)]
+        assert set(names) == {FEATURE_NAMES[3], FEATURE_NAMES[7]}
+
+    def test_report_renders(self, trained_for_analysis):
+        rs, model = trained_for_analysis
+        text = feature_report(rs.records, model)
+        assert "invariant features" in text
+        assert "top" in text and "#" in text
+
+    def test_empty_records_all_invariant(self):
+        assert len(invariant_features([])) == len(FEATURE_NAMES)
+
+
+class TestCLI:
+    def test_list_command(self, capsys):
+        from repro.__main__ import main
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "compress" in out and "58 controllable" in out
+
+    def test_run_command(self, capsys):
+        from repro.__main__ import main
+        main(["run", "db", "--iterations", "1"])
+        out = capsys.readouterr().out
+        assert "db: result" in out
+
+    def test_unknown_benchmark(self):
+        from repro.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["run", "nonesuch"])
+
+    def test_report_command(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        from repro.__main__ import main
+        main(["report", "--preset", "tiny"])
+        out = capsys.readouterr().out
+        assert "Regenerated evaluation" in out

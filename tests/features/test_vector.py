@@ -1,0 +1,248 @@
+"""The 71-dimension feature vector (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.features import FEATURE_NAMES, NUM_FEATURES, extract_features
+from repro.features.vector import (
+    MANY_ITERATION_THRESHOLD,
+    OP_COUNTER_CAP,
+    TYPE_COUNTER_CAP,
+    feature_index,
+)
+from repro.jit.ir.ilgen import generate_il
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import Handler, MethodModifiers
+
+from tests.conftest import build_method
+
+
+def features_of(body_fn, **kwargs):
+    method = build_method(body_fn, **kwargs)
+    il, _ = generate_il(method)
+    return extract_features(il)
+
+
+def get(vec, name):
+    return vec[feature_index(name)]
+
+
+class TestLayout:
+    def test_71_dimensions(self):
+        assert NUM_FEATURES == 71
+        assert len(FEATURE_NAMES) == 71
+
+    def test_groups(self):
+        # 4 counters + 15 attributes + 14 types + 38 operations
+        assert FEATURE_NAMES[0] == "exception_handlers"
+        assert FEATURE_NAMES[4] == "is_constructor"
+        assert FEATURE_NAMES[19] == "type_byte"
+        assert FEATURE_NAMES[33] == "op_add"
+        assert len([n for n in FEATURE_NAMES
+                    if n.startswith("type_")]) == 14
+        ops = FEATURE_NAMES[33:]
+        assert len(ops) == 38
+
+
+class TestScalarCounters:
+    def test_arguments_counted(self):
+        vec = features_of(lambda a: a.load(0).load(1).add().retval(),
+                          params=(JType.INT, JType.INT), num_temps=0)
+        assert get(vec, "arguments") == 2
+
+    def test_exception_handlers_counted(self):
+        def body(a):
+            start = a.here()
+            a.new("app/E").athrow()
+            handler = a.here()
+            a.pop().iconst(0).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        vec = features_of(body, num_temps=0)
+        assert get(vec, "exception_handlers") == 1
+
+    def test_tree_nodes_positive(self):
+        vec = features_of(lambda a: a.load(0).retval(), num_temps=0)
+        assert get(vec, "tree_nodes") >= 2
+
+
+class TestAttributes:
+    def test_modifier_attributes(self):
+        mods = (MethodModifiers.PROTECTED | MethodModifiers.STATIC
+                | MethodModifiers.FINAL | MethodModifiers.SYNCHRONIZED
+                | MethodModifiers.STRICTFP)
+        vec = features_of(lambda a: a.load(0).retval(), num_temps=0,
+                          modifiers=mods)
+        assert get(vec, "is_protected") == 1
+        assert get(vec, "is_static") == 1
+        assert get(vec, "is_final") == 1
+        assert get(vec, "is_synchronized") == 1
+        assert get(vec, "strict_floating_point") == 1
+        assert get(vec, "is_public") == 0
+
+    def test_loop_attributes(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        vec = extract_features(il)
+        assert get(vec, "may_have_loops") == 1
+        # bound is the argument: unknown trip count
+        assert get(vec, "may_have_many_iteration_loops") == 1
+        assert get(vec, "many_iteration_loops") == 0
+
+    def test_many_iteration_constant_bound(self):
+        def body(a):
+            a.iconst(0).store(1)
+            top = a.label()
+            a.load(1).iconst(MANY_ITERATION_THRESHOLD + 10).cmp()
+            a.ifge("end")
+            a.inc(1, 1).goto(top)
+            a.mark("end")
+            a.load(1).retval()
+        vec = features_of(body, num_temps=1)
+        assert get(vec, "many_iteration_loops") == 1
+
+    def test_no_loops_method(self):
+        vec = features_of(lambda a: a.load(0).retval(), num_temps=0)
+        assert get(vec, "may_have_loops") == 0
+        assert get(vec, "may_have_many_iteration_loops") == 0
+
+    def test_allocation_attribute(self):
+        vec = features_of(
+            lambda a: a.new("C").instanceof("C").retval(), num_temps=1)
+        assert get(vec, "allocates_dynamic_memory") == 1
+
+    def test_bigdecimal_attribute(self):
+        def body(a):
+            a.load(0).cast(JType.PACKED)
+            a.load(0).cast(JType.PACKED)
+            a.call("java/math/BigDecimal.add", 2)
+            a.cast(JType.INT).retval()
+        vec = features_of(body, num_temps=1)
+        assert get(vec, "uses_bigdecimal") == 1
+
+    def test_unsafe_attribute(self):
+        def body(a):
+            a.load(0).call("sun/misc/Unsafe.getInt", 1).retval()
+        vec = features_of(body, num_temps=1)
+        assert get(vec, "unsafe_symbols") == 1
+
+    def test_fp_attribute(self):
+        vec = features_of(
+            lambda a: a.load(0).retval(), params=(JType.DOUBLE,),
+            ret=JType.DOUBLE, num_temps=0)
+        assert get(vec, "uses_floating_point") == 1
+
+    def test_virtual_overridden_from_method_flag(self):
+        method = build_method(lambda a: a.load(0).retval(),
+                              num_temps=0)
+        method.virtual_overridden = True
+        il, _ = generate_il(method)
+        vec = extract_features(il)
+        assert get(vec, "virtual_method_overridden") == 1
+
+
+class TestDistributions:
+    def test_alu_operations_counted(self):
+        def body(a):
+            a.load(0).iconst(1).add()
+            a.load(0).iconst(2).mul()
+            a.sub().retval()
+        vec = features_of(body, num_temps=0)
+        assert get(vec, "op_add") == 1
+        assert get(vec, "op_mul") == 1
+        assert get(vec, "op_sub") == 1
+
+    def test_shift_coalesced(self):
+        def body(a):
+            a.load(0).iconst(1).shl().iconst(2).shr().retval()
+        vec = features_of(body, num_temps=0)
+        assert get(vec, "op_shift") == 2
+
+    def test_cast_counted_by_target_type(self):
+        def body(a):
+            a.load(0).cast(JType.DOUBLE).cast(JType.INT).retval()
+        vec = features_of(body, num_temps=0)
+        assert get(vec, "cast_double") == 1
+        assert get(vec, "cast_int") == 1
+
+    def test_checkcast_counter(self):
+        def body(a):
+            a.new("C").checkcast("C").instanceof("C").retval()
+        vec = features_of(body, num_temps=1)
+        assert get(vec, "cast_check") == 1
+        assert get(vec, "op_instanceof") == 1
+
+    def test_load_store_family(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).load(0).putfield("f")
+            a.load(1).getfield("f").retval()
+        vec = features_of(body, num_temps=1)
+        assert get(vec, "op_store") >= 2  # store + putfield
+        assert get(vec, "op_load") >= 3   # loads + getfield
+        assert get(vec, "op_loadconst") >= 0
+
+    def test_synchronization_counter(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).monitorenter()
+            a.load(1).monitorexit()
+            a.iconst(0).retval()
+        vec = features_of(body, num_temps=1)
+        assert get(vec, "op_synchronization") == 2
+
+    def test_throw_and_branch_counters(self):
+        def body(a):
+            a.load(0).ifle("out")
+            a.new("app/E").athrow()
+            a.mark("out")
+            a.iconst(0).retval()
+        vec = features_of(body, num_temps=1)
+        assert get(vec, "op_throw") == 1
+        assert get(vec, "op_branch") >= 1
+
+    def test_array_ops_counter(self):
+        def body(a):
+            a.iconst(3).newarray(JType.INT).store(1)
+            a.load(1).arraylength().retval()
+        vec = features_of(body, num_temps=1)
+        assert get(vec, "op_newarray") == 1
+        assert get(vec, "op_arrayops") >= 1
+
+    def test_type_distribution(self):
+        def body(a):
+            a.load(0).cast(JType.DOUBLE).store(1)
+            a.load(1).retval()
+        vec = features_of(body, ret=JType.DOUBLE, num_temps=1)
+        assert get(vec, "type_double") >= 2
+        assert get(vec, "type_int") >= 1
+
+    def test_mixed_type_counter(self):
+        # add(int, double-cast) has uniform types after promotion, but
+        # cmp of int against double child types differ
+        def body(a):
+            a.load(0).load(1).cmp().retval()
+        vec = features_of(body, params=(JType.INT, JType.DOUBLE),
+                          num_temps=0)
+        assert get(vec, "type_mixed") >= 1
+
+
+class TestSaturation:
+    def test_op_counter_saturates_at_255(self):
+        def body(a):
+            a.iconst(0)
+            for _ in range(300):
+                a.iconst(1).add()
+            a.retval()
+        vec = features_of(body, num_temps=0)
+        assert get(vec, "op_add") == OP_COUNTER_CAP
+
+    def test_type_counter_cap_is_16bit(self):
+        assert TYPE_COUNTER_CAP == 0xFFFF
+        assert OP_COUNTER_CAP == 0xFF
+
+
+class TestDeterminism:
+    def test_same_method_same_vector(self, sum_to_method):
+        il1, _ = generate_il(sum_to_method)
+        il2, _ = generate_il(sum_to_method)
+        assert np.array_equal(extract_features(il1),
+                              extract_features(il2))

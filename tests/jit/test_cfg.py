@@ -1,0 +1,112 @@
+"""CFG analyses: reverse postorder, dominators, natural loops."""
+
+from repro.jit.ir.cfg import CFGInfo
+from repro.jit.ir.ilgen import generate_il
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import Handler
+
+from tests.conftest import build_method
+
+
+def cfg_of(body_fn, **kwargs):
+    method = build_method(body_fn, **kwargs)
+    il, _ = generate_il(method)
+    return il, CFGInfo(il)
+
+
+class TestBasics:
+    def test_entry_first_in_rpo(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        cfg = CFGInfo(il)
+        assert cfg.rpo[0] == il.blocks[0].bid
+
+    def test_preds_inverse_of_succs(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        cfg = CFGInfo(il)
+        for bid, succs in cfg.succs.items():
+            for s in succs:
+                assert bid in cfg.preds[s]
+
+    def test_straightline_no_loops(self):
+        _il, cfg = cfg_of(lambda a: a.load(0).retval())
+        assert cfg.loops == []
+        assert cfg.max_loop_depth() == 0
+
+
+class TestDominators:
+    def test_entry_dominates_all(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        cfg = CFGInfo(il)
+        entry = il.blocks[0].bid
+        for bid in cfg.reachable:
+            assert cfg.dominates(entry, bid)
+
+    def test_dominates_is_reflexive(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        cfg = CFGInfo(il)
+        for bid in cfg.reachable:
+            assert cfg.dominates(bid, bid)
+
+    def test_diamond_join_not_dominated_by_arms(self):
+        def body(a):
+            a.load(0).ifle("else")
+            a.iconst(1).store(1)
+            a.goto("join")
+            a.mark("else")
+            a.iconst(2).store(1)
+            a.mark("join")
+            a.load(1).retval()
+        il, cfg = cfg_of(body)
+        join = il.blocks[-1].bid
+        arms = [b.bid for b in il.blocks[1:-1]]
+        for arm in arms:
+            assert not cfg.dominates(arm, join)
+
+
+class TestLoops:
+    def test_single_loop_detected(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        cfg = CFGInfo(il)
+        assert len(cfg.loops) == 1
+        loop = cfg.loops[0]
+        assert len(loop.body) == 2
+        assert cfg.loop_depth[loop.header] == 1
+
+    def test_nested_loops_depth_two(self):
+        def body(a):
+            a.iconst(0).store(1)
+            a.iconst(0).store(2)
+            outer = a.label()
+            a.load(2).iconst(5).cmp().ifge("done")
+            a.iconst(0).store(3)
+            inner = a.label()
+            a.load(3).iconst(4).cmp().ifge("inner_done")
+            a.load(1).iconst(1).add().store(1)
+            a.inc(3, 1).goto(inner)
+            a.mark("inner_done")
+            a.inc(2, 1).goto(outer)
+            a.mark("done")
+            a.load(1).retval()
+        il, cfg = cfg_of(body, num_temps=3)
+        assert len(cfg.loops) == 2
+        assert cfg.max_loop_depth() == 2
+
+    def test_loop_of_lookup(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        cfg = CFGInfo(il)
+        header = cfg.loops[0].header
+        assert cfg.loop_of(header) is cfg.loops[0]
+        assert cfg.loop_of(-1) is None
+
+
+class TestExceptionalEdges:
+    def test_handler_reachable_via_exceptional_edge(self):
+        def body(a):
+            start = a.here()
+            a.load(0).iconst(0).div().retval()
+            handler = a.here()
+            a.pop().iconst(-1).retval()
+            return [Handler(start, handler, handler)]
+        il, cfg = cfg_of(body)
+        handler_bid = il.handlers[0].handler_bid
+        assert handler_bid in cfg.reachable

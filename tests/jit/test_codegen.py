@@ -1,0 +1,207 @@
+"""Code generation: lowering options, register allocation, native-level
+cleanup passes, and the cost/size effects of each codegen flag."""
+
+import pytest
+
+from repro.jit.codegen.isa import NOp, PHYS_REGS, SCRATCH_REGS
+from repro.jit.codegen.lower import CodegenOptions, lower_method
+from repro.jit.codegen import peephole as ph
+from repro.jit.codegen.regalloc import allocate, _intervals
+from repro.jit.ir.ilgen import generate_il
+from repro.jvm.bytecode import JType
+
+from tests.conftest import build_method, vm_with
+
+
+def lowered(method, **opts):
+    il, _ = generate_il(method)
+    return lower_method(il, CodegenOptions(**opts))
+
+
+def run_native(code, method, *argvals):
+    results = []
+    for v in argvals:
+        vm = vm_with(method)
+        value, _t = code.execute(vm, [(v, JType.INT)])
+        results.append((value, vm.clock.now()))
+    return results
+
+
+def wide_expr_method():
+    """Deep expression tree: enough live values to force spills."""
+    def body(a):
+        for _ in range(10):
+            a.load(0)
+            a.load(0).iconst(3).mul()
+            a.add()
+        for _ in range(9):
+            a.mul()
+        a.retval()
+    return build_method(body, num_temps=0, name="wide")
+
+
+class TestLoweringOptions:
+    def test_immediate_folding_shrinks_code(self):
+        def body(a):
+            a.load(0).iconst(3).mul().iconst(4).add().retval()
+        method = build_method(body, num_temps=0, name="affine")
+        base, _ = lowered(method)
+        opt, _ = lowered(method, const_operand_folding=True)
+        assert opt.size() < base.size()
+        assert any(i.op is NOp.ALUI for i in opt.instrs)
+        (r1, _), = run_native(base, method, 5)
+        (r2, _), = run_native(opt, method, 5)
+        assert r1 == r2 == 19
+
+    def test_address_mode_folding(self):
+        def body(a):
+            a.iconst(4).newarray(JType.INT).store(1)
+            a.load(1).iconst(2).load(0).astore()
+            a.load(1).iconst(2).aload().retval()
+        method = build_method(body, num_temps=1)
+        base, _ = lowered(method)
+        opt, _ = lowered(method, address_mode_folding=True)
+        assert opt.size() < base.size()
+        (r_base,), (r_opt,) = (run_native(base, method, 9),
+                               run_native(opt, method, 9))
+        assert r_base[0] == r_opt[0] == 9
+
+    def test_leaf_frames_cheaper(self, sum_to_method):
+        base, _ = lowered(sum_to_method)
+        leaf, _ = lowered(sum_to_method, leaf_frames=True)
+        assert leaf.frame_cost < base.frame_cost
+
+    def test_nonleaf_not_flagged(self):
+        def body(a):
+            a.load(0).cast(JType.DOUBLE)
+            a.call("java/lang/Math.abs", 1).cast(JType.INT).retval()
+        method = build_method(body, num_temps=1)
+        code, _ = lowered(method, leaf_frames=True)
+        assert not code.leaf
+
+
+class TestRegisterAllocation:
+    def test_spills_inserted_when_pressure_high(self):
+        method = wide_expr_method()
+        code, _ = lowered(method)
+        assert any(i.op in (NOp.SPST, NOp.SPLD) for i in code.instrs)
+
+    def test_spilled_code_still_correct(self):
+        method = wide_expr_method()
+        code, _ = lowered(method)
+        vm = vm_with(method)
+        expected = vm.call(method.signature, 3)
+        (result, _cycles), = run_native(code, method, 3)
+        assert result == expected
+
+    def test_all_registers_physical_after_allocation(self):
+        method = wide_expr_method()
+        code, _ = lowered(method)
+        for ins in code.instrs:
+            if ins.dst is not None:
+                assert ins.dst < PHYS_REGS
+            for s in ins.srcs:
+                assert s < PHYS_REGS
+
+    def test_rematerialization_replaces_spill_loads(self):
+        method = wide_expr_method()
+        plain, _ = lowered(method)
+        remat, _ = lowered(method, rematerialization=True)
+        plain_splds = sum(1 for i in plain.instrs
+                          if i.op is NOp.SPLD)
+        remat_splds = sum(1 for i in remat.instrs
+                          if i.op is NOp.SPLD)
+        assert remat_splds <= plain_splds
+        (r1, _), = run_native(plain, method, 4)
+        (r2, _), = run_native(remat, method, 4)
+        assert r1 == r2
+
+    def test_intervals_cover_defs_and_uses(self):
+        from repro.jit.codegen.isa import NInstr
+        instrs = [
+            NInstr(NOp.CONST, 0, (), 1, JType.INT),
+            NInstr(NOp.CONST, 1, (), 2, JType.INT),
+            NInstr(NOp.ADD, 2, (0, 1), None, JType.INT),
+            NInstr(NOp.RET, None, (2,)),
+        ]
+        start, end = _intervals(instrs)
+        assert start[0] == 0 and end[0] == 2
+        assert start[2] == 2 and end[2] == 3
+
+
+class TestPeepholePasses:
+    def test_coalesce_forwards_store_load(self, sum_to_method):
+        base, _ = lowered(sum_to_method)
+        opt, _ = lowered(sum_to_method, coalescing=True)
+        base_ld = sum(1 for i in base.instrs if i.op is NOp.LDLOC)
+        opt_ld = sum(1 for i in opt.instrs if i.op is NOp.LDLOC)
+        assert opt_ld <= base_ld
+
+    def test_compact_null_checks(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(0).store(2)  # break freshness proof via codegen only
+            a.load(1).getfield("f").retval()
+        method = build_method(body, num_temps=2)
+        base, _ = lowered(method)
+        opt, _ = lowered(method, compact_null_checks=True)
+        base_chk = sum(1 for i in base.instrs if i.op is NOp.NULLCHK)
+        opt_chk = sum(1 for i in opt.instrs if i.op is NOp.NULLCHK)
+        assert opt_chk < base_chk
+        (r1, _), = run_native(base, method, 5)
+        (r2, _), = run_native(opt, method, 5)
+        assert r1 == r2
+
+    def test_peephole_removes_dead_pure_defs(self):
+        from repro.jit.codegen.isa import NInstr
+        instrs = [
+            NInstr(NOp.CONST, 0, (), 1, JType.INT),
+            NInstr(NOp.CONST, 1, (), 2, JType.INT),  # dead
+            NInstr(NOp.RET, None, (0,)),
+        ]
+        out, _cost = ph.peephole(instrs)
+        assert len(out) == 2
+
+    def test_scheduling_reduces_stalls(self, sum_to_method):
+        base, _ = lowered(sum_to_method)
+        sched, _ = lowered(sum_to_method, scheduling=True)
+        (_r1, c1), = run_native(base, sum_to_method, 30)
+        (_r2, c2), = run_native(sched, sum_to_method, 30)
+        assert c2 <= c1
+
+    def test_fallthrough_branch_elision(self, sum_to_method):
+        code, _ = lowered(sum_to_method)
+        for i, ins in enumerate(code.instrs[:-1]):
+            if ins.op is NOp.BR:
+                nxt = code.instrs[i + 1]
+                assert not (nxt.op is NOp.LABEL and nxt.aux == ins.aux)
+
+
+class TestNativeCode:
+    def test_listing_is_printable(self, sum_to_method):
+        code, _ = lowered(sum_to_method)
+        text = code.listing()
+        assert "ldloc" in text or "const" in text
+
+    def test_size_excludes_labels(self, sum_to_method):
+        code, _ = lowered(sum_to_method)
+        labels = sum(1 for i in code.instrs if i.op is NOp.LABEL)
+        assert code.size() == len(code.instrs) - labels
+
+    def test_compile_cost_positive(self, sum_to_method):
+        il, ilcost = generate_il(sum_to_method)
+        _code, cost = lower_method(il)
+        assert cost > 0 and ilcost > 0
+
+    def test_stall_model_charges_dependent_chain(self):
+        # a chain of dependent adds costs more than independent ones
+        def chain(a):
+            a.load(0)
+            for _ in range(6):
+                a.iconst(1).add()
+            a.retval()
+        method = build_method(chain, num_temps=0, name="chain")
+        code, _ = lowered(method)
+        vm = vm_with(method)
+        value, _t = code.execute(vm, [(1, JType.INT)])
+        assert value == 7

@@ -1,0 +1,104 @@
+"""The compile pipeline facade."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.features import NUM_FEATURES
+from repro.jit.compiler import JitCompiler
+from repro.jit.modifiers import Modifier
+from repro.jit.opt.registry import transform_index
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import JType
+
+from tests.conftest import build_method, vm_with
+
+
+@pytest.fixture
+def compiler(sum_to_method):
+    vm = vm_with(sum_to_method)
+    return JitCompiler(method_resolver=vm._methods.get,
+                       debug_check=True), sum_to_method
+
+
+class TestCompile:
+    def test_produces_executable_code(self, compiler, sum_to_method):
+        jc, method = compiler
+        compiled = jc.compile(method, OptLevel.WARM)
+        vm = vm_with(sum_to_method)
+        value, _t = compiled.execute(vm, [(10, JType.INT)])
+        assert value == 45
+
+    def test_features_attached(self, compiler):
+        jc, method = compiler
+        compiled = jc.compile(method, OptLevel.COLD)
+        assert compiled.features.shape == (NUM_FEATURES,)
+
+    def test_compile_cost_grows_with_level(self, compiler):
+        jc, method = compiler
+        costs = [jc.compile(method, lv).compile_cycles
+                 for lv in OptLevel]
+        assert costs[0] < costs[-1]
+
+    def test_rejects_non_level(self, compiler):
+        jc, method = compiler
+        with pytest.raises(CompilationError):
+            jc.compile(method, 2)
+
+    def test_stats_accumulate(self, compiler):
+        jc, method = compiler
+        jc.compile(method, OptLevel.COLD)
+        jc.compile(method, OptLevel.COLD)
+        assert jc.stats["compilations"] == 2
+        assert jc.stats["compile_cycles"] > 0
+
+
+class TestModifierEffect:
+    def test_full_mask_reduces_compile_cost(self, compiler):
+        jc, method = compiler
+        base = jc.compile(method, OptLevel.SCORCHING)
+        masked = jc.compile(method, OptLevel.SCORCHING,
+                            modifier=Modifier((1 << 58) - 1))
+        assert masked.compile_cycles < base.compile_cycles
+
+    def test_pass_log_reflects_modifier(self, compiler):
+        jc, method = compiler
+        off = transform_index("constantFolding")
+        compiled = jc.compile(method, OptLevel.WARM,
+                              modifier=Modifier.disabling([off]))
+        ran = [name for name, _changed in compiled.pass_log]
+        assert "constantFolding" not in ran
+        assert "localConstantPropagation" in ran
+
+    def test_strategy_modifier_used(self, compiler):
+        jc, method = compiler
+
+        class FixedStrategy:
+            def choose_modifier(self, method, level, features):
+                return Modifier.disabling([0, 1, 2])
+
+        compiled = jc.compile(method, OptLevel.WARM,
+                              strategy=FixedStrategy())
+        assert compiled.modifier.count_disabled() == 3
+
+    def test_explicit_modifier_beats_strategy(self, compiler):
+        jc, method = compiler
+
+        class Boom:
+            def choose_modifier(self, *a):
+                raise AssertionError("must not be consulted")
+
+        compiled = jc.compile(method, OptLevel.COLD,
+                              modifier=Modifier.null(),
+                              strategy=Boom())
+        assert compiled.modifier.is_null()
+
+    def test_codegen_flags_masked(self, compiler):
+        jc, method = compiler
+        off = transform_index("instructionScheduling")
+        base = jc.compile(method, OptLevel.HOT)
+        masked = jc.compile(method, OptLevel.HOT,
+                            modifier=Modifier.disabling([off]))
+        base_flags = {n for n, c in base.pass_log}
+        masked_flags = {n for n, c in masked.pass_log}
+        assert "instructionScheduling" in base_flags
+        assert "instructionScheduling" not in masked_flags

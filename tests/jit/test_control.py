@@ -1,0 +1,145 @@
+"""The adaptive compilation controller."""
+
+import pytest
+
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import (
+    CompilationManager,
+    ControlConfig,
+    HAS_LOOPS,
+    MANY_ITER,
+    NO_LOOPS,
+    loop_class_of,
+)
+from repro.jit.plans import OptLevel
+
+from tests.conftest import build_method, vm_with
+
+
+def looping_method(name="hot"):
+    def body(a):
+        a.iconst(0).store(1)
+        a.iconst(0).store(2)
+        top = a.label()
+        a.load(2).load(0).cmp().ifge("end")
+        a.load(1).load(2).add().store(1)
+        a.inc(2, 1).goto(top)
+        a.mark("end")
+        a.load(1).retval()
+    return build_method(body, num_temps=2, name=name)
+
+
+def managed_vm(method, config=None, strategy=None):
+    vm = vm_with(method)
+    compiler = JitCompiler(method_resolver=vm._methods.get)
+    manager = CompilationManager(compiler, strategy=strategy,
+                                 config=config)
+    vm.attach_manager(manager)
+    return vm, manager
+
+
+class TestTriggers:
+    def test_three_triggers_per_level(self):
+        config = ControlConfig()
+        for level in OptLevel:
+            values = [config.trigger(level, c)
+                      for c in (NO_LOOPS, HAS_LOOPS, MANY_ITER)]
+            # loopy methods compile sooner (footnote 6)
+            assert values[0] > values[1] > values[2]
+
+    def test_triggers_grow_with_level(self):
+        config = ControlConfig()
+        for cls in (NO_LOOPS, HAS_LOOPS, MANY_ITER):
+            values = [config.trigger(lv, cls) for lv in OptLevel]
+            assert values == sorted(values)
+
+    def test_loop_class_from_bytecode(self):
+        assert loop_class_of(looping_method()) == HAS_LOOPS
+        flat = build_method(lambda a: a.load(0).retval(), num_temps=0)
+        assert loop_class_of(flat) == NO_LOOPS
+
+
+class TestCompilationLifecycle:
+    def test_method_compiles_after_trigger(self):
+        method = looping_method()
+        vm, manager = managed_vm(method)
+        for _ in range(30):
+            vm.call(method.signature, 5)
+        assert manager.compilations() >= 1
+        assert vm.stats["compiled_invocations"] > 0
+
+    def test_installation_is_delayed_by_compile_time(self):
+        method = looping_method()
+        vm, manager = managed_vm(method)
+        for _ in range(10):
+            vm.call(method.signature, 5)
+        record = manager.records[0]
+        assert record.installed_at >= record.requested_at \
+            + record.compile_cycles
+
+    def test_immediate_install_mode(self):
+        method = looping_method()
+        config = ControlConfig(immediate_install=True)
+        vm, manager = managed_vm(method, config=config)
+        for _ in range(10):
+            vm.call(method.signature, 5)
+        record = manager.records[0]
+        assert record.installed_at == record.requested_at
+
+    def test_escalation_to_higher_levels(self):
+        method = looping_method()
+        vm, manager = managed_vm(method)
+        for _ in range(700):
+            vm.call(method.signature, 20)
+        levels = {r.level for r in manager.records}
+        assert OptLevel.COLD in levels or OptLevel.WARM in levels
+        assert max(levels) >= OptLevel.HOT
+
+    def test_max_level_respected(self):
+        method = looping_method()
+        config = ControlConfig(max_level=OptLevel.WARM)
+        vm, manager = managed_vm(method, config=config)
+        for _ in range(700):
+            vm.call(method.signature, 20)
+        assert max(r.level for r in manager.records) <= OptLevel.WARM
+
+    def test_compile_records_accumulate_time(self):
+        method = looping_method()
+        vm, manager = managed_vm(method)
+        for _ in range(200):
+            vm.call(method.signature, 10)
+        assert manager.compile_time_total() == sum(
+            r.compile_cycles for r in manager.records)
+
+    def test_strategy_consulted(self):
+        calls = []
+
+        class Probe:
+            prediction_cost_cycles = 50
+
+            def choose_modifier(self, method, level, features):
+                calls.append((method.signature, level))
+                return None
+
+        method = looping_method()
+        vm, manager = managed_vm(method, strategy=Probe())
+        for _ in range(30):
+            vm.call(method.signature, 5)
+        assert calls
+        assert calls[0][0] == method.signature
+
+    def test_failed_compile_disables_method(self):
+        method = looping_method()
+
+        class FailingManager(CompilationManager):
+            def compile_method(self, method, level, state):
+                return None
+
+        vm = vm_with(method)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        manager = FailingManager(compiler)
+        vm.attach_manager(manager)
+        for _ in range(40):
+            vm.call(method.signature, 5)
+        assert manager.compilations() == 0
+        assert vm.stats["compiled_invocations"] == 0

@@ -1,0 +1,129 @@
+"""The keystone property: compiled code is bit-equivalent to the
+interpreter, at every optimization level, under arbitrary plan modifiers.
+
+Random guest programs come from the workload generator (seeded by
+hypothesis), modifiers from the two search strategies; compiled results
+are compared against the interpreter for every method of the program.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.jit.compiler import JitCompiler
+from repro.jit.modifiers import (
+    Modifier,
+    progressive_modifiers,
+    random_modifiers,
+)
+from repro.jit.opt.registry import NUM_TRANSFORMS
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import JType
+from repro.jvm.vm import VirtualMachine
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import WorkloadProfile
+
+
+def small_profile(seed):
+    return WorkloadProfile(
+        name=f"prop{seed}", n_methods=6, loop_weight=0.7,
+        heavy_loop_weight=0.3, fp_weight=0.4, alloc_weight=0.4,
+        array_weight=0.5, exception_weight=0.3, decimal_weight=0.2,
+        unsafe_weight=0.1, sync_weight=0.2, call_weight=0.5,
+        loop_iters=6, heavy_loop_iters=20, phase_calls=3,
+        sweep_repeats=1)
+
+
+def build_vm(seed):
+    rng = np.random.default_rng(seed)
+    program = generate_program(small_profile(seed), rng)
+    vm = VirtualMachine()
+    vm.load_program(program)
+    return vm, program
+
+
+def args_for(method, arg_seed):
+    rng = np.random.default_rng(arg_seed)
+    out = []
+    for ptype in method.param_types:
+        if ptype is JType.DOUBLE:
+            out.append((round(float(rng.uniform(-3, 9)), 3),
+                        JType.DOUBLE))
+        else:
+            out.append((int(rng.integers(-5, 40)), JType.INT))
+    return out
+
+
+def same_outcome(a, b):
+    """Equality with NaN == NaN (Java's Double.equals semantics)."""
+    import math
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            same_outcome(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def check_program(seed, level, modifier, arg_seed=1):
+    vm, program = build_vm(seed)
+    resolver = vm._methods.get
+    compiler = JitCompiler(method_resolver=resolver, debug_check=True)
+    for method in program.methods():
+        args = args_for(method, arg_seed)
+        ref_vm, _prog = build_vm(seed)
+        try:
+            expected = ref_vm.interpreter.execute(method, list(args))
+        except Exception as exc:  # guest exception escaping is valid
+            expected = ("raised", type(exc).__name__, str(exc))
+        compiled = compiler.compile(method, level, modifier=modifier)
+        run_vm, _prog = build_vm(seed)
+        try:
+            actual = compiled.execute(run_vm, list(args))
+        except Exception as exc:
+            actual = ("raised", type(exc).__name__, str(exc))
+        assert same_outcome(actual, expected), (
+            f"{method.signature} at {level.name} with {modifier!r}: "
+            f"{actual!r} != {expected!r}")
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_null_modifier_equivalence_hot(seed):
+    check_program(seed, OptLevel.HOT, Modifier.null())
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2_000),
+       bits=st.integers(0, 2**NUM_TRANSFORMS - 1))
+def test_arbitrary_modifier_equivalence_scorching(seed, bits):
+    check_program(seed, OptLevel.SCORCHING, Modifier(bits))
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2_000), level=st.sampled_from(list(OptLevel)),
+       mod_seed=st.integers(0, 100))
+def test_search_strategy_modifiers_equivalence(seed, level, mod_seed):
+    rng = np.random.default_rng(mod_seed)
+    if mod_seed % 2:
+        modifier = random_modifiers(rng, 1)[0]
+    else:
+        modifier = progressive_modifiers(rng, 1, total_rounds=10,
+                                         start_round=9)[0]
+    check_program(seed, level, modifier)
+
+
+@pytest.mark.parametrize("level", list(OptLevel))
+def test_all_levels_on_fixed_program(level):
+    check_program(7, level, Modifier.null())
+
+
+def test_modifier_disabling_everything_still_correct():
+    everything_off = Modifier(2**NUM_TRANSFORMS - 1)
+    check_program(3, OptLevel.SCORCHING, everything_off)

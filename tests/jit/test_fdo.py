@@ -1,0 +1,159 @@
+"""Feedback-directed optimization: branch profiling + guided layout."""
+
+import pytest
+
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager, ControlConfig
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.ir.tree import ILOp
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.controlflow import BlockOrdering
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import JType
+
+from tests.conftest import build_method, vm_with
+
+
+def branchy_method(name="br"):
+    """Branch at the top: positive inputs go one way."""
+    def body(a):
+        a.load(0).ifle("cold_path")
+        a.load(0).iconst(2).mul().retval()
+        a.mark("cold_path")
+        a.load(0).neg().retval()
+    return build_method(body, num_temps=0, name=name)
+
+
+class TestProfileCollection:
+    def test_execute_records_branches(self):
+        method = branchy_method()
+        vm = vm_with(method)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        compiled = compiler.compile(method, OptLevel.HOT)
+        profile = {}
+        for v in (5, 7, -1, 9):
+            compiled.native.execute(vm, [(v, JType.INT)],
+                                    profile=profile)
+        assert sum(profile.values()) == 4
+        taken = sum(c for (pc, t), c in profile.items() if t)
+        assert taken == 1  # only the -1 input takes the <= branch
+
+    def test_profiled_execution_costs_more(self):
+        method = branchy_method()
+        compiler = JitCompiler()
+        compiled = compiler.compile(method, OptLevel.COLD)
+        vm1 = vm_with(method)
+        compiled.native.execute(vm1, [(5, JType.INT)])
+        plain = vm1.clock.now()
+        vm2 = vm_with(method)
+        compiled.native.execute(vm2, [(5, JType.INT)], profile={})
+        assert vm2.clock.now() > plain
+
+    def test_profile_keys_are_bytecode_pcs(self):
+        method = branchy_method()
+        compiler = JitCompiler()
+        compiled = compiler.compile(method, OptLevel.COLD)
+        vm = vm_with(method)
+        profile = {}
+        compiled.native.execute(vm, [(5, JType.INT)], profile=profile)
+        for (pc, taken), _count in profile.items():
+            assert 0 <= pc < len(method.code)
+            assert isinstance(taken, bool)
+
+
+class TestProfileGuidedLayout:
+    def test_hot_taken_branch_inverted(self):
+        method = branchy_method()
+        il, _ = generate_il(method)
+        branch_block = next(b for b in il.blocks
+                            if b.terminator is not None
+                            and b.terminator.op is ILOp.IF)
+        relop_before, target_before = branch_block.terminator.value
+        # Claim the taken edge is much hotter.
+        il.notes["branch_profile"] = {
+            (branch_block.bc_start, True): 100,
+            (branch_block.bc_start, False): 1,
+        }
+        assert BlockOrdering().execute(PassContext(il))
+        relop_after, target_after = branch_block.terminator.value
+        assert relop_after != relop_before
+        assert target_after != target_before
+        il.check()
+
+    def test_cold_taken_branch_untouched(self):
+        method = branchy_method()
+        il, _ = generate_il(method)
+        branch_block = next(b for b in il.blocks
+                            if b.terminator is not None
+                            and b.terminator.op is ILOp.IF)
+        before = branch_block.terminator.value
+        il.notes["branch_profile"] = {
+            (branch_block.bc_start, True): 1,
+            (branch_block.bc_start, False): 100,
+        }
+        BlockOrdering().execute(PassContext(il))
+        assert branch_block.terminator.value == before
+
+    def test_inverted_code_still_correct(self):
+        method = branchy_method()
+        profile = None
+        # Gather a real profile with skewed inputs.
+        compiler = JitCompiler()
+        base = compiler.compile(method, OptLevel.COLD)
+        vm = vm_with(method)
+        profile = {}
+        for v in (-3, -8, -1, -9, 2):
+            base.native.execute(vm, [(v, JType.INT)], profile=profile)
+        fdo = compiler.compile(method, OptLevel.SCORCHING,
+                               profile=profile)
+        for v in (-3, 4, 0):
+            ref = vm_with(method)
+            expected = ref.call(method.signature, v)
+            run = vm_with(method)
+            actual, _t = fdo.execute(run, [(v, JType.INT)])
+            assert actual == expected
+
+    def test_hot_path_gets_cheaper(self):
+        """After FDO with a 'mostly negative inputs' profile, negative
+        inputs should run at most as many cycles as before."""
+        method = branchy_method()
+        compiler = JitCompiler()
+        base = compiler.compile(method, OptLevel.COLD)
+        vm = vm_with(method)
+        profile = {}
+        for _ in range(20):
+            base.native.execute(vm, [(-5, JType.INT)],
+                                profile=profile)
+        fdo = compiler.compile(method, OptLevel.SCORCHING,
+                               profile=profile)
+        vm1 = vm_with(method)
+        base_plain = compiler.compile(method, OptLevel.SCORCHING)
+        base_plain.execute(vm1, [(-5, JType.INT)])
+        vm2 = vm_with(method)
+        fdo.execute(vm2, [(-5, JType.INT)])
+        assert vm2.clock.now() <= vm1.clock.now()
+
+
+class TestControllerIntegration:
+    def test_very_hot_install_arms_profile(self):
+        method = branchy_method()
+        vm = vm_with(method)
+        config = ControlConfig(immediate_install=True)
+        manager = CompilationManager(
+            JitCompiler(method_resolver=vm._methods.get),
+            config=config)
+        vm.attach_manager(manager)
+        for _ in range(2500):
+            vm.call(method.signature, 5)
+        state = manager.states[method.signature]
+        levels = {r.level for r in manager.records}
+        if OptLevel.VERY_HOT in levels:
+            # Once the very-hot version installed, profiling was armed.
+            armed = any(r.level is OptLevel.VERY_HOT
+                        for r in manager.records)
+            assert armed
+        if OptLevel.SCORCHING in levels and state.active is not None \
+                and state.active.level is OptLevel.SCORCHING:
+            # The scorching compile consumed a profile (arming happened
+            # at very hot and the method kept executing).
+            assert state.active.profile is None  # fresh version

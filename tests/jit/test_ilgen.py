@@ -1,0 +1,179 @@
+"""IL generation: structure, anchoring, checks, handlers."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import Handler
+from repro.jit.ir.ilgen import field_type, generate_il
+from repro.jit.ir.tree import ILOp
+
+from tests.conftest import build_method
+
+
+def gen(body_fn, **kwargs):
+    method = build_method(body_fn, **kwargs)
+    il, cost = generate_il(method)
+    return il, cost
+
+
+class TestBlocks:
+    def test_loop_produces_four_blocks(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        assert len(il.blocks) == 4
+        il.check()
+
+    def test_straightline_single_block(self):
+        il, _ = gen(lambda a: a.load(0).iconst(1).add().retval())
+        assert len(il.blocks) == 1
+
+    def test_cost_positive_and_scales(self):
+        il1, c1 = gen(lambda a: a.load(0).retval())
+        il2, c2 = gen(lambda a: (a.load(0).iconst(1).add().iconst(2)
+                                 .add().iconst(3).add().retval()))
+        assert 0 < c1 < c2
+
+    def test_fallthrough_set_for_if_blocks(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        for block in il.blocks:
+            term = block.terminator
+            if term is not None and term.op is ILOp.IF:
+                assert block.fallthrough is not None
+
+
+class TestAnchoring:
+    def test_call_result_is_anchored(self):
+        def body(a):
+            a.load(0).call("java/lang/Math.abs", 1)
+            a.load(0).add().retval()
+        il, _ = gen(body, params=(JType.DOUBLE,), ret=JType.DOUBLE)
+        stores = [t for _b, t in il.iter_treetops()
+                  if t.op is ILOp.STORE
+                  and t.children[0].op is ILOp.CALL]
+        assert len(stores) == 1
+
+    def test_allocation_is_anchored(self):
+        il, _ = gen(lambda a: a.new("C").getfield("x").retval())
+        stores = [t for _b, t in il.iter_treetops()
+                  if t.op is ILOp.STORE
+                  and t.children[0].op is ILOp.NEW]
+        assert len(stores) == 1
+
+    def test_void_call_becomes_treetop(self):
+        def callee(a):
+            a.ret()
+        callee_m = build_method(callee, params=(), ret=JType.VOID,
+                                num_temps=0, name="v")
+
+        def body(a):
+            a.call(callee_m.signature, 0)
+            a.iconst(0).retval()
+        method = build_method(body)
+        il, _ = generate_il(
+            method, resolve_return_type=lambda s: JType.VOID)
+        tts = [t for _b, t in il.iter_treetops()
+               if t.op is ILOp.TREETOP
+               and t.children[0].op is ILOp.CALL]
+        assert len(tts) == 1
+
+
+class TestChecks:
+    def test_getfield_emits_nullchk(self):
+        il, _ = gen(lambda a: a.new("C").getfield("x").retval())
+        assert any(t.op is ILOp.NULLCHK
+                   for _b, t in il.iter_treetops())
+
+    def test_aload_emits_bndchk(self):
+        def body(a):
+            a.iconst(3).newarray(JType.INT).store(1)
+            a.load(1).iconst(0).aload().retval()
+        il, _ = gen(body)
+        assert any(t.op is ILOp.BNDCHK
+                   for _b, t in il.iter_treetops())
+
+    def test_astore_emits_both_checks(self):
+        def body(a):
+            a.iconst(3).newarray(JType.INT).store(1)
+            a.load(1).iconst(0).load(0).astore()
+            a.iconst(0).retval()
+        il, _ = gen(body)
+        ops = [t.op for _b, t in il.iter_treetops()]
+        assert ILOp.NULLCHK in ops and ILOp.BNDCHK in ops
+
+
+class TestTypes:
+    def test_field_type_convention(self):
+        assert field_type("weight_d") is JType.DOUBLE
+        assert field_type("count") is JType.INT
+        assert field_type("link_o") is JType.OBJECT
+        assert field_type("buf_a") is JType.ADDRESS
+        assert field_type("big_l") is JType.LONG
+
+    def test_array_elem_type_flows_to_aload(self):
+        def body(a):
+            a.iconst(3).newarray(JType.DOUBLE).store(1)
+            a.load(1).iconst(0).aload().retval()
+        il, _ = gen(body, ret=JType.DOUBLE)
+        aloads = [n for _b, t in il.iter_treetops()
+                  for n in t.walk() if n.op is ILOp.ALOAD]
+        assert aloads and aloads[0].type is JType.DOUBLE
+
+    def test_param_array_elems_hint(self):
+        def body(a):
+            a.load(0).iconst(0).aload().retval()
+        il, _ = gen(body, params=(JType.ADDRESS,), ret=JType.DOUBLE,
+                    array_elems={0: JType.DOUBLE})
+        aloads = [n for _b, t in il.iter_treetops()
+                  for n in t.walk() if n.op is ILOp.ALOAD]
+        assert aloads[0].type is JType.DOUBLE
+
+    def test_slot_type_from_store(self):
+        def body(a):
+            a.load(0).cast(JType.DOUBLE).store(1)
+            a.load(1).retval()
+        il, _ = gen(body, ret=JType.DOUBLE)
+        loads = [n for _b, t in il.iter_treetops()
+                 for n in t.walk()
+                 if n.op is ILOp.LOAD and n.value == 1]
+        assert all(n.type is JType.DOUBLE for n in loads)
+
+
+class TestHandlers:
+    def test_handler_block_starts_with_catch(self):
+        def body(a):
+            start = a.here()
+            a.new("app/E").athrow()
+            handler = a.here()
+            a.pop().iconst(1).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        il, _ = gen(body)
+        handler_blocks = [b for b in il.blocks if b.is_handler]
+        assert len(handler_blocks) == 1
+        assert il.handlers[0].handler_bid == handler_blocks[0].bid
+
+    def test_handler_coverage_maps_blocks(self):
+        def body(a):
+            start = a.here()
+            a.load(0).iconst(0).div().retval()
+            handler = a.here()
+            a.pop().iconst(-1).retval()
+            return [Handler(start, handler, handler)]
+        il, _ = gen(body)
+        assert il.handlers
+        assert il.handlers[0].covered
+
+
+class TestStackDiscipline:
+    def test_dup_of_pure_value(self):
+        il, _ = gen(lambda a: a.load(0).dup().add().retval())
+        il.check()
+
+    def test_cross_block_stack_rejected_on_cond_branch(self):
+        def body(a):
+            a.load(0).load(0).iflt("x")  # residual value on stack
+            a.retval()
+            a.mark("x")
+            a.retval()
+        method = build_method(body)
+        with pytest.raises(CompilationError, match="residual"):
+            generate_il(method)

@@ -1,0 +1,119 @@
+"""Compilation-plan modifiers: bit vectors, queues, search strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jit.modifiers import (
+    DEFAULT_L,
+    Modifier,
+    ModifierQueue,
+    PROGRESSIVE_CAP,
+    USES_PER_MODIFIER,
+    progressive_modifiers,
+    random_modifiers,
+)
+from repro.jit.opt.registry import NUM_TRANSFORMS
+
+
+class TestModifier:
+    def test_null_disables_nothing(self):
+        null = Modifier.null()
+        assert null.is_null()
+        assert null.count_disabled() == 0
+        assert all(not null.disabled(i) for i in range(NUM_TRANSFORMS))
+
+    def test_disabling_specific_indices(self):
+        m = Modifier.disabling([0, 7, 57])
+        assert m.disabled(0) and m.disabled(7) and m.disabled(57)
+        assert not m.disabled(1)
+        assert m.count_disabled() == 3
+        assert m.disabled_indices() == [0, 7, 57]
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            Modifier.disabling([NUM_TRANSFORMS])
+
+    def test_bits_masked_to_transform_space(self):
+        m = Modifier(1 << 63)
+        assert m.count_disabled() == 0  # bit 63 outside the 58-bit space
+
+    def test_equality_and_hash(self):
+        assert Modifier(5) == Modifier(5)
+        assert hash(Modifier(5)) == hash(Modifier(5))
+        assert Modifier(5) != Modifier(6)
+
+    @given(st.integers(0, 2**NUM_TRANSFORMS - 1))
+    def test_roundtrip_bits(self, bits):
+        m = Modifier(bits)
+        assert Modifier.disabling(m.disabled_indices()).bits == m.bits
+
+
+class TestSearchStrategies:
+    def test_search_space_is_2_to_58(self):
+        assert NUM_TRANSFORMS == 58
+
+    def test_progressive_round_zero_is_null(self):
+        rng = np.random.default_rng(0)
+        mods = progressive_modifiers(rng, 1, total_rounds=DEFAULT_L)
+        assert mods[0].is_null()  # D_0 = 0
+
+    def test_progressive_probability_grows(self):
+        rng = np.random.default_rng(0)
+        mods = progressive_modifiers(rng, 2000, total_rounds=2000)
+        early = np.mean([m.count_disabled() for m in mods[:200]])
+        late = np.mean([m.count_disabled() for m in mods[-200:]])
+        assert late > early
+
+    def test_progressive_cap_quarter(self):
+        # At round L the expected disabled fraction is 0.25.
+        rng = np.random.default_rng(1)
+        mods = progressive_modifiers(rng, 300, total_rounds=300,
+                                     start_round=299)
+        mean_frac = np.mean([m.count_disabled() / NUM_TRANSFORMS
+                             for m in mods])
+        assert abs(mean_frac - PROGRESSIVE_CAP) < 0.05
+
+    def test_progressive_rate_matches_paper(self):
+        # 0.25 / 2000 = 0.000125 per round (paper §5).
+        assert PROGRESSIVE_CAP / DEFAULT_L == pytest.approx(0.000125)
+
+    def test_random_modifiers_diverse(self):
+        rng = np.random.default_rng(0)
+        mods = random_modifiers(rng, 100)
+        assert len({m.bits for m in mods}) > 90
+
+    def test_deterministic_given_seed(self):
+        a = random_modifiers(np.random.default_rng(42), 10)
+        b = random_modifiers(np.random.default_rng(42), 10)
+        assert [m.bits for m in a] == [m.bits for m in b]
+
+
+class TestModifierQueue:
+    def test_null_every_third(self):
+        mods = [Modifier(1), Modifier(2)]
+        queue = ModifierQueue(mods, uses_per_modifier=100)
+        seen = [queue.next_modifier() for _ in range(9)]
+        for i, m in enumerate(seen, start=1):
+            if i % 3 == 0:
+                assert m.is_null()
+            else:
+                assert not m.is_null()
+
+    def test_retirement_after_uses(self):
+        mods = [Modifier(1), Modifier(2)]
+        queue = ModifierQueue(mods, uses_per_modifier=2, null_every=0)
+        out = [queue.next_modifier() for _ in range(4)]
+        assert [m.bits for m in out] == [1, 1, 2, 2]
+        assert queue.exhausted()
+        assert queue.next_modifier() is None
+
+    def test_default_uses_per_modifier_is_50(self):
+        assert USES_PER_MODIFIER == 50
+
+    def test_remaining_counts_down(self):
+        queue = ModifierQueue([Modifier(1)], uses_per_modifier=1,
+                              null_every=0)
+        assert queue.remaining() == 1
+        queue.next_modifier()
+        assert queue.remaining() == 0

@@ -1,0 +1,148 @@
+"""Native-simulator edge paths: exception dispatch, THROWLOCAL, guards."""
+
+import pytest
+
+from repro.errors import JavaThrow, VMError
+from repro.jit.codegen.lower import lower_method
+from repro.jit.compiler import JitCompiler
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.modifiers import Modifier
+from repro.jit.opt.registry import transform_index
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import Handler
+
+from tests.conftest import build_method, vm_with
+
+
+def compile_and_run(method, argvals, level=OptLevel.HOT, vm=None,
+                    modifier=None):
+    vm = vm or vm_with(method)
+    compiler = JitCompiler(method_resolver=vm._methods.get)
+    compiled = compiler.compile(method, level, modifier=modifier)
+    return compiled.execute(vm, [(v, t) for v, t in argvals])
+
+
+class TestExceptionDispatch:
+    def _handled(self):
+        def body(a):
+            start = a.here()
+            a.load(0).iconst(0).div().retval()
+            handler = a.here()
+            a.pop().iconst(-1).retval()
+            return [Handler(start, handler, handler)]
+        return build_method(body, num_temps=0)
+
+    def test_compiled_handler_catches(self):
+        method = self._handled()
+        value, _t = compile_and_run(method, [(5, JType.INT)])
+        assert value == -1
+
+    def test_uncaught_exception_propagates(self):
+        def body(a):
+            a.load(0).iconst(0).div().retval()
+        method = build_method(body, num_temps=0)
+        with pytest.raises(JavaThrow, match="ArithmeticException"):
+            compile_and_run(method, [(5, JType.INT)])
+
+    def test_handler_order_first_match_wins(self):
+        def body(a):
+            start = a.here()
+            a.new("app/E").athrow()
+            h1 = a.here()
+            a.pop().iconst(1).retval()
+            h2 = a.here()
+            a.pop().iconst(2).retval()
+            return [Handler(start, h1, h1, "app/E"),
+                    Handler(start, h1, h2, "java/lang/Throwable")]
+        method = build_method(body, num_temps=0)
+        value, _t = compile_and_run(method, [(0, JType.INT)])
+        assert value == 1
+
+    def test_throwlocal_matches_interpreter(self):
+        """EDO-enabled compilation vs interpreted result, both branches
+        of a conditional throw."""
+        def body(a):
+            start = a.here()
+            a.load(0).ifgt("ok")
+            a.new("app/E").athrow()
+            a.mark("ok")
+            a.load(0).iconst(100).add().retval()
+            handler = a.here()
+            a.pop().iconst(-99).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        method = build_method(body, num_temps=1)
+        for v in (5, -5, 0):
+            vm = vm_with(method)
+            expected = vm.call(method.signature, v)
+            value, _t = compile_and_run(method, [(v, JType.INT)])
+            assert value == expected
+
+    def test_edo_disabled_still_correct(self):
+        def body(a):
+            start = a.here()
+            a.new("app/E").athrow()
+            handler = a.here()
+            a.pop().iconst(7).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        method = build_method(body, num_temps=0)
+        off = Modifier.disabling(
+            [transform_index("exceptionDirectedOptimization")])
+        value, _t = compile_and_run(method, [(0, JType.INT)],
+                                    modifier=off)
+        assert value == 7
+
+
+class TestCallsFromNative:
+    def test_native_calls_dispatch_through_vm(self):
+        def callee_body(a):
+            a.load(0).iconst(2).mul().retval()
+        callee = build_method(callee_body, num_temps=0, name="twice")
+
+        def caller_body(a):
+            a.load(0).call(callee.signature, 1).iconst(1).add()
+            a.retval()
+        caller = build_method(caller_body, num_temps=0, name="outer")
+        vm = vm_with(caller, callee)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        compiled = compiler.compile(caller, OptLevel.COLD)
+        value, _t = compiled.execute(vm, [(10, JType.INT)])
+        assert value == 21
+        # the callee ran interpreted via the VM dispatch
+        assert vm.invocation_counts[callee.signature] == 1
+
+    def test_exception_from_callee_reaches_caller_handler(self):
+        def callee_body(a):
+            a.new("app/E").athrow()
+        callee = build_method(callee_body, params=(), ret=JType.VOID,
+                              num_temps=0, name="ka")
+
+        def caller_body(a):
+            start = a.here()
+            a.call(callee.signature, 0)
+            a.iconst(0).retval()
+            handler = a.here()
+            a.pop().iconst(42).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        caller = build_method(caller_body, num_temps=0, name="kb")
+        vm = vm_with(caller, callee)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        compiled = compiler.compile(caller, OptLevel.WARM)
+        value, _t = compiled.execute(vm, [(0, JType.INT)])
+        assert value == 42
+
+
+class TestGuards:
+    def test_wrong_arg_count(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        code, _ = lower_method(il)
+        vm = vm_with(sum_to_method)
+        with pytest.raises(VMError, match="expected"):
+            code.execute(vm, [])
+
+    def test_frame_cost_charged(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        code, _ = lower_method(il)
+        vm = vm_with(sum_to_method)
+        code.execute(vm, [(0, JType.INT)])
+        assert vm.clock.now() >= code.frame_cost

@@ -1,0 +1,114 @@
+"""The pass framework: applicability, modifiers, cost, corruption."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.modifiers import Modifier
+from repro.jit.opt.base import Pass, PassContext, PassManager
+from repro.jit.opt.registry import transform_index
+from repro.jvm.bytecode import JType
+
+from tests.conftest import build_method
+
+
+@pytest.fixture
+def loop_il(sum_to_method):
+    il, _ = generate_il(sum_to_method)
+    return il
+
+
+class TestPassContext:
+    def test_facts_computed(self, loop_il):
+        ctx = PassContext(loop_il)
+        facts = ctx.facts()
+        assert facts["has_loops"]
+        assert not facts["has_allocations"]
+        assert not facts["is_strictfp"]
+
+    def test_cfg_cached_until_invalidated(self, loop_il):
+        ctx = PassContext(loop_il)
+        first = ctx.cfg()
+        assert ctx.cfg() is first
+        ctx.invalidate()
+        assert ctx.cfg() is not first
+
+    def test_charge_scales_with_cost_factor(self, loop_il):
+        ctx = PassContext(loop_il)
+
+        class Cheap(Pass):
+            name = "cheap"
+            cost_factor = 0.5
+
+        class Dear(Pass):
+            name = "dear"
+            cost_factor = 5.0
+
+        ctx.charge(Cheap(), 100)
+        cheap_cost = ctx.cost
+        ctx.charge(Dear(), 100)
+        assert ctx.cost - cheap_cost == 10 * cheap_cost
+
+
+class TestApplicability:
+    def test_requires_gating(self, loop_il):
+        class NeedsMonitors(Pass):
+            name = "nm"
+            requires = ("has_monitors",)
+
+            def run(self, ctx):  # pragma: no cover
+                raise AssertionError("must not run")
+
+        ctx = PassContext(loop_il)
+        assert not NeedsMonitors().execute(ctx)
+
+    def test_charges_even_when_skipped(self, loop_il):
+        class NeedsMonitors(Pass):
+            name = "nm"
+            requires = ("has_monitors",)
+
+            def run(self, ctx):  # pragma: no cover
+                raise AssertionError
+
+        ctx = PassContext(loop_il)
+        NeedsMonitors().execute(ctx)
+        assert ctx.cost > 0
+
+
+class TestPassManager:
+    def test_runs_plan_in_order(self, loop_il):
+        manager = PassManager(["constantFolding", "localDCE"])
+        _il, cost, log = manager.optimize(loop_il)
+        assert [name for name, _c in log] == ["constantFolding",
+                                              "localDCE"]
+        assert cost > 0
+
+    def test_modifier_suppresses_every_occurrence(self, loop_il):
+        entries = ["constantFolding", "localDCE", "constantFolding"]
+        off = Modifier.disabling([transform_index("constantFolding")])
+        manager = PassManager(entries, modifier=off)
+        _il, _cost, log = manager.optimize(loop_il)
+        assert [name for name, _c in log] == ["localDCE"]
+
+    def test_unknown_entry_raises(self, loop_il):
+        manager = PassManager(["definitelyNotAPass"])
+        with pytest.raises(CompilationError):
+            manager.optimize(loop_il)
+
+    def test_debug_check_catches_corruption(self, loop_il):
+        class Corruptor(Pass):
+            name = "constantFolding"  # reuse a registered name
+
+            def run(self, ctx):
+                # Illegally nest a treetop inside an expression.
+                block = ctx.il.blocks[0]
+                bad = Node(ILOp.STORE, JType.INT,
+                           (Node(ILOp.RETURN, JType.INT,
+                                 (Node.const(JType.INT, 1),)),), 0)
+                block.treetops.insert(0, bad)
+                return True
+
+        ctx = PassContext(loop_il, debug_check=True)
+        with pytest.raises(CompilationError, match="corrupted"):
+            Corruptor().execute(ctx)

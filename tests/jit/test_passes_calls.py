@@ -1,0 +1,185 @@
+"""Inlining and call optimizations."""
+
+from repro.jit.codegen.lower import lower_method
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.calls import (
+    AggressiveInlining,
+    PureCallElimination,
+    TrivialInlining,
+)
+from repro.jvm.bytecode import JType
+
+from tests.conftest import build_method, vm_with
+
+
+def count_calls(il, signature=None):
+    return sum(1 for _b, t in il.iter_treetops() for n in t.walk()
+               if n.op is ILOp.CALL
+               and (signature is None or n.value == signature))
+
+
+def tiny_callee():
+    def body(a):
+        a.load(0).iconst(3).mul().load(1).add().retval()
+    return build_method(body, params=(JType.INT, JType.INT),
+                        num_temps=0, name="tiny")
+
+
+def branchy_callee():
+    def body(a):
+        a.load(0).ifle("neg")
+        a.load(0).iconst(2).mul().retval()
+        a.mark("neg")
+        a.load(0).neg().retval()
+    return build_method(body, num_temps=0, name="branchy")
+
+
+def make_caller(callee, name="caller"):
+    def body(a):
+        nargs = len(callee.param_types)
+        for i in range(nargs):
+            a.load(0)
+        a.call(callee.signature, nargs).store(1)
+        a.load(1).load(0).add().retval()
+    return build_method(body, num_temps=1, name=name)
+
+
+def run_inline(pass_obj, caller, callee):
+    vm = vm_with(caller, callee)
+    il, _ = generate_il(caller,
+                        resolve_return_type=lambda s: JType.INT)
+    ctx = PassContext(il, resolver=vm._methods.get)
+    changed = pass_obj.execute(ctx)
+    il.check()
+    return vm, il, changed
+
+
+def check_equiv(vm, caller, il, *argvals):
+    code, _ = lower_method(il)
+    for v in argvals:
+        expected = vm.call(caller.signature, v)
+        actual, _t = code.execute(vm, [(v, JType.INT)])
+        assert actual == expected, (v, actual, expected)
+
+
+class TestTrivialInlining:
+    def test_single_block_callee_inlined(self):
+        callee = tiny_callee()
+        caller = make_caller(callee)
+        vm, il, changed = run_inline(TrivialInlining(), caller, callee)
+        assert changed
+        assert count_calls(il, callee.signature) == 0
+        check_equiv(vm, caller, il, 0, 5, -3)
+
+    def test_without_resolver_inert(self):
+        callee = tiny_callee()
+        caller = make_caller(callee)
+        il, _ = generate_il(caller,
+                            resolve_return_type=lambda s: JType.INT)
+        ctx = PassContext(il, resolver=None)
+        assert not TrivialInlining().execute(ctx)
+
+    def test_multiblock_callee_rejected(self):
+        callee = branchy_callee()
+        caller = make_caller(callee)
+        _vm, il, changed = run_inline(TrivialInlining(), caller, callee)
+        assert not changed
+
+    def test_direct_recursion_not_inlined(self):
+        def body(a):
+            a.load(0).call("T.rec(INT)INT", 1).retval()
+        rec = build_method(body, num_temps=0, name="rec")
+        vm = vm_with(rec)
+        il, _ = generate_il(rec,
+                            resolve_return_type=lambda s: JType.INT)
+        ctx = PassContext(il, resolver=vm._methods.get)
+        assert not TrivialInlining().execute(ctx)
+
+    def test_argument_cast_to_declared_type(self):
+        def callee_body(a):
+            a.load(0).retval()
+        callee = build_method(callee_body, params=(JType.BYTE,),
+                              ret=JType.INT, num_temps=0, name="takes_b")
+
+        def caller_body(a):
+            a.load(0).call(callee.signature, 1).retval()
+        caller = build_method(caller_body, num_temps=0, name="c2")
+        vm, il, changed = run_inline(TrivialInlining(), caller, callee)
+        assert changed
+        # 300 masked to byte = 44
+        check_equiv(vm, caller, il, 300)
+
+
+class TestAggressiveInlining:
+    def test_multiblock_callee_inlined(self):
+        callee = branchy_callee()
+        caller = make_caller(callee)
+        vm, il, changed = run_inline(AggressiveInlining(), caller,
+                                     callee)
+        assert changed
+        assert count_calls(il, callee.signature) == 0
+        check_equiv(vm, caller, il, 4, 0, -4)
+
+    def test_handlerful_callee_rejected(self):
+        from repro.jvm.classfile import Handler
+
+        def body(a):
+            start = a.here()
+            a.new("app/E").athrow()
+            handler = a.here()
+            a.pop().iconst(1).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        callee = build_method(body, num_temps=0, name="handled")
+        caller = make_caller(callee)
+        _vm, il, changed = run_inline(AggressiveInlining(), caller,
+                                      callee)
+        assert not changed
+
+    def test_exception_coverage_inherited(self):
+        from repro.jvm.classfile import Handler
+
+        def thrower(a):
+            a.new("app/E").athrow()
+        callee = build_method(thrower, params=(JType.INT,),
+                              ret=JType.INT, num_temps=0, name="boom")
+
+        def caller_body(a):
+            start = a.here()
+            a.load(0).call(callee.signature, 1).store(1)
+            a.load(1).retval()
+            handler = a.here()
+            a.pop().iconst(-1).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        caller = build_method(caller_body, num_temps=1, name="cat")
+        vm, il, changed = run_inline(AggressiveInlining(), caller,
+                                     callee)
+        assert changed
+        check_equiv(vm, caller, il, 7)
+
+
+class TestPureCallElimination:
+    def test_discarded_math_call_removed(self):
+        def body(a):
+            a.load(0).cast(JType.DOUBLE).call("java/lang/Math.sqrt", 1)
+            a.pop()
+            a.load(0).retval()
+        method = build_method(body, num_temps=2)
+        il, _ = generate_il(method)
+        # GlobalDCE converts the dead anchored store to a bare treetop.
+        from repro.jit.opt.globalopts import GlobalDCE
+        ctx = PassContext(il)
+        GlobalDCE().execute(ctx)
+        assert PureCallElimination().execute(ctx)
+        assert count_calls(il) == 0
+
+    def test_used_math_call_kept(self):
+        def body(a):
+            a.load(0).call("java/lang/Math.abs", 1).retval()
+        method = build_method(body, params=(JType.DOUBLE,),
+                              ret=JType.DOUBLE, num_temps=1)
+        il, _ = generate_il(method)
+        ctx = PassContext(il)
+        assert not PureCallElimination().execute(ctx)
+        assert count_calls(il) == 1

@@ -1,0 +1,272 @@
+"""Check-elimination, escape analysis, monitor elision, EDO."""
+
+from repro.jit.codegen.lower import lower_method
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.checks import (
+    BoundsCheckElimination,
+    CheckcastElimination,
+    EscapeAnalysis,
+    ExceptionDirectedOptimization,
+    InstanceofSimplification,
+    MonitorElision,
+    NullCheckElimination,
+    StackAllocation,
+)
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import Handler
+
+from tests.conftest import build_method, vm_with
+
+
+def run_pass(pass_obj, il):
+    changed = pass_obj.execute(PassContext(il))
+    il.check()
+    return changed
+
+
+def count_ops(il, op):
+    return sum(1 for _b, t in il.iter_treetops()
+               for n in t.walk() if n.op is op)
+
+
+def check_equivalent(method, il, *argvals):
+    code, _ = lower_method(il)
+    for v in argvals:
+        vm1 = vm_with(method)
+        expected = vm1.call(method.signature, v)
+        vm2 = vm_with(method)
+        actual, _t = code.execute(vm2, [(v, JType.INT)])
+        assert actual == expected
+
+
+class TestNullCheckElimination:
+    def test_duplicate_checks_removed(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).load(0).putfield("f")
+            a.load(1).getfield("f").store(2)
+            a.load(1).getfield("f").load(0).add().store(2)
+            a.load(2).retval()
+        method = build_method(body, num_temps=2)
+        il, _ = generate_il(method)
+        before = count_ops(il, ILOp.NULLCHK)
+        assert run_pass(NullCheckElimination(), il)
+        assert count_ops(il, ILOp.NULLCHK) < before
+        check_equivalent(method, il, 5)
+
+    def test_fresh_allocation_needs_no_check(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).getfield("f").retval()
+        method = build_method(body, num_temps=1)
+        il, _ = generate_il(method)
+        run_pass(NullCheckElimination(), il)
+        # The store of a NEW proves non-nullness: no check needed.
+        assert count_ops(il, ILOp.NULLCHK) == 0
+
+    def test_check_after_redefinition_kept(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).getfield("f").store(2)
+            a.load(0).store(1)  # redefined with unknown value
+            a.load(1).getfield("f").store(2)
+            a.load(2).retval()
+        method = build_method(body, num_temps=2)
+        il, _ = generate_il(method)
+        run_pass(NullCheckElimination(), il)
+        assert count_ops(il, ILOp.NULLCHK) >= 1
+
+
+class TestBoundsCheckElimination:
+    def test_duplicate_check_removed(self):
+        def body(a):
+            a.iconst(5).newarray(JType.INT).store(1)
+            a.load(1).iconst(2).aload().store(2)
+            a.load(1).iconst(2).aload().load(2).add().store(2)
+            a.load(2).retval()
+        method = build_method(body, num_temps=2)
+        il, _ = generate_il(method)
+        before = count_ops(il, ILOp.BNDCHK)
+        assert run_pass(BoundsCheckElimination(), il)
+        assert count_ops(il, ILOp.BNDCHK) < before
+        check_equivalent(method, il, 3)
+
+    def test_larger_const_subsumes_smaller(self):
+        def body(a):
+            a.iconst(5).newarray(JType.INT).store(1)
+            a.load(1).iconst(4).aload().store(2)
+            a.load(1).iconst(1).aload().load(2).add().store(2)
+            a.load(2).retval()
+        method = build_method(body, num_temps=2)
+        il, _ = generate_il(method)
+        before = count_ops(il, ILOp.BNDCHK)
+        assert run_pass(BoundsCheckElimination(), il)
+        assert count_ops(il, ILOp.BNDCHK) < before
+
+
+class TestCheckcastAndInstanceof:
+    def test_duplicate_checkcast_removed(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).checkcast("D").store(1)
+            a.load(1).checkcast("D").store(1)
+            a.iconst(0).retval()
+        method = build_method(body, num_temps=1)
+        il, _ = generate_il(method)
+        before = count_ops(il, ILOp.CHECKCAST)
+        assert run_pass(CheckcastElimination(), il)
+        assert count_ops(il, ILOp.CHECKCAST) < before
+
+    def test_cast_to_allocated_class_removed(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).checkcast("C").store(1)
+            a.iconst(0).retval()
+        method = build_method(body, num_temps=1)
+        il, _ = generate_il(method)
+        run_pass(CheckcastElimination(), il)
+        assert count_ops(il, ILOp.CHECKCAST) == 0
+
+    def test_instanceof_on_fresh_object_folds(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).instanceof("C").retval()
+        method = build_method(body, num_temps=1)
+        il, _ = generate_il(method)
+        assert run_pass(InstanceofSimplification(), il)
+        assert count_ops(il, ILOp.INSTANCEOF) == 0
+        check_equivalent(method, il, 0)
+
+
+def escape_test_il(escaping):
+    """A method allocating an object that may or may not escape."""
+    def body(a):
+        a.new("C").store(1)
+        a.load(1).load(0).putfield("f")
+        if escaping:
+            a.load(1).call("X.sink(OBJECT)INT", 1).store(2)
+        a.load(1).getfield("f").retval()
+    method = build_method(body, num_temps=2)
+    il, _ = generate_il(
+        method, resolve_return_type=lambda s: JType.INT)
+    return method, il
+
+
+class TestEscapeAnalysis:
+    def test_local_object_does_not_escape(self):
+        _m, il = escape_test_il(escaping=False)
+        assert run_pass(EscapeAnalysis(), il)
+        assert il.notes["stack_alloc_candidates"]
+        assert il.notes["nonescaping_slots"]
+
+    def test_call_argument_escapes(self):
+        _m, il = escape_test_il(escaping=True)
+        run_pass(EscapeAnalysis(), il)
+        assert not il.notes.get("stack_alloc_candidates")
+
+    def test_returned_object_escapes(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).retval()
+        method = build_method(body, ret=JType.OBJECT, num_temps=1)
+        il, _ = generate_il(method)
+        run_pass(EscapeAnalysis(), il)
+        assert not il.notes.get("stack_alloc_candidates")
+
+    def test_stored_to_field_escapes(self):
+        def body(a):
+            a.new("C").store(1)
+            a.new("D").store(2)
+            a.load(2).load(1).putfield("link_o")
+            a.iconst(0).retval()
+        method = build_method(body, num_temps=2)
+        il, _ = generate_il(method)
+        run_pass(EscapeAnalysis(), il)
+        candidates = il.notes.get("stack_alloc_candidates", set())
+        # C escaped (stored into D's field); D itself does not escape.
+        assert len(candidates) == 1
+
+
+class TestStackAllocation:
+    def test_flags_candidates_for_codegen(self):
+        _m, il = escape_test_il(escaping=False)
+        run_pass(EscapeAnalysis(), il)
+        assert run_pass(StackAllocation(), il)
+        assert il.notes["codegen_stack_alloc"]
+
+    def test_inert_without_escape_analysis(self):
+        _m, il = escape_test_il(escaping=False)
+        assert not run_pass(StackAllocation(), il)
+
+
+class TestMonitorElision:
+    def test_nonescaping_monitor_removed(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).monitorenter()
+            a.load(1).load(0).putfield("f")
+            a.load(1).monitorexit()
+            a.load(1).getfield("f").retval()
+        method = build_method(body, num_temps=1)
+        il, _ = generate_il(method)
+        run_pass(EscapeAnalysis(), il)
+        assert run_pass(MonitorElision(), il)
+        assert count_ops(il, ILOp.MONITORENTER) == 0
+        assert count_ops(il, ILOp.MONITOREXIT) == 0
+        check_equivalent(method, il, 5)
+
+    def test_escaping_monitor_kept(self):
+        def body(a):
+            a.new("C").store(1)
+            a.load(1).monitorenter()
+            a.load(1).call("X.sink(OBJECT)INT", 1).store(2)
+            a.load(1).monitorexit()
+            a.iconst(0).retval()
+        method = build_method(body, num_temps=2)
+        il, _ = generate_il(
+            method, resolve_return_type=lambda s: JType.INT)
+        run_pass(EscapeAnalysis(), il)
+        assert not run_pass(MonitorElision(), il)
+
+
+class TestEDO:
+    def _method(self):
+        def body(a):
+            start = a.here()
+            a.load(0).ifgt("ok")
+            a.new("app/E").athrow()
+            a.mark("ok")
+            a.load(0).retval()
+            handler = a.here()
+            a.pop().iconst(-1).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        return build_method(body, num_temps=1)
+
+    def test_throw_becomes_direct_branch(self):
+        method = self._method()
+        il, _ = generate_il(method)
+        assert run_pass(ExceptionDirectedOptimization(), il)
+        assert count_ops(il, ILOp.ATHROW) == 0
+        assert count_ops(il, ILOp.THROWTO) == 1
+        check_equivalent(method, il, 5)
+        check_equivalent(method, il, -5)
+
+    def test_uncovered_throw_untouched(self):
+        def body(a):
+            a.new("app/E").athrow()
+        method = build_method(body, num_temps=1)
+        il, _ = generate_il(method)
+        assert not run_pass(ExceptionDirectedOptimization(), il)
+
+    def test_class_mismatch_untouched(self):
+        def body(a):
+            start = a.here()
+            a.new("app/Other").athrow()
+            handler = a.here()
+            a.pop().iconst(-1).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        method = build_method(body, num_temps=1)
+        il, _ = generate_il(method)
+        assert not run_pass(ExceptionDirectedOptimization(), il)

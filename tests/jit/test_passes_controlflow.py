@@ -1,0 +1,219 @@
+"""Control-flow passes."""
+
+from repro.jit.ir.block import ILBlock, ILMethod
+from repro.jit.ir.cfg import CFGInfo
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.controlflow import (
+    BlockOrdering,
+    BranchFolding,
+    BranchReversal,
+    EmptyBlockMerging,
+    JumpThreading,
+    LoopCanonicalization,
+    TailDuplication,
+    UnreachableCodeElimination,
+)
+from repro.jvm.bytecode import Instr, JType, Op
+from repro.jvm.classfile import JMethod
+
+from tests.conftest import build_method
+
+
+def iconst(v):
+    return Node.const(JType.INT, v)
+
+
+def iload(s):
+    return Node.load(s, JType.INT)
+
+
+def method_shell(num_args=1):
+    return JMethod("T", "m", (JType.INT,) * num_args, JType.INT,
+                   [Instr(Op.LOADCONST, JType.INT, 0),
+                    Instr(Op.RETVAL)], num_temps=0)
+
+
+def run_pass(pass_obj, il):
+    changed = pass_obj.execute(PassContext(il))
+    il.check()
+    return changed
+
+
+class TestBranchFolding:
+    def _il(self, cond_value):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.IF, JType.VOID, (iconst(cond_value),),
+                       ("ne", 2)))
+        b0.fallthrough = 1
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.RETURN, JType.INT, (iconst(10),)))
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.RETURN, JType.INT, (iconst(20),)))
+        return ILMethod(method_shell(), [b0, b1, b2], 1)
+
+    def test_taken_branch_becomes_goto(self):
+        il = self._il(1)
+        assert run_pass(BranchFolding(), il)
+        assert il.blocks[0].terminator.op is ILOp.GOTO
+        assert il.blocks[0].terminator.value == 2
+
+    def test_untaken_branch_removed(self):
+        il = self._il(0)
+        assert run_pass(BranchFolding(), il)
+        assert il.blocks[0].terminator is None
+        assert il.blocks[0].fallthrough == 1
+
+    def test_variable_condition_untouched(self):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.IF, JType.VOID, (iload(0),), ("ne", 1)))
+        b0.fallthrough = 1
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.RETURN, JType.INT, (iconst(0),)))
+        il = ILMethod(method_shell(), [b0, b1], 1)
+        assert not run_pass(BranchFolding(), il)
+
+
+class TestJumpThreading:
+    def test_goto_chain_threaded(self):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.GOTO, value=1))
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.GOTO, value=2))
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.RETURN, JType.INT, (iconst(1),)))
+        il = ILMethod(method_shell(), [b0, b1, b2], 1)
+        assert run_pass(JumpThreading(), il)
+        assert il.blocks[0].terminator.value == 2
+
+    def test_goto_cycle_not_infinite(self):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.GOTO, value=1))
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.GOTO, value=2))
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.GOTO, value=1))
+        il = ILMethod(method_shell(), [b0, b1, b2], 1)
+        run_pass(JumpThreading(), il)  # must terminate
+
+
+class TestUnreachable:
+    def test_dead_block_removed(self):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.RETURN, JType.INT, (iconst(1),)))
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.RETURN, JType.INT, (iconst(2),)))
+        il = ILMethod(method_shell(), [b0, b1], 1)
+        assert run_pass(UnreachableCodeElimination(), il)
+        assert len(il.blocks) == 1
+
+    def test_all_reachable_unchanged(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        assert not run_pass(UnreachableCodeElimination(), il)
+
+
+class TestEmptyBlockMerging:
+    def test_straightline_chain_merged(self):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.STORE, JType.INT, (iconst(1),), 0))
+        b0.fallthrough = 1
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.RETURN, JType.INT, (iload(0),)))
+        il = ILMethod(method_shell(), [b0, b1], 1)
+        assert run_pass(EmptyBlockMerging(), il)
+        assert len(il.blocks) == 1
+        assert il.blocks[0].terminator.op is ILOp.RETURN
+
+    def test_join_block_not_merged(self):
+        # b2 has two predecessors: must stay separate.
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.IF, JType.VOID, (iload(0),), ("ne", 2)))
+        b0.fallthrough = 1
+        b1 = ILBlock(1)
+        b1.fallthrough = 2
+        b1.append(Node(ILOp.STORE, JType.INT, (iconst(5),), 0))
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.RETURN, JType.INT, (iload(0),)))
+        il = ILMethod(method_shell(), [b0, b1, b2], 1)
+        run_pass(EmptyBlockMerging(), il)
+        assert len(il.blocks) == 3
+
+
+class TestBlockOrdering:
+    def test_goto_target_moved_adjacent(self):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.GOTO, value=2))
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.RETURN, JType.INT, (iconst(1),)))
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.GOTO, value=1))
+        il = ILMethod(method_shell(), [b0, b1, b2], 1)
+        assert run_pass(BlockOrdering(), il)
+        assert [b.bid for b in il.blocks] == [0, 2, 1]
+
+    def test_entry_stays_first(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        entry = il.blocks[0].bid
+        run_pass(BlockOrdering(), il)
+        assert il.blocks[0].bid == entry
+
+
+class TestTailDuplication:
+    def test_small_return_block_duplicated(self):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.IF, JType.VOID, (iload(0),), ("ne", 2)))
+        b0.fallthrough = 1
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.GOTO, value=3))
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.GOTO, value=3))
+        b3 = ILBlock(3)
+        b3.append(Node(ILOp.RETURN, JType.INT, (iload(0),)))
+        il = ILMethod(method_shell(), [b0, b1, b2, b3], 1)
+        assert run_pass(TailDuplication(), il)
+        assert il.blocks[1].terminator.op is ILOp.RETURN
+        assert il.blocks[2].terminator.op is ILOp.RETURN
+
+
+class TestBranchReversal:
+    def test_trampoline_removed_from_hot_path(self):
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.IF, JType.VOID, (iload(0),), ("ne", 2)))
+        b0.fallthrough = 1
+        b1 = ILBlock(1)  # trampoline: only a goto
+        b1.append(Node(ILOp.GOTO, value=3))
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.RETURN, JType.INT, (iconst(1),)))
+        b3 = ILBlock(3)
+        b3.append(Node(ILOp.RETURN, JType.INT, (iconst(2),)))
+        il = ILMethod(method_shell(), [b0, b1, b2, b3], 1)
+        assert run_pass(BranchReversal(), il)
+        relop, target = il.blocks[0].terminator.value
+        assert relop == "eq" and target == 3
+        assert il.blocks[0].fallthrough == 2
+
+
+class TestLoopCanonicalization:
+    def test_preheader_created(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        nblocks = len(il.blocks)
+        assert run_pass(LoopCanonicalization(), il)
+        assert len(il.blocks) == nblocks + 1
+        assert il.notes["preheaders"]
+
+    def test_idempotent(self, sum_to_method):
+        il, _ = generate_il(sum_to_method)
+        run_pass(LoopCanonicalization(), il)
+        ctx = PassContext(il)
+        assert not LoopCanonicalization().execute(ctx)
+
+    def test_semantics_preserved(self, sum_to_method):
+        from repro.jit.codegen.lower import lower_method
+        from tests.conftest import vm_with
+        il, _ = generate_il(sum_to_method)
+        run_pass(LoopCanonicalization(), il)
+        code, _ = lower_method(il)
+        vm = vm_with(sum_to_method)
+        value, _t = code.execute(vm, [(10, JType.INT)])
+        assert value == 45

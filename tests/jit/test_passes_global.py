@@ -1,0 +1,172 @@
+"""Whole-method dataflow passes."""
+
+from repro.jit.ir.block import ILBlock, ILHandler, ILMethod
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.globalopts import (
+    GlobalCSE,
+    GlobalConstantPropagation,
+    GlobalCopyPropagation,
+    GlobalDCE,
+    GlobalDeadStoreElimination,
+)
+from repro.jvm.bytecode import Instr, JType, Op
+from repro.jvm.classfile import JMethod
+
+
+def iload(s):
+    return Node.load(s, JType.INT)
+
+
+def iconst(v):
+    return Node.const(JType.INT, v)
+
+
+def istore(s, rhs):
+    return Node(ILOp.STORE, JType.INT, (rhs,), s)
+
+
+def two_block_method(b0_tts, b1_tts, num_locals=8, num_args=1):
+    method = JMethod("T", "m", (JType.INT,) * num_args, JType.INT,
+                     [Instr(Op.LOADCONST, JType.INT, 0),
+                      Instr(Op.RETVAL)], num_temps=0)
+    b0 = ILBlock(0)
+    for tt in b0_tts:
+        b0.append(tt)
+    b0.fallthrough = 1
+    b1 = ILBlock(1)
+    for tt in b1_tts:
+        b1.append(tt)
+    if b1.terminator is None:
+        b1.append(Node(ILOp.RETURN, JType.INT, (iconst(0),)))
+    il = ILMethod(method, [b0, b1], num_locals)
+    il.check()
+    return il
+
+
+def run_pass(pass_obj, il):
+    changed = pass_obj.execute(PassContext(il))
+    il.check()
+    return changed
+
+
+class TestGlobalConstantPropagation:
+    def test_constant_crosses_blocks(self):
+        il = two_block_method(
+            [istore(1, iconst(9))],
+            [istore(2, iload(1)),
+             Node(ILOp.RETURN, JType.INT, (iload(2),))])
+        assert run_pass(GlobalConstantPropagation(), il)
+        assert il.blocks[1].treetops[0].children[0].value == 9
+
+    def test_multiply_defined_slot_not_propagated(self):
+        il = two_block_method(
+            [istore(1, iconst(9)), istore(1, iconst(8))],
+            [Node(ILOp.RETURN, JType.INT, (iload(1),))])
+        assert not run_pass(GlobalConstantPropagation(), il)
+
+
+class TestGlobalCopyPropagation:
+    def test_argument_copy_propagated(self):
+        il = two_block_method(
+            [istore(1, iload(0))],
+            [Node(ILOp.RETURN, JType.INT, (iload(1),))])
+        assert run_pass(GlobalCopyPropagation(), il)
+        assert il.blocks[1].treetops[0].children[0].value == 0
+
+    def test_written_argument_not_propagated(self):
+        il = two_block_method(
+            [istore(1, iload(0)), istore(0, iconst(5))],
+            [Node(ILOp.RETURN, JType.INT, (iload(1),))])
+        assert not run_pass(GlobalCopyPropagation(), il)
+
+
+class TestGlobalCSE:
+    def _expr(self):
+        return Node(ILOp.MUL, JType.INT,
+                    (Node(ILOp.ADD, JType.INT, (iload(0), iconst(1))),
+                     iload(0)))
+
+    def test_expression_commoned_across_blocks(self):
+        il = two_block_method(
+            [istore(1, self._expr())],
+            [istore(2, self._expr()),
+             Node(ILOp.RETURN, JType.INT, (iload(2),))])
+        assert run_pass(GlobalCSE(), il)
+        # Second occurrence must read the temp.
+        assert il.blocks[1].treetops[0].children[0].op is ILOp.LOAD
+
+    def test_loop_variant_slot_blocks_cse(self):
+        # slot 3 is defined inside a loop -> its single def may run many
+        # times with different values; CSE must not treat it as stable.
+        method = JMethod("T", "m", (JType.INT,), JType.INT,
+                         [Instr(Op.LOADCONST, JType.INT, 0),
+                          Instr(Op.RETVAL)], num_temps=0)
+        expr = Node(ILOp.MUL, JType.INT,
+                    (Node(ILOp.ADD, JType.INT, (iload(3), iconst(1))),
+                     iload(3)))
+        b0 = ILBlock(0)
+        b0.fallthrough = 1
+        b1 = ILBlock(1)  # loop header+body
+        b1.append(istore(3, Node(ILOp.ADD, JType.INT,
+                                 (iload(3), iconst(1)))))
+        b1.append(istore(1, expr))
+        b1.append(istore(2, expr.copy()))
+        b1.append(Node(ILOp.IF, JType.VOID, (iload(3),), ("lt", 1)))
+        b1.fallthrough = 2
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.RETURN, JType.INT, (iload(2),)))
+        il = ILMethod(method, [b0, b1, b2], 8)
+        il.check()
+        assert not run_pass(GlobalCSE(), il)
+
+
+class TestGlobalDeadStoreElimination:
+    def test_store_never_read_removed(self):
+        il = two_block_method(
+            [istore(1, iconst(9)), istore(2, iconst(4))],
+            [Node(ILOp.RETURN, JType.INT, (iload(2),))])
+        assert run_pass(GlobalDeadStoreElimination(), il)
+        stores = [t for t in il.blocks[0].treetops
+                  if t.op is ILOp.STORE]
+        assert len(stores) == 1
+
+    def test_live_across_block_kept(self):
+        il = two_block_method(
+            [istore(1, iconst(9))],
+            [Node(ILOp.RETURN, JType.INT, (iload(1),))])
+        assert not run_pass(GlobalDeadStoreElimination(), il)
+
+    def test_handler_covered_block_untouched(self):
+        il = two_block_method(
+            [istore(1, iconst(9)), istore(2, iconst(4))],
+            [Node(ILOp.RETURN, JType.INT, (iload(2),))])
+        il.handlers = [ILHandler({0}, 1, "java/lang/Throwable")]
+        il.blocks[1].is_handler = True
+        assert not run_pass(GlobalDeadStoreElimination(), il)
+
+
+class TestGlobalDCE:
+    def test_unread_temp_store_removed(self):
+        # slot 5 is a compiler temp (>= max_locals of 1) never loaded.
+        il = two_block_method(
+            [istore(5, iconst(3))],
+            [Node(ILOp.RETURN, JType.INT, (iload(0),))])
+        assert run_pass(GlobalDCE(), il)
+        assert not [t for t in il.blocks[0].treetops
+                    if t.op is ILOp.STORE]
+
+    def test_impure_rhs_becomes_bare_treetop(self):
+        getf = Node(ILOp.GETFIELD, JType.INT,
+                    (Node.load(0, JType.OBJECT),), "f")
+        il = two_block_method(
+            [istore(5, getf)],
+            [Node(ILOp.RETURN, JType.INT, (iconst(0),))])
+        assert run_pass(GlobalDCE(), il)
+        assert il.blocks[0].treetops[0].op is ILOp.TREETOP
+
+    def test_argument_slot_never_touched(self):
+        il = two_block_method(
+            [istore(0, iconst(3))],
+            [Node(ILOp.RETURN, JType.INT, (iconst(0),))])
+        assert not run_pass(GlobalDCE(), il)

@@ -1,0 +1,243 @@
+"""Block-local dataflow passes."""
+
+from repro.jit.ir.block import ILBlock, ILMethod
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.localopts import (
+    ArrayOpSimplification,
+    LocalCSE,
+    LocalConstantPropagation,
+    LocalCopyPropagation,
+    LocalDCE,
+    LocalDeadStoreElimination,
+    RedundantLoadElimination,
+)
+from repro.jvm.bytecode import Instr, JType, Op
+from repro.jvm.classfile import Handler, JMethod
+
+
+def make_il(treetops, num_locals=8, handlers=(), num_args=1):
+    method = JMethod("T", "m", (JType.INT,) * num_args, JType.INT,
+                     [Instr(Op.LOADCONST, JType.INT, 0),
+                      Instr(Op.RETVAL)], num_temps=0)
+    block = ILBlock(0)
+    for tt in treetops:
+        block.append(tt)
+    if block.terminator is None:
+        block.append(Node(ILOp.RETURN, JType.INT,
+                          (Node.const(JType.INT, 0),)))
+    il = ILMethod(method, [block], num_locals, handlers=list(handlers))
+    il.check()
+    return il
+
+
+def run_pass(pass_obj, il):
+    changed = pass_obj.execute(PassContext(il))
+    il.check()
+    return changed
+
+
+def iload(s):
+    return Node.load(s, JType.INT)
+
+
+def iconst(v):
+    return Node.const(JType.INT, v)
+
+
+def istore(s, rhs):
+    return Node(ILOp.STORE, JType.INT, (rhs,), s)
+
+
+class TestLocalConstantPropagation:
+    def test_const_forwarded(self):
+        il = make_il([
+            istore(1, iconst(7)),
+            istore(2, Node(ILOp.ADD, JType.INT, (iload(1), iload(1)))),
+        ])
+        assert run_pass(LocalConstantPropagation(), il)
+        add = il.blocks[0].treetops[1].children[0]
+        assert all(c.is_const() and c.value == 7 for c in add.children)
+
+    def test_killed_by_redefinition(self):
+        il = make_il([
+            istore(1, iconst(7)),
+            istore(1, iload(0)),
+            istore(2, iload(1)),
+        ])
+        run_pass(LocalConstantPropagation(), il)
+        assert il.blocks[0].treetops[2].children[0].op is ILOp.LOAD
+
+    def test_killed_by_inc(self):
+        il = make_il([
+            istore(1, iconst(7)),
+            Node(ILOp.INC, JType.INT, (), (1, 1)),
+            istore(2, iload(1)),
+        ])
+        run_pass(LocalConstantPropagation(), il)
+        assert il.blocks[0].treetops[2].children[0].op is ILOp.LOAD
+
+
+class TestLocalCopyPropagation:
+    def test_copy_forwarded(self):
+        il = make_il([
+            istore(1, iload(0)),
+            istore(2, iload(1)),
+        ])
+        assert run_pass(LocalCopyPropagation(), il)
+        assert il.blocks[0].treetops[1].children[0].value == 0
+
+    def test_kill_on_source_redefinition(self):
+        il = make_il([
+            istore(1, iload(0)),
+            istore(0, iconst(5)),
+            istore(2, iload(1)),
+        ])
+        run_pass(LocalCopyPropagation(), il)
+        assert il.blocks[0].treetops[2].children[0].value == 1
+
+
+class TestLocalCSE:
+    def _big_expr(self):
+        return Node(ILOp.MUL, JType.INT,
+                    (Node(ILOp.ADD, JType.INT, (iload(0), iconst(3))),
+                     iload(0)))
+
+    def test_repeated_expression_commoned(self):
+        il = make_il([
+            istore(1, self._big_expr()),
+            istore(2, self._big_expr()),
+        ], num_locals=4)
+        before = il.count_nodes()
+        assert run_pass(LocalCSE(), il)
+        assert il.count_nodes() < before
+        # The second occurrence must now be a plain load.
+        assert il.blocks[0].treetops[-2].children[0].op is ILOp.LOAD
+
+    def test_kill_on_operand_store(self):
+        il = make_il([
+            istore(1, self._big_expr()),
+            istore(0, iconst(9)),
+            istore(2, self._big_expr()),
+        ], num_locals=4)
+        assert not run_pass(LocalCSE(), il)
+
+    def test_small_expressions_not_commoned(self):
+        il = make_il([
+            istore(1, iload(0)),
+            istore(2, iload(0)),
+        ])
+        assert not run_pass(LocalCSE(), il)
+
+
+class TestRedundantLoadElimination:
+    def _field_read(self):
+        return Node(ILOp.GETFIELD, JType.INT,
+                    (Node.load(0, JType.OBJECT),), "f")
+
+    def _method(self, treetops):
+        method = JMethod("T", "m", (JType.OBJECT,), JType.INT,
+                         [Instr(Op.LOADCONST, JType.INT, 0),
+                          Instr(Op.RETVAL)], num_temps=0)
+        block = ILBlock(0)
+        for tt in treetops:
+            block.append(tt)
+        block.append(Node(ILOp.RETURN, JType.INT, (iconst(0),)))
+        il = ILMethod(method, [block], 8)
+        return il
+
+    def test_repeated_field_read_commoned(self):
+        il = self._method([
+            istore(1, self._field_read()),
+            istore(2, self._field_read()),
+        ])
+        assert run_pass(RedundantLoadElimination(), il)
+        assert il.blocks[0].treetops[-2].children[0].op is ILOp.LOAD
+
+    def test_killed_by_putfield(self):
+        il = self._method([
+            istore(1, self._field_read()),
+            Node(ILOp.PUTFIELD, JType.INT,
+                 (Node.load(0, JType.OBJECT), iconst(5)), "f"),
+            istore(2, self._field_read()),
+        ])
+        assert not run_pass(RedundantLoadElimination(), il)
+
+    def test_killed_by_call(self):
+        call = Node(ILOp.CALL, JType.VOID, (), "X.x()VOID")
+        il = self._method([
+            istore(1, self._field_read()),
+            Node(ILOp.TREETOP, JType.VOID, (call,)),
+            istore(2, self._field_read()),
+        ])
+        assert not run_pass(RedundantLoadElimination(), il)
+
+
+class TestLocalDeadStoreElimination:
+    def test_overwritten_store_removed(self):
+        il = make_il([
+            istore(1, iconst(1)),
+            istore(1, iconst(2)),
+        ])
+        assert run_pass(LocalDeadStoreElimination(), il)
+        stores = [t for t in il.blocks[0].treetops
+                  if t.op is ILOp.STORE]
+        assert len(stores) == 1
+        assert stores[0].children[0].value == 2
+
+    def test_intervening_read_blocks_removal(self):
+        il = make_il([
+            istore(1, iconst(1)),
+            istore(2, iload(1)),
+            istore(1, iconst(2)),
+        ])
+        assert not run_pass(LocalDeadStoreElimination(), il)
+
+    def test_handler_coverage_blocks_removal(self):
+        il = make_il([
+            istore(1, iconst(1)),
+            istore(1, iconst(2)),
+        ])
+        from repro.jit.ir.block import ILHandler
+        il.handlers = [ILHandler({0}, 0, "java/lang/Throwable")]
+        assert not run_pass(LocalDeadStoreElimination(), il)
+
+
+class TestLocalDCE:
+    def test_pure_treetop_removed(self):
+        il = make_il([
+            Node(ILOp.TREETOP, JType.VOID,
+                 (Node(ILOp.ADD, JType.INT, (iload(0), iconst(1))),)),
+        ])
+        assert run_pass(LocalDCE(), il)
+        assert len(il.blocks[0].treetops) == 1  # only the return
+
+    def test_throwing_treetop_kept(self):
+        getf = Node(ILOp.GETFIELD, JType.INT,
+                    (Node.load(0, JType.OBJECT),), "f")
+        il = make_il([Node(ILOp.TREETOP, JType.VOID, (getf,))])
+        assert not run_pass(LocalDCE(), il)
+
+
+class TestArrayOpSimplification:
+    def test_zero_length_copy_with_zero_offsets_removed(self):
+        ref = Node.load(0, JType.ADDRESS)
+        copy = Node(ILOp.ARRAYCOPY, JType.VOID,
+                    (ref, iconst(0), ref.copy(), iconst(0), iconst(0)))
+        il = make_il([copy])
+        assert run_pass(ArrayOpSimplification(), il)
+
+    def test_nonzero_offset_kept(self):
+        ref = Node.load(0, JType.ADDRESS)
+        copy = Node(ILOp.ARRAYCOPY, JType.VOID,
+                    (ref, iconst(5), ref.copy(), iconst(0), iconst(0)))
+        il = make_il([copy])
+        assert not run_pass(ArrayOpSimplification(), il)
+
+    def test_self_comparison_folds(self):
+        cmp = Node(ILOp.ARRAYCMP, JType.INT,
+                   (Node.load(0, JType.ADDRESS),
+                    Node.load(0, JType.ADDRESS)))
+        il = make_il([istore(1, cmp)])
+        assert run_pass(ArrayOpSimplification(), il)
+        assert il.blocks[0].treetops[0].children[0].value == 0

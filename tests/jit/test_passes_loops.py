@@ -1,0 +1,264 @@
+"""Loop passes: each transformation's effect AND its end-to-end
+correctness (compiled result equals interpreter result)."""
+
+import pytest
+
+from repro.jit.codegen.lower import lower_method
+from repro.jit.ir.cfg import CFGInfo
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.controlflow import LoopCanonicalization
+from repro.jit.opt.loops import (
+    FieldPrivatization,
+    InductionVariableElimination,
+    LoopInvariantCodeMotion,
+    LoopInversion,
+    LoopPeeling,
+    LoopUnrolling,
+    match_two_block_loop,
+)
+from repro.jvm.bytecode import JType
+
+from tests.conftest import build_method, vm_with
+
+
+def loop_method(name="loopy"):
+    """acc = sum of (i*5 + x*7) for i in 0..n-1, via a counted loop."""
+    def body(a):
+        a.iconst(0).store(1)     # acc
+        a.load(0).iconst(7).mul().store(2)  # invariant-ish
+        a.iconst(0).store(3)     # i
+        top = a.label()
+        a.load(3).load(0).cmp().ifge("end")
+        a.load(1).load(3).iconst(5).mul().add().load(2).add().store(1)
+        a.inc(3, 1).goto(top)
+        a.mark("end")
+        a.load(1).retval()
+    return build_method(body, num_temps=3, name=name)
+
+
+def field_loop_method(name="floopy"):
+    """Reads obj.f every iteration; the loop never writes it."""
+    def body(a):
+        a.new("app/Box").store(1)
+        a.load(1).load(0).putfield("f")
+        a.iconst(0).store(2)  # acc
+        a.iconst(0).store(3)  # i
+        top = a.label()
+        a.load(3).iconst(10).cmp().ifge("end")
+        a.load(2).load(1).getfield("f").add().store(2)
+        a.inc(3, 1).goto(top)
+        a.mark("end")
+        a.load(2).retval()
+    return build_method(body, num_temps=3, name=name)
+
+
+def check_equivalent(method, il, *argvals):
+    code, _ = lower_method(il)
+    for v in argvals:
+        vm1 = vm_with(method)
+        expected = vm1.call(method.signature, v)
+        vm2 = vm_with(method)
+        actual, _t = code.execute(vm2, [(v, JType.INT)])
+        assert actual == expected, (v, actual, expected)
+
+
+def run_with_canonical_loops(pass_obj, il):
+    ctx = PassContext(il)
+    LoopCanonicalization().execute(ctx)
+    changed = pass_obj.execute(ctx)
+    il.check()
+    return changed
+
+
+class TestMatcher:
+    def test_matches_canonical_loop(self):
+        method = loop_method()
+        il, _ = generate_il(method)
+        ctx = PassContext(il)
+        loop = ctx.cfg().loops[0]
+        match = match_two_block_loop(ctx, loop)
+        assert match is not None
+        header, body, exit_bid = match
+        assert header.terminator.op is ILOp.IF
+        assert body.terminator.op is ILOp.GOTO
+
+
+class TestLICM:
+    def test_hoists_invariant_store(self):
+        # Put an invariant store in the header by constructing IL where
+        # the header computes x*7 every iteration.
+        method = loop_method()
+        il, _ = generate_il(method)
+        run_with_canonical_loops(LoopInvariantCodeMotion(), il)
+        check_equivalent(method, il, 0, 1, 9)
+
+    def test_hoist_from_header_block(self):
+        from repro.jit.ir.block import ILBlock, ILMethod
+        from repro.jvm.bytecode import Instr, Op
+        from repro.jvm.classfile import JMethod
+        method = JMethod("T", "m", (JType.INT,), JType.INT,
+                         [Instr(Op.LOADCONST, JType.INT, 0),
+                          Instr(Op.RETVAL)], num_temps=0)
+        # b0: preamble; b1 (header): t5 = arg*3; if i >= arg -> b3
+        # b2: acc += t5; i++; goto b1 ; b3: return acc
+        def iload(s):
+            return Node.load(s, JType.INT)
+
+        def iconst(v):
+            return Node.const(JType.INT, v)
+
+        b0 = ILBlock(0)
+        b0.append(Node(ILOp.STORE, JType.INT, (iconst(0),), 1))  # acc
+        b0.append(Node(ILOp.STORE, JType.INT, (iconst(0),), 2))  # i
+        b0.fallthrough = 1
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.STORE, JType.INT,
+                       (Node(ILOp.MUL, JType.INT,
+                             (iload(0), iconst(3))),), 5))
+        b1.append(Node(ILOp.IF, JType.VOID,
+                       (Node(ILOp.CMP, JType.INT,
+                             (iload(2), iload(0))),), ("ge", 3)))
+        b1.fallthrough = 2
+        b2 = ILBlock(2)
+        b2.append(Node(ILOp.STORE, JType.INT,
+                       (Node(ILOp.ADD, JType.INT,
+                             (iload(1), iload(5))),), 1))
+        b2.append(Node(ILOp.INC, JType.INT, (), (2, 1)))
+        b2.append(Node(ILOp.GOTO, value=1))
+        b3 = ILBlock(3)
+        b3.append(Node(ILOp.RETURN, JType.INT, (iload(1),)))
+        il = ILMethod(method, [b0, b1, b2, b3], 6)
+        il.check()
+        assert run_with_canonical_loops(LoopInvariantCodeMotion(), il)
+        header = il.block(1)
+        # The invariant store left the header.
+        assert all(t.op is not ILOp.STORE for t in header.treetops)
+        code, _ = lower_method(il)
+        from repro.jvm.vm import VirtualMachine
+        vm = VirtualMachine()
+        value, _t = code.execute(vm, [(4, JType.INT)])
+        assert value == 4 * (4 * 3)
+
+
+class TestUnrolling:
+    def test_unroll_duplicates_body(self):
+        method = loop_method()
+        il, _ = generate_il(method)
+        nblocks = len(il.blocks)
+        assert run_with_canonical_loops(LoopUnrolling(), il)
+        assert len(il.blocks) > nblocks
+        check_equivalent(method, il, 0, 1, 2, 7, 10)
+
+    def test_unroll_odd_and_even_trip_counts(self):
+        method = loop_method()
+        il, _ = generate_il(method)
+        run_with_canonical_loops(LoopUnrolling(), il)
+        check_equivalent(method, il, 3, 4, 5, 6)
+
+
+class TestPeeling:
+    def test_peel_creates_prologue_copy(self):
+        method = loop_method()
+        il, _ = generate_il(method)
+        nblocks = len(il.blocks)
+        assert run_with_canonical_loops(LoopPeeling(), il)
+        assert len(il.blocks) >= nblocks + 2
+        check_equivalent(method, il, 0, 1, 5, 12)
+
+    def test_peel_only_once(self):
+        method = loop_method()
+        il, _ = generate_il(method)
+        ctx = PassContext(il)
+        LoopCanonicalization().execute(ctx)
+        assert LoopPeeling().execute(ctx)
+        assert not LoopPeeling().execute(ctx)
+
+
+class TestInductionVariables:
+    def test_mul_replaced_by_additive_iv(self):
+        method = loop_method()
+        il, _ = generate_il(method)
+        muls_before = sum(1 for _b, t in il.iter_treetops()
+                          for n in t.walk() if n.op is ILOp.MUL)
+        assert run_with_canonical_loops(
+            InductionVariableElimination(), il)
+        incs = [t for _b, t in il.iter_treetops() if t.op is ILOp.INC]
+        assert len(incs) >= 2  # the original i++ plus the IV update
+        muls_after = sum(1 for _b, t in il.iter_treetops()
+                         for n in t.walk() if n.op is ILOp.MUL)
+        assert muls_after < muls_before + 1  # mul moved to preheader
+        check_equivalent(method, il, 0, 1, 3, 9)
+
+
+class TestInversion:
+    def test_test_only_header_rotated(self):
+        method = loop_method()
+        il, _ = generate_il(method)
+        assert run_with_canonical_loops(LoopInversion(), il)
+        # The body now ends with a conditional back edge to itself.
+        self_loops = [b for b in il.blocks
+                      if b.terminator is not None
+                      and b.terminator.op is ILOp.IF
+                      and b.terminator.value[1] == b.bid]
+        assert self_loops
+        check_equivalent(method, il, 0, 1, 2, 8)
+
+
+class TestFieldPrivatization:
+    def test_field_read_hoisted(self):
+        method = field_loop_method()
+        il, _ = generate_il(method)
+        ctx = PassContext(il)
+        LoopCanonicalization().execute(ctx)
+        loop = ctx.cfg().loops[0]
+        reads_in_loop_before = sum(
+            1 for bid in loop.body
+            for t in il.block(bid).treetops
+            for n in t.walk() if n.op is ILOp.GETFIELD)
+        changed = FieldPrivatization().execute(ctx)
+        il.check()
+        if changed:
+            loop = ctx.cfg().loops[0]
+            reads_after = sum(
+                1 for bid in loop.body
+                for t in il.block(bid).treetops
+                for n in t.walk() if n.op is ILOp.GETFIELD)
+            assert reads_after < reads_in_loop_before
+        code, _ = lower_method(il)
+        vm = vm_with(method)
+        expected = vm.call(method.signature, 6)
+        vm2 = vm_with(method)
+        actual, _t = code.execute(vm2, [(6, JType.INT)])
+        assert actual == expected
+
+    def test_loop_with_putfield_not_privatized(self):
+        def body(a):
+            a.new("app/Box").store(1)
+            a.iconst(0).store(2)
+            top = a.label()
+            a.load(2).iconst(5).cmp().ifge("end")
+            a.load(1).load(2).putfield("f")
+            a.load(1).getfield("f").store(3)
+            a.inc(2, 1).goto(top)
+            a.mark("end")
+            a.load(3).retval()
+        method = build_method(body, num_temps=3)
+        il, _ = generate_il(method)
+        ctx = PassContext(il)
+        LoopCanonicalization().execute(ctx)
+        assert not FieldPrivatization().execute(ctx)
+
+
+class TestLoopPassGating:
+    @pytest.mark.parametrize("pass_cls", [
+        LoopInvariantCodeMotion, LoopUnrolling, LoopPeeling,
+        InductionVariableElimination, LoopInversion,
+        FieldPrivatization])
+    def test_skipped_without_loops(self, pass_cls):
+        method = build_method(lambda a: a.load(0).retval(),
+                              num_temps=0)
+        il, _ = generate_il(method)
+        ctx = PassContext(il)
+        assert not pass_cls().execute(ctx)

@@ -1,0 +1,281 @@
+"""Tree-simplification passes: each rewrite and its guards."""
+
+import pytest
+
+from repro.jit.ir.block import ILBlock, ILMethod
+from repro.jit.ir.tree import ILOp, Node
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.simplify import (
+    ArithmeticSimplification,
+    CastSimplification,
+    CmpSimplification,
+    ConstantFolding,
+    DecimalConstantFolding,
+    DivRemToShiftMask,
+    FPConstantFolding,
+    MathSimplification,
+    MulToShift,
+    NegSimplification,
+    Reassociation,
+    TreeCleanup,
+    ZeroPropagation,
+)
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import JMethod, MethodModifiers
+from repro.jvm.bytecode import Instr, Op
+
+
+def il_with_expr(expr, strictfp=False):
+    """Wrap *expr* in `store t0; return t0` inside a one-block method."""
+    mods = MethodModifiers.PUBLIC
+    if strictfp:
+        mods |= MethodModifiers.STRICTFP
+    method = JMethod("T", "m", (), expr.type,
+                     [Instr(Op.LOADCONST, JType.INT, 0),
+                      Instr(Op.RETVAL)], modifiers=mods, num_temps=1)
+    block = ILBlock(0)
+    block.append(Node(ILOp.STORE, expr.type, (expr,), 0))
+    block.append(Node(ILOp.RETURN, expr.type,
+                      (Node.load(0, expr.type),)))
+    il = ILMethod(method, [block], 1)
+    return il
+
+
+def run_pass(pass_obj, il):
+    ctx = PassContext(il)
+    changed = pass_obj.execute(ctx)
+    il.check()
+    return changed
+
+
+def stored_expr(il):
+    return il.blocks[0].treetops[0].children[0]
+
+
+def iconst(v):
+    return Node.const(JType.INT, v)
+
+
+def iload(slot=0):
+    return Node.load(slot, JType.INT)
+
+
+class TestConstantFolding:
+    def test_folds_add(self):
+        il = il_with_expr(Node(ILOp.ADD, JType.INT,
+                               (iconst(2), iconst(3))))
+        assert run_pass(ConstantFolding(), il)
+        assert stored_expr(il).value == 5
+
+    def test_folds_with_wraparound(self):
+        il = il_with_expr(Node(ILOp.MUL, JType.INT,
+                               (iconst(2**20), iconst(2**20))))
+        run_pass(ConstantFolding(), il)
+        assert stored_expr(il).value == 0
+
+    def test_does_not_fold_div_by_zero(self):
+        il = il_with_expr(Node(ILOp.DIV, JType.INT,
+                               (iconst(1), iconst(0))))
+        assert not run_pass(ConstantFolding(), il)
+        assert stored_expr(il).op is ILOp.DIV
+
+    def test_folds_div_truncation(self):
+        il = il_with_expr(Node(ILOp.DIV, JType.INT,
+                               (iconst(-7), iconst(2))))
+        run_pass(ConstantFolding(), il)
+        assert stored_expr(il).value == -3
+
+    def test_skips_float(self):
+        il = il_with_expr(Node(ILOp.ADD, JType.DOUBLE,
+                               (Node.const(JType.DOUBLE, 1.0),
+                                Node.const(JType.DOUBLE, 2.0))))
+        assert not run_pass(ConstantFolding(), il)
+
+    def test_cmp_folds(self):
+        il = il_with_expr(Node(ILOp.CMP, JType.INT,
+                               (iconst(9), iconst(4))))
+        run_pass(ConstantFolding(), il)
+        assert stored_expr(il).value == 1
+
+
+class TestFPConstantFolding:
+    def test_folds_double(self):
+        il = il_with_expr(Node(ILOp.MUL, JType.DOUBLE,
+                               (Node.const(JType.DOUBLE, 2.0),
+                                Node.const(JType.DOUBLE, 4.0))))
+        assert run_pass(FPConstantFolding(), il)
+        assert stored_expr(il).value == 8.0
+
+    def test_blocked_by_strictfp(self):
+        expr = Node(ILOp.MUL, JType.DOUBLE,
+                    (Node.const(JType.DOUBLE, 2.0),
+                     Node.const(JType.DOUBLE, 4.0)))
+        il = il_with_expr(expr, strictfp=True)
+        assert not run_pass(FPConstantFolding(), il)
+
+
+class TestDecimalFolding:
+    def test_folds_packed(self):
+        il = il_with_expr(Node(ILOp.ADD, JType.PACKED,
+                               (Node.const(JType.PACKED, 100),
+                                Node.const(JType.PACKED, 250))))
+        assert run_pass(DecimalConstantFolding(), il)
+        assert stored_expr(il).value == 350
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        il = il_with_expr(Node(ILOp.ADD, JType.INT,
+                               (iload(), iconst(0))))
+        assert run_pass(ArithmeticSimplification(), il)
+        assert stored_expr(il).op is ILOp.LOAD
+
+    def test_mul_one(self):
+        il = il_with_expr(Node(ILOp.MUL, JType.INT,
+                               (iload(), iconst(1))))
+        run_pass(ArithmeticSimplification(), il)
+        assert stored_expr(il).op is ILOp.LOAD
+
+    def test_zero_times_pure(self):
+        il = il_with_expr(Node(ILOp.MUL, JType.INT,
+                               (iload(), iconst(0))))
+        assert run_pass(ZeroPropagation(), il)
+        assert stored_expr(il).value == 0
+
+    def test_zero_times_impure_not_removed(self):
+        getf = Node(ILOp.GETFIELD, JType.INT, (iload(),), "f")
+        il = il_with_expr(Node(ILOp.MUL, JType.INT,
+                               (getf, iconst(0))))
+        assert not run_pass(ZeroPropagation(), il)
+
+    def test_sub_self_is_zero(self):
+        il = il_with_expr(Node(ILOp.SUB, JType.INT,
+                               (iload(), iload())))
+        run_pass(ZeroPropagation(), il)
+        assert stored_expr(il).value == 0
+
+    def test_or_self_is_self(self):
+        il = il_with_expr(Node(ILOp.OR, JType.INT, (iload(), iload())))
+        run_pass(ZeroPropagation(), il)
+        assert stored_expr(il).op is ILOp.LOAD
+
+
+class TestStrengthReduction:
+    def test_mul_by_8_becomes_shift(self):
+        il = il_with_expr(Node(ILOp.MUL, JType.INT,
+                               (iload(), iconst(8))))
+        assert run_pass(MulToShift(), il)
+        expr = stored_expr(il)
+        assert expr.op is ILOp.SHL
+        assert expr.children[1].value == 3
+
+    def test_mul_by_non_power_untouched(self):
+        il = il_with_expr(Node(ILOp.MUL, JType.INT,
+                               (iload(), iconst(6))))
+        assert not run_pass(MulToShift(), il)
+
+    def test_div_pow2_needs_nonnegative_proof(self):
+        il = il_with_expr(Node(ILOp.DIV, JType.INT,
+                               (iload(), iconst(4))))
+        assert not run_pass(DivRemToShiftMask(), il)
+
+    def test_div_of_arraylength_reduced(self):
+        alen = Node(ILOp.ARRAYLENGTH, JType.INT,
+                    (Node.load(0, JType.ADDRESS),))
+        il = il_with_expr(Node(ILOp.DIV, JType.INT,
+                               (alen, iconst(4))))
+        assert run_pass(DivRemToShiftMask(), il)
+        assert stored_expr(il).op is ILOp.SHR
+
+    def test_rem_pow2_becomes_mask(self):
+        alen = Node(ILOp.ARRAYLENGTH, JType.INT,
+                    (Node.load(0, JType.ADDRESS),))
+        il = il_with_expr(Node(ILOp.REM, JType.INT,
+                               (alen, iconst(8))))
+        assert run_pass(DivRemToShiftMask(), il)
+        expr = stored_expr(il)
+        assert expr.op is ILOp.AND
+        assert expr.children[1].value == 7
+
+
+class TestReassociation:
+    def test_regroups_constants(self):
+        inner = Node(ILOp.ADD, JType.INT, (iload(), iconst(3)))
+        il = il_with_expr(Node(ILOp.ADD, JType.INT,
+                               (inner, iconst(4))))
+        assert run_pass(Reassociation(), il)
+        expr = stored_expr(il)
+        assert expr.children[1].value == 7
+
+
+class TestCmpSimplification:
+    def test_if_over_cmp_zero_drops_cmp(self):
+        method = JMethod("T", "m", (JType.INT,), JType.INT,
+                         [Instr(Op.LOAD, 0), Instr(Op.RETVAL)],
+                         num_temps=0)
+        b0 = ILBlock(0)
+        cmp = Node(ILOp.CMP, JType.INT, (iload(), iconst(0)))
+        b0.append(Node(ILOp.IF, JType.VOID, (cmp,), ("lt", 1)))
+        b0.fallthrough = 1
+        b1 = ILBlock(1)
+        b1.append(Node(ILOp.RETURN, JType.INT, (iload(),)))
+        il = ILMethod(method, [b0, b1], 1)
+        assert run_pass(CmpSimplification(), il)
+        assert b0.treetops[0].children[0].op is ILOp.LOAD
+
+
+class TestNegAndCast:
+    def test_double_negation(self):
+        il = il_with_expr(Node(ILOp.NEG, JType.INT,
+                               (Node(ILOp.NEG, JType.INT, (iload(),)),)))
+        assert run_pass(NegSimplification(), il)
+        assert stored_expr(il).op is ILOp.LOAD
+
+    def test_zero_minus_x(self):
+        il = il_with_expr(Node(ILOp.SUB, JType.INT,
+                               (iconst(0), iload())))
+        run_pass(NegSimplification(), il)
+        assert stored_expr(il).op is ILOp.NEG
+
+    def test_identity_cast_removed(self):
+        il = il_with_expr(Node(ILOp.CAST, JType.INT, (iload(),)))
+        assert run_pass(CastSimplification(), il)
+        assert stored_expr(il).op is ILOp.LOAD
+
+    def test_const_cast_folded(self):
+        il = il_with_expr(Node(ILOp.CAST, JType.DOUBLE, (iconst(3),)))
+        run_pass(CastSimplification(), il)
+        expr = stored_expr(il)
+        assert expr.is_const() and expr.value == 3.0
+
+    def test_narrowing_cast_kept(self):
+        il = il_with_expr(Node(ILOp.CAST, JType.BYTE, (iload(),)))
+        assert not run_pass(CastSimplification(), il)
+
+
+class TestMathSimplification:
+    def test_const_sqrt_folded(self):
+        call = Node(ILOp.CALL, JType.DOUBLE,
+                    (Node.const(JType.DOUBLE, 16.0),),
+                    "java/lang/Math.sqrt")
+        il = il_with_expr(call)
+        assert run_pass(MathSimplification(), il)
+        assert stored_expr(il).value == 4.0
+
+    def test_max_of_same_value(self):
+        call = Node(ILOp.CALL, JType.DOUBLE,
+                    (Node.load(0, JType.DOUBLE),
+                     Node.load(0, JType.DOUBLE)),
+                    "java/lang/Math.max")
+        il = il_with_expr(call)
+        assert run_pass(MathSimplification(), il)
+        assert stored_expr(il).op is ILOp.LOAD
+
+
+class TestTreeCleanup:
+    def test_composite_runs_several_rewrites(self):
+        inner = Node(ILOp.ADD, JType.INT, (iconst(2), iconst(3)))
+        il = il_with_expr(Node(ILOp.ADD, JType.INT,
+                               (inner, iconst(0))))
+        assert run_pass(TreeCleanup(), il)
+        assert stored_expr(il).value == 5

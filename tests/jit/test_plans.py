@@ -1,0 +1,77 @@
+"""Compilation plans: the five levels and the transformation registry."""
+
+import pytest
+
+from repro.errors import CompilationError
+from repro.jit.opt.registry import (
+    ALL_TRANSFORMS,
+    NUM_TRANSFORMS,
+    transform_by_name,
+    transform_index,
+    transform_names,
+)
+from repro.jit.plans import CompilationPlan, OptLevel, default_plans
+
+
+class TestRegistry:
+    def test_exactly_58_controllable_transforms(self):
+        assert NUM_TRANSFORMS == 58  # paper §5
+
+    def test_names_unique(self):
+        names = transform_names()
+        assert len(set(names)) == len(names)
+
+    def test_lookup_by_name_and_index(self):
+        for i, name in enumerate(transform_names()):
+            assert transform_index(name) == i
+            assert transform_by_name(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(CompilationError):
+            transform_by_name("fuseEverything")
+        with pytest.raises(CompilationError):
+            transform_index("fuseEverything")
+
+    def test_cost_factors_positive(self):
+        for pass_obj in ALL_TRANSFORMS:
+            assert pass_obj.cost_factor > 0
+
+
+class TestPlans:
+    def test_five_levels(self):
+        plans = default_plans()
+        assert set(plans) == set(OptLevel)
+
+    def test_cold_has_about_20_entries(self):
+        assert len(default_plans()[OptLevel.COLD]) == 20  # paper §2
+
+    def test_scorching_exceeds_170_entries(self):
+        assert len(default_plans()[OptLevel.SCORCHING]) > 170
+
+    def test_plan_sizes_monotone(self):
+        plans = default_plans()
+        sizes = [len(plans[lv]) for lv in OptLevel]
+        assert sizes == sorted(sizes)
+
+    def test_plans_repeat_cleanup_passes(self):
+        plan = default_plans()[OptLevel.SCORCHING]
+        from collections import Counter
+        counts = Counter(plan.entries)
+        assert counts["treeCleanup"] >= 3
+
+    def test_every_entry_is_registered(self):
+        for plan in default_plans().values():
+            for name in plan.entries:
+                transform_by_name(name)
+
+    def test_invalid_entry_rejected_eagerly(self):
+        with pytest.raises(CompilationError):
+            CompilationPlan(OptLevel.COLD, ["notATransform"])
+
+    def test_distinct_transforms_subset_of_registry(self):
+        plan = default_plans()[OptLevel.SCORCHING]
+        assert set(plan.distinct_transforms()) <= set(transform_names())
+
+    def test_level_labels(self):
+        assert OptLevel.VERY_HOT.label == "very hot"
+        assert OptLevel.COLD.label == "cold"

@@ -1,0 +1,130 @@
+"""Property tests: every algebraic rewrite preserves evaluation.
+
+Random pure integer expression trees are generated with hypothesis,
+evaluated directly with the interpreter's arithmetic, rewritten by each
+simplification pass, and evaluated again -- the two results must agree
+for every environment.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.jit.ir.block import ILBlock, ILMethod
+from repro.jit.ir.tree import BINARY_ALU, ILOp, Node
+from repro.jit.opt.base import PassContext
+from repro.jit.opt.rewrite import fold_binary, fold_unary
+from repro.jit.opt.simplify import SIMPLIFY_PASSES
+from repro.jvm.bytecode import Instr, JType, Op, mask_integral
+from repro.jvm.classfile import JMethod
+
+NUM_SLOTS = 4
+
+_BIN_OPS = [ILOp.ADD, ILOp.SUB, ILOp.MUL, ILOp.SHL, ILOp.SHR, ILOp.OR,
+            ILOp.AND, ILOp.XOR, ILOp.CMP]
+
+
+def expr_strategy():
+    leaves = st.one_of(
+        st.integers(-64, 64).map(lambda v: Node.const(JType.INT, v)),
+        st.integers(0, NUM_SLOTS - 1).map(
+            lambda s: Node.load(s, JType.INT)),
+    )
+
+    def binary(children):
+        return st.tuples(st.sampled_from(_BIN_OPS), children,
+                         children).map(
+            lambda t: Node(t[0], JType.INT, (t[1], t[2])))
+
+    def unary(children):
+        return children.map(
+            lambda c: Node(ILOp.NEG, JType.INT, (c,)))
+
+    return st.recursive(leaves,
+                        lambda ch: st.one_of(binary(ch), unary(ch)),
+                        max_leaves=12)
+
+
+def evaluate(node, env):
+    """Reference evaluation of a pure INT tree."""
+    if node.op is ILOp.CONST:
+        return mask_integral(int(node.value), JType.INT)
+    if node.op is ILOp.LOAD:
+        return env[node.value]
+    if node.op is ILOp.NEG:
+        return mask_integral(-evaluate(node.children[0], env),
+                             JType.INT)
+    if node.op in BINARY_ALU:
+        a = evaluate(node.children[0], env)
+        b = evaluate(node.children[1], env)
+        out = fold_binary(node.op, JType.INT, a, b)
+        assert out is not None
+        return out
+    raise AssertionError(f"unexpected op {node.op}")
+
+
+def wrap(expr):
+    method = JMethod("P", "p", (JType.INT,) * NUM_SLOTS, JType.INT,
+                     [Instr(Op.LOADCONST, JType.INT, 0),
+                      Instr(Op.RETVAL)], num_temps=0)
+    block = ILBlock(0)
+    block.append(Node(ILOp.STORE, JType.INT, (expr,), NUM_SLOTS))
+    block.append(Node(ILOp.RETURN, JType.INT,
+                      (Node.load(NUM_SLOTS, JType.INT),)))
+    return ILMethod(method, [block], NUM_SLOTS + 1)
+
+
+@settings(max_examples=120, deadline=None)
+@given(expr=expr_strategy(), env_seed=st.integers(0, 1000))
+def test_simplify_passes_preserve_value(expr, env_seed):
+    rng = np.random.default_rng(env_seed)
+    env = [int(v) for v in rng.integers(-100, 100, size=NUM_SLOTS)]
+    expected = evaluate(expr, env)
+    il = wrap(expr.copy())
+    ctx = PassContext(il)
+    for pass_obj in SIMPLIFY_PASSES:
+        pass_obj.execute(ctx)
+    il.check()
+    rewritten = il.blocks[0].treetops[0].children[0]
+    assert evaluate(rewritten, env) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=st.integers(-2**31, 2**31 - 1),
+       b=st.integers(-2**31, 2**31 - 1),
+       op=st.sampled_from(list(BINARY_ALU)))
+def test_fold_binary_matches_interpreter(a, b, op):
+    """fold_binary must agree with the interpreter's ALU for ints."""
+    from repro.jvm.interpreter import Interpreter, promote
+    from repro.jvm.vm import VirtualMachine
+    from repro.jvm.asm import Assembler
+
+    folded = fold_binary(op, JType.INT, a, b)
+    if folded is None:  # division by zero: interpreter throws
+        assert op in (ILOp.DIV, ILOp.REM) and b == 0
+        return
+    asm = Assembler()
+    asm.load(0).load(1)
+    opname = {ILOp.ADD: "add", ILOp.SUB: "sub", ILOp.MUL: "mul",
+              ILOp.DIV: "div", ILOp.REM: "rem", ILOp.SHL: "shl",
+              ILOp.SHR: "shr", ILOp.OR: "or_", ILOp.AND: "and_",
+              ILOp.XOR: "xor", ILOp.CMP: "cmp"}[op]
+    getattr(asm, opname)()
+    asm.retval()
+    from repro.jvm.classfile import JClass, JMethod
+    method = JMethod("F", "f", (JType.INT, JType.INT), JType.INT,
+                     asm.assemble(), num_temps=0)
+    jclass = JClass("F")
+    jclass.add_method(method)
+    vm = VirtualMachine()
+    vm.load_class(jclass)
+    assert vm.call(method.signature, a, b) == folded
+
+
+@settings(max_examples=100, deadline=None)
+@given(v=st.integers(-2**40, 2**40),
+       to=st.sampled_from([JType.BYTE, JType.CHAR, JType.SHORT,
+                           JType.INT, JType.LONG]))
+def test_fold_unary_cast_matches_masking(v, to):
+    assert fold_unary(ILOp.CAST, to, v) == mask_integral(v, to)

@@ -1,0 +1,81 @@
+"""Pass tracing and CFG dumps."""
+
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.modifiers import Modifier
+from repro.jit.opt.registry import transform_index
+from repro.jit.opt.trace import TracingManager, cfg_to_dot
+from repro.jit.plans import OptLevel, default_plans
+
+
+def test_trace_records_every_entry(sum_to_method):
+    il, _ = generate_il(sum_to_method)
+    plan = default_plans()[OptLevel.WARM]
+    manager = TracingManager(plan.entries)
+    manager.optimize(il)
+    assert len(manager.trace) == len(plan.entries)
+    assert all(t.cost >= 0 for t in manager.trace)
+
+
+def test_masked_passes_marked(sum_to_method):
+    il, _ = generate_il(sum_to_method)
+    off = Modifier.disabling([transform_index("constantFolding")])
+    manager = TracingManager(["constantFolding", "localDCE"],
+                             modifier=off)
+    manager.optimize(il)
+    assert manager.masked_passes() == ["constantFolding"]
+    assert not manager.trace[0].ran
+    assert manager.trace[1].ran
+
+
+def test_changed_passes_listed(sum_to_method):
+    il, _ = generate_il(sum_to_method)
+    plan = default_plans()[OptLevel.HOT]
+    manager = TracingManager(plan.entries)
+    manager.optimize(il)
+    assert manager.changed_passes()  # something always fires on a loop
+
+
+def test_report_renders(sum_to_method):
+    il, _ = generate_il(sum_to_method)
+    manager = TracingManager(["constantFolding", "blockOrdering"])
+    manager.optimize(il)
+    text = manager.report()
+    assert "constantFolding" in text
+    short = manager.report(only_changed=True)
+    assert len(short.splitlines()) <= len(text.splitlines())
+
+
+def test_trace_agrees_with_plain_manager(sum_to_method):
+    from repro.jit.opt.base import PassManager
+    plan = default_plans()[OptLevel.WARM]
+    il1, _ = generate_il(sum_to_method)
+    il2, _ = generate_il(sum_to_method)
+    _il, cost1, log1 = PassManager(plan.entries).optimize(il1)
+    _il, cost2, log2 = TracingManager(plan.entries).optimize(il2)
+    assert log1 == log2
+    assert cost1 == cost2
+
+
+def test_cfg_to_dot(sum_to_method):
+    il, _ = generate_il(sum_to_method)
+    dot = cfg_to_dot(il)
+    assert dot.startswith("digraph")
+    assert "b0" in dot and "->" in dot
+    assert dot.rstrip().endswith("}")
+
+
+def test_cfg_to_dot_handlers_dashed():
+    from repro.jvm.classfile import Handler
+    from tests.conftest import build_method
+
+    def body(a):
+        start = a.here()
+        a.new("app/E").athrow()
+        handler = a.here()
+        a.pop().iconst(0).retval()
+        return [Handler(start, handler, handler, "app/E")]
+    method = build_method(body, num_temps=0)
+    il, _ = generate_il(method)
+    dot = cfg_to_dot(il)
+    assert "style=dashed" in dot
+    assert "fillcolor" in dot

@@ -1,0 +1,53 @@
+"""Meta-test: no dead transformations.
+
+Every one of the 58 controllable transformations must actually change
+some method of the synthetic suites under the scorching plan.  A
+transformation that never fires would be pure noise to the learning
+process (disabling it is always free), so this guards both compiler
+health and training-data quality.
+"""
+
+import pytest
+
+from repro.jit.ir.ilgen import generate_il
+from repro.jit.opt.registry import transform_names
+from repro.jit.opt.trace import TracingManager
+from repro.jit.plans import OptLevel, default_plans
+from repro.workloads import dacapo_program, specjvm_program
+
+#: Benchmarks whose methods jointly exercise the full transformation set.
+_PROGRAMS = (
+    ("specjvm", "mtrt"),
+    ("specjvm", "javac"),
+    ("specjvm", "compress"),
+    ("specjvm", "jess"),
+    ("specjvm", "db"),
+    ("dacapo", "h2"),
+    ("dacapo", "sunflow"),
+)
+
+
+@pytest.mark.slow
+def test_every_transformation_fires_on_the_suites():
+    plan = default_plans()[OptLevel.SCORCHING]
+    fired = set()
+    remaining = set(transform_names())
+    for suite, name in _PROGRAMS:
+        program = (specjvm_program(name) if suite == "specjvm"
+                   else dacapo_program(name))
+        resolver = {m.signature: m for m in program.methods()}.get
+
+        def rtype(sig, resolver=resolver):
+            method = resolver(sig)
+            return method.return_type if method else None
+
+        for method in program.methods():
+            il, _ = generate_il(method, resolve_return_type=rtype)
+            tracer = TracingManager(plan.entries, resolver=resolver)
+            tracer.optimize(il)
+            fired |= set(tracer.changed_passes())
+        remaining = set(transform_names()) - fired
+        if not remaining:
+            break
+    assert not remaining, (
+        f"transformations that never fired: {sorted(remaining)}")

@@ -1,0 +1,106 @@
+"""IL node primitives: purity, keys, copying, walking."""
+
+from repro.jit.ir.tree import ILOp, Node, RELOP_FN, RELOP_NEGATE
+from repro.jvm.bytecode import JType
+
+
+def iload(s=0):
+    return Node.load(s, JType.INT)
+
+
+def iconst(v):
+    return Node.const(JType.INT, v)
+
+
+class TestPurity:
+    def test_alu_over_loads_is_pure(self):
+        node = Node(ILOp.ADD, JType.INT, (iload(), iconst(1)))
+        assert node.is_pure(allow_loads=True)
+        assert not node.is_pure(allow_loads=False)
+
+    def test_integral_div_never_pure(self):
+        node = Node(ILOp.DIV, JType.INT, (iload(), iconst(2)))
+        assert not node.is_pure(allow_loads=True)
+        assert node.can_throw()
+
+    def test_float_div_cannot_throw(self):
+        node = Node(ILOp.DIV, JType.DOUBLE,
+                    (Node.load(0, JType.DOUBLE),
+                     Node.const(JType.DOUBLE, 2.0)))
+        assert not node.can_throw()
+
+    def test_heap_reads_gated(self):
+        getf = Node(ILOp.GETFIELD, JType.INT,
+                    (Node.load(0, JType.OBJECT),), "f")
+        assert not getf.is_pure(allow_loads=True)
+        assert getf.is_pure(allow_loads=True, allow_heap_reads=True)
+        assert getf.can_throw()
+
+    def test_call_always_impure(self):
+        call = Node(ILOp.CALL, JType.INT, (), "X.y()INT")
+        assert not call.is_pure(allow_loads=True,
+                                allow_heap_reads=True)
+
+
+class TestStructure:
+    def test_key_structural_equality(self):
+        a = Node(ILOp.ADD, JType.INT, (iload(), iconst(3)))
+        b = Node(ILOp.ADD, JType.INT, (iload(), iconst(3)))
+        c = Node(ILOp.ADD, JType.INT, (iload(), iconst(4)))
+        assert a.key() == b.key()
+        assert a.key() != c.key()
+        assert a.key() != Node(ILOp.ADD, JType.LONG,
+                               (iload(), iconst(3))).key()
+
+    def test_copy_is_deep(self):
+        a = Node(ILOp.ADD, JType.INT, (iload(), iconst(3)))
+        b = a.copy()
+        b.children[1].value = 99
+        assert a.children[1].value == 3
+
+    def test_walk_preorder(self):
+        tree = Node(ILOp.ADD, JType.INT,
+                    (Node(ILOp.MUL, JType.INT, (iload(), iconst(2))),
+                     iconst(1)))
+        ops = [n.op for n in tree.walk()]
+        assert ops == [ILOp.ADD, ILOp.MUL, ILOp.LOAD, ILOp.CONST,
+                       ILOp.CONST]
+
+    def test_count_nodes(self):
+        tree = Node(ILOp.ADD, JType.INT, (iload(), iconst(1)))
+        assert tree.count_nodes() == 3
+
+    def test_loads_used(self):
+        tree = Node(ILOp.ADD, JType.INT,
+                    (Node.load(3, JType.INT), Node.load(5, JType.INT)))
+        assert tree.loads_used() == {3, 5}
+
+    def test_contains_op(self):
+        tree = Node(ILOp.ADD, JType.INT,
+                    (Node(ILOp.CALL, JType.INT, (), "s"), iconst(1)))
+        assert tree.contains_op(ILOp.CALL)
+        assert not tree.contains_op(ILOp.MUL)
+
+    def test_replace_with_keeps_identity(self):
+        tree = Node(ILOp.ADD, JType.INT, (iload(), iconst(1)))
+        target = tree.children[0]
+        target.replace_with(iconst(9))
+        assert tree.children[0] is target
+        assert tree.children[0].op is ILOp.CONST
+
+    def test_repr_renders_tree(self):
+        tree = Node(ILOp.ADD, JType.INT, (iload(), iconst(1)))
+        text = repr(tree)
+        assert "add" in text and "const" in text
+
+
+class TestRelops:
+    def test_negation_is_involutive(self):
+        for relop, negated in RELOP_NEGATE.items():
+            assert RELOP_NEGATE[negated] == relop
+
+    def test_negation_flips_outcome(self):
+        for relop in RELOP_FN:
+            for v in (-5, -1, 0, 1, 5):
+                assert RELOP_FN[relop](v) \
+                    != RELOP_FN[RELOP_NEGATE[relop]](v)

@@ -1,0 +1,82 @@
+"""The bytecode assembler."""
+
+import pytest
+
+from repro.errors import BytecodeError
+from repro.jvm.asm import Assembler
+from repro.jvm.bytecode import JType, Op
+
+
+class TestLabels:
+    def test_backward_label(self):
+        a = Assembler()
+        top = a.label()
+        a.goto(top)
+        code = a.assemble()
+        assert code[0].op is Op.GOTO and code[0].a == 0
+
+    def test_forward_label(self):
+        a = Assembler()
+        end = a.new_label()
+        a.goto(end)
+        a.nop()
+        a.mark(end)
+        a.ret()
+        code = a.assemble()
+        assert code[0].a == 2
+
+    def test_unbound_label_rejected(self):
+        a = Assembler()
+        a.goto("nowhere")
+        with pytest.raises(BytecodeError, match="unbound"):
+            a.assemble()
+
+    def test_duplicate_mark_rejected(self):
+        a = Assembler()
+        a.mark("x")
+        with pytest.raises(BytecodeError, match="already bound"):
+            a.mark("x")
+
+    def test_here_tracks_position(self):
+        a = Assembler()
+        assert a.here() == 0
+        a.nop().nop()
+        assert a.here() == 2
+
+
+class TestEmission:
+    def test_chaining(self):
+        code = (Assembler().iconst(1).iconst(2).add().retval()
+                .assemble())
+        assert [i.op for i in code] == [Op.LOADCONST, Op.LOADCONST,
+                                        Op.ADD, Op.RETVAL]
+
+    def test_every_helper_emits_its_opcode(self):
+        a = Assembler()
+        a.load(0).loadconst(JType.INT, 1).store(1)
+        a.sub().mul().div().rem().neg().shl().shr()
+        a.or_().and_().xor().inc(0, 1).cmp()
+        a.cast(JType.LONG).checkcast("C")
+        a.getfield("f").putfield("f").aload().astore()
+        a.new("C").newarray(JType.INT).newmultiarray(JType.INT, 2)
+        a.call("X.y()INT", 0).instanceof("C")
+        a.monitorenter().monitorexit().athrow()
+        a.arraylength().arraycopy().arraycmp()
+        a.dup().pop().swap().nop().ret()
+        ops = {i.op for i in a._code}
+        expected = {Op.LOAD, Op.LOADCONST, Op.STORE, Op.SUB, Op.MUL,
+                    Op.DIV, Op.REM, Op.NEG, Op.SHL, Op.SHR, Op.OR,
+                    Op.AND, Op.XOR, Op.INC, Op.CMP, Op.CAST,
+                    Op.CHECKCAST, Op.GETFIELD, Op.PUTFIELD, Op.ALOAD,
+                    Op.ASTORE, Op.NEW, Op.NEWARRAY, Op.NEWMULTIARRAY,
+                    Op.CALL, Op.INSTANCEOF, Op.MONITORENTER,
+                    Op.MONITOREXIT, Op.ATHROW, Op.ARRAYLENGTH,
+                    Op.ARRAYCOPY, Op.ARRAYCMP, Op.DUP, Op.POP,
+                    Op.SWAP, Op.NOP, Op.RET}
+        assert expected <= ops
+
+    def test_dconst_is_double(self):
+        a = Assembler()
+        a.dconst(3)
+        ins = a._code[0]
+        assert ins.a is JType.DOUBLE and isinstance(ins.b, float)

@@ -1,0 +1,120 @@
+"""Unit tests for the bytecode definitions and verifier."""
+
+import pytest
+
+from repro.errors import BytecodeError
+from repro.jvm.bytecode import (
+    INTERP_COST,
+    Instr,
+    JType,
+    Op,
+    mask_integral,
+    validate_code,
+)
+
+
+class TestJType:
+    def test_integral_classification(self):
+        assert JType.INT.is_integral
+        assert JType.LONG.is_integral
+        assert not JType.DOUBLE.is_integral
+
+    def test_floating_classification(self):
+        assert JType.FLOAT.is_floating
+        assert JType.LONGDOUBLE.is_floating
+        assert not JType.INT.is_floating
+
+    def test_decimal_classification(self):
+        assert JType.PACKED.is_decimal
+        assert JType.ZONED.is_decimal
+        assert not JType.LONG.is_decimal
+
+    def test_reference_classification(self):
+        assert JType.OBJECT.is_reference
+        assert JType.ADDRESS.is_reference
+        assert not JType.INT.is_reference
+
+    def test_numeric_covers_groups(self):
+        assert JType.INT.is_numeric
+        assert JType.DOUBLE.is_numeric
+        assert JType.PACKED.is_numeric
+        assert not JType.OBJECT.is_numeric
+
+
+class TestMasking:
+    def test_int_wraps_at_2_31(self):
+        assert mask_integral(2**31, JType.INT) == -(2**31)
+
+    def test_int_negative_wrap(self):
+        assert mask_integral(-(2**31) - 1, JType.INT) == 2**31 - 1
+
+    def test_byte_wraps(self):
+        assert mask_integral(128, JType.BYTE) == -128
+        assert mask_integral(255, JType.BYTE) == -1
+
+    def test_char_is_unsigned(self):
+        assert mask_integral(-1, JType.CHAR) == 0xFFFF
+        assert mask_integral(0x10000, JType.CHAR) == 0
+
+    def test_short_wraps(self):
+        assert mask_integral(32768, JType.SHORT) == -32768
+
+    def test_long_wraps(self):
+        assert mask_integral(2**63, JType.LONG) == -(2**63)
+
+    def test_identity_in_range(self):
+        for v in (-100, 0, 17, 2**30):
+            assert mask_integral(v, JType.INT) == v
+
+
+class TestInstr:
+    def test_equality_and_hash(self):
+        a = Instr(Op.LOAD, 3)
+        b = Instr(Op.LOAD, 3)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Instr(Op.LOAD, 4)
+
+    def test_repr_contains_opcode(self):
+        assert "load" in repr(Instr(Op.LOAD, 1))
+
+
+class TestValidateCode:
+    def test_empty_body_rejected(self):
+        with pytest.raises(BytecodeError):
+            validate_code([], 1)
+
+    def test_branch_target_out_of_range(self):
+        code = [Instr(Op.GOTO, 5), Instr(Op.RET)]
+        with pytest.raises(BytecodeError, match="branch target"):
+            validate_code(code, 1)
+
+    def test_bad_slot_rejected(self):
+        code = [Instr(Op.LOAD, 9), Instr(Op.RETVAL)]
+        with pytest.raises(BytecodeError, match="slot"):
+            validate_code(code, 2)
+
+    def test_fall_off_end_rejected(self):
+        code = [Instr(Op.LOAD, 0)]
+        with pytest.raises(BytecodeError, match="fall off"):
+            validate_code(code, 1)
+
+    def test_loadconst_requires_jtype(self):
+        code = [Instr(Op.LOADCONST, 42, 0), Instr(Op.RET)]
+        with pytest.raises(BytecodeError, match="JType"):
+            validate_code(code, 1)
+
+    def test_call_operands_checked(self):
+        code = [Instr(Op.CALL, 123, 0), Instr(Op.RET)]
+        with pytest.raises(BytecodeError, match="signature"):
+            validate_code(code, 1)
+
+    def test_valid_code_passes(self):
+        code = [Instr(Op.LOADCONST, JType.INT, 1), Instr(Op.RETVAL)]
+        validate_code(code, 1)
+
+
+def test_every_opcode_has_interp_cost():
+    for op in Op:
+        assert op in INTERP_COST, op
+        assert INTERP_COST[op] > 0

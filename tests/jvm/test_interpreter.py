@@ -1,0 +1,346 @@
+"""Interpreter semantics: arithmetic, control flow, heap, exceptions."""
+
+import math
+
+import pytest
+
+from repro.errors import JavaThrow, VMError
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import Handler, MethodModifiers
+from repro.jvm.interpreter import coerce, default_value, promote
+
+from tests.conftest import build_method, vm_with
+
+
+def run_body(body_fn, *args, params=(JType.INT,), ret=JType.INT,
+             num_temps=4, handlers=None):
+    method = build_method(body_fn, params=params, ret=ret,
+                          num_temps=num_temps, handlers=handlers)
+    vm = vm_with(method)
+    return vm.call(method.signature, *args)
+
+
+class TestPromotion:
+    def test_double_beats_int(self):
+        assert promote(JType.INT, JType.DOUBLE) is JType.DOUBLE
+
+    def test_longdouble_beats_double(self):
+        assert promote(JType.DOUBLE, JType.LONGDOUBLE) \
+            is JType.LONGDOUBLE
+
+    def test_long_beats_int(self):
+        assert promote(JType.INT, JType.LONG) is JType.LONG
+
+    def test_packed_beats_int(self):
+        assert promote(JType.PACKED, JType.INT) is JType.PACKED
+
+    def test_int_default(self):
+        assert promote(JType.BYTE, JType.SHORT) is JType.INT
+
+
+class TestCoerce:
+    def test_int_masking(self):
+        assert coerce(2**31, JType.INT) == -(2**31)
+
+    def test_float_conversion(self):
+        assert coerce(3, JType.DOUBLE) == 3.0
+        assert isinstance(coerce(3, JType.DOUBLE), float)
+
+    def test_default_values(self):
+        assert default_value(JType.INT) == 0
+        assert default_value(JType.DOUBLE) == 0.0
+        assert default_value(JType.OBJECT) is None
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert run_body(lambda a: a.load(0).iconst(5).add().retval(),
+                        37) == 42
+
+    def test_int_overflow_wraps(self):
+        result = run_body(
+            lambda a: a.load(0).load(0).mul().retval(), 2**20)
+        assert result == 0  # 2^40 mod 2^32 == 0
+
+    def test_div_truncates_toward_zero(self):
+        assert run_body(
+            lambda a: a.load(0).iconst(2).div().retval(), -7) == -3
+
+    def test_rem_sign_follows_dividend(self):
+        assert run_body(
+            lambda a: a.load(0).iconst(3).rem().retval(), -7) == -1
+
+    def test_div_by_zero_throws(self):
+        with pytest.raises(JavaThrow, match="ArithmeticException"):
+            run_body(lambda a: a.load(0).iconst(0).div().retval(), 1)
+
+    def test_float_div_by_zero_is_inf(self):
+        result = run_body(
+            lambda a: a.load(0).dconst(0.0).div().retval(),
+            4.0, params=(JType.DOUBLE,), ret=JType.DOUBLE)
+        assert result == math.inf
+
+    def test_shift_masks_amount(self):
+        # shift by 33 == shift by 1 for 32-bit ints
+        assert run_body(
+            lambda a: a.load(0).iconst(33).shl().retval(), 3) == 6
+
+    def test_cmp_returns_sign(self):
+        assert run_body(
+            lambda a: a.load(0).iconst(10).cmp().retval(), 3) == -1
+        assert run_body(
+            lambda a: a.load(0).iconst(10).cmp().retval(), 10) == 0
+        assert run_body(
+            lambda a: a.load(0).iconst(10).cmp().retval(), 99) == 1
+
+    def test_cmp_nan_is_minus_one(self):
+        def body(a):
+            a.load(0).dconst(0.0).div()   # nan path needs 0/0
+            a.dconst(1.0).cmp().retval()
+        assert run_body(body, 0.0, params=(JType.DOUBLE,)) == -1
+
+    def test_inc(self):
+        def body(a):
+            a.load(0).store(1)
+            a.inc(1, 5)
+            a.load(1).retval()
+        assert run_body(body, 10) == 15
+
+    def test_neg(self):
+        assert run_body(lambda a: a.load(0).neg().retval(), 9) == -9
+
+    def test_bitwise(self):
+        assert run_body(
+            lambda a: a.load(0).iconst(0xF0).and_().retval(),
+            0xABCD) == 0xC0
+        assert run_body(
+            lambda a: a.load(0).iconst(1).or_().retval(), 8) == 9
+        assert run_body(
+            lambda a: a.load(0).load(0).xor().retval(), 77) == 0
+
+
+class TestControlFlow:
+    def test_loop(self, loaded_vm):
+        vm, method = loaded_vm
+        assert vm.call(method.signature, 10) == 45
+
+    def test_goto_skips(self):
+        def body(a):
+            a.goto("end")
+            a.iconst(1).retval()
+            a.mark("end")
+            a.iconst(2).retval()
+        assert run_body(body, 0) == 2
+
+    def test_conditional_both_paths(self):
+        def body(a):
+            a.load(0).ifle("neg")
+            a.iconst(1).retval()
+            a.mark("neg")
+            a.iconst(-1).retval()
+        assert run_body(body, 5) == 1
+        assert run_body(body, -5) == -1
+        assert run_body(body, 0) == -1
+
+
+class TestHeap:
+    def test_object_fields(self):
+        def body(a):
+            a.new("app/Box").store(1)
+            a.load(1).load(0).putfield("v")
+            a.load(1).getfield("v").retval()
+        assert run_body(body, 33) == 33
+
+    def test_unset_field_reads_zero(self):
+        def body(a):
+            a.new("app/Box").getfield("never_set").retval()
+        assert run_body(body, 0) == 0
+
+    def test_array_store_load(self):
+        def body(a):
+            a.iconst(4).newarray(JType.INT).store(1)
+            a.load(1).iconst(2).load(0).astore()
+            a.load(1).iconst(2).aload().retval()
+        assert run_body(body, 7) == 7
+
+    def test_array_out_of_bounds(self):
+        def body(a):
+            a.iconst(2).newarray(JType.INT).store(1)
+            a.load(1).iconst(5).aload().retval()
+        with pytest.raises(JavaThrow, match="ArrayIndexOutOfBounds"):
+            run_body(body, 0)
+
+    def test_negative_array_size(self):
+        def body(a):
+            a.iconst(-1).newarray(JType.INT).store(1)
+            a.iconst(0).retval()
+        with pytest.raises(JavaThrow, match="NegativeArraySize"):
+            run_body(body, 0)
+
+    def test_arraylength(self):
+        def body(a):
+            a.iconst(9).newarray(JType.INT).arraylength().retval()
+        assert run_body(body, 0) == 9
+
+    def test_arraycopy(self):
+        def body(a):
+            a.iconst(3).newarray(JType.INT).store(1)
+            a.load(1).iconst(0).load(0).astore()
+            a.iconst(3).newarray(JType.INT).store(2)
+            # arraycopy(src, srcoff, dst, dstoff, count)
+            a.load(1).iconst(0).load(2).iconst(0).iconst(3).arraycopy()
+            a.load(2).iconst(0).aload().retval()
+        assert run_body(body, 5) == 5
+
+    def test_arraycmp_equal(self):
+        def body(a):
+            a.iconst(2).newarray(JType.INT).store(1)
+            a.iconst(2).newarray(JType.INT).store(2)
+            a.load(1).load(2).arraycmp().retval()
+        assert run_body(body, 0) == 0
+
+    def test_instanceof(self):
+        def body(a):
+            a.new("app/Box").instanceof("app/Box").retval()
+        assert run_body(body, 0) == 1
+
+    def test_instanceof_wrong_class(self):
+        def body(a):
+            a.new("app/Box").instanceof("app/Other").retval()
+        assert run_body(body, 0) == 0
+
+    def test_multiarray(self):
+        def body(a):
+            a.iconst(2).iconst(3).newmultiarray(JType.INT, 2).store(1)
+            a.load(1).iconst(1).aload().arraylength().retval()
+        assert run_body(body, 0) == 3
+
+
+class TestExceptions:
+    def test_athrow_uncaught(self):
+        def body(a):
+            a.new("app/E").athrow()
+        with pytest.raises(JavaThrow, match="app/E"):
+            run_body(body, 0)
+
+    def test_handler_catches(self):
+        def body(a):
+            start = a.here()
+            a.new("app/E").athrow()
+            handler = a.here()
+            a.pop().iconst(99).retval()
+            return [Handler(start, handler, handler, "app/E")]
+        assert run_body(body, 0) == 99
+
+    def test_handler_class_mismatch_propagates(self):
+        def body(a):
+            start = a.here()
+            a.new("app/E").athrow()
+            handler = a.here()
+            a.pop().iconst(99).retval()
+            return [Handler(start, handler, handler, "app/Other")]
+        with pytest.raises(JavaThrow, match="app/E"):
+            run_body(body, 0)
+
+    def test_throwable_catches_everything(self):
+        def body(a):
+            start = a.here()
+            a.load(0).iconst(0).div().retval()
+            handler = a.here()
+            a.pop().iconst(-7).retval()
+            return [Handler(start, handler, handler)]
+        assert run_body(body, 1) == -7
+
+    def test_exception_crosses_frames(self):
+        def thrower(a):
+            a.new("app/E").athrow()
+        callee = build_method(thrower, params=(), ret=JType.VOID,
+                              num_temps=0, name="thrower")
+
+        def caller(a):
+            start = a.here()
+            a.call(callee.signature, 0)
+            a.iconst(0).retval()
+            handler = a.here()
+            a.pop().iconst(123).retval()
+            return [Handler(start, handler, handler, "app/E")]
+
+        method = build_method(caller, num_temps=1, name="caller",
+                              handlers=None)
+        # rebuild with handlers via body return
+        vm = vm_with(callee, build_method(
+            caller, num_temps=1, name="caller"))
+        assert vm.call("T.caller(INT)INT", 5) == 123
+
+    def test_null_pointer(self):
+        def body(a):
+            a.iconst(0).store(1)
+            # slot 1 holds int 0, used as null ref
+            a.load(1).getfield("x").retval()
+        with pytest.raises(JavaThrow, match="NullPointerException"):
+            run_body(body, 0)
+
+
+class TestStackOps:
+    def test_dup(self):
+        def body(a):
+            a.load(0).dup().add().retval()
+        assert run_body(body, 21) == 42
+
+    def test_swap(self):
+        def body(a):
+            a.load(0).iconst(1).swap().sub().retval()
+        # stack: x, 1 -> swap -> 1, x -> 1 - x
+        assert run_body(body, 10) == -9
+
+    def test_pop(self):
+        def body(a):
+            a.load(0).iconst(99).pop().retval()
+        assert run_body(body, 7) == 7
+
+
+class TestIntrinsics:
+    def test_math_sqrt(self):
+        def body(a):
+            a.load(0).call("java/lang/Math.sqrt", 1).retval()
+        result = run_body(body, 16.0, params=(JType.DOUBLE,),
+                          ret=JType.DOUBLE)
+        assert result == 4.0
+
+    def test_bigdecimal_divide_by_zero_throws(self):
+        def body(a):
+            a.load(0).cast(JType.PACKED)
+            a.iconst(0).cast(JType.PACKED)
+            a.call("java/math/BigDecimal.divide", 2)
+            a.cast(JType.INT).retval()
+        with pytest.raises(JavaThrow, match="ArithmeticException"):
+            run_body(body, 10)
+
+    def test_bigdecimal_multiply_fixed_point(self):
+        def body(a):
+            a.load(0).cast(JType.PACKED)
+            a.iconst(200).cast(JType.PACKED)
+            a.call("java/math/BigDecimal.multiply", 2)
+            a.cast(JType.INT).retval()
+        # fixed-point hundredths: 300 * 200 / 100 = 600
+        assert run_body(body, 300) == 600
+
+
+class TestVMGuards:
+    def test_wrong_arg_count(self, loaded_vm):
+        vm, method = loaded_vm
+        with pytest.raises(VMError, match="expected"):
+            vm.call(method.signature, 1, 2)
+
+    def test_unknown_method(self, loaded_vm):
+        vm, _ = loaded_vm
+        with pytest.raises(VMError, match="no such method"):
+            vm.call("Nope.nope()INT")
+
+    def test_recursion_depth_guard(self):
+        def body(a):
+            a.load(0).call("T.m(INT)INT", 1).retval()
+        method = build_method(body, num_temps=0)
+        vm = vm_with(method)
+        with pytest.raises(VMError, match="depth"):
+            vm.call(method.signature, 1)

@@ -1,0 +1,70 @@
+"""Guest heap values."""
+
+import pytest
+
+from repro.errors import JavaThrow
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import JClass
+from repro.jvm.objects import JArray, JObject, make_multiarray, \
+    null_check
+
+
+class TestJObject:
+    def test_fields_default_zero(self):
+        obj = JObject("C")
+        assert obj.getfield("anything") == 0
+
+    def test_put_get(self):
+        obj = JObject("C")
+        obj.putfield("x", 42)
+        assert obj.getfield("x") == 42
+
+    def test_isinstance_exact(self):
+        assert JObject("C").isinstance_of("C")
+        assert not JObject("C").isinstance_of("D")
+
+    def test_isinstance_via_superclass_chain(self):
+        registry = {"Sub": JClass("Sub", superclass="Base"),
+                    "Base": JClass("Base")}
+        assert JObject("Sub").isinstance_of("Base", registry)
+        assert not JObject("Base").isinstance_of("Sub", registry)
+
+
+class TestJArray:
+    def test_fill_typed(self):
+        ints = JArray(JType.INT, 3)
+        assert ints.data == [0, 0, 0]
+        doubles = JArray(JType.DOUBLE, 2)
+        assert doubles.data == [0.0, 0.0]
+        assert isinstance(doubles.data[0], float)
+
+    def test_bounds(self):
+        arr = JArray(JType.INT, 2)
+        with pytest.raises(JavaThrow, match="ArrayIndexOutOfBounds"):
+            arr.load(2)
+        with pytest.raises(JavaThrow, match="ArrayIndexOutOfBounds"):
+            arr.store(-1, 0)
+
+    def test_negative_size(self):
+        with pytest.raises(JavaThrow, match="NegativeArraySize"):
+            JArray(JType.INT, -1)
+
+    def test_multiarray_rectangular(self):
+        arr = make_multiarray(JType.INT, [2, 3])
+        assert arr.length == 2
+        assert arr.load(0).length == 3
+        assert arr.load(1).load(2) == 0
+
+
+class TestNullCheck:
+    def test_none_throws(self):
+        with pytest.raises(JavaThrow, match="NullPointerException"):
+            null_check(None)
+
+    def test_zero_throws(self):
+        with pytest.raises(JavaThrow, match="NullPointerException"):
+            null_check(0)
+
+    def test_object_passes(self):
+        obj = JObject("C")
+        assert null_check(obj) is obj

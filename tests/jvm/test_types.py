@@ -1,0 +1,113 @@
+"""Semantics of the Testarossa-specific types (Table 2) and the unified
+float->integral conversion rules."""
+
+import math
+
+import pytest
+
+from repro.jvm.bytecode import JType, convert_to_integral
+from repro.jvm.vm import run_entry
+
+from tests.conftest import build_method, vm_with
+
+
+def run_body(body_fn, *args, params=(JType.INT,), ret=JType.INT,
+             num_temps=4):
+    method = build_method(body_fn, params=params, ret=ret,
+                          num_temps=num_temps)
+    vm = vm_with(method)
+    return vm.call(method.signature, *args)
+
+
+class TestConvertToIntegral:
+    def test_nan_is_zero(self):
+        assert convert_to_integral(math.nan, JType.INT) == 0
+        assert convert_to_integral(math.nan, JType.LONG) == 0
+
+    def test_infinities_saturate(self):
+        assert convert_to_integral(math.inf, JType.INT) == 2**31 - 1
+        assert convert_to_integral(-math.inf, JType.INT) == -(2**31)
+
+    def test_large_float_saturates(self):
+        assert convert_to_integral(1e20, JType.INT) == 2**31 - 1
+        assert convert_to_integral(-1e20, JType.SHORT) == -32768
+
+    def test_truncates_toward_zero(self):
+        assert convert_to_integral(2.9, JType.INT) == 2
+        assert convert_to_integral(-2.9, JType.INT) == -2
+
+    def test_char_saturation_is_unsigned(self):
+        assert convert_to_integral(-5.0, JType.CHAR) == 0
+        assert convert_to_integral(1e9, JType.CHAR) == 0xFFFF
+
+    def test_int_input_wraps(self):
+        assert convert_to_integral(2**31, JType.INT) == -(2**31)
+
+    def test_decimal_targets_use_long_width(self):
+        assert convert_to_integral(2**40, JType.PACKED) == 2**40
+        assert convert_to_integral(1e30, JType.ZONED) == 2**63 - 1
+
+
+class TestDecimalArithmetic:
+    def test_zoned_addition(self):
+        def body(a):
+            a.load(0).cast(JType.ZONED)
+            a.iconst(25).cast(JType.ZONED)
+            a.add().cast(JType.INT).retval()
+        assert run_body(body, 100) == 125
+
+    def test_packed_promotion_in_mixed_add(self):
+        def body(a):
+            a.load(0).cast(JType.PACKED)
+            a.iconst(5)
+            a.add().cast(JType.INT).retval()
+        assert run_body(body, 7) == 12
+
+    def test_cast_nan_double_to_packed_is_zero(self):
+        def body(a):
+            a.load(0).load(0).sub()      # inf - inf = nan for inf input
+            a.cast(JType.PACKED).cast(JType.INT).retval()
+        result = run_body(body, math.inf, params=(JType.DOUBLE,))
+        assert result == 0
+
+
+class TestLongDouble:
+    def test_longdouble_arithmetic(self):
+        def body(a):
+            a.load(0).cast(JType.LONGDOUBLE)
+            a.dconst(2.0).cast(JType.LONGDOUBLE)
+            a.mul().cast(JType.DOUBLE).retval()
+        result = run_body(body, 3.5, params=(JType.DOUBLE,),
+                          ret=JType.DOUBLE)
+        assert result == 7.0
+
+    def test_longdouble_promotes_over_double(self):
+        from repro.jvm.interpreter import promote
+        assert promote(JType.DOUBLE, JType.LONGDOUBLE) \
+            is JType.LONGDOUBLE
+
+
+class TestCompiledDecimalEquivalence:
+    @pytest.mark.parametrize("value", [0, 7, -3, 10_000])
+    def test_zoned_compiles_identically(self, value):
+        from repro.jit.compiler import JitCompiler
+        from repro.jit.plans import OptLevel
+
+        def body(a):
+            a.load(0).cast(JType.ZONED)
+            a.iconst(25).cast(JType.ZONED)
+            a.add().cast(JType.INT).retval()
+        method = build_method(body, num_temps=2)
+        vm = vm_with(method)
+        expected = vm.call(method.signature, value)
+        compiled = JitCompiler().compile(method, OptLevel.SCORCHING)
+        vm2 = vm_with(method)
+        actual, _t = compiled.execute(vm2, [(value, JType.INT)])
+        assert actual == expected
+
+
+def test_run_entry_helper(sum_to_method):
+    vm = vm_with(sum_to_method)
+    result, cycles = run_entry(vm, sum_to_method.signature, 10)
+    assert result == 45
+    assert cycles > 0

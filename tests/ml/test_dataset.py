@@ -1,0 +1,122 @@
+"""Normalization (Eq. 3), scaling files, the LIBLINEAR text format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DatasetError
+from repro.features import NUM_FEATURES
+from repro.ml.dataset import Scaling, read_liblinear, write_liblinear
+
+
+class TestScaling:
+    def test_normalizes_to_unit_range(self):
+        data = np.array([[0.0, 10.0], [5.0, 20.0], [10.0, 30.0]])
+        scaling = Scaling.fit(data)
+        out = scaling.transform(data)
+        assert out.min() == 0.0 and out.max() == 1.0
+        assert out[1, 0] == pytest.approx(0.5)
+
+    def test_constant_component_maps_to_zero(self):
+        data = np.array([[3.0, 1.0], [3.0, 2.0]])
+        scaling = Scaling.fit(data)
+        out = scaling.transform(data)
+        assert np.all(out[:, 0] == 0.0)
+
+    def test_unseen_values_clipped(self):
+        data = np.array([[0.0], [10.0]])
+        scaling = Scaling.fit(data)
+        assert scaling.transform(np.array([20.0]))[0] == 1.0
+        assert scaling.transform(np.array([-5.0]))[0] == 0.0
+
+    def test_single_vector_transform(self):
+        data = np.array([[0.0, 0.0], [4.0, 8.0]])
+        scaling = Scaling.fit(data)
+        out = scaling.transform(np.array([2.0, 2.0]))
+        assert out[0] == 0.5 and out[1] == 0.25
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Scaling.fit(np.zeros((0, 3)))
+
+    def test_scaling_file_roundtrip(self, tmp_path):
+        data = np.random.default_rng(0).uniform(-5, 50, size=(20, 71))
+        scaling = Scaling.fit(data)
+        path = tmp_path / "scaling.txt"
+        scaling.save(path)
+        loaded = Scaling.load(path)
+        assert loaded == scaling
+        probe = data[3]
+        assert np.allclose(loaded.transform(probe),
+                           scaling.transform(probe))
+
+    def test_corrupt_scaling_file(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1.0 2.0 3.0\n")
+        with pytest.raises(DatasetError):
+            Scaling.load(path)
+
+    def test_empty_scaling_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        with pytest.raises(DatasetError):
+            Scaling.load(path)
+
+
+class TestLiblinearFormat:
+    def test_roundtrip(self, tmp_path):
+        rng = np.random.default_rng(1)
+        matrix = np.round(rng.uniform(0, 1, size=(15, NUM_FEATURES)), 4)
+        matrix[matrix < 0.5] = 0.0  # sparsity
+        labels = list(rng.integers(1, 100, size=15))
+        path = tmp_path / "data.ll"
+        write_liblinear(path, labels, matrix)
+        got_labels, got = read_liblinear(path)
+        assert got_labels == [int(x) for x in labels]
+        assert np.allclose(got, matrix, atol=1e-4)
+
+    def test_zeros_omitted(self, tmp_path):
+        matrix = np.zeros((1, NUM_FEATURES))
+        matrix[0, 9] = 0.5625
+        path = tmp_path / "one.ll"
+        write_liblinear(path, [7], matrix)
+        line = path.read_text().strip()
+        assert line == "7 10:0.5625"  # 1-based index, like Figure 4
+
+    def test_label_range_enforced(self, tmp_path):
+        path = tmp_path / "bad.ll"
+        with pytest.raises(DatasetError, match="2\\^31"):
+            write_liblinear(path, [0], np.zeros((1, NUM_FEATURES)))
+        with pytest.raises(DatasetError):
+            write_liblinear(path, [2**31], np.zeros((1, NUM_FEATURES)))
+
+    def test_bad_component_index(self, tmp_path):
+        path = tmp_path / "bad2.ll"
+        path.write_text("1 999:0.5\n")
+        with pytest.raises(DatasetError, match="component index"):
+            read_liblinear(path)
+
+    def test_bad_label(self, tmp_path):
+        path = tmp_path / "bad3.ll"
+        path.write_text("xyz 1:0.5\n")
+        with pytest.raises(DatasetError, match="label"):
+            read_liblinear(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.ll"
+        path.write_text("")
+        labels, matrix = read_liblinear(path)
+        assert labels == [] and matrix.shape == (0, NUM_FEATURES)
+
+    @settings(max_examples=15, deadline=None)
+    @given(values=st.lists(
+        st.floats(0, 1, allow_nan=False, width=32), min_size=3,
+        max_size=8))
+    def test_roundtrip_property(self, tmp_path_factory, values):
+        matrix = np.zeros((1, NUM_FEATURES))
+        for i, v in enumerate(values):
+            matrix[0, i * 7] = round(v, 6)
+        path = tmp_path_factory.mktemp("ll") / "p.ll"
+        write_liblinear(path, [3], matrix)
+        _labels, got = read_liblinear(path)
+        assert np.allclose(got, matrix, atol=1e-5)

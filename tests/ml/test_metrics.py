@@ -1,0 +1,68 @@
+"""Model-quality diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.jit.plans import OptLevel
+from repro.ml.metrics import (
+    good_plan_rate,
+    k_fold_cross_validation,
+    label_accuracy,
+)
+from repro.ml.pipeline import TrainingPipeline
+from repro.ml.ranking import rank_records
+
+from tests.ml.test_pipeline import synth_record_set
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rs = synth_record_set("metrics", 0)
+    pipeline = TrainingPipeline(levels=(OptLevel.HOT,))
+    model_set = pipeline.train(rs, name="M")
+    ranked = rank_records(rs.records, OptLevel.HOT)
+    return rs, model_set.model_for(OptLevel.HOT), ranked
+
+
+class TestLabelAccuracy:
+    def test_high_on_learnable_data(self, trained):
+        _rs, model, ranked = trained
+        assert label_accuracy(model, ranked.instances) > 0.9
+
+    def test_empty_instances(self, trained):
+        _rs, model, _ranked = trained
+        assert label_accuracy(model, []) == 0.0
+
+
+class TestGoodPlanRate:
+    def test_rate_and_coverage(self, trained):
+        rs, model, _ranked = trained
+        rate, coverage = good_plan_rate(model, rs.records,
+                                        OptLevel.HOT)
+        assert 0.9 <= rate <= 1.0
+        assert 0.9 <= coverage <= 1.0
+
+    def test_no_records(self, trained):
+        _rs, model, _ranked = trained
+        rate, coverage = good_plan_rate(model, [], OptLevel.HOT)
+        assert rate == 0.0 and coverage == 0.0
+
+
+class TestKFold:
+    def test_folds_produced(self):
+        rs = synth_record_set("kf", 2, n=40)
+        accs = k_fold_cross_validation(rs.records, k=4)
+        assert len(accs) == 4
+        assert all(0.0 <= a <= 1.0 for a in accs)
+
+    def test_learnable_pattern_cross_validates(self):
+        rs = synth_record_set("kf2", 3, n=40)
+        accs = k_fold_cross_validation(rs.records, k=4)
+        # The group structure is visible in the features, so held-out
+        # vectors should usually be classified correctly.
+        assert np.mean(accs) > 0.6
+
+    def test_k_clamped_to_vector_count(self):
+        rs = synth_record_set("kf3", 4, n=3)
+        accs = k_fold_cross_validation(rs.records, k=10)
+        assert 1 <= len(accs) <= 6

@@ -1,0 +1,133 @@
+"""Training pipeline, leave-one-out, model persistence, Table 4 stats."""
+
+import numpy as np
+import pytest
+
+from repro.collect.records import ExperimentRecord, RecordSet
+from repro.errors import TrainingError
+from repro.features import NUM_FEATURES
+from repro.jit.modifiers import Modifier
+from repro.jit.plans import OptLevel
+from repro.ml.model import LevelModel, ModelSet
+from repro.ml.pipeline import (
+    TrainingPipeline,
+    leave_one_out_models,
+    merge_record_sets,
+    table4_statistics,
+)
+
+
+def synth_record_set(benchmark, seed, n=60):
+    """Synthetic records where low-feature methods prefer modifier A
+    and high-feature methods modifier B (a learnable pattern)."""
+    rng = np.random.default_rng(seed)
+    rs = RecordSet(benchmark=benchmark)
+    for i in range(n):
+        features = np.zeros(NUM_FEATURES)
+        group = i % 2
+        features[3] = 30 + group * 200 + rng.integers(0, 20)
+        features[7] = 1 - group
+        good_bits = 0b0011 if group == 0 else 0b1100
+        for bits, running in ((good_bits, 500), (0, 900),
+                              (0b111111, 1400)):
+            rs.add(ExperimentRecord(
+                signature=f"{benchmark}.m{i}(INT)INT",
+                level=int(OptLevel.HOT), modifier_bits=bits,
+                features=features.copy(), compile_cycles=400,
+                running_cycles=running * 10, invocations=10))
+    return rs
+
+
+class TestTrainingPipeline:
+    def test_trains_learnable_pattern(self):
+        rs = synth_record_set("a", 0)
+        pipeline = TrainingPipeline(levels=(OptLevel.HOT,), C=10)
+        model_set = pipeline.train(rs, name="M")
+        model = model_set.model_for(OptLevel.HOT)
+        low = np.zeros(NUM_FEATURES)
+        low[3], low[7] = 35, 1
+        high = np.zeros(NUM_FEATURES)
+        high[3], high[7] = 240, 0
+        assert model.predict_modifier(low).bits == 0b0011
+        assert model.predict_modifier(high).bits == 0b1100
+
+    def test_empty_records_rejected(self):
+        pipeline = TrainingPipeline(levels=(OptLevel.HOT,))
+        with pytest.raises(TrainingError):
+            pipeline.train(RecordSet(benchmark="none"), name="X")
+
+    def test_levels_without_data_skipped(self):
+        rs = synth_record_set("a", 0)
+        pipeline = TrainingPipeline(
+            levels=(OptLevel.COLD, OptLevel.HOT))
+        model_set = pipeline.train(rs, name="M")
+        assert model_set.model_for(OptLevel.COLD) is None
+        assert model_set.model_for(OptLevel.HOT) is not None
+
+    def test_training_seconds_recorded(self):
+        rs = synth_record_set("a", 0)
+        pipeline = TrainingPipeline(levels=(OptLevel.HOT,))
+        pipeline.train(rs, name="M")
+        assert pipeline.training_seconds[OptLevel.HOT] > 0
+
+
+class TestLeaveOneOut:
+    def test_five_models_each_excluding_one(self):
+        sets = {f"b{i}": synth_record_set(f"b{i}", i, n=20)
+                for i in range(5)}
+        models = leave_one_out_models(sets, levels=(OptLevel.HOT,))
+        assert set(models) == {"H1", "H2", "H3", "H4", "H5"}
+        excluded = {ms.excluded for ms in models.values()}
+        assert excluded == set(sets)
+        for ms in models.values():
+            assert ms.excluded not in ms.training_benchmarks
+            assert len(ms.training_benchmarks) == 4
+
+
+class TestModelPersistence:
+    def test_modelset_roundtrip(self, tmp_path):
+        rs = synth_record_set("a", 0)
+        pipeline = TrainingPipeline(levels=(OptLevel.HOT,))
+        model_set = pipeline.train(rs, name="M", excluded="a")
+        model_set.save(tmp_path / "M")
+        loaded = ModelSet.load(tmp_path / "M")
+        assert loaded.name == "M"
+        assert loaded.excluded == "a"
+        probe = np.zeros(NUM_FEATURES)
+        probe[3], probe[7] = 35, 1
+        assert loaded.predict_modifier(OptLevel.HOT, probe) \
+            == model_set.predict_modifier(OptLevel.HOT, probe)
+
+    def test_missing_level_predicts_none(self):
+        rs = synth_record_set("a", 0)
+        pipeline = TrainingPipeline(levels=(OptLevel.HOT,))
+        model_set = pipeline.train(rs, name="M")
+        assert model_set.predict_modifier(
+            OptLevel.SCORCHING, np.zeros(NUM_FEATURES)) is None
+
+    def test_prediction_returns_modifier(self):
+        rs = synth_record_set("a", 0)
+        model_set = TrainingPipeline(levels=(OptLevel.HOT,)).train(
+            rs, name="M")
+        out = model_set.predict_modifier(OptLevel.HOT,
+                                         np.zeros(NUM_FEATURES))
+        assert isinstance(out, Modifier)
+
+
+class TestTable4:
+    def test_statistics_shape(self):
+        sets = {f"b{i}": synth_record_set(f"b{i}", i, n=10)
+                for i in range(3)}
+        stats = table4_statistics(sets, levels=(OptLevel.HOT,))
+        row = stats[OptLevel.HOT]
+        assert row["merged_instances"] == 3 * 10 * 3
+        assert row["training_instances"] <= row["merged_instances"]
+        assert row["merged_ratio"] >= row["training_ratio"]
+        assert row["training_feature_vectors"] \
+            == row["merged_feature_vectors"]
+
+    def test_merge_record_sets(self):
+        sets = {"a": synth_record_set("a", 0, n=5),
+                "b": synth_record_set("b", 1, n=5)}
+        merged = merge_record_sets(sets)
+        assert len(merged) == len(sets["a"]) + len(sets["b"])

@@ -1,0 +1,138 @@
+"""Ranking (Eq. 2), aggregation, selection strategies, label table."""
+
+import numpy as np
+import pytest
+
+from repro.collect.records import ExperimentRecord
+from repro.features import NUM_FEATURES
+from repro.jit.control import ControlConfig
+from repro.jit.plans import OptLevel
+from repro.ml.ranking import (
+    LabelTable,
+    rank_records,
+    ranking_value,
+    trigger_for_record,
+)
+
+
+def rec(bits, running=1000, invocations=10, compile_cycles=500,
+        level=OptLevel.HOT, fv_seed=0):
+    features = np.zeros(NUM_FEATURES)
+    features[0] = fv_seed  # distinct feature vectors via one component
+    return ExperimentRecord(
+        signature=f"T.m{fv_seed}(INT)INT", level=int(level),
+        modifier_bits=bits, features=features,
+        compile_cycles=compile_cycles, running_cycles=running,
+        invocations=invocations)
+
+
+class TestRankingValue:
+    def test_equation_2(self):
+        record = rec(1, running=1000, invocations=10,
+                     compile_cycles=500)
+        # V = R/I + C/T = 100 + 500/T
+        value = ranking_value(record, trigger=50)
+        assert value == pytest.approx(100 + 10)
+
+    def test_zero_invocations_is_infinite(self):
+        record = rec(1, invocations=0)
+        assert ranking_value(record, 50) == float("inf")
+
+    def test_trigger_depends_on_level_and_loops(self):
+        config = ControlConfig()
+        no_loop = rec(1, level=OptLevel.COLD)
+        assert trigger_for_record(no_loop, config) \
+            == config.trigger(OptLevel.COLD, 0)
+
+
+class TestRanking:
+    def test_best_strategy_keeps_one_per_vector(self):
+        records = [rec(1, running=1000), rec(2, running=500),
+                   rec(3, running=2000)]
+        ranked = rank_records(records, OptLevel.HOT, strategy="best")
+        assert len(ranked.instances) == 1
+        assert ranked.instances[0].modifier_bits == 2
+
+    def test_top_n_with_quality_floor(self):
+        # best V=50; candidates within 95% of best (V <= ~52.6) only.
+        records = [rec(1, running=500, invocations=10,
+                       compile_cycles=0),
+                   rec(2, running=510, invocations=10,
+                       compile_cycles=0),
+                   rec(3, running=2000, invocations=10,
+                       compile_cycles=0)]
+        ranked = rank_records(records, OptLevel.HOT, strategy="top_n",
+                              top_n=3, quality_floor=0.95)
+        bits = {i.modifier_bits for i in ranked.instances}
+        assert bits == {1, 2}
+
+    def test_top_n_caps_at_three(self):
+        records = [rec(b, running=500 + b, invocations=10,
+                       compile_cycles=0) for b in range(1, 8)]
+        ranked = rank_records(records, OptLevel.HOT, strategy="top_n",
+                              top_n=3, quality_floor=0.0)
+        assert len(ranked.instances) == 3
+
+    def test_top_percent(self):
+        records = [rec(b, running=100 * b) for b in range(1, 11)]
+        ranked = rank_records(records, OptLevel.HOT,
+                              strategy="top_percent", top_percent=20)
+        assert len(ranked.instances) == 2
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            rank_records([rec(1)], OptLevel.HOT, strategy="magic")
+
+    def test_aggregation_by_feature_vector(self):
+        records = [rec(1, fv_seed=0), rec(2, fv_seed=1),
+                   rec(3, fv_seed=1, running=100)]
+        ranked = rank_records(records, OptLevel.HOT, strategy="best")
+        assert len(ranked.instances) == 2
+        assert ranked.merged_feature_vectors == 2
+
+    def test_level_filtering(self):
+        records = [rec(1, level=OptLevel.COLD),
+                   rec(2, level=OptLevel.HOT)]
+        ranked = rank_records(records, OptLevel.COLD)
+        assert len(ranked.instances) == 1
+        assert ranked.merged_instances == 1
+
+    def test_duplicate_modifiers_deduped_per_vector(self):
+        records = [rec(1, running=500), rec(1, running=501)]
+        ranked = rank_records(records, OptLevel.HOT, strategy="top_n",
+                              quality_floor=0.0)
+        assert len(ranked.instances) == 1
+
+    def test_merged_statistics(self):
+        records = [rec(b, fv_seed=b % 2) for b in range(6)]
+        ranked = rank_records(records, OptLevel.HOT)
+        assert ranked.merged_instances == 6
+        assert ranked.merged_classes == 6
+        assert ranked.merged_feature_vectors == 2
+
+
+class TestLabelTable:
+    def test_labels_start_at_one(self):
+        table = LabelTable()
+        assert table.label_for(0b1010) == 1
+        assert table.label_for(0b0101) == 2
+
+    def test_roundtrip(self):
+        table = LabelTable()
+        bits = [0, 5, 2**57, 123456]
+        labels = [table.label_for(b) for b in bits]
+        assert [table.bits_for(lab) for lab in labels] == bits
+
+    def test_idempotent_assignment(self):
+        table = LabelTable()
+        assert table.label_for(7) == table.label_for(7)
+        assert len(table) == 1
+
+    def test_unknown_label_raises(self):
+        table = LabelTable([1, 2])
+        with pytest.raises(KeyError):
+            table.bits_for(99)
+
+    def test_labels_fit_liblinear_range(self):
+        table = LabelTable(range(1000))
+        assert 1 <= table.label_for(999) <= 2**31 - 1

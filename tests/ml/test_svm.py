@@ -1,0 +1,135 @@
+"""The from-scratch SVMs: linear (Crammer-Singer) and RBF."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.svm.kernels import linear_kernel, rbf_kernel
+from repro.ml.svm.linear import LinearSVC, _solve_subproblem
+from repro.ml.svm.rbf import KernelSVC
+
+
+def gaussian_blobs(n_classes=3, per_class=40, dim=8, sep=6.0, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(0, sep, size=(n_classes, dim))
+    X = np.vstack([c + rng.normal(0, 0.6, size=(per_class, dim))
+                   for c in centers])
+    y = np.repeat(np.arange(10, 10 + n_classes), per_class)
+    perm = rng.permutation(len(y))
+    return X[perm], y[perm]
+
+
+class TestSubproblem:
+    def test_solution_satisfies_constraints(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            L = int(rng.integers(2, 8))
+            A = float(rng.uniform(0.1, 5))
+            B = rng.normal(0, 3, size=L)
+            caps = np.zeros(L)
+            caps[int(rng.integers(0, L))] = 10.0
+            alpha = _solve_subproblem(A, B, caps)
+            assert abs(alpha.sum()) < 1e-6
+            assert np.all(alpha <= caps + 1e-9)
+
+    def test_optimality_kkt(self):
+        # At the optimum, all uncapped coordinates share the same
+        # gradient A*alpha_m + B_m (= beta).
+        A, B = 2.0, np.array([1.0, -1.0, 0.5, 3.0])
+        caps = np.array([10.0, 0.0, 0.0, 0.0])
+        alpha = _solve_subproblem(A, B, caps)
+        grads = A * alpha + B
+        free = alpha < caps - 1e-9
+        if free.sum() > 1:
+            assert np.ptp(grads[free]) < 1e-4
+
+
+class TestLinearSVC:
+    def test_separable_data_perfect(self):
+        X, y = gaussian_blobs()
+        model = LinearSVC(C=10).fit(X[:90], y[:90])
+        assert (model.predict(X[90:]) == y[90:]).mean() > 0.95
+
+    def test_weight_matrix_shape(self):
+        X, y = gaussian_blobs(n_classes=4, dim=6)
+        model = LinearSVC(C=1).fit(X, y)
+        assert model.weight_matrix.shape == (6, 4)
+
+    def test_deterministic(self):
+        X, y = gaussian_blobs()
+        a = LinearSVC(C=10, seed=3).fit(X, y)
+        b = LinearSVC(C=10, seed=3).fit(X, y)
+        assert np.array_equal(a.W, b.W)
+
+    def test_single_class_degenerates_gracefully(self):
+        X = np.ones((5, 3))
+        y = np.array([7] * 5)
+        model = LinearSVC().fit(X, y)
+        assert model.predict(X[0]) == 7
+
+    def test_two_classes(self):
+        X, y = gaussian_blobs(n_classes=2)
+        model = LinearSVC(C=10).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {10, 11}
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(TrainingError):
+            LinearSVC(C=-1)
+        with pytest.raises(TrainingError):
+            LinearSVC().fit(np.zeros((0, 3)), np.zeros(0))
+        with pytest.raises(TrainingError):
+            LinearSVC().fit(np.zeros((3, 2)), np.zeros(5))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            LinearSVC().predict(np.zeros(3))
+
+    def test_labels_preserved(self):
+        X, y = gaussian_blobs(n_classes=3)
+        y = y * 1000 + 1  # arbitrary labels
+        model = LinearSVC(C=10).fit(X, y)
+        assert set(model.predict(X)) <= set(y.tolist())
+
+    def test_overlapping_data_converges(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(0, 1, size=(120, 5))
+        y = (X[:, 0] + rng.normal(0, 0.5, 120) > 0).astype(int)
+        model = LinearSVC(C=10, max_epochs=30).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.7
+
+
+class TestKernelSVC:
+    def test_xor_needs_rbf(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(200, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        linear = LinearSVC(C=10).fit(X, y)
+        rbf = KernelSVC(C=10, gamma=2.0).fit(X, y)
+        linear_acc = (linear.predict(X) == y).mean()
+        rbf_acc = (rbf.predict(X) == y).mean()
+        assert rbf_acc > 0.9
+        assert rbf_acc > linear_acc
+
+    def test_support_vector_count(self):
+        X, y = gaussian_blobs(n_classes=2)
+        model = KernelSVC(C=10, gamma=0.1).fit(X, y)
+        assert 0 < model.support_vector_count() <= len(X)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            KernelSVC().predict(np.zeros(3))
+
+
+class TestKernels:
+    def test_linear_kernel_is_dot(self):
+        A = np.array([[1.0, 2.0]])
+        B = np.array([[3.0, 4.0]])
+        assert linear_kernel(A, B)[0, 0] == 11.0
+
+    def test_rbf_kernel_bounds(self):
+        rng = np.random.default_rng(0)
+        A = rng.normal(size=(10, 4))
+        K = rbf_kernel(A, A, gamma=0.7)
+        assert np.allclose(np.diag(K), 1.0)
+        assert np.all(K > 0) and np.all(K <= 1.0 + 1e-12)
+        assert np.allclose(K, K.T)

@@ -1,0 +1,186 @@
+"""The compiler <-> model service: protocol, endpoints, strategies."""
+
+import io
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.features import NUM_FEATURES
+from repro.jit.modifiers import Modifier
+from repro.jit.plans import OptLevel
+from repro.ml.pipeline import TrainingPipeline
+from repro.service import protocol as P
+from repro.service.client import ModelClient, connected_pair
+from repro.service.strategy import ModelStrategy, ServiceStrategy
+
+from tests.ml.test_pipeline import synth_record_set
+
+
+@pytest.fixture(scope="module")
+def model_set():
+    rs = synth_record_set("svc", 0)
+    return TrainingPipeline(levels=(OptLevel.HOT,)).train(rs, name="S")
+
+
+def probe_features(group=0):
+    f = np.zeros(NUM_FEATURES)
+    f[3] = 35 if group == 0 else 240
+    f[7] = 1 - group
+    return f
+
+
+class TestProtocolFraming:
+    def test_roundtrip_through_buffer(self):
+        buffer = io.BytesIO()
+        P.write_message(buffer.write, P.MSG_PREDICT,
+                        P.encode_predict(2, probe_features()))
+        buffer.seek(0)
+        kind, payload = P.read_message(buffer.read)
+        assert kind == P.MSG_PREDICT
+        level, features = P.decode_predict(payload)
+        assert level == 2
+        assert features[3] == 35
+
+    def test_short_read_raises(self):
+        buffer = io.BytesIO(b"\x01\x02")
+        with pytest.raises(ProtocolError, match="closed"):
+            P.read_message(buffer.read)
+
+    def test_oversized_frame_rejected(self):
+        buffer = io.BytesIO()
+        import struct
+        buffer.write(struct.pack("<IB", 1 << 21, P.MSG_PING))
+        buffer.seek(0)
+        with pytest.raises(ProtocolError, match="oversized"):
+            P.read_message(buffer.read)
+
+    def test_predict_payload_length_checked(self):
+        with pytest.raises(ProtocolError):
+            P.decode_predict(b"\x00" * 10)
+        with pytest.raises(ProtocolError):
+            P.encode_predict(0, [1.0] * 5)
+
+    def test_modifier_payload(self):
+        assert P.decode_modifier(P.encode_modifier(12345)) == 12345
+        with pytest.raises(ProtocolError):
+            P.decode_modifier(b"\x00")
+
+
+class TestServiceEndpoints:
+    def test_ping(self, model_set):
+        client, _server, _t = connected_pair(model_set)
+        try:
+            assert client.ping()
+        finally:
+            client.shutdown()
+            client.close()
+
+    def test_predict_known_level(self, model_set):
+        client, server, _t = connected_pair(model_set)
+        try:
+            modifier = client.predict(int(OptLevel.HOT),
+                                      probe_features(0))
+            assert isinstance(modifier, Modifier)
+            assert modifier.bits == 0b0011
+            assert server.requests_served == 1
+        finally:
+            client.shutdown()
+            client.close()
+
+    def test_predict_unmodelled_level_returns_none(self, model_set):
+        client, _server, _t = connected_pair(model_set)
+        try:
+            out = client.predict(int(OptLevel.SCORCHING),
+                                 probe_features())
+            assert out is None
+        finally:
+            client.shutdown()
+            client.close()
+
+    def test_shutdown_stops_server(self, model_set):
+        client, _server, thread = connected_pair(model_set)
+        client.shutdown()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        client.close()
+
+    def test_model_swap_without_client_change(self, model_set):
+        """The paper's headline property: swap the model, keep the
+        compiler-side client untouched."""
+        rs = synth_record_set("other", 3)
+        other = TrainingPipeline(levels=(OptLevel.HOT,)).train(
+            rs, name="other")
+        for ms in (model_set, other):
+            client, _server, _t = connected_pair(ms)
+            try:
+                out = client.predict(int(OptLevel.HOT),
+                                     probe_features(0))
+                assert isinstance(out, Modifier)
+            finally:
+                client.shutdown()
+                client.close()
+
+
+@pytest.mark.skipif(not hasattr(os, "mkfifo"),
+                    reason="named pipes unsupported")
+class TestNamedPipes:
+    def test_fifo_rendezvous(self, model_set, tmp_path):
+        import threading
+        from repro.service.server import make_fifo_pair, \
+            serve_over_fifos
+        req, resp = make_fifo_pair(str(tmp_path))
+        thread = threading.Thread(
+            target=serve_over_fifos, args=(model_set, req, resp),
+            daemon=True)
+        thread.start()
+        client = ModelClient.connect_fifos(req, resp)
+        try:
+            assert client.ping()
+            modifier = client.predict(int(OptLevel.HOT),
+                                      probe_features(1))
+            assert modifier.bits == 0b1100
+        finally:
+            client.shutdown()
+            client.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+
+class TestStrategies:
+    def test_model_strategy(self, model_set):
+        strategy = ModelStrategy(model_set)
+        out = strategy.choose_modifier(None, OptLevel.HOT,
+                                       probe_features(0))
+        assert out.bits == 0b0011
+        assert strategy.predictions == 1
+
+    def test_model_strategy_unmodelled_level(self, model_set):
+        strategy = ModelStrategy(model_set)
+        assert strategy.choose_modifier(
+            None, OptLevel.SCORCHING, probe_features()) is None
+
+    def test_service_strategy(self, model_set):
+        client, _server, _t = connected_pair(model_set)
+        try:
+            strategy = ServiceStrategy(client)
+            out = strategy.choose_modifier(None, OptLevel.HOT,
+                                           probe_features(1))
+            assert out.bits == 0b1100
+        finally:
+            client.shutdown()
+            client.close()
+
+    def test_strategies_agree(self, model_set):
+        in_proc = ModelStrategy(model_set)
+        client, _server, _t = connected_pair(model_set)
+        try:
+            via_pipe = ServiceStrategy(client)
+            for group in (0, 1):
+                f = probe_features(group)
+                assert in_proc.choose_modifier(None, OptLevel.HOT, f) \
+                    == via_pipe.choose_modifier(None, OptLevel.HOT, f)
+        finally:
+            client.shutdown()
+            client.close()

@@ -1,0 +1,89 @@
+"""Core utilities: deterministic RNG streams and the virtual clock."""
+
+import pytest
+
+from repro.clock import (
+    CYCLES_PER_MS,
+    VirtualClock,
+    cycles_to_ms,
+    ms_to_cycles,
+)
+from repro.rng import RngStreams, default_streams
+
+
+class TestRngStreams:
+    def test_same_name_same_generator_object(self):
+        streams = RngStreams(1)
+        assert streams.get("a") is streams.get("a")
+
+    def test_same_seed_reproducible(self):
+        a = RngStreams(7).get("x").integers(0, 1 << 30, size=10)
+        b = RngStreams(7).get("x").integers(0, 1 << 30, size=10)
+        assert (a == b).all()
+
+    def test_different_names_independent(self):
+        streams = RngStreams(7)
+        a = streams.get("x").integers(0, 1 << 30, size=10)
+        b = streams.get("y").integers(0, 1 << 30, size=10)
+        assert (a != b).any()
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("x").integers(0, 1 << 30, size=10)
+        b = RngStreams(2).get("x").integers(0, 1 << 30, size=10)
+        assert (a != b).any()
+
+    def test_fork_deterministic(self):
+        base = RngStreams(3)
+        f1 = base.fork("rep1")
+        f2 = RngStreams(3).fork("rep1")
+        assert f1.master_seed == f2.master_seed
+        assert f1.master_seed != base.master_seed
+
+    def test_default_streams(self):
+        assert default_streams().master_seed == 0
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance(100)
+        clock.advance(50)
+        assert clock.now() == 150
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_seconds_conversion(self):
+        clock = VirtualClock(2_000_000_000)
+        assert clock.seconds() == 1.0
+
+    def test_ms_round_trip(self):
+        assert cycles_to_ms(ms_to_cycles(10)) == pytest.approx(10)
+        assert ms_to_cycles(1) == CYCLES_PER_MS
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro.errors import (
+            ArchiveError,
+            BytecodeError,
+            CompilationError,
+            DatasetError,
+            JavaThrow,
+            ProtocolError,
+            ReproError,
+            TrainingError,
+            VMError,
+        )
+        for exc in (BytecodeError, VMError, JavaThrow,
+                    CompilationError, ArchiveError, DatasetError,
+                    TrainingError, ProtocolError):
+            assert issubclass(exc, ReproError)
+
+    def test_java_throw_carries_class(self):
+        from repro.errors import JavaThrow
+        exc = JavaThrow("java/lang/Foo", "bar")
+        assert exc.class_name == "java/lang/Foo"
+        assert exc.guest_message == "bar"
+        assert "Foo" in str(exc)

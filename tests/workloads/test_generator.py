@@ -1,0 +1,144 @@
+"""The synthetic workload generator and benchmark suites."""
+
+import numpy as np
+import pytest
+
+from repro.jvm.vm import VirtualMachine
+from repro.workloads import (
+    DACAPO_BENCHMARKS,
+    SPECJVM_BENCHMARKS,
+    SPECJVM_TRAINING,
+    dacapo_program,
+    specjvm_program,
+)
+from repro.workloads.generator import (
+    CALLEE_COST_CAP,
+    LOOP_CALLEE_COST_CAP,
+    generate_program,
+)
+from repro.workloads.profiles import WorkloadProfile
+
+
+def small_profile(**kw):
+    defaults = dict(name="t", n_methods=10, loop_weight=0.7,
+                    fp_weight=0.4, alloc_weight=0.4, array_weight=0.5,
+                    exception_weight=0.3, decimal_weight=0.3,
+                    unsafe_weight=0.2, sync_weight=0.3,
+                    call_weight=0.6, loop_iters=6, phase_calls=4,
+                    sweep_repeats=2)
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+class TestGeneration:
+    def test_program_runs_deterministically(self):
+        prog = generate_program(small_profile(),
+                                np.random.default_rng(3))
+        results = []
+        for _ in range(2):
+            vm = VirtualMachine()
+            vm.load_program(prog)
+            results.append(vm.call(prog.entry, 4))
+        assert results[0] == results[1]
+
+    def test_same_seed_same_program(self):
+        a = generate_program(small_profile(), np.random.default_rng(9))
+        b = generate_program(small_profile(), np.random.default_rng(9))
+        assert [m.signature for m in a.methods()] \
+            == [m.signature for m in b.methods()]
+        for ma, mb in zip(a.methods(), b.methods()):
+            assert ma.code == mb.code
+
+    def test_different_seed_different_program(self):
+        a = generate_program(small_profile(), np.random.default_rng(1))
+        b = generate_program(small_profile(), np.random.default_rng(2))
+        assert any(ma.code != mb.code
+                   for ma, mb in zip(a.methods(), b.methods()))
+
+    def test_method_count_matches_profile(self):
+        prog = generate_program(small_profile(n_methods=15),
+                                np.random.default_rng(0))
+        # n_methods workers + main
+        assert len(prog.methods()) == 16
+
+    def test_feature_diversity(self):
+        from repro.features import extract_features
+        from repro.jit.ir.ilgen import generate_il
+        prog = generate_program(small_profile(n_methods=20),
+                                np.random.default_rng(5))
+        vectors = set()
+        for method in prog.methods():
+            il, _ = generate_il(
+                method, resolve_return_type=lambda s: None
+                if s else None)
+            try:
+                il2, _ = generate_il(method)
+            except Exception:
+                continue
+            vectors.add(tuple(extract_features(il2)))
+        assert len(vectors) > 10
+
+    def test_cost_caps_respected(self):
+        prog_gen_rng = np.random.default_rng(11)
+        from repro.workloads.generator import ProgramGenerator
+        gen = ProgramGenerator(small_profile(n_methods=12),
+                               prog_gen_rng)
+        gen.generate()
+        for m in gen.callable_methods(in_loop=True):
+            assert gen.method_cost[m.signature] <= LOOP_CALLEE_COST_CAP
+        for m in gen.callable_methods(in_loop=False):
+            assert gen.method_cost[m.signature] <= CALLEE_COST_CAP
+
+
+class TestSuites:
+    def test_spec_suite_membership(self):
+        assert set(SPECJVM_TRAINING) <= set(SPECJVM_BENCHMARKS)
+        assert len(SPECJVM_TRAINING) == 5  # paper §8.1
+        assert len(SPECJVM_BENCHMARKS) == 8
+
+    def test_dacapo_excludes_trade_benchmarks(self):
+        assert "tradebeans" not in DACAPO_BENCHMARKS
+        assert "tradesoap" not in DACAPO_BENCHMARKS
+        assert len(DACAPO_BENCHMARKS) == 12
+
+    @pytest.mark.parametrize("name", ["compress", "javac"])
+    def test_spec_program_runs(self, name):
+        prog = specjvm_program(name)
+        vm = VirtualMachine()
+        vm.load_program(prog)
+        vm.call(prog.entry, 2)
+        assert vm.stats["invocations"] > 1
+
+    def test_dacapo_program_runs(self):
+        prog = dacapo_program("luindex")
+        vm = VirtualMachine()
+        vm.load_program(prog)
+        vm.call(prog.entry, 2)
+        assert vm.stats["invocations"] > 1
+
+    def test_scale_controls_work(self):
+        small = specjvm_program("db", scale=0.5)
+        big = specjvm_program("db", scale=2.0)
+
+        def cycles(prog):
+            vm = VirtualMachine()
+            vm.load_program(prog)
+            vm.call(prog.entry, 2)
+            return vm.clock.now()
+
+        assert cycles(big) > cycles(small)
+
+    def test_jit_equivalence_on_suite_member(self):
+        from repro.jit.compiler import JitCompiler
+        from repro.jit.control import CompilationManager
+        prog = specjvm_program("mtrt")
+        vm1 = VirtualMachine()
+        vm1.load_program(prog)
+        expected = vm1.call(prog.entry, 2)
+        vm2 = VirtualMachine()
+        vm2.load_program(prog)
+        manager = CompilationManager(
+            JitCompiler(method_resolver=vm2._methods.get))
+        vm2.attach_manager(manager)
+        assert vm2.call(prog.entry, 2) == expected
+        assert manager.compilations() > 0
