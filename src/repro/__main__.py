@@ -2,12 +2,15 @@
 
 Subcommands mirror the paper's workflow:
 
-* ``run``      -- execute a benchmark under the adaptive JIT
-* ``collect``  -- run a data-collection session and write an archive
-* ``train``    -- train the leave-one-out model sets from archives
-* ``evaluate`` -- learned vs original plans on one benchmark
-* ``figures``  -- regenerate a table/figure by name
-* ``list``     -- list available benchmarks and transformations
+* ``run``       -- execute a benchmark under the adaptive JIT
+* ``collect``   -- run a data-collection session and write an archive
+* ``train``     -- train the leave-one-out model sets from archives
+* ``evaluate``  -- learned vs original plans on one benchmark
+* ``figures``   -- regenerate a table/figure by name
+* ``warmstart`` -- cold-vs-warm start-up against a shared code cache
+* ``cache``     -- inspect/maintain a code-cache directory
+                   (``stats``, ``verify``, ``prune``)
+* ``list``      -- list available benchmarks and transformations
 """
 
 import argparse
@@ -52,6 +55,7 @@ def cmd_list(args):
 
 def cmd_run(args):
     """Run one benchmark under the adaptive JIT."""
+    from repro.codecache import CodeCacheConfig
     from repro.jit.compiler import JitCompiler
     from repro.jit.control import CompilationManager
     from repro.jvm.vm import VirtualMachine
@@ -59,9 +63,15 @@ def cmd_run(args):
     vm = VirtualMachine()
     vm.load_program(program)
     manager = None
+    code_cache = None
     if not args.interpret_only:
+        if args.cache_dir:
+            code_cache = CodeCacheConfig(
+                enabled=True, directory=args.cache_dir,
+                read_only=args.cache_readonly).open()
         manager = CompilationManager(
-            JitCompiler(method_resolver=vm._methods.get))
+            JitCompiler(method_resolver=vm._methods.get),
+            code_cache=code_cache)
         vm.attach_manager(manager)
     result = None
     for _ in range(args.iterations):
@@ -72,6 +82,9 @@ def cmd_run(args):
     if manager is not None:
         print(f"{manager.compilations()} compilations, "
               f"{manager.total_compile_cycles:,} compile cycles")
+    if code_cache is not None:
+        print("code cache:")
+        print(code_cache.stats.render(indent="  "))
 
 
 def cmd_collect(args):
@@ -129,6 +142,72 @@ def cmd_figures(args):
     print(known[args.name](ctx)["text"])
 
 
+def cmd_warmstart(args):
+    """Cold-vs-warm start-up experiment against a shared cache."""
+    import tempfile
+    from repro.experiments.warmstart import cold_vs_warm, save_result
+    program = _program(args.benchmark, args.seed)
+    cache_dir = args.cache_dir
+    tmp = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-codecache-")
+        cache_dir = tmp.name
+    try:
+        result = cold_vs_warm(program, cache_dir,
+                              iterations=args.iterations)
+        print(result.render())
+        if args.save:
+            ctx = _context(args)
+            path = save_result(result, ctx.cache_dir)
+            print(f"\nsaved report section -> {path}")
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def _open_cache(directory):
+    from repro.codecache import CodeCache, CodeCacheConfig
+    import os
+    if not os.path.isdir(directory):
+        raise SystemExit(f"no such cache directory: {directory}")
+    return CodeCache(CodeCacheConfig(enabled=True, directory=directory))
+
+
+def cmd_cache_stats(args):
+    """Summarize a cache directory's contents."""
+    cache = _open_cache(args.dir)
+    total = cache.total_bytes()
+    print(f"{args.dir}: {len(cache)} entries, {total:,} bytes "
+          f"(cap {cache.config.max_bytes:,})")
+    by_level = {}
+    ok, bad = cache.verify()
+    for _entry, meta in ok:
+        by_level[meta["level"].name] = \
+            by_level.get(meta["level"].name, 0) + 1
+    for name in sorted(by_level):
+        print(f"  {name.lower():10s} {by_level[name]:6d} entries")
+    if bad:
+        print(f"  {len(bad)} corrupt entries (run `repro cache prune`)")
+
+
+def cmd_cache_verify(args):
+    """Deserialize-check every entry; list corrupt ones."""
+    cache = _open_cache(args.dir)
+    ok, bad = cache.verify()
+    print(f"{len(ok)} entries ok, {len(bad)} corrupt")
+    for entry, reason in bad:
+        print(f"  BAD {entry.name}: {reason}")
+    return 1 if bad else 0
+
+
+def cmd_cache_prune(args):
+    """Drop corrupt entries and LRU-evict down to a byte cap."""
+    cache = _open_cache(args.dir)
+    corrupt, evicted = cache.prune(max_bytes=args.max_bytes)
+    print(f"removed {corrupt} corrupt, evicted {evicted}; "
+          f"{len(cache)} entries, {cache.total_bytes():,} bytes remain")
+
+
 def cmd_report(args):
     """Assemble saved benchmark results into markdown."""
     from repro.experiments.report import build_report
@@ -153,8 +232,40 @@ def main(argv=None):
     p.add_argument("benchmark")
     p.add_argument("--iterations", type=int, default=1)
     p.add_argument("--interpret-only", action="store_true")
+    p.add_argument("--cache-dir", default=None,
+                   help="persistent code-cache directory (warm start)")
+    p.add_argument("--cache-readonly", action="store_true",
+                   help="probe the cache but never store/evict")
     _add_common(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("warmstart",
+                       help="cold vs warm start-up via the code cache")
+    p.add_argument("benchmark")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--cache-dir", default=None,
+                   help="cache directory (default: fresh temp dir)")
+    p.add_argument("--save", action="store_true",
+                   help="save the report section under the evaluation "
+                        "cache's results/ directory")
+    _add_common(p)
+    p.set_defaults(fn=cmd_warmstart)
+
+    p = sub.add_parser("cache",
+                       help="inspect/maintain a code-cache directory")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    c = cache_sub.add_parser("stats", help="entry counts and sizes")
+    c.add_argument("--dir", required=True)
+    c.set_defaults(fn=cmd_cache_stats)
+    c = cache_sub.add_parser("verify",
+                             help="decode-check every entry")
+    c.add_argument("--dir", required=True)
+    c.set_defaults(fn=cmd_cache_verify)
+    c = cache_sub.add_parser("prune",
+                             help="drop corrupt entries, evict to cap")
+    c.add_argument("--dir", required=True)
+    c.add_argument("--max-bytes", type=int, default=None)
+    c.set_defaults(fn=cmd_cache_prune)
 
     p = sub.add_parser("collect", help="run a collection session")
     p.add_argument("benchmark")

@@ -1,0 +1,49 @@
+"""Persistent shared code cache: AOT-style warm starts across VM runs.
+
+The real J9 JVM persists compiled method bodies in its shared classes
+cache so that later JVM invocations *load and relocate* code instead of
+recompiling it -- the single biggest start-up lever a production JIT
+has.  This package is that subsystem for the reproduction:
+
+* :mod:`repro.codecache.serialize` -- a versioned binary format for
+  compiled bodies (:class:`~repro.jit.compiler.CompiledMethod` plus its
+  :class:`~repro.jit.codegen.native.NativeCode`); round-trips are
+  execution-equivalent and cycle-identical.
+* :mod:`repro.codecache.fingerprint` -- content hashes of a method's
+  bytecode and of everything it (transitively) calls, the analogue of
+  keying J9's cache by class-file and constant-pool content.
+* :mod:`repro.codecache.store` -- the on-disk store: atomic writes,
+  size-capped LRU eviction, corruption tolerance, invalidation of stale
+  entries.
+* :mod:`repro.codecache.stats` -- per-run hit/miss/store/evict counters
+  and cycles-saved accounting for the experiment reports.
+
+The cache is *disabled by default*: with no :class:`CodeCache` attached
+to the compilation manager, every existing experiment is byte-for-byte
+identical to a build without this package.
+"""
+
+from repro.codecache.fingerprint import (
+    context_fingerprint,
+    method_fingerprint,
+)
+from repro.codecache.serialize import (
+    FORMAT_VERSION,
+    deserialize_compiled,
+    describe_blob,
+    serialize_compiled,
+)
+from repro.codecache.stats import CacheStats
+from repro.codecache.store import CodeCache, CodeCacheConfig
+
+__all__ = [
+    "CacheStats",
+    "CodeCache",
+    "CodeCacheConfig",
+    "FORMAT_VERSION",
+    "context_fingerprint",
+    "describe_blob",
+    "deserialize_compiled",
+    "method_fingerprint",
+    "serialize_compiled",
+]

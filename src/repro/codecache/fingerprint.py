@@ -1,0 +1,85 @@
+"""Content fingerprints that key the persistent code cache.
+
+A cached body is only valid while the code it was compiled from is
+unchanged.  Two hashes capture that:
+
+* :func:`method_fingerprint` -- everything the compiler observes about
+  the method itself: signature, declared modifiers, locals layout, the
+  exception-handler table and the bytecode body.
+* :func:`context_fingerprint` -- the *transitive* call context: the
+  fingerprints of every method reachable through calls.  Inlining can
+  splice a callee's body (at any depth) into the compiled code, so a
+  change to any reachable callee must invalidate the entry, exactly as
+  a constant-pool change invalidates J9's shared-cache AOT bodies.
+
+Fingerprints are content hashes -- no timestamps, no identity -- so the
+same program always maps to the same keys regardless of process, load
+order or machine.
+"""
+
+import hashlib
+
+from repro.jvm.classfile import is_intrinsic
+
+#: Hex digits kept per fingerprint (96 bits: collision-safe at any
+#: realistic cache size, short enough for file names).
+DIGEST_HEX = 24
+
+
+def _digest(h):
+    return h.hexdigest()[:DIGEST_HEX]
+
+
+def method_fingerprint(method):
+    """Content hash of one method's declaration and bytecode."""
+    h = hashlib.sha256()
+
+    def put(text):
+        h.update(text.encode("utf-8"))
+        h.update(b"\x00")
+
+    put(method.signature)
+    put(str(int(method.modifiers)))
+    put(",".join(t.name for t in method.param_types))
+    put(method.return_type.name)
+    put(str(method.num_temps))
+    put(str(int(method.is_constructor)))
+    for hd in method.handlers:
+        put(f"H{hd.start_pc}:{hd.end_pc}:{hd.handler_pc}:{hd.class_name}")
+    for slot, elem in sorted(method.array_elems.items()):
+        put(f"A{slot}:{elem.name}")
+    put(str(len(method.code)))
+    for ins in method.code:
+        put(f"I{int(ins.op)}|{ins.a!r}|{ins.b!r}")
+    return _digest(h)
+
+
+def context_fingerprint(method, resolver=None):
+    """Content hash of every method transitively reachable via calls.
+
+    *resolver* is ``signature -> JMethod | None`` (the compiler's method
+    resolver).  Unresolvable signatures and intrinsics contribute their
+    name only -- intrinsic semantics are fixed by the VM, and a call
+    that cannot resolve cannot be inlined either.
+    """
+    seen = {}
+    stack = list(method.call_targets())
+    while stack:
+        sig = stack.pop()
+        if sig in seen:
+            continue
+        target = None
+        if resolver is not None and not is_intrinsic(sig):
+            try:
+                target = resolver(sig)
+            except Exception:
+                target = None
+        if target is None:
+            seen[sig] = "external"
+        else:
+            seen[sig] = method_fingerprint(target)
+            stack.extend(target.call_targets())
+    h = hashlib.sha256()
+    for sig in sorted(seen):
+        h.update(f"{sig}={seen[sig]};".encode("utf-8"))
+    return _digest(h)

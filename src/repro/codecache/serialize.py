@@ -1,0 +1,300 @@
+"""The versioned binary format for persisted compiled bodies.
+
+Layout (little-endian)::
+
+    magic   'TRCC'
+    u16     format version (=1)
+    --      tagged payload (see below)
+    u32     CRC-32 of everything before the footer
+
+The payload is one recursively *tagged* value: every atom carries a
+one-byte type tag, so the heterogeneous operand fields of
+:class:`~repro.jit.codegen.isa.NInstr` (``imm`` may be an int or a
+float; ``aux`` ranges over labels, field names, call descriptors,
+:class:`NOp`/:class:`JType` enums and nested tuples) serialize without
+a per-op schema.  Decoding is strict: an unknown tag, a short buffer or
+a CRC mismatch raises :class:`~repro.errors.CodeCacheError`, which the
+store treats as "drop the entry and recompile" -- never a VM crash.
+
+Round-trips are **cycle-identical**: every field the native simulator's
+cost model reads (instruction stream, source registers for forwarding
+stalls, leaf-frame flag, handler tables, block->bytecode map) is
+restored exactly, so a deserialized body executes with the same
+semantics *and* the same virtual-cycle cost as the original.  The
+property tests in ``tests/codecache/test_serialize.py`` enforce this
+against the interpreter-equivalence generator.
+"""
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import CodeCacheError
+from repro.features import NUM_FEATURES
+from repro.jit.codegen.isa import NInstr, NOp
+from repro.jit.codegen.native import NativeCode
+from repro.jit.compiler import CompiledMethod
+from repro.jit.ir.block import ILHandler
+from repro.jit.modifiers import Modifier
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import JType
+
+MAGIC = b"TRCC"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<4sH")
+_CRC = struct.Struct("<I")
+
+# -- tagged value encoding ---------------------------------------------------
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_I64 = 3
+_T_F64 = 4
+_T_STR = 5
+_T_BIGINT = 6
+_T_TUPLE = 7
+_T_JTYPE = 8
+_T_NOP = 9
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+def _encode(out, value):
+    """Append the tagged encoding of *value* to bytearray *out*."""
+    if value is None:
+        out.append(_T_NONE)
+    elif value is True:
+        out.append(_T_TRUE)
+    elif value is False:
+        out.append(_T_FALSE)
+    elif isinstance(value, NOp):
+        out.append(_T_NOP)
+        out += struct.pack("<H", int(value))
+    elif isinstance(value, JType):
+        out.append(_T_JTYPE)
+        out.append(int(value))
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            out.append(_T_I64)
+            out += struct.pack("<q", value)
+        else:
+            text = str(value).encode("ascii")
+            out.append(_T_BIGINT)
+            out += struct.pack("<I", len(text))
+            out += text
+    elif isinstance(value, float):
+        out.append(_T_F64)
+        out += struct.pack("<d", value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(_T_STR)
+        out += struct.pack("<I", len(data))
+        out += data
+    elif isinstance(value, (tuple, list)):
+        out.append(_T_TUPLE)
+        out += struct.pack("<I", len(value))
+        for item in value:
+            _encode(out, item)
+    else:
+        raise CodeCacheError(
+            f"cannot serialize value of type {type(value).__name__}: "
+            f"{value!r}")
+
+
+class _Decoder:
+    def __init__(self, data, pos, end):
+        self.data = data
+        self.pos = pos
+        self.end = end
+
+    def take(self, n):
+        if self.pos + n > self.end:
+            raise CodeCacheError("truncated code-cache entry")
+        out = self.data[self.pos:self.pos + n]
+        self.pos += n
+        return out
+
+    def value(self):
+        tag = self.take(1)[0]
+        if tag == _T_NONE:
+            return None
+        if tag == _T_TRUE:
+            return True
+        if tag == _T_FALSE:
+            return False
+        if tag == _T_I64:
+            return struct.unpack("<q", self.take(8))[0]
+        if tag == _T_F64:
+            return struct.unpack("<d", self.take(8))[0]
+        if tag == _T_STR:
+            n = struct.unpack("<I", self.take(4))[0]
+            try:
+                return self.take(n).decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise CodeCacheError(f"bad string in entry: {exc}")
+        if tag == _T_BIGINT:
+            n = struct.unpack("<I", self.take(4))[0]
+            try:
+                return int(self.take(n).decode("ascii"))
+            except (UnicodeDecodeError, ValueError) as exc:
+                raise CodeCacheError(f"bad bigint in entry: {exc}")
+        if tag == _T_TUPLE:
+            n = struct.unpack("<I", self.take(4))[0]
+            if n > self.end - self.pos:
+                raise CodeCacheError(f"oversized tuple: {n} items")
+            return tuple(self.value() for _ in range(n))
+        if tag == _T_JTYPE:
+            try:
+                return JType(self.take(1)[0])
+            except ValueError as exc:
+                raise CodeCacheError(str(exc))
+        if tag == _T_NOP:
+            try:
+                return NOp(struct.unpack("<H", self.take(2))[0])
+            except ValueError as exc:
+                raise CodeCacheError(str(exc))
+        raise CodeCacheError(f"unknown value tag {tag}")
+
+
+# -- compiled-method round trip ---------------------------------------------
+
+def _pack_payload(compiled):
+    native = compiled.native
+    return (
+        compiled.method.signature,
+        int(compiled.level),
+        int(compiled.modifier.bits),
+        int(compiled.compile_cycles),
+        tuple((int(i), float(v)) for i, v in enumerate(compiled.features)
+              if v != 0.0),
+        tuple((str(name), bool(changed))
+              for name, changed in compiled.pass_log),
+        int(native.num_locals),
+        bool(native.leaf),
+        tuple((tuple(sorted(h.covered)), int(h.handler_bid),
+               str(h.class_name)) for h in native.handlers),
+        tuple((int(bid), bc) for bid, bc in sorted(native.block_bc.items())),
+        tuple((ins.op, ins.dst, ins.srcs, ins.imm, ins.type, ins.aux,
+               int(ins.block)) for ins in native.instrs),
+    )
+
+
+def serialize_compiled(compiled):
+    """Serialize a :class:`CompiledMethod` to a self-checking blob."""
+    out = bytearray(_HEADER.pack(MAGIC, FORMAT_VERSION))
+    _encode(out, _pack_payload(compiled))
+    out += _CRC.pack(zlib.crc32(bytes(out)) & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def _parse_payload(data):
+    """Validate framing and return the decoded payload tuple."""
+    if len(data) < _HEADER.size + _CRC.size:
+        raise CodeCacheError("entry shorter than header + footer")
+    magic, version = _HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise CodeCacheError(f"bad magic {magic!r}")
+    if version != FORMAT_VERSION:
+        raise CodeCacheError(
+            f"format version {version} (expected {FORMAT_VERSION})")
+    body, footer = data[:-_CRC.size], data[-_CRC.size:]
+    (crc,) = _CRC.unpack(footer)
+    if crc != zlib.crc32(body) & 0xFFFFFFFF:
+        raise CodeCacheError("CRC mismatch (corrupt entry)")
+    decoder = _Decoder(data, _HEADER.size, len(body))
+    try:
+        payload = decoder.value()
+    except struct.error as exc:
+        raise CodeCacheError(f"malformed entry: {exc}")
+    if decoder.pos != len(body):
+        raise CodeCacheError("trailing bytes after payload")
+    if not isinstance(payload, tuple) or len(payload) != 11:
+        raise CodeCacheError("payload is not an 11-field record")
+    return payload
+
+
+def describe_blob(data):
+    """Parse a blob without rebinding it to a method (``cache verify``).
+
+    Returns a metadata dict; raises :class:`CodeCacheError` when the
+    blob is corrupt, truncated or of a foreign version.
+    """
+    (signature, level, bits, cycles, features, pass_log, num_locals,
+     leaf, handlers, block_bc, instrs) = _parse_payload(data)
+    _check_shapes(signature, level, bits, cycles, features, num_locals,
+                  handlers, instrs)
+    return {
+        "signature": signature,
+        "level": OptLevel(level),
+        "modifier_bits": bits,
+        "compile_cycles": cycles,
+        "instructions": len(instrs),
+        "passes": len(pass_log),
+        "leaf": bool(leaf),
+        "handlers": len(handlers),
+        "blocks": len(block_bc),
+    }
+
+
+def _check_shapes(signature, level, bits, cycles, features, num_locals,
+                  handlers, instrs):
+    if not isinstance(signature, str):
+        raise CodeCacheError("signature field is not a string")
+    try:
+        OptLevel(level)
+    except ValueError:
+        raise CodeCacheError(f"bad optimization level {level!r}")
+    for field, name in ((bits, "modifier bits"), (cycles, "cycle count"),
+                        (num_locals, "locals count")):
+        if not isinstance(field, int) or field < 0:
+            raise CodeCacheError(f"bad {name}: {field!r}")
+    for pair in features:
+        if (not isinstance(pair, tuple) or len(pair) != 2
+                or not 0 <= pair[0] < NUM_FEATURES):
+            raise CodeCacheError(f"bad feature component {pair!r}")
+    for rec in handlers:
+        if not isinstance(rec, tuple) or len(rec) != 3:
+            raise CodeCacheError(f"bad handler record {rec!r}")
+    for rec in instrs:
+        if (not isinstance(rec, tuple) or len(rec) != 7
+                or not isinstance(rec[0], NOp)):
+            raise CodeCacheError(f"bad instruction record {rec!r}")
+
+
+def deserialize_compiled(data, method):
+    """Rebuild a :class:`CompiledMethod` bound to *method*.
+
+    *method* must be the live :class:`~repro.jvm.classfile.JMethod` the
+    body was compiled from (the store guarantees this through its
+    fingerprint keys; the signature is re-checked here as a backstop).
+    """
+    (signature, level, bits, cycles, sparse_features, pass_log,
+     num_locals, leaf, handler_recs, block_bc, instr_recs) = \
+        _parse_payload(data)
+    _check_shapes(signature, level, bits, cycles, sparse_features,
+                  num_locals, handler_recs, instr_recs)
+    if signature != method.signature:
+        raise CodeCacheError(
+            f"entry is for {signature}, not {method.signature}")
+
+    instrs = []
+    for op, dst, srcs, imm, jtype, aux, block in instr_recs:
+        if not isinstance(srcs, tuple):
+            raise CodeCacheError(f"bad source registers {srcs!r}")
+        instrs.append(NInstr(op, dst, srcs, imm, jtype, aux, block))
+    handlers = [ILHandler(frozenset(covered), handler_bid, class_name)
+                for covered, handler_bid, class_name in handler_recs]
+    native = NativeCode.from_parts(method, num_locals, instrs,
+                                   bool(leaf), handlers, dict(block_bc))
+
+    features = np.zeros(NUM_FEATURES, dtype=np.float64)
+    for index, value in sparse_features:
+        features[index] = value
+
+    return CompiledMethod(
+        method, OptLevel(level), Modifier(bits), native, cycles,
+        features, pass_log=tuple(pass_log))

@@ -1,0 +1,53 @@
+"""Per-run code-cache statistics.
+
+One :class:`CacheStats` instance lives on each :class:`CodeCache` and
+counts the cache's interactions with the compilation controller for the
+duration of one VM run.  ``cycles_saved`` is the AOT win itself: the
+sum over all hits of ``stored compile_cycles - relocation_cycles``,
+i.e. the JIT-thread work the warm start avoided.  The cold-vs-warm
+experiment (:mod:`repro.experiments.warmstart`) surfaces these counters
+in the report output.
+"""
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Counters for one VM run against the cache."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    corrupt_dropped: int = 0
+    #: JIT-thread cycles avoided by hits (compile cost minus relocation).
+    cycles_saved: int = 0
+
+    @property
+    def probes(self):
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self):
+        return self.hits / self.probes if self.probes else 0.0
+
+    def as_dict(self):
+        out = dataclasses.asdict(self)
+        out["hit_rate"] = self.hit_rate
+        return out
+
+    def render(self, indent=""):
+        """Human-readable block for reports and ``repro cache stats``."""
+        lines = [
+            f"{indent}probes        {self.probes:>10,}  "
+            f"(hits {self.hits:,}, misses {self.misses:,}, "
+            f"hit rate {self.hit_rate:.1%})",
+            f"{indent}stores        {self.stores:>10,}",
+            f"{indent}evictions     {self.evictions:>10,}",
+            f"{indent}invalidations {self.invalidations:>10,}",
+            f"{indent}corrupt drops {self.corrupt_dropped:>10,}",
+            f"{indent}cycles saved  {self.cycles_saved:>10,}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,298 @@
+"""The on-disk code-cache store.
+
+Entries live as individual files under ``<directory>/entries/``, named
+by three content hashes::
+
+    <sig16>-<fp24>-<key16>.tcc
+
+* ``sig16`` -- hash of the method signature: groups every entry that
+  belongs to one method, whatever its level or modifier.
+* ``fp24``  -- hash of the method + context fingerprints: entries whose
+  ``sig16`` matches but whose ``fp24`` differs were compiled from an
+  older version of the code and are *stale*; a probe deletes them
+  (invalidation) instead of ever loading them.
+* ``key16`` -- hash of the full lookup key ``(method fingerprint,
+  context fingerprint, opt level, modifier bits, format version)``.
+
+Properties:
+
+* **Atomic writes** -- entries are written to a temp file and
+  ``os.replace``d into place, so a crashed writer never leaves a
+  half-written entry under a valid name.
+* **LRU eviction** -- the in-memory index (loaded once, ordered by
+  mtime) tracks recency; stores that push the cache over
+  ``max_bytes`` evict the least-recently-used entries first.  Hits
+  refresh both the index order and the file mtime, so recency survives
+  across VM runs.
+* **Corruption tolerance** -- a truncated or bit-flipped entry fails
+  CRC/decoding inside :func:`~repro.codecache.serialize
+  .deserialize_compiled`; the store logs it, deletes the file and
+  reports a miss.  The VM then simply recompiles: a broken cache can
+  cost time, never correctness.
+"""
+
+import dataclasses
+import hashlib
+import logging
+import os
+import re
+from collections import OrderedDict
+
+from repro.codecache.fingerprint import context_fingerprint, \
+    method_fingerprint
+from repro.codecache.serialize import FORMAT_VERSION, describe_blob, \
+    deserialize_compiled, serialize_compiled
+from repro.codecache.stats import CacheStats
+from repro.errors import CodeCacheError
+
+log = logging.getLogger("repro.codecache")
+
+_ENTRY_SUFFIX = ".tcc"
+_ENTRY_RE = re.compile(
+    r"^([0-9a-f]{16})-([0-9a-f]{24})-([0-9a-f]{16})\.tcc$")
+
+#: Default size cap: generous for simulated workloads, small for disks.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+
+@dataclasses.dataclass
+class CodeCacheConfig:
+    """How (and whether) a VM run uses the persistent code cache.
+
+    The default configuration is *disabled*: constructing a VM or a
+    compilation manager without an explicit cache keeps every existing
+    experiment bit-for-bit reproducible.
+    """
+
+    enabled: bool = False
+    directory: str = None
+    max_bytes: int = DEFAULT_MAX_BYTES
+    #: Probe but never store or evict (shared read-only cache image).
+    read_only: bool = False
+
+    def open(self):
+        """Build the :class:`CodeCache` for this config (None when
+        disabled or directory-less)."""
+        if not self.enabled or not self.directory:
+            return None
+        return CodeCache(self)
+
+
+@dataclasses.dataclass
+class EntryInfo:
+    """One on-disk entry as seen by the maintenance commands."""
+
+    name: str
+    path: str
+    size: int
+    sig_hash: str
+    fp_hash: str
+    key_hash: str
+
+
+class CodeCache:
+    """A directory of persisted compiled bodies plus its in-memory index."""
+
+    def __init__(self, config):
+        if isinstance(config, str):
+            config = CodeCacheConfig(enabled=True, directory=config)
+        self.config = config
+        self.stats = CacheStats()
+        self.entries_dir = os.path.join(config.directory, "entries")
+        if not config.read_only:
+            os.makedirs(self.entries_dir, exist_ok=True)
+        # name -> size, ordered least- to most-recently used.
+        self._index = OrderedDict()
+        self._scan()
+
+    # -- index ------------------------------------------------------------
+
+    def _scan(self):
+        """Load the index once at VM start, LRU-ordered by mtime."""
+        if not os.path.isdir(self.entries_dir):
+            return
+        found = []
+        for name in os.listdir(self.entries_dir):
+            if not _ENTRY_RE.match(name):
+                continue
+            path = os.path.join(self.entries_dir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            found.append((st.st_mtime, name, st.st_size))
+        for _mtime, name, size in sorted(found):
+            self._index[name] = size
+
+    def total_bytes(self):
+        return sum(self._index.values())
+
+    def __len__(self):
+        return len(self._index)
+
+    def entries(self):
+        """Index contents in LRU order (oldest first)."""
+        out = []
+        for name, size in self._index.items():
+            m = _ENTRY_RE.match(name)
+            out.append(EntryInfo(name, os.path.join(self.entries_dir, name),
+                                 size, m.group(1), m.group(2), m.group(3)))
+        return out
+
+    # -- keying -----------------------------------------------------------
+
+    def _names(self, method, level, modifier, resolver):
+        sig_hash = hashlib.sha256(
+            method.signature.encode("utf-8")).hexdigest()[:16]
+        method_fp = method_fingerprint(method)
+        context_fp = context_fingerprint(method, resolver)
+        fp_hash = hashlib.sha256(
+            f"{method_fp}|{context_fp}".encode("ascii")).hexdigest()[:24]
+        key_hash = hashlib.sha256(
+            f"{method_fp}|{context_fp}|{int(level)}|{int(modifier.bits)}"
+            f"|{FORMAT_VERSION}".encode("ascii")).hexdigest()[:16]
+        return sig_hash, fp_hash, key_hash
+
+    @staticmethod
+    def _entry_name(sig_hash, fp_hash, key_hash):
+        return f"{sig_hash}-{fp_hash}-{key_hash}{_ENTRY_SUFFIX}"
+
+    def _path(self, name):
+        return os.path.join(self.entries_dir, name)
+
+    # -- probe / load -----------------------------------------------------
+
+    def load(self, method, level, modifier, resolver=None,
+             relocation_cycles=0):
+        """Probe for a cached body of *method* at (*level*, *modifier*).
+
+        On a hit, returns a fresh :class:`CompiledMethod` whose
+        ``compile_cycles`` is *relocation_cycles* -- the load-and-
+        relocate cost the controller charges instead of a compilation
+        -- and credits the difference to ``stats.cycles_saved``.
+        Returns None on a miss; stale same-method entries found during
+        the probe are invalidated (deleted) on the way.
+        """
+        sig_hash, fp_hash, key_hash = self._names(
+            method, level, modifier, resolver)
+        name = self._entry_name(sig_hash, fp_hash, key_hash)
+        self._invalidate_stale(sig_hash, fp_hash)
+        if name not in self._index:
+            self.stats.misses += 1
+            return None
+        try:
+            with open(self._path(name), "rb") as fh:
+                data = fh.read()
+            compiled = deserialize_compiled(data, method)
+        except (OSError, CodeCacheError) as exc:
+            log.warning("dropping unreadable cache entry %s: %s",
+                        name, exc)
+            self._drop(name)
+            self.stats.corrupt_dropped += 1
+            self.stats.misses += 1
+            return None
+        self._touch(name)
+        self.stats.hits += 1
+        self.stats.cycles_saved += max(
+            0, compiled.compile_cycles - relocation_cycles)
+        compiled.compile_cycles = relocation_cycles
+        return compiled
+
+    def _invalidate_stale(self, sig_hash, fp_hash):
+        """Drop entries for this method compiled from changed code."""
+        prefix = sig_hash + "-"
+        keep = prefix + fp_hash + "-"
+        stale = [n for n in self._index
+                 if n.startswith(prefix) and not n.startswith(keep)]
+        for name in stale:
+            log.info("invalidating stale cache entry %s", name)
+            self._drop(name)
+            self.stats.invalidations += 1
+
+    # -- store / evict ----------------------------------------------------
+
+    def store(self, compiled, resolver=None):
+        """Persist a freshly compiled body; returns True when written."""
+        if self.config.read_only:
+            return False
+        try:
+            blob = serialize_compiled(compiled)
+        except CodeCacheError as exc:
+            log.warning("not caching %s: %s",
+                        compiled.method.signature, exc)
+            return False
+        sig_hash, fp_hash, key_hash = self._names(
+            compiled.method, compiled.level, compiled.modifier, resolver)
+        name = self._entry_name(sig_hash, fp_hash, key_hash)
+        path = self._path(name)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError as exc:
+            log.warning("cache write failed for %s: %s", name, exc)
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self._index[name] = len(blob)
+        self._index.move_to_end(name)
+        self.stats.stores += 1
+        self._evict_to(self.config.max_bytes)
+        return True
+
+    def _evict_to(self, max_bytes):
+        evicted = 0
+        while self._index and self.total_bytes() > max_bytes:
+            name = next(iter(self._index))
+            self._drop(name)
+            self.stats.evictions += 1
+            evicted += 1
+        return evicted
+
+    def _touch(self, name):
+        self._index.move_to_end(name)
+        try:
+            os.utime(self._path(name))
+        except OSError:
+            pass
+
+    def _drop(self, name):
+        self._index.pop(name, None)
+        try:
+            os.unlink(self._path(name))
+        except OSError:
+            pass
+
+    # -- maintenance (the ``repro cache`` CLI) ----------------------------
+
+    def verify(self, delete_corrupt=False):
+        """Deserialize-check every entry; returns ``(ok, bad)`` lists.
+
+        *bad* holds ``(EntryInfo, reason)`` pairs; with
+        *delete_corrupt* the offending files are removed as well.
+        """
+        ok, bad = [], []
+        for entry in self.entries():
+            try:
+                with open(entry.path, "rb") as fh:
+                    meta = describe_blob(fh.read())
+            except (OSError, CodeCacheError) as exc:
+                bad.append((entry, str(exc)))
+                if delete_corrupt:
+                    self._drop(entry.name)
+                continue
+            ok.append((entry, meta))
+        return ok, bad
+
+    def prune(self, max_bytes=None):
+        """Drop corrupt entries, then LRU-evict down to *max_bytes*.
+
+        Returns ``(corrupt_removed, evicted)``.
+        """
+        _ok, bad = self.verify(delete_corrupt=True)
+        cap = self.config.max_bytes if max_bytes is None else max_bytes
+        evicted = self._evict_to(cap)
+        return len(bad), evicted

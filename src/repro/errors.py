@@ -51,3 +51,10 @@ class TrainingError(ReproError):
 
 class ProtocolError(ReproError):
     """Violation of the compiler <-> model communication protocol."""
+
+
+class CodeCacheError(ReproError):
+    """Corrupt, truncated or incompatible persistent code-cache entry.
+
+    Always recoverable: the cache drops the entry and the VM falls back
+    to normal JIT compilation."""

@@ -21,8 +21,14 @@ from repro.experiments.evaluation import (
     evaluate_suite,
 )
 from repro.experiments.context import EvaluationContext
+from repro.experiments.warmstart import (
+    WarmStartResult,
+    cold_vs_warm,
+)
 
 __all__ = [
+    "WarmStartResult",
+    "cold_vs_warm",
     "MeasurementConfig",
     "RunResult",
     "Summary",

@@ -46,6 +46,8 @@ class RunResult:
     compile_cycles: int
     compilations: int
     result_value: object
+    #: Code-cache counters for the run (None when no cache attached).
+    cache_stats: dict = None
 
 
 @dataclasses.dataclass
@@ -80,8 +82,14 @@ def summarize(samples):
 
 def run_once(program, strategy=None, iterations=1, entry_arg=3,
              sample_interval=DEFAULT_SAMPLE_INTERVAL, noise=1.0,
-             control_config=None):
-    """One JVM invocation; returns a :class:`RunResult`."""
+             control_config=None, code_cache=None):
+    """One JVM invocation; returns a :class:`RunResult`.
+
+    *code_cache*, when given, is a :class:`repro.codecache.CodeCache`
+    the compilation manager probes before compiling and fills on
+    misses -- the warm-start path.  The default (None) is the exact
+    pre-cache behavior.
+    """
     vm = VirtualMachine(sample_interval=sample_interval)
     vm.load_program(program)
 
@@ -93,7 +101,8 @@ def run_once(program, strategy=None, iterations=1, entry_arg=3,
 
     compiler = JitCompiler(method_resolver=resolver)
     manager = CompilationManager(compiler, strategy=strategy,
-                                 config=control_config)
+                                 config=control_config,
+                                 code_cache=code_cache)
     vm.attach_manager(manager)
     result = None
     for _ in range(iterations):
@@ -103,6 +112,8 @@ def run_once(program, strategy=None, iterations=1, entry_arg=3,
         compile_cycles=manager.total_compile_cycles,
         compilations=manager.compilations(),
         result_value=result,
+        cache_stats=(code_cache.stats.as_dict()
+                     if code_cache is not None else None),
     )
 
 

@@ -1,0 +1,125 @@
+"""Cold-vs-warm start-up experiment: the AOT win, measured.
+
+The paper's headline figures (6-9) are *start-up* numbers -- the cost of
+compiling a workload's hot methods during its first run.  The real J9
+VM attacks exactly that with its shared classes cache: a second JVM
+invocation loads compiled bodies instead of recompiling them.  This
+experiment reproduces that comparison for our persistent code cache:
+
+1. **Cold run** -- a fresh VM executes the workload against an empty
+   cache directory; every compilation misses and is stored.
+2. **Warm run** -- a *new* VM (a separate "JVM invocation") executes
+   the same workload against the now-populated directory; compilations
+   hit and install for the relocation cost only.
+
+Both runs use the same program, seed and controller configuration, so
+the deltas in start-up time and JIT-thread compilation cycles are
+attributable to the cache alone.  Results render in the same ASCII
+style as the paper's figures and can be saved under the evaluation
+cache's ``results/`` directory, where :func:`repro.experiments.report
+.build_report` picks them up.
+"""
+
+import dataclasses
+import os
+
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.experiments.measure import RunResult, run_once
+from repro.jit.control import ControlConfig
+
+
+@dataclasses.dataclass
+class WarmStartResult:
+    """Outcome of one cold-vs-warm pair."""
+
+    benchmark: str
+    iterations: int
+    cold: RunResult
+    warm: RunResult
+    relocation_cycles: int
+    cache_dir: str
+
+    @property
+    def startup_speedup(self):
+        """Cold / warm total cycles (>1 = warm start is faster)."""
+        if self.warm.total_cycles == 0:
+            return float("inf")
+        return self.cold.total_cycles / self.warm.total_cycles
+
+    @property
+    def compile_cycle_reduction(self):
+        """Fraction of JIT-thread compile cycles the warm run avoided."""
+        if self.cold.compile_cycles == 0:
+            return 0.0
+        return 1.0 - (self.warm.compile_cycles
+                      / self.cold.compile_cycles)
+
+    def render(self):
+        cold_s, warm_s = self.cold.cache_stats, self.warm.cache_stats
+        lines = [
+            f"cold vs warm start-up -- {self.benchmark} "
+            f"({self.iterations} iteration(s))",
+            f"  cache directory: {self.cache_dir}",
+            "",
+            f"  {'':14s}{'cold':>16s}{'warm':>16s}",
+            f"  {'total cycles':14s}{self.cold.total_cycles:>16,.0f}"
+            f"{self.warm.total_cycles:>16,.0f}",
+            f"  {'compile cyc':14s}{self.cold.compile_cycles:>16,}"
+            f"{self.warm.compile_cycles:>16,}",
+            f"  {'compilations':14s}{self.cold.compilations:>16,}"
+            f"{self.warm.compilations:>16,}",
+            f"  {'cache hits':14s}{cold_s['hits']:>16,}"
+            f"{warm_s['hits']:>16,}",
+            f"  {'cache stores':14s}{cold_s['stores']:>16,}"
+            f"{warm_s['stores']:>16,}",
+            "",
+            f"  start-up speedup (cold/warm):   "
+            f"{self.startup_speedup:6.3f}x",
+            f"  compile-cycle reduction:        "
+            f"{self.compile_cycle_reduction:6.1%}",
+            f"  JIT cycles saved by the cache:  "
+            f"{warm_s['cycles_saved']:,} "
+            f"(relocation {self.relocation_cycles} cyc/hit)",
+        ]
+        return "\n".join(lines)
+
+
+def cold_vs_warm(program, cache_dir, iterations=1, entry_arg=3,
+                 control_config=None, max_bytes=None):
+    """Run *program* twice against *cache_dir*; returns the pair.
+
+    Each run opens its own :class:`CodeCache` instance, modelling two
+    independent VM processes sharing one cache directory.  The cold
+    run's result value is checked against the warm run's -- a cached
+    body must never change program behavior.
+    """
+    config = control_config or ControlConfig()
+
+    def cache():
+        cfg = CodeCacheConfig(enabled=True, directory=cache_dir)
+        if max_bytes is not None:
+            cfg.max_bytes = max_bytes
+        return CodeCache(cfg)
+
+    cold = run_once(program, iterations=iterations, entry_arg=entry_arg,
+                    control_config=config, code_cache=cache())
+    warm = run_once(program, iterations=iterations, entry_arg=entry_arg,
+                    control_config=config, code_cache=cache())
+    if warm.result_value != cold.result_value:
+        raise AssertionError(
+            f"warm-start run changed the program result: "
+            f"{warm.result_value!r} != {cold.result_value!r}")
+    return WarmStartResult(
+        benchmark=program.name, iterations=iterations, cold=cold,
+        warm=warm, relocation_cycles=config.relocation_cycles,
+        cache_dir=cache_dir)
+
+
+def save_result(result, cache_dir):
+    """Write the rendered report where build_report collects results."""
+    results_dir = os.path.join(cache_dir, "results")
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"warmstart_{result.benchmark}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(result.render() + "\n")
+    return path

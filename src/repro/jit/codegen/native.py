@@ -59,6 +59,28 @@ class NativeCode:
         # are compile-local, bytecode offsets are not).
         self.block_bc = {b.bid: b.bc_start for b in ilmethod.blocks}
 
+    @classmethod
+    def from_parts(cls, method, num_locals, instrs, leaf, handlers,
+                   block_bc):
+        """Rebuild a :class:`NativeCode` from persisted parts.
+
+        Used by the code cache (:mod:`repro.codecache.serialize`) to
+        reconstitute a body without the original ILMethod; the derived
+        fields (label map, frame cost) are recomputed exactly as
+        ``__init__`` computes them.
+        """
+        self = cls.__new__(cls)
+        self.method = method
+        self.num_locals = num_locals
+        self.instrs = list(instrs)
+        self.leaf = leaf
+        self.handlers = list(handlers)
+        self.labels = {ins.aux: i for i, ins in enumerate(self.instrs)
+                       if ins.op is NOp.LABEL}
+        self.frame_cost = LEAF_FRAME_COST if leaf else FRAME_COST
+        self.block_bc = dict(block_bc)
+        return self
+
     def size(self):
         """Number of native instructions (code-size proxy)."""
         return sum(1 for i in self.instrs if i.op is not NOp.LABEL)

@@ -84,6 +84,23 @@ class JitCompiler:
         il, _ = generate_il(method, self._rtype_fn())
         return extract_features(il)
 
+    def choose_modifier(self, method, level, strategy):
+        """Resolve the plan modifier exactly as :meth:`compile` would.
+
+        Runs IL generation and feature extraction but not the optimizer
+        or codegen.  The code-cache probe uses this to learn the cache
+        key *before* deciding whether a compilation is needed at all;
+        passing the result back to :meth:`compile` as the explicit
+        *modifier* keeps stateful strategies at one ``choose_modifier``
+        call per compilation, same as the uncached path.
+        """
+        if strategy is None:
+            return Modifier.null()
+        il, _ = generate_il(method, self._rtype_fn())
+        features = extract_features(il, cfg=CFGInfo(il))
+        modifier = strategy.choose_modifier(method, level, features)
+        return modifier if modifier is not None else Modifier.null()
+
     def _rtype_fn(self):
         if self.method_resolver is None:
             return None

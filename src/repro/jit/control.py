@@ -41,6 +41,10 @@ class ControlConfig:
     contention: float = 0.18
     #: Highest level the controller will escalate to.
     max_level: OptLevel = OptLevel.SCORCHING
+    #: JIT-thread cycles charged to install a body loaded from the
+    #: persistent code cache -- the AOT load-and-relocate cost, far
+    #: below any real compilation (compare LOWER_COST_PER_NODE alone).
+    relocation_cycles: int = 500
     #: Install compiled code immediately instead of modelling the
     #: asynchronous JIT thread (used by the data-collection mode, where
     #: throughput of experiments matters and timing is measured per
@@ -110,10 +114,14 @@ class CompileRecord:
 class CompilationManager:
     """The VM-facing controller: counts, samples, escalates, installs."""
 
-    def __init__(self, compiler, strategy=None, config=None):
+    def __init__(self, compiler, strategy=None, config=None,
+                 code_cache=None):
         self.compiler = compiler
         self.strategy = strategy
         self.config = config or ControlConfig()
+        #: Optional persistent :class:`repro.codecache.CodeCache`.
+        #: None (the default) leaves every code path untouched.
+        self.code_cache = code_cache
         self.vm = None
         self.states = {}
         self.records = []
@@ -224,13 +232,38 @@ class CompilationManager:
     def compile_method(self, method, level, state):
         """Run the actual compilation; overridable by the collection
         controller.  Returning None permanently disables compilation of
-        the method (the graceful bail-out path)."""
+        the method (the graceful bail-out path).
+
+        When a persistent code cache is attached, the cache is probed
+        first: a hit installs the cached body for the (small)
+        ``relocation_cycles`` of the control config instead of paying
+        the full compilation, mirroring AOT load-and-relocate.  Bodies
+        compiled from a gathered branch profile bypass the cache in
+        both directions -- profiles are run-specific, and a shared
+        cache must stay profile-neutral.
+        """
         profile = None
         if level is OptLevel.SCORCHING and state.active is not None:
             profile = state.active.profile
-        return self.compiler.compile(method, level,
-                                     strategy=self.strategy,
-                                     profile=profile)
+        cache = self.code_cache
+        if cache is None or profile:
+            return self.compiler.compile(method, level,
+                                         strategy=self.strategy,
+                                         profile=profile)
+        resolver = self.compiler.method_resolver
+        modifier = self.compiler.choose_modifier(method, level,
+                                                 self.strategy)
+        cached = cache.load(
+            method, level, modifier, resolver=resolver,
+            relocation_cycles=self.config.relocation_cycles)
+        if cached is not None:
+            return cached
+        compiled = self.compiler.compile(method, level,
+                                         modifier=modifier,
+                                         profile=profile)
+        if compiled is not None:
+            cache.store(compiled, resolver=resolver)
+        return compiled
 
     # -- reporting ---------------------------------------------------------
 

@@ -12,6 +12,10 @@ Kinds:
   sentinel ``NO_MODEL`` when the server has no model for that level
   (the compiler then uses the original plan).
 * ``MSG_SHUTDOWN``  -- server acknowledges and exits its loop.
+* ``MSG_ERROR``     -- server's rejection of a frame it does not
+  understand (payload: u8 offending kind).  The server keeps serving
+  afterwards; answering instead of dying keeps a confused client from
+  hanging forever on its response read.
 
 The protocol deliberately carries *raw* features: renormalization with
 the training-time scaling file happens on the model side, keeping the
@@ -29,6 +33,7 @@ MSG_SHUTDOWN = 3
 MSG_PONG = 4
 MSG_MODIFIER = 5
 MSG_BYE = 6
+MSG_ERROR = 7
 
 #: Modifier-bits sentinel meaning "no model for this level".
 NO_MODEL = 0xFFFFFFFFFFFFFFFF

@@ -23,6 +23,7 @@ class ModelServer:
         self.read_fd = read_fd
         self.write_fd = write_fd
         self.requests_served = 0
+        self.rejected_frames = 0
 
     def serve_forever(self):
         """Process messages until MSG_SHUTDOWN or pipe closure."""
@@ -36,7 +37,14 @@ class ModelServer:
             if kind == P.MSG_PING:
                 P.write_message(write_fn, P.MSG_PONG)
             elif kind == P.MSG_PREDICT:
-                level_i, features = P.decode_predict(payload)
+                try:
+                    level_i, features = P.decode_predict(payload)
+                except ProtocolError:
+                    # Malformed payload: reject the frame, keep serving.
+                    self.rejected_frames += 1
+                    P.write_message(write_fn, P.MSG_ERROR,
+                                    bytes([kind & 0xFF]))
+                    continue
                 self.requests_served += 1
                 modifier = self.model_set.predict_modifier(
                     OptLevel(level_i), features)
@@ -47,7 +55,13 @@ class ModelServer:
                 P.write_message(write_fn, P.MSG_BYE)
                 break
             else:
-                raise ProtocolError(f"unknown message kind {kind}")
+                # An unknown kind must not kill the daemon thread: that
+                # would leave the compiler-side client hanging forever
+                # on its response read.  Reject the frame and keep
+                # serving.
+                self.rejected_frames += 1
+                P.write_message(write_fn, P.MSG_ERROR,
+                                bytes([kind & 0xFF]))
 
     def serve_in_thread(self):
         thread = threading.Thread(target=self.serve_forever,

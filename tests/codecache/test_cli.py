@@ -1,0 +1,74 @@
+"""The ``repro cache`` and ``repro warmstart`` CLI subcommands."""
+
+import os
+
+from repro.__main__ import main
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.jit.compiler import JitCompiler
+from repro.jit.plans import OptLevel
+
+from tests.codecache.test_store import add_method, compile_one
+
+
+def populate(tmp_path, n=3):
+    directory = str(tmp_path / "cache")
+    cache = CodeCache(CodeCacheConfig(enabled=True, directory=directory))
+    for i in range(n):
+        vm, compiled = compile_one(add_method(extra=i, name=f"m{i}"))
+        cache.store(compiled, resolver=vm._methods.get)
+    return directory, cache
+
+
+def test_cache_stats(tmp_path, capsys):
+    directory, _cache = populate(tmp_path)
+    main(["cache", "stats", "--dir", directory])
+    out = capsys.readouterr().out
+    assert "3 entries" in out
+    assert "warm" in out
+
+
+def test_cache_verify_flags_corruption(tmp_path, capsys):
+    directory, cache = populate(tmp_path)
+    victim = cache.entries()[0].path
+    with open(victim, "r+b") as fh:
+        fh.seek(12)
+        fh.write(b"\x00\x00\x00\x00")
+    assert main(["cache", "verify", "--dir", directory]) == 1
+    out = capsys.readouterr().out
+    assert "2 entries ok, 1 corrupt" in out
+    assert "BAD" in out
+
+
+def test_cache_verify_clean(tmp_path, capsys):
+    directory, _cache = populate(tmp_path)
+    assert main(["cache", "verify", "--dir", directory]) in (0, None)
+    assert "3 entries ok, 0 corrupt" in capsys.readouterr().out
+
+
+def test_cache_prune(tmp_path, capsys):
+    directory, _cache = populate(tmp_path)
+    main(["cache", "prune", "--dir", directory, "--max-bytes", "0"])
+    out = capsys.readouterr().out
+    assert "evicted 3" in out
+    assert os.listdir(os.path.join(directory, "entries")) == []
+
+
+def test_run_with_cache_dir(tmp_path, capsys):
+    directory = str(tmp_path / "cache")
+    main(["run", "compress", "--cache-dir", directory])
+    first = capsys.readouterr().out
+    assert "code cache:" in first
+    main(["run", "compress", "--cache-dir", directory])
+    second = capsys.readouterr().out
+    assert "hit rate" in second
+    # The second invocation warm-starts from the first one's entries.
+    assert "hits 0," in first
+    assert "hits 0," not in second
+
+
+def test_warmstart_command(tmp_path, capsys):
+    main(["warmstart", "compress",
+          "--cache-dir", str(tmp_path / "cache")])
+    out = capsys.readouterr().out
+    assert "start-up speedup" in out
+    assert "compile-cycle reduction" in out

@@ -1,0 +1,176 @@
+"""Round-trip properties of the persisted-code format.
+
+The cache's keystone guarantee: a deserialized body is *execution-
+equivalent* and *cycle-identical* to the original -- same return value
+(or guest exception), same virtual-clock cost -- for randomly generated
+methods at every optimization level under arbitrary plan modifiers.
+Mirrors the interpreter-equivalence property of
+``tests/jit/test_equivalence.py``, whose generator setup it reuses.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codecache import (
+    FORMAT_VERSION,
+    describe_blob,
+    deserialize_compiled,
+    serialize_compiled,
+)
+from repro.errors import CodeCacheError
+from repro.jit.compiler import JitCompiler
+from repro.jit.modifiers import Modifier, random_modifiers
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import JType
+from repro.jvm.vm import VirtualMachine
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import WorkloadProfile
+
+
+def small_profile(seed):
+    return WorkloadProfile(
+        name=f"cc{seed}", n_methods=6, loop_weight=0.7,
+        heavy_loop_weight=0.3, fp_weight=0.4, alloc_weight=0.4,
+        array_weight=0.5, exception_weight=0.3, decimal_weight=0.2,
+        unsafe_weight=0.1, sync_weight=0.2, call_weight=0.5,
+        loop_iters=6, heavy_loop_iters=20, phase_calls=3,
+        sweep_repeats=1)
+
+
+def build_vm(seed):
+    rng = np.random.default_rng(seed)
+    program = generate_program(small_profile(seed), rng)
+    vm = VirtualMachine()
+    vm.load_program(program)
+    return vm, program
+
+
+def args_for(method, arg_seed):
+    rng = np.random.default_rng(arg_seed)
+    out = []
+    for ptype in method.param_types:
+        if ptype is JType.DOUBLE:
+            out.append((round(float(rng.uniform(-3, 9)), 3),
+                        JType.DOUBLE))
+        else:
+            out.append((int(rng.integers(-5, 40)), JType.INT))
+    return out
+
+
+def outcome_of(compiled, vm, args):
+    try:
+        return compiled.execute(vm, list(args))
+    except Exception as exc:  # guest exception escaping is a valid outcome
+        return ("raised", type(exc).__name__, str(exc))
+
+
+def same_outcome(a, b):
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        return len(a) == len(b) and all(
+            same_outcome(x, y) for x, y in zip(a, b))
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def check_round_trip(seed, level, modifier, arg_seed=1):
+    vm, program = build_vm(seed)
+    compiler = JitCompiler(method_resolver=vm._methods.get,
+                           debug_check=True)
+    for method in program.methods():
+        compiled = compiler.compile(method, level, modifier=modifier)
+        blob = serialize_compiled(compiled)
+        restored = deserialize_compiled(blob, method)
+
+        args = args_for(method, arg_seed)
+        vm_a, _ = build_vm(seed)
+        vm_b, _ = build_vm(seed)
+        expected = outcome_of(compiled, vm_a, args)
+        actual = outcome_of(restored, vm_b, args)
+        assert same_outcome(actual, expected), (
+            f"{method.signature} at {level.name}: "
+            f"{actual!r} != {expected!r}")
+        # Cycle-identical: the restored body charges exactly the same
+        # virtual time as the original.
+        assert vm_a.clock.now() == vm_b.clock.now(), (
+            f"{method.signature} at {level.name}: cycle drift "
+            f"{vm_a.clock.now()} != {vm_b.clock.now()}")
+        # Bit-stable: re-serializing yields the same bytes.
+        assert serialize_compiled(restored) == blob
+        # Provenance survives.
+        assert restored.level is level
+        assert restored.modifier == modifier
+        assert restored.compile_cycles == compiled.compile_cycles
+        assert np.array_equal(restored.features, compiled.features)
+        assert tuple(restored.pass_log) == tuple(
+            (str(n), bool(c)) for n, c in compiled.pass_log)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_round_trip_hot_null_modifier(seed):
+    check_round_trip(seed, OptLevel.HOT, Modifier.null())
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2_000),
+       level=st.sampled_from(list(OptLevel)),
+       mod_seed=st.integers(0, 100))
+def test_round_trip_all_levels_random_modifiers(seed, level, mod_seed):
+    rng = np.random.default_rng(mod_seed)
+    modifier = random_modifiers(rng, 1)[0]
+    check_round_trip(seed, level, modifier)
+
+
+class TestBlobValidation:
+    def _blob(self, seed=7, level=OptLevel.WARM):
+        vm, program = build_vm(seed)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        method = program.methods()[0]
+        compiled = compiler.compile(method, level)
+        return serialize_compiled(compiled), method, compiled
+
+    def test_describe_blob(self):
+        blob, _method, compiled = self._blob()
+        meta = describe_blob(blob)
+        assert meta["signature"] == compiled.method.signature
+        assert meta["level"] is OptLevel.WARM
+        assert meta["compile_cycles"] == compiled.compile_cycles
+        assert meta["instructions"] == len(compiled.native.instrs)
+
+    def test_truncated_blob_rejected(self):
+        blob, method, _ = self._blob()
+        for cut in (0, 3, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(CodeCacheError):
+                deserialize_compiled(blob[:cut], method)
+
+    def test_bit_flip_rejected_by_crc(self):
+        blob, method, _ = self._blob()
+        for pos in (7, len(blob) // 2, len(blob) - 6):
+            corrupt = bytearray(blob)
+            corrupt[pos] ^= 0x40
+            with pytest.raises(CodeCacheError):
+                deserialize_compiled(bytes(corrupt), method)
+
+    def test_bad_magic_and_version_rejected(self):
+        blob, method, _ = self._blob()
+        with pytest.raises(CodeCacheError, match="magic"):
+            deserialize_compiled(b"XXXX" + blob[4:], method)
+        assert FORMAT_VERSION == 1
+        versioned = bytearray(blob)
+        versioned[4] = 99  # u16 version little-endian low byte
+        with pytest.raises(CodeCacheError, match="version"):
+            deserialize_compiled(bytes(versioned), method)
+
+    def test_wrong_method_rejected(self):
+        blob, _method, _ = self._blob(seed=7)
+        _vm, other_program = build_vm(8)
+        other = other_program.methods()[-1]
+        with pytest.raises(CodeCacheError):
+            deserialize_compiled(blob, other)

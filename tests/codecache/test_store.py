@@ -1,0 +1,272 @@
+"""The on-disk store: hits, invalidation, corruption, eviction, LRU."""
+
+import os
+
+import pytest
+
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.jit.compiler import JitCompiler
+from repro.jit.modifiers import Modifier
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import JType
+
+from tests.conftest import build_method, vm_with
+
+
+def add_method(extra=0, name="work", class_name="T"):
+    """f(n) = sum 0..n-1 (+ extra): *extra* varies the bytecode body."""
+
+    def body(a):
+        a.iconst(0).store(1)
+        a.iconst(0).store(2)
+        top = a.label()
+        a.load(2).load(0).cmp().ifge("end")
+        a.load(1).load(2).add().store(1)
+        a.inc(2, 1).goto(top)
+        a.mark("end")
+        a.load(1)
+        if extra:
+            a.iconst(extra).add()
+        a.retval()
+
+    return build_method(body, num_temps=2, name=name,
+                        class_name=class_name)
+
+
+def caller_method(callee_sig, name="entry", class_name="T"):
+    def body(a):
+        a.load(0).call(callee_sig, 1).retval()
+
+    return build_method(body, num_temps=1, name=name,
+                        class_name=class_name)
+
+
+def compile_one(method, *siblings, level=OptLevel.WARM):
+    vm = vm_with(method, *siblings)
+    compiler = JitCompiler(method_resolver=vm._methods.get)
+    compiled = compiler.compile(method, level)
+    return vm, compiled
+
+
+def open_cache(tmp_path, **overrides):
+    config = CodeCacheConfig(enabled=True,
+                             directory=str(tmp_path / "cache"),
+                             **overrides)
+    return CodeCache(config)
+
+
+class TestStoreAndLoad:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = open_cache(tmp_path)
+        method = add_method()
+        assert cache.load(method, OptLevel.WARM, Modifier.null()) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+    def test_hit_returns_equivalent_body_at_relocation_cost(
+            self, tmp_path):
+        method = add_method()
+        vm, compiled = compile_one(method)
+        original_cycles = compiled.compile_cycles
+        cache = open_cache(tmp_path)
+        assert cache.store(compiled, resolver=vm._methods.get)
+
+        # A second VM run opens the directory fresh.
+        cache2 = open_cache(tmp_path)
+        hit = cache2.load(method, OptLevel.WARM, Modifier.null(),
+                          resolver=vm._methods.get,
+                          relocation_cycles=123)
+        assert hit is not None
+        assert hit.compile_cycles == 123
+        assert cache2.stats.hits == 1
+        assert cache2.stats.cycles_saved == original_cycles - 123
+
+        run_a, run_b = vm_with(add_method()), vm_with(add_method())
+        assert (hit.execute(run_a, [(10, JType.INT)])
+                == compiled.execute(run_b, [(10, JType.INT)]))
+        assert run_a.clock.now() == run_b.clock.now()
+
+    def test_level_and_modifier_are_part_of_the_key(self, tmp_path):
+        method = add_method()
+        vm, compiled = compile_one(method)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get)
+        assert cache.load(method, OptLevel.HOT, Modifier.null(),
+                          resolver=vm._methods.get) is None
+        assert cache.load(method, OptLevel.WARM,
+                          Modifier.disabling([3]),
+                          resolver=vm._methods.get) is None
+        assert cache.load(method, OptLevel.WARM, Modifier.null(),
+                          resolver=vm._methods.get) is not None
+        # Different keys of the same method are not "stale" entries.
+        assert cache.stats.invalidations == 0
+
+    def test_atomic_writes_leave_no_temp_files(self, tmp_path):
+        method = add_method()
+        vm, compiled = compile_one(method)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get)
+        names = os.listdir(cache.entries_dir)
+        assert len(names) == 1
+        assert not any(n.endswith(".tmp") for n in names)
+
+    def test_read_only_probes_but_never_stores(self, tmp_path):
+        method = add_method()
+        vm, compiled = compile_one(method)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get)
+
+        ro = CodeCache(CodeCacheConfig(
+            enabled=True, directory=str(tmp_path / "cache"),
+            read_only=True))
+        assert ro.load(method, OptLevel.WARM, Modifier.null(),
+                       resolver=vm._methods.get) is not None
+        hot = compile_one(method, level=OptLevel.HOT)[1]
+        assert not ro.store(hot, resolver=vm._methods.get)
+        assert len(ro) == 1
+
+
+class TestInvalidation:
+    def test_changed_bytecode_invalidates(self, tmp_path):
+        old = add_method(extra=0)
+        vm, compiled = compile_one(old)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get)
+
+        # Same signature, different body: must recompile, not hit.
+        new = add_method(extra=5)
+        assert new.signature == old.signature
+        cache2 = open_cache(tmp_path)
+        assert cache2.load(new, OptLevel.WARM, Modifier.null()) is None
+        assert cache2.stats.invalidations == 1
+        assert cache2.stats.misses == 1
+        assert len(cache2) == 0  # stale entry deleted on disk too
+
+    def test_changed_callee_invalidates_caller_entry(self, tmp_path):
+        callee = add_method(extra=0, name="callee")
+        caller = caller_method(callee.signature, name="entry")
+        vm, compiled = compile_one(caller, callee)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get)
+
+        # The caller's bytecode is unchanged, but its (inlinable)
+        # callee is not: the constant-pool analogue must invalidate.
+        new_callee = add_method(extra=9, name="callee")
+        new_vm = vm_with(caller_method(callee.signature, name="entry"),
+                         new_callee)
+        cache2 = open_cache(tmp_path)
+        assert cache2.load(caller, OptLevel.WARM, Modifier.null(),
+                           resolver=new_vm._methods.get) is None
+        assert cache2.stats.invalidations == 1
+
+    def test_unchanged_program_still_hits(self, tmp_path):
+        callee = add_method(name="callee")
+        caller = caller_method(callee.signature, name="entry")
+        vm, compiled = compile_one(caller, callee)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get)
+        cache2 = open_cache(tmp_path)
+        assert cache2.load(caller, OptLevel.WARM, Modifier.null(),
+                           resolver=vm._methods.get) is not None
+
+
+class TestCorruption:
+    def _stored(self, tmp_path):
+        method = add_method()
+        vm, compiled = compile_one(method)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get)
+        (name,) = os.listdir(cache.entries_dir)
+        return method, vm, os.path.join(cache.entries_dir, name)
+
+    def test_truncated_entry_is_dropped_not_fatal(self, tmp_path):
+        method, vm, path = self._stored(tmp_path)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:len(data) // 2])
+        cache = open_cache(tmp_path)
+        assert cache.load(method, OptLevel.WARM, Modifier.null(),
+                          resolver=vm._methods.get) is None
+        assert cache.stats.corrupt_dropped == 1
+        assert not os.path.exists(path)
+
+    def test_garbage_entry_is_dropped_not_fatal(self, tmp_path):
+        method, vm, path = self._stored(tmp_path)
+        size = os.path.getsize(path)
+        with open(path, "wb") as fh:
+            fh.write(b"\xde\xad\xbe\xef" * (size // 4 + 1))
+        cache = open_cache(tmp_path)
+        assert cache.load(method, OptLevel.WARM, Modifier.null(),
+                          resolver=vm._methods.get) is None
+        assert cache.stats.corrupt_dropped == 1
+
+    def test_verify_and_prune_report_corruption(self, tmp_path):
+        method, vm, path = self._stored(tmp_path)
+        hot = compile_one(add_method(), level=OptLevel.HOT)[1]
+        cache = open_cache(tmp_path)
+        cache.store(hot, resolver=vm._methods.get)
+        with open(path, "r+b") as fh:
+            fh.seek(10)
+            fh.write(b"\xff\xff\xff")
+        cache = open_cache(tmp_path)
+        ok, bad = cache.verify()
+        assert len(ok) == 1 and len(bad) == 1
+        assert os.path.exists(path)  # verify alone does not delete
+        corrupt, _evicted = cache.prune()
+        assert corrupt == 1
+        assert not os.path.exists(path)
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_size_cap_evicts_lru_first(self, tmp_path):
+        methods = [add_method(extra=i, name=f"m{i}") for i in range(4)]
+        compiled = []
+        for m in methods:
+            vm, c = compile_one(m)
+            compiled.append((vm, c))
+        from repro.codecache.serialize import serialize_compiled
+        one_size = len(serialize_compiled(compiled[0][1]))
+        # Room for roughly two entries.
+        cache = open_cache(tmp_path, max_bytes=int(one_size * 2.5))
+        for vm, c in compiled:
+            cache.store(c, resolver=vm._methods.get)
+        assert cache.stats.evictions >= 1
+        assert cache.total_bytes() <= cache.config.max_bytes
+        # The newest entry survives, the oldest was evicted.
+        vm3, _ = compiled[3]
+        assert cache.load(methods[3], OptLevel.WARM, Modifier.null(),
+                          resolver=vm3._methods.get) is not None
+        vm0, _ = compiled[0]
+        assert cache.load(methods[0], OptLevel.WARM, Modifier.null(),
+                          resolver=vm0._methods.get) is None
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        methods = [add_method(extra=i, name=f"m{i}") for i in range(3)]
+        pairs = [compile_one(m) for m in methods]
+        from repro.codecache.serialize import serialize_compiled
+        one_size = len(serialize_compiled(pairs[0][1]))
+        cache = open_cache(tmp_path, max_bytes=int(one_size * 2.5))
+        for vm, c in pairs[:2]:
+            cache.store(c, resolver=vm._methods.get)
+        # Touch m0 so m1 becomes the LRU victim.
+        assert cache.load(methods[0], OptLevel.WARM, Modifier.null(),
+                          resolver=pairs[0][0]._methods.get) is not None
+        vm2, c2 = pairs[2]
+        cache.store(c2, resolver=vm2._methods.get)
+        assert cache.load(methods[0], OptLevel.WARM, Modifier.null(),
+                          resolver=pairs[0][0]._methods.get) is not None
+        assert cache.load(methods[1], OptLevel.WARM, Modifier.null(),
+                          resolver=pairs[1][0]._methods.get) is None
+
+    def test_prune_to_explicit_cap(self, tmp_path):
+        cache = open_cache(tmp_path)
+        for i in range(3):
+            vm, c = compile_one(add_method(extra=i, name=f"m{i}"))
+            cache.store(c, resolver=vm._methods.get)
+        assert len(cache) == 3
+        corrupt, evicted = cache.prune(max_bytes=0)
+        assert corrupt == 0
+        assert evicted == 3
+        assert len(cache) == 0

@@ -1,0 +1,91 @@
+"""Warm-start integration: controller wiring and the cold-vs-warm win."""
+
+import pytest
+
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.experiments.measure import run_once
+from repro.experiments.warmstart import cold_vs_warm, save_result
+from repro.jit.control import ControlConfig
+from repro.workloads import specjvm_program
+
+
+@pytest.fixture(scope="module")
+def program():
+    return specjvm_program("compress", master_seed=0)
+
+
+def make_cache(tmp_path, **overrides):
+    return CodeCache(CodeCacheConfig(
+        enabled=True, directory=str(tmp_path / "cc"), **overrides))
+
+
+class TestControllerIntegration:
+    def test_cold_run_is_cycle_identical_to_uncached(self, tmp_path,
+                                                     program):
+        """Probing an empty cache is free in virtual time: the default
+        (disabled) configuration and a cold cache produce the same
+        cycle counts, so enabling the cache never perturbs the
+        experiments it does not help."""
+        baseline = run_once(program)
+        cold = run_once(program, code_cache=make_cache(tmp_path))
+        assert cold.result_value == baseline.result_value
+        assert cold.total_cycles == baseline.total_cycles
+        assert cold.compile_cycles == baseline.compile_cycles
+        assert cold.compilations == baseline.compilations
+        assert baseline.cache_stats is None
+        assert cold.cache_stats["hits"] == 0
+        assert cold.cache_stats["stores"] == cold.compilations
+
+    def test_warm_run_hits_and_charges_relocation(self, tmp_path,
+                                                  program):
+        config = ControlConfig(relocation_cycles=700)
+        cold = run_once(program, control_config=config,
+                        code_cache=make_cache(tmp_path))
+        warm = run_once(program, control_config=config,
+                        code_cache=make_cache(tmp_path))
+        assert warm.result_value == cold.result_value
+        stats = warm.cache_stats
+        assert stats["hits"] > 0
+        assert stats["cycles_saved"] > 0
+        # Every hit was charged exactly the relocation cost.
+        assert warm.compile_cycles < cold.compile_cycles
+
+    def test_read_only_cache_never_writes(self, tmp_path, program):
+        run_once(program, code_cache=make_cache(tmp_path))
+        ro = make_cache(tmp_path, read_only=True)
+        size_before = ro.total_bytes()
+        result = run_once(program, code_cache=ro)
+        assert result.cache_stats["hits"] > 0
+        assert result.cache_stats["stores"] == 0
+        assert make_cache(tmp_path,
+                          read_only=True).total_bytes() == size_before
+
+
+class TestColdVsWarm:
+    def test_warm_start_wins(self, tmp_path, program):
+        """The acceptance bar: a warm second run spends >= 50% fewer
+        JIT compilation cycles and starts up measurably faster."""
+        result = cold_vs_warm(program, str(tmp_path / "cc"))
+        assert result.warm.result_value == result.cold.result_value
+        assert result.compile_cycle_reduction >= 0.5
+        assert result.startup_speedup > 1.0
+        assert result.warm.cache_stats["hits"] > 0
+        assert result.cold.cache_stats["stores"] > 0
+
+    def test_render_and_save(self, tmp_path, program):
+        result = cold_vs_warm(program, str(tmp_path / "cc"))
+        text = result.render()
+        assert "compress" in text
+        assert "start-up speedup" in text
+        assert "compile-cycle reduction" in text
+        path = save_result(result, str(tmp_path / "evalcache"))
+        with open(path, encoding="utf-8") as fh:
+            assert fh.read().strip() == text.strip()
+
+    def test_report_collects_warmstart_section(self, tmp_path, program):
+        from repro.experiments.report import build_report
+        result = cold_vs_warm(program, str(tmp_path / "cc"))
+        save_result(result, str(tmp_path / "evalcache"))
+        report = build_report(str(tmp_path / "evalcache"))
+        assert "warmstart_compress" in report
+        assert "start-up speedup" in report

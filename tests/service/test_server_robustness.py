@@ -1,0 +1,72 @@
+"""Regression: a malformed frame must not kill the serve loop.
+
+``ModelServer.serve_forever`` used to raise ``ProtocolError`` on an
+unknown message kind, silently killing the daemon serve thread and
+leaving the compiler-side client hanging forever on its response read.
+The server now answers with a ``MSG_ERROR`` rejection frame and keeps
+serving.
+"""
+
+import numpy as np
+import pytest
+
+from repro.features import NUM_FEATURES
+from repro.jit.plans import OptLevel
+from repro.ml.pipeline import TrainingPipeline
+from repro.service import protocol as P
+from repro.service.client import connected_pair
+
+from tests.ml.test_pipeline import synth_record_set
+
+
+@pytest.fixture(scope="module")
+def model_set():
+    rs = synth_record_set("robust", 0)
+    return TrainingPipeline(levels=(OptLevel.HOT,)).train(rs, name="R")
+
+
+def test_unknown_kind_gets_error_reply_and_server_survives(model_set):
+    client, server, thread = connected_pair(model_set)
+    P.write_message(client._write, 250)  # no such message kind
+    kind, payload = P.read_message(client._read)
+    assert kind == P.MSG_ERROR
+    assert payload == bytes([250])
+    assert server.rejected_frames == 1
+
+    # The serve loop is still alive and fully functional afterwards.
+    assert client.ping()
+    modifier = client.predict(
+        int(OptLevel.HOT), np.zeros(NUM_FEATURES))
+    assert modifier is None or modifier.bits >= 0
+    client.shutdown()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+
+
+def test_malformed_predict_payload_rejected_not_fatal(model_set):
+    client, server, thread = connected_pair(model_set)
+    # A PREDICT frame with a wrong-sized payload.
+    P.write_message(client._write, P.MSG_PREDICT, b"\x01\x02\x03")
+    kind, payload = P.read_message(client._read)
+    assert kind == P.MSG_ERROR
+    assert payload == bytes([P.MSG_PREDICT])
+    assert server.rejected_frames == 1
+    assert server.requests_served == 0
+
+    assert client.ping()
+    client.shutdown()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+
+
+def test_several_bad_frames_interleaved_with_good_ones(model_set):
+    client, server, thread = connected_pair(model_set)
+    for bogus in (0, 99, 200):
+        P.write_message(client._write, bogus)
+        kind, _ = P.read_message(client._read)
+        assert kind == P.MSG_ERROR
+        assert client.ping()
+    assert server.rejected_frames == 3
+    client.shutdown()
+    thread.join(timeout=5)
+    assert not thread.is_alive()
