@@ -55,10 +55,15 @@ def cmd_list(args):
 
 def cmd_run(args):
     """Run one benchmark under the adaptive JIT."""
+    import os
     from repro.codecache import CodeCacheConfig
     from repro.jit.compiler import JitCompiler
-    from repro.jit.control import CompilationManager
+    from repro.jit.control import CompilationManager, ControlConfig
     from repro.jvm.vm import VirtualMachine
+    if (args.cache_tiering or args.cache_profiles) \
+            and not args.cache_dir:
+        raise SystemExit("--cache-tiering/--cache-profiles require "
+                         "--cache-dir")
     program = _program(args.benchmark, args.seed)
     vm = VirtualMachine()
     vm.load_program(program)
@@ -66,12 +71,19 @@ def cmd_run(args):
     code_cache = None
     if not args.interpret_only:
         if args.cache_dir:
+            if args.cache_readonly \
+                    and not os.path.isdir(args.cache_dir):
+                raise SystemExit(
+                    f"--cache-readonly: no such cache directory: "
+                    f"{args.cache_dir}")
             code_cache = CodeCacheConfig(
                 enabled=True, directory=args.cache_dir,
                 read_only=args.cache_readonly).open()
+        control = ControlConfig(cache_tiering=args.cache_tiering,
+                                cache_profiles=args.cache_profiles)
         manager = CompilationManager(
             JitCompiler(method_resolver=vm._methods.get),
-            code_cache=code_cache)
+            config=control, code_cache=code_cache)
         vm.attach_manager(manager)
     result = None
     for _ in range(args.iterations):
@@ -154,7 +166,8 @@ def cmd_warmstart(args):
         cache_dir = tmp.name
     try:
         result = cold_vs_warm(program, cache_dir,
-                              iterations=args.iterations)
+                              iterations=args.iterations,
+                              profiles=not args.no_profiles)
         print(result.render())
         if args.save:
             ctx = _context(args)
@@ -236,6 +249,12 @@ def main(argv=None):
                    help="persistent code-cache directory (warm start)")
     p.add_argument("--cache-readonly", action="store_true",
                    help="probe the cache but never store/evict")
+    p.add_argument("--cache-tiering", action="store_true",
+                   help="install the best cached level directly, "
+                        "skipping cold/warm stepping stones")
+    p.add_argument("--cache-profiles", action="store_true",
+                   help="persist branch profiles with cached bodies "
+                        "and seed instrumentation from them")
     _add_common(p)
     p.set_defaults(fn=cmd_run)
 
@@ -245,6 +264,9 @@ def main(argv=None):
     p.add_argument("--iterations", type=int, default=1)
     p.add_argument("--cache-dir", default=None,
                    help="cache directory (default: fresh temp dir)")
+    p.add_argument("--no-profiles", action="store_true",
+                   help="skip the warm+profiles column (PR-1 "
+                        "cold-vs-warm pair only)")
     p.add_argument("--save", action="store_true",
                    help="save the report section under the evaluation "
                         "cache's results/ directory")

@@ -24,13 +24,18 @@ identical to a build without this package.
 """
 
 from repro.codecache.fingerprint import (
+    HEURISTIC_DIGEST,
     context_fingerprint,
     method_fingerprint,
+    strategy_digest,
 )
 from repro.codecache.serialize import (
     FORMAT_VERSION,
+    SECTION_PROFILE,
+    decode_profile,
     deserialize_compiled,
     describe_blob,
+    encode_profile,
     serialize_compiled,
 )
 from repro.codecache.stats import CacheStats
@@ -41,9 +46,14 @@ __all__ = [
     "CodeCache",
     "CodeCacheConfig",
     "FORMAT_VERSION",
+    "HEURISTIC_DIGEST",
+    "SECTION_PROFILE",
     "context_fingerprint",
+    "decode_profile",
     "describe_blob",
     "deserialize_compiled",
+    "encode_profile",
     "method_fingerprint",
     "serialize_compiled",
+    "strategy_digest",
 ]

@@ -1,7 +1,7 @@
 """Content fingerprints that key the persistent code cache.
 
 A cached body is only valid while the code it was compiled from is
-unchanged.  Two hashes capture that:
+unchanged.  Three hashes capture that:
 
 * :func:`method_fingerprint` -- everything the compiler observes about
   the method itself: signature, declared modifiers, locals layout, the
@@ -11,6 +11,12 @@ unchanged.  Two hashes capture that:
   splice a callee's body (at any depth) into the compiled code, so a
   change to any reachable callee must invalidate the entry, exactly as
   a constant-pool change invalidates J9's shared-cache AOT bodies.
+* :func:`strategy_digest` -- the *model set* behind the plan choice.  A
+  learned :class:`~repro.service.strategy.ModelStrategy` folds a hash
+  of its trained weights, scaling parameters and label tables into the
+  key, so a retrained model never silently reuses bodies planned by its
+  predecessor; heuristic (model-less) compilation uses a fixed
+  sentinel, keeping model-free runs shareable across processes.
 
 Fingerprints are content hashes -- no timestamps, no identity -- so the
 same program always maps to the same keys regardless of process, load
@@ -82,4 +88,36 @@ def context_fingerprint(method, resolver=None):
     h = hashlib.sha256()
     for sig in sorted(seen):
         h.update(f"{sig}={seen[sig]};".encode("utf-8"))
+    return _digest(h)
+
+
+#: Digest sentinel for heuristic (model-less) compilation.  A fixed
+#: string rather than a hash: model-free runs on any machine share it.
+HEURISTIC_DIGEST = "heuristic"
+
+
+def strategy_digest(strategy):
+    """Model-set digest of *strategy* for cache keying.
+
+    * ``None`` (heuristic plans only): :data:`HEURISTIC_DIGEST`.
+    * A strategy exposing ``model_digest()`` (both
+      :class:`~repro.service.strategy.ModelStrategy` and
+      :class:`~repro.service.strategy.ServiceStrategy` do): that
+      digest -- a content hash of the learned weights and plan tables,
+      so retraining changes every key it influenced.
+    * Anything else: a hash of the strategy's class identity.  Distinct
+      strategy implementations never share entries, but such a strategy
+      is assumed stateless; implement ``model_digest()`` to key on
+      learned state.
+    """
+    if strategy is None:
+        return HEURISTIC_DIGEST
+    digest_fn = getattr(strategy, "model_digest", None)
+    if digest_fn is not None:
+        digest = digest_fn()
+        if digest:
+            return str(digest)
+    cls = type(strategy)
+    h = hashlib.sha256(
+        f"unkeyed:{cls.__module__}.{cls.__qualname__}".encode("utf-8"))
     return _digest(h)

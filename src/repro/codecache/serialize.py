@@ -3,7 +3,7 @@
 Layout (little-endian)::
 
     magic   'TRCC'
-    u16     format version (=1)
+    u16     format version (=2)
     --      tagged payload (see below)
     u32     CRC-32 of everything before the footer
 
@@ -15,6 +15,18 @@ float; ``aux`` ranges over labels, field names, call descriptors,
 a per-op schema.  Decoding is strict: an unknown tag, a short buffer or
 a CRC mismatch raises :class:`~repro.errors.CodeCacheError`, which the
 store treats as "drop the entry and recompile" -- never a VM crash.
+
+Format version 2 appends a *section list* to the version-1 record: a
+tuple of ``(tag, value)`` pairs, CRC-covered like everything else, that
+optional per-entry data rides in.  Unknown tags are skipped on read, so
+later minor additions stay forward-compatible within the version; the
+version bump itself cleanly rejects version-1 entries (the store treats
+the :class:`~repro.errors.CodeCacheError` as a miss and recompiles --
+never a half-read).  The one section defined today is ``"profile"``:
+the branch profile gathered by the body's instrumentation (the
+``(bytecode pc, taken) -> count`` dict that feedback-directed
+optimization consumes), persisted so a warm start can recompile
+profile-directed without re-gathering.
 
 Round-trips are **cycle-identical**: every field the native simulator's
 cost model reads (instruction stream, source registers for forwarding
@@ -41,7 +53,10 @@ from repro.jit.plans import OptLevel
 from repro.jvm.bytecode import JType
 
 MAGIC = b"TRCC"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Section tag for the persisted branch profile.
+SECTION_PROFILE = "profile"
 
 _HEADER = struct.Struct("<4sH")
 _CRC = struct.Struct("<I")
@@ -160,10 +175,47 @@ class _Decoder:
         raise CodeCacheError(f"unknown value tag {tag}")
 
 
+# -- profile section ---------------------------------------------------------
+
+def encode_profile(profile):
+    """Branch-profile dict -> canonical section value (sorted triples)."""
+    out = []
+    for key, count in profile.items():
+        if (not isinstance(key, tuple) or len(key) != 2
+                or not isinstance(key[0], int)
+                or isinstance(key[0], bool) or key[0] < 0
+                or not isinstance(key[1], bool)
+                or not isinstance(count, int)
+                or isinstance(count, bool) or count < 0):
+            raise CodeCacheError(
+                f"cannot serialize profile point {key!r}: {count!r}")
+        out.append((int(key[0]), bool(key[1]), int(count)))
+    return tuple(sorted(out))
+
+
+def decode_profile(value):
+    """Section value -> branch-profile dict; strict shape checks."""
+    if not isinstance(value, tuple):
+        raise CodeCacheError("profile section is not a tuple")
+    profile = {}
+    for rec in value:
+        if (not isinstance(rec, tuple) or len(rec) != 3
+                or not isinstance(rec[0], int) or isinstance(rec[0], bool)
+                or not isinstance(rec[1], bool)
+                or not isinstance(rec[2], int) or isinstance(rec[2], bool)
+                or rec[0] < 0 or rec[2] < 0):
+            raise CodeCacheError(f"bad profile point {rec!r}")
+        profile[(rec[0], rec[1])] = rec[2]
+    return profile
+
+
 # -- compiled-method round trip ---------------------------------------------
 
-def _pack_payload(compiled):
+def _pack_payload(compiled, profile=None):
     native = compiled.native
+    sections = []
+    if profile is not None:
+        sections.append((SECTION_PROFILE, encode_profile(profile)))
     return (
         compiled.method.signature,
         int(compiled.level),
@@ -180,13 +232,19 @@ def _pack_payload(compiled):
         tuple((int(bid), bc) for bid, bc in sorted(native.block_bc.items())),
         tuple((ins.op, ins.dst, ins.srcs, ins.imm, ins.type, ins.aux,
                int(ins.block)) for ins in native.instrs),
+        tuple(sections),
     )
 
 
-def serialize_compiled(compiled):
-    """Serialize a :class:`CompiledMethod` to a self-checking blob."""
+def serialize_compiled(compiled, profile=None):
+    """Serialize a :class:`CompiledMethod` to a self-checking blob.
+
+    *profile*, when given, is a gathered branch profile persisted in the
+    entry's ``"profile"`` section and restored on deserialization as the
+    body's ``persisted_profile``.
+    """
     out = bytearray(_HEADER.pack(MAGIC, FORMAT_VERSION))
-    _encode(out, _pack_payload(compiled))
+    _encode(out, _pack_payload(compiled, profile))
     out += _CRC.pack(zlib.crc32(bytes(out)) & 0xFFFFFFFF)
     return bytes(out)
 
@@ -212,9 +270,30 @@ def _parse_payload(data):
         raise CodeCacheError(f"malformed entry: {exc}")
     if decoder.pos != len(body):
         raise CodeCacheError("trailing bytes after payload")
-    if not isinstance(payload, tuple) or len(payload) != 11:
-        raise CodeCacheError("payload is not an 11-field record")
+    if not isinstance(payload, tuple) or len(payload) != 12:
+        raise CodeCacheError("payload is not a 12-field record")
     return payload
+
+
+def _parse_sections(sections):
+    """Validate the section list; returns the decoded profile (or None).
+
+    Unknown section tags are skipped -- minor additions within one
+    format version must not brick older readers.
+    """
+    if not isinstance(sections, tuple):
+        raise CodeCacheError("section list is not a tuple")
+    profile = None
+    for rec in sections:
+        if (not isinstance(rec, tuple) or len(rec) != 2
+                or not isinstance(rec[0], str)):
+            raise CodeCacheError(f"bad section record {rec!r}")
+        tag, value = rec
+        if tag == SECTION_PROFILE:
+            if profile is not None:
+                raise CodeCacheError("duplicate profile section")
+            profile = decode_profile(value)
+    return profile
 
 
 def describe_blob(data):
@@ -224,9 +303,10 @@ def describe_blob(data):
     blob is corrupt, truncated or of a foreign version.
     """
     (signature, level, bits, cycles, features, pass_log, num_locals,
-     leaf, handlers, block_bc, instrs) = _parse_payload(data)
+     leaf, handlers, block_bc, instrs, sections) = _parse_payload(data)
     _check_shapes(signature, level, bits, cycles, features, num_locals,
                   handlers, instrs)
+    profile = _parse_sections(sections)
     return {
         "signature": signature,
         "level": OptLevel(level),
@@ -237,6 +317,8 @@ def describe_blob(data):
         "leaf": bool(leaf),
         "handlers": len(handlers),
         "blocks": len(block_bc),
+        "profile_points": 0 if profile is None else len(profile),
+        "has_profile": profile is not None,
     }
 
 
@@ -273,10 +355,11 @@ def deserialize_compiled(data, method):
     fingerprint keys; the signature is re-checked here as a backstop).
     """
     (signature, level, bits, cycles, sparse_features, pass_log,
-     num_locals, leaf, handler_recs, block_bc, instr_recs) = \
+     num_locals, leaf, handler_recs, block_bc, instr_recs, sections) = \
         _parse_payload(data)
     _check_shapes(signature, level, bits, cycles, sparse_features,
                   num_locals, handler_recs, instr_recs)
+    persisted_profile = _parse_sections(sections)
     if signature != method.signature:
         raise CodeCacheError(
             f"entry is for {signature}, not {method.signature}")
@@ -295,6 +378,11 @@ def deserialize_compiled(data, method):
     for index, value in sparse_features:
         features[index] = value
 
-    return CompiledMethod(
+    compiled = CompiledMethod(
         method, OptLevel(level), Modifier(bits), native, cycles,
         features, pass_log=tuple(pass_log))
+    # Mark cache provenance: {} for "loaded, no profile persisted",
+    # the gathered dict otherwise.  Freshly compiled bodies keep None.
+    compiled.persisted_profile = (
+        {} if persisted_profile is None else persisted_profile)
+    return compiled

@@ -24,6 +24,14 @@ class CacheStats:
     corrupt_dropped: int = 0
     #: JIT-thread cycles avoided by hits (compile cost minus relocation).
     cycles_saved: int = 0
+    #: Entries (re)written with a branch-profile section attached.
+    profile_stores: int = 0
+    #: Hits whose entry carried a persisted branch profile.
+    profile_hits: int = 0
+    #: Installs that seeded live instrumentation from a persisted profile.
+    profile_seeds: int = 0
+    #: Hits installed above the requested level (stepping stones skipped).
+    tier_skips: int = 0
 
     @property
     def probes(self):
@@ -50,4 +58,11 @@ class CacheStats:
             f"{indent}corrupt drops {self.corrupt_dropped:>10,}",
             f"{indent}cycles saved  {self.cycles_saved:>10,}",
         ]
+        if self.profile_stores or self.profile_hits or self.tier_skips:
+            lines.append(
+                f"{indent}profiles      {self.profile_stores:>10,}  "
+                f"(hits {self.profile_hits:,}, "
+                f"seeded {self.profile_seeds:,})")
+            lines.append(
+                f"{indent}tier skips    {self.tier_skips:>10,}")
         return "\n".join(lines)

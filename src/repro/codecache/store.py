@@ -12,7 +12,15 @@ by three content hashes::
   older version of the code and are *stale*; a probe deletes them
   (invalidation) instead of ever loading them.
 * ``key16`` -- hash of the full lookup key ``(method fingerprint,
-  context fingerprint, opt level, modifier bits, format version)``.
+  context fingerprint, opt level, modifier bits, model-set digest,
+  format version)``.
+
+The model-set digest (see :func:`repro.codecache.fingerprint
+.strategy_digest`) lives in ``key16``, not ``fp24``: a retrained model
+makes its predecessor's entries unreachable (miss -> recompile ->
+store under the new key) without *deleting* them, so one shared cache
+directory can serve runs under different model sets -- or none --
+concurrently without thrashing each other's entries.
 
 Properties:
 
@@ -38,8 +46,8 @@ import os
 import re
 from collections import OrderedDict
 
-from repro.codecache.fingerprint import context_fingerprint, \
-    method_fingerprint
+from repro.codecache.fingerprint import HEURISTIC_DIGEST, \
+    context_fingerprint, method_fingerprint
 from repro.codecache.serialize import FORMAT_VERSION, describe_blob, \
     deserialize_compiled, serialize_compiled
 from repro.codecache.stats import CacheStats
@@ -141,7 +149,10 @@ class CodeCache:
 
     # -- keying -----------------------------------------------------------
 
-    def _names(self, method, level, modifier, resolver):
+    def _names(self, method, level, modifier, resolver,
+               model_digest=None):
+        if model_digest is None:
+            model_digest = HEURISTIC_DIGEST
         sig_hash = hashlib.sha256(
             method.signature.encode("utf-8")).hexdigest()[:16]
         method_fp = method_fingerprint(method)
@@ -150,7 +161,8 @@ class CodeCache:
             f"{method_fp}|{context_fp}".encode("ascii")).hexdigest()[:24]
         key_hash = hashlib.sha256(
             f"{method_fp}|{context_fp}|{int(level)}|{int(modifier.bits)}"
-            f"|{FORMAT_VERSION}".encode("ascii")).hexdigest()[:16]
+            f"|{model_digest}|{FORMAT_VERSION}"
+            .encode("ascii")).hexdigest()[:16]
         return sig_hash, fp_hash, key_hash
 
     @staticmethod
@@ -163,18 +175,22 @@ class CodeCache:
     # -- probe / load -----------------------------------------------------
 
     def load(self, method, level, modifier, resolver=None,
-             relocation_cycles=0):
+             relocation_cycles=0, model_digest=None):
         """Probe for a cached body of *method* at (*level*, *modifier*).
 
         On a hit, returns a fresh :class:`CompiledMethod` whose
         ``compile_cycles`` is *relocation_cycles* -- the load-and-
         relocate cost the controller charges instead of a compilation
-        -- and credits the difference to ``stats.cycles_saved``.
-        Returns None on a miss; stale same-method entries found during
-        the probe are invalidated (deleted) on the way.
+        -- and credits the difference to ``stats.cycles_saved``; its
+        ``persisted_profile`` is the entry's profile section ({} when
+        the entry carried none).  *model_digest* is the active model
+        set's content hash (None = heuristic sentinel): entries stored
+        under a different model set simply never match.  Returns None
+        on a miss; stale same-method entries found during the probe are
+        invalidated (deleted) on the way.
         """
         sig_hash, fp_hash, key_hash = self._names(
-            method, level, modifier, resolver)
+            method, level, modifier, resolver, model_digest)
         name = self._entry_name(sig_hash, fp_hash, key_hash)
         self._invalidate_stale(sig_hash, fp_hash)
         if name not in self._index:
@@ -193,6 +209,8 @@ class CodeCache:
             return None
         self._touch(name)
         self.stats.hits += 1
+        if compiled.persisted_profile:
+            self.stats.profile_hits += 1
         self.stats.cycles_saved += max(
             0, compiled.compile_cycles - relocation_cycles)
         compiled.compile_cycles = relocation_cycles
@@ -211,21 +229,32 @@ class CodeCache:
 
     # -- store / evict ----------------------------------------------------
 
-    def store(self, compiled, resolver=None):
-        """Persist a freshly compiled body; returns True when written."""
+    def store(self, compiled, resolver=None, model_digest=None,
+              profile=None):
+        """Persist a freshly compiled body; returns True when written.
+
+        *profile*, when given, rides in the entry's profile section: a
+        later run's hit restores it as ``persisted_profile``, letting
+        the controller seed instrumentation instead of re-gathering.
+        Storing the same key again (the profile write-back path)
+        atomically replaces the old blob.
+        """
         if self.config.read_only:
             return False
         try:
-            blob = serialize_compiled(compiled)
+            blob = serialize_compiled(compiled, profile=profile)
         except CodeCacheError as exc:
             log.warning("not caching %s: %s",
                         compiled.method.signature, exc)
             return False
         sig_hash, fp_hash, key_hash = self._names(
-            compiled.method, compiled.level, compiled.modifier, resolver)
+            compiled.method, compiled.level, compiled.modifier, resolver,
+            model_digest)
         name = self._entry_name(sig_hash, fp_hash, key_hash)
         path = self._path(name)
-        tmp = path + ".tmp"
+        # Per-process temp name: concurrent writers of one key must not
+        # interleave into a shared temp file; each os.replace is atomic.
+        tmp = f"{path}.{os.getpid()}.tmp"
         try:
             with open(tmp, "wb") as fh:
                 fh.write(blob)
@@ -239,7 +268,10 @@ class CodeCache:
             return False
         self._index[name] = len(blob)
         self._index.move_to_end(name)
-        self.stats.stores += 1
+        if profile is not None:
+            self.stats.profile_stores += 1
+        else:
+            self.stats.stores += 1
         self._evict_to(self.config.max_bytes)
         return True
 

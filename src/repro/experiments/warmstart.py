@@ -3,21 +3,30 @@
 The paper's headline figures (6-9) are *start-up* numbers -- the cost of
 compiling a workload's hot methods during its first run.  The real J9
 VM attacks exactly that with its shared classes cache: a second JVM
-invocation loads compiled bodies instead of recompiling them.  This
-experiment reproduces that comparison for our persistent code cache:
+invocation loads compiled bodies instead of recompiling them, then
+recompiles the few that keep getting hotter.  This experiment
+reproduces that comparison for our persistent code cache, in three
+"JVM invocations" against one cache directory:
 
 1. **Cold run** -- a fresh VM executes the workload against an empty
-   cache directory; every compilation misses and is stored.
-2. **Warm run** -- a *new* VM (a separate "JVM invocation") executes
-   the same workload against the now-populated directory; compilations
-   hit and install for the relocation cost only.
+   cache directory; every compilation misses and is stored, and
+   gathered branch profiles are written back into their entries.
+2. **Warm run** -- a *new* VM executes the same workload against the
+   now-populated directory with the plain (PR-1) policy: compilations
+   hit and install for the relocation cost only, level by level.
+3. **Warm + profiles run** -- a third VM with the cache-aware tiering
+   policy: compile requests install the best cached level directly
+   (skipping the COLD/WARM stepping stones) and seed branch
+   instrumentation from persisted profiles, so the first scorching
+   recompilation is profile-directed without a re-gathering phase --
+   the full AOT-then-recompile shape.
 
-Both runs use the same program, seed and controller configuration, so
-the deltas in start-up time and JIT-thread compilation cycles are
-attributable to the cache alone.  Results render in the same ASCII
-style as the paper's figures and can be saved under the evaluation
-cache's ``results/`` directory, where :func:`repro.experiments.report
-.build_report` picks them up.
+All runs use the same program, seed and trigger configuration, so the
+deltas in start-up time and JIT-thread compilation cycles are
+attributable to the cache policy alone.  Results render in the same
+ASCII style as the paper's figures and can be saved under the
+evaluation cache's ``results/`` directory, where
+:func:`repro.experiments.report.build_report` picks them up.
 """
 
 import dataclasses
@@ -30,7 +39,7 @@ from repro.jit.control import ControlConfig
 
 @dataclasses.dataclass
 class WarmStartResult:
-    """Outcome of one cold-vs-warm pair."""
+    """Outcome of one cold/warm/warm-with-profiles triple."""
 
     benchmark: str
     iterations: int
@@ -38,62 +47,100 @@ class WarmStartResult:
     warm: RunResult
     relocation_cycles: int
     cache_dir: str
+    #: Third run under the cache-aware tiering + profile-seeding
+    #: policy; None when the experiment ran cold-vs-warm only.
+    warm_profiles: RunResult = None
 
     @property
     def startup_speedup(self):
         """Cold / warm total cycles (>1 = warm start is faster)."""
-        if self.warm.total_cycles == 0:
+        return self._speedup(self.warm)
+
+    @property
+    def profile_startup_speedup(self):
+        """Cold / warm-with-profiles total cycles (>1 = faster)."""
+        if self.warm_profiles is None:
+            return None
+        return self._speedup(self.warm_profiles)
+
+    def _speedup(self, run):
+        if run.total_cycles == 0:
             return float("inf")
-        return self.cold.total_cycles / self.warm.total_cycles
+        return self.cold.total_cycles / run.total_cycles
 
     @property
     def compile_cycle_reduction(self):
         """Fraction of JIT-thread compile cycles the warm run avoided."""
+        return self._reduction(self.warm)
+
+    @property
+    def profile_compile_cycle_reduction(self):
+        if self.warm_profiles is None:
+            return None
+        return self._reduction(self.warm_profiles)
+
+    def _reduction(self, run):
         if self.cold.compile_cycles == 0:
             return 0.0
-        return 1.0 - (self.warm.compile_cycles
-                      / self.cold.compile_cycles)
+        return 1.0 - (run.compile_cycles / self.cold.compile_cycles)
 
     def render(self):
         cold_s, warm_s = self.cold.cache_stats, self.warm.cache_stats
+        runs = [("cold", self.cold, cold_s), ("warm", self.warm, warm_s)]
+        if self.warm_profiles is not None:
+            runs.append(("warm+prof", self.warm_profiles,
+                         self.warm_profiles.cache_stats))
         lines = [
             f"cold vs warm start-up -- {self.benchmark} "
             f"({self.iterations} iteration(s))",
             f"  cache directory: {self.cache_dir}",
             "",
-            f"  {'':14s}{'cold':>16s}{'warm':>16s}",
-            f"  {'total cycles':14s}{self.cold.total_cycles:>16,.0f}"
-            f"{self.warm.total_cycles:>16,.0f}",
-            f"  {'compile cyc':14s}{self.cold.compile_cycles:>16,}"
-            f"{self.warm.compile_cycles:>16,}",
-            f"  {'compilations':14s}{self.cold.compilations:>16,}"
-            f"{self.warm.compilations:>16,}",
-            f"  {'cache hits':14s}{cold_s['hits']:>16,}"
-            f"{warm_s['hits']:>16,}",
-            f"  {'cache stores':14s}{cold_s['stores']:>16,}"
-            f"{warm_s['stores']:>16,}",
-            "",
-            f"  start-up speedup (cold/warm):   "
-            f"{self.startup_speedup:6.3f}x",
-            f"  compile-cycle reduction:        "
-            f"{self.compile_cycle_reduction:6.1%}",
-            f"  JIT cycles saved by the cache:  "
-            f"{warm_s['cycles_saved']:,} "
-            f"(relocation {self.relocation_cycles} cyc/hit)",
+            "  " + f"{'':14s}" + "".join(f"{name:>16s}"
+                                         for name, _r, _s in runs),
         ]
+
+        def row(label, fmt, value_of):
+            cells = "".join(format(value_of(r, s), fmt)
+                            for _n, r, s in runs)
+            lines.append(f"  {label:14s}{cells}")
+
+        row("total cycles", "16,.0f", lambda r, s: r.total_cycles)
+        row("compile cyc", "16,", lambda r, s: r.compile_cycles)
+        row("compilations", "16,", lambda r, s: r.compilations)
+        row("cache hits", "16,", lambda r, s: s["hits"])
+        row("cache stores", "16,", lambda r, s: s["stores"])
+        if self.warm_profiles is not None:
+            row("tier skips", "16,", lambda r, s: s["tier_skips"])
+            row("prof. seeds", "16,", lambda r, s: s["profile_seeds"])
+        lines.append("")
+        lines.append(f"  start-up speedup (cold/warm):   "
+                     f"{self.startup_speedup:6.3f}x")
+        if self.warm_profiles is not None:
+            lines.append(f"  speedup (cold/warm+profiles):   "
+                         f"{self.profile_startup_speedup:6.3f}x")
+        lines.append(f"  compile-cycle reduction:        "
+                     f"{self.compile_cycle_reduction:6.1%}")
+        lines.append(f"  JIT cycles saved by the cache:  "
+                     f"{warm_s['cycles_saved']:,} "
+                     f"(relocation {self.relocation_cycles} cyc/hit)")
         return "\n".join(lines)
 
 
 def cold_vs_warm(program, cache_dir, iterations=1, entry_arg=3,
-                 control_config=None, max_bytes=None):
-    """Run *program* twice against *cache_dir*; returns the pair.
+                 control_config=None, max_bytes=None, profiles=True):
+    """Run *program* against *cache_dir*; returns the run triple.
 
-    Each run opens its own :class:`CodeCache` instance, modelling two
+    Each run opens its own :class:`CodeCache` instance, modelling
     independent VM processes sharing one cache directory.  The cold
-    run's result value is checked against the warm run's -- a cached
-    body must never change program behavior.
+    run's result value is checked against every warm run's -- a cached
+    body (or a seeded profile) must never change program behavior.
+    With *profiles* False only the cold/warm pair runs (the PR-1
+    experiment).
     """
     config = control_config or ControlConfig()
+
+    def variant(**overrides):
+        return dataclasses.replace(config, **overrides)
 
     def cache():
         cfg = CodeCacheConfig(enabled=True, directory=cache_dir)
@@ -101,18 +148,33 @@ def cold_vs_warm(program, cache_dir, iterations=1, entry_arg=3,
             cfg.max_bytes = max_bytes
         return CodeCache(cfg)
 
+    # The cold run persists profiles (host-side only: write-backs do
+    # not touch the virtual clock) so the third run can seed from them.
     cold = run_once(program, iterations=iterations, entry_arg=entry_arg,
-                    control_config=config, code_cache=cache())
+                    control_config=variant(cache_profiles=profiles),
+                    code_cache=cache())
     warm = run_once(program, iterations=iterations, entry_arg=entry_arg,
                     control_config=config, code_cache=cache())
     if warm.result_value != cold.result_value:
         raise AssertionError(
             f"warm-start run changed the program result: "
             f"{warm.result_value!r} != {cold.result_value!r}")
+    warm_profiles = None
+    if profiles:
+        warm_profiles = run_once(
+            program, iterations=iterations, entry_arg=entry_arg,
+            control_config=variant(cache_tiering=True,
+                                   cache_profiles=True),
+            code_cache=cache())
+        if warm_profiles.result_value != cold.result_value:
+            raise AssertionError(
+                f"profile-seeded warm run changed the program result: "
+                f"{warm_profiles.result_value!r} != "
+                f"{cold.result_value!r}")
     return WarmStartResult(
         benchmark=program.name, iterations=iterations, cold=cold,
         warm=warm, relocation_cycles=config.relocation_cycles,
-        cache_dir=cache_dir)
+        cache_dir=cache_dir, warm_profiles=warm_profiles)
 
 
 def save_result(result, cache_dir):

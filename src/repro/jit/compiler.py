@@ -23,7 +23,7 @@ class CompiledMethod:
 
     __slots__ = ("method", "level", "modifier", "native",
                  "compile_cycles", "features", "install_time",
-                 "pass_log", "profile")
+                 "pass_log", "profile", "persisted_profile")
 
     def __init__(self, method, level, modifier, native, compile_cycles,
                  features, pass_log=()):
@@ -38,6 +38,10 @@ class CompiledMethod:
         # When the controller arms branch profiling (pre-scorching),
         # it installs the profile dict here; executions feed it.
         self.profile = None
+        # Set by the code cache on loaded bodies: the branch profile
+        # persisted with the entry ({} when the entry carried none).
+        # None means "compiled fresh this run, not loaded".
+        self.persisted_profile = None
 
     def execute(self, vm, args):
         return self.native.execute(vm, args, profile=self.profile)

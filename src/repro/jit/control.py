@@ -50,6 +50,18 @@ class ControlConfig:
     #: throughput of experiments matters and timing is measured per
     #: invocation, not end to end).
     immediate_install: bool = False
+    #: Cache-aware tiering (off by default): a compile request may
+    #: install a cached body of a *higher* level directly, skipping the
+    #: COLD/WARM stepping stones -- J9's AOT-then-recompile shape.  With
+    #: a cold or absent cache this is a no-op: probes live outside the
+    #: virtual clock, so decisions and cycle counts are untouched.
+    cache_tiering: bool = False
+    #: Profile persistence (off by default): gathered branch profiles
+    #: are written back into the entry of the body that collected them,
+    #: and warm hits seed live instrumentation from persisted profiles,
+    #: so the first scorching recompilation is profile-directed without
+    #: a full re-gathering phase.
+    cache_profiles: bool = False
 
     def __post_init__(self):
         if self.triggers is None:
@@ -127,6 +139,7 @@ class CompilationManager:
         self.records = []
         self.jit_free = 0
         self.total_compile_cycles = 0
+        self._model_digest = None  # lazily computed once per run
 
     # -- VM protocol ---------------------------------------------------------
 
@@ -183,8 +196,20 @@ class CompilationManager:
                 # method keeps heating up, the scorching recompilation
                 # consumes the profile (feedback-directed optimization,
                 # the instrumentation paper §8.1 says conflicts with
-                # data collection).
-                state.active.profile = {}
+                # data collection).  A warm-started body may carry the
+                # profile persisted with its cache entry: seed the
+                # instrumentation from it, so the scorching
+                # recompilation is profile-directed even before this
+                # run re-gathers anything.
+                seed = None
+                if self.config.cache_profiles:
+                    seed = state.active.persisted_profile
+                if seed:
+                    state.active.profile = dict(seed)
+                    if self.code_cache is not None:
+                        self.code_cache.stats.profile_seeds += 1
+                else:
+                    state.active.profile = {}
 
     def _target_level(self, state, hotness):
         """Highest level whose trigger this hotness reaches."""
@@ -225,9 +250,16 @@ class CompilationManager:
             vm.clock.advance(
                 int(compiled.compile_cycles * self.config.contention))
         self.records.append(CompileRecord(
-            method.signature, level, compiled.modifier,
+            method.signature, compiled.level, compiled.modifier,
             compiled.compile_cycles, now, install))
         self._install_if_due(state)
+
+    def _strategy_digest(self):
+        """Model-set digest for cache keying, computed once per run."""
+        if self._model_digest is None:
+            from repro.codecache.fingerprint import strategy_digest
+            self._model_digest = strategy_digest(self.strategy)
+        return self._model_digest
 
     def compile_method(self, method, level, state):
         """Run the actual compilation; overridable by the collection
@@ -237,33 +269,72 @@ class CompilationManager:
         When a persistent code cache is attached, the cache is probed
         first: a hit installs the cached body for the (small)
         ``relocation_cycles`` of the control config instead of paying
-        the full compilation, mirroring AOT load-and-relocate.  Bodies
-        compiled from a gathered branch profile bypass the cache in
-        both directions -- profiles are run-specific, and a shared
-        cache must stay profile-neutral.
+        the full compilation, mirroring AOT load-and-relocate.  With
+        ``cache_tiering`` enabled the probe walks *down* from the
+        controller's maximum level, so a warm start installs the best
+        persisted body directly instead of re-climbing through the
+        COLD/WARM stepping stones -- J9's AOT-then-recompile behavior.
+
+        Bodies compiled from a gathered branch profile are never
+        *loaded* from the cache -- the profile-directed recompilation
+        must consume this run's (possibly seeded) profile -- but with
+        ``cache_profiles`` enabled the gathered profile is written back
+        into the entry of the body that collected it, so later runs can
+        seed their instrumentation from it.
         """
         profile = None
         if level is OptLevel.SCORCHING and state.active is not None:
             profile = state.active.profile
         cache = self.code_cache
         if cache is None or profile:
+            if profile and cache is not None \
+                    and self.config.cache_profiles:
+                self._persist_profile(state, profile)
             return self.compiler.compile(method, level,
                                          strategy=self.strategy,
                                          profile=profile)
         resolver = self.compiler.method_resolver
-        modifier = self.compiler.choose_modifier(method, level,
-                                                 self.strategy)
-        cached = cache.load(
-            method, level, modifier, resolver=resolver,
-            relocation_cycles=self.config.relocation_cycles)
-        if cached is not None:
-            return cached
+        digest = self._strategy_digest()
+        candidates = [level]
+        if self.config.cache_tiering:
+            candidates = [lv for lv in reversed(list(OptLevel))
+                          if level < lv <= self.config.max_level]
+            candidates.append(level)
+        modifier = None
+        for candidate in candidates:
+            modifier = self.compiler.choose_modifier(method, candidate,
+                                                     self.strategy)
+            cached = cache.load(
+                method, candidate, modifier, resolver=resolver,
+                relocation_cycles=self.config.relocation_cycles,
+                model_digest=digest)
+            if cached is not None:
+                if candidate > level:
+                    cache.stats.tier_skips += 1
+                return cached
         compiled = self.compiler.compile(method, level,
                                          modifier=modifier,
                                          profile=profile)
         if compiled is not None:
-            cache.store(compiled, resolver=resolver)
+            cache.store(compiled, resolver=resolver,
+                        model_digest=digest)
         return compiled
+
+    def _persist_profile(self, state, profile):
+        """Write the gathered profile back to its collector's entry.
+
+        Only bodies compiled *this run* are written back: a body loaded
+        from the cache carries the relocation cost in
+        ``compile_cycles`` (re-storing it would corrupt the
+        cycles-saved accounting), and its entry already holds the
+        profile it was seeded from.
+        """
+        active = state.active
+        if active is None or active.persisted_profile is not None:
+            return
+        self.code_cache.store(
+            active, resolver=self.compiler.method_resolver,
+            model_digest=self._strategy_digest(), profile=profile)
 
     # -- reporting ---------------------------------------------------------
 

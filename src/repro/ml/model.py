@@ -8,6 +8,7 @@ patterns.  A :class:`ModelSet` groups the per-level models of one
 training run (e.g. one leave-one-out fold).
 """
 
+import hashlib
 import json
 import os
 
@@ -29,6 +30,33 @@ class LevelModel:
         self.svm = svm
         self.scaling = scaling
         self.label_table = label_table
+
+    def digest_into(self, h):
+        """Feed everything that shapes predictions into hash *h*.
+
+        Covers the learned SVM arrays (linear weights or RBF support
+        data -- duck-typed so both kernels hash), the scaling file
+        parameters and the label->modifier table: a change to any of
+        them can change a predicted plan, so all of them key the
+        persistent code cache.
+        """
+        h.update(f"level:{int(self.level)};".encode("ascii"))
+        for attr in ("W", "classes_", "X_", "dual_coef_"):
+            value = getattr(self.svm, attr, None)
+            if value is None:
+                continue
+            arr = np.ascontiguousarray(np.asarray(value))
+            h.update(f"{attr}:{arr.dtype.str}:{arr.shape};"
+                     .encode("ascii"))
+            h.update(arr.tobytes())
+        for attr in ("C", "gamma"):
+            value = getattr(self.svm, attr, None)
+            if value is not None:
+                h.update(f"{attr}:{float(value)!r};".encode("ascii"))
+        for bound in (self.scaling.minimum, self.scaling.maximum):
+            h.update(np.ascontiguousarray(bound).tobytes())
+        h.update(",".join(str(b) for b in self.label_table.all_bits())
+                 .encode("ascii"))
 
     def predict_label(self, raw_features):
         normalized = self.scaling.transform(
@@ -95,6 +123,20 @@ class ModelSet:
         if model is None:
             return None
         return model.predict_modifier(raw_features)
+
+    def digest(self):
+        """Content hash of every trained model in the set.
+
+        Keys the persistent code cache: flipping any learned weight,
+        scaling bound or label-table bit in any level model changes the
+        digest, so bodies planned by a retrained model set never alias
+        entries of its predecessor.  The set's *name* is deliberately
+        excluded -- two identically trained sets are interchangeable.
+        """
+        h = hashlib.sha256()
+        for level in sorted(self.models):
+            self.models[level].digest_into(h)
+        return h.hexdigest()[:24]
 
     def save(self, directory):
         os.makedirs(directory, exist_ok=True)

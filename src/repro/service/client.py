@@ -47,6 +47,18 @@ class ModelClient:
             return None
         return Modifier(bits)
 
+    def model_digest(self):
+        """Request the server's model-set digest (cache keying)."""
+        P.write_message(self._write, P.MSG_DIGEST)
+        kind, payload = P.read_message(self._read)
+        if kind != P.MSG_DIGEST_VALUE:
+            raise ProtocolError(
+                f"expected DIGEST_VALUE, got kind {kind}")
+        try:
+            return payload.decode("ascii")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"bad digest payload: {exc}")
+
     def shutdown(self):
         P.write_message(self._write, P.MSG_SHUTDOWN)
         kind, _ = P.read_message(self._read)

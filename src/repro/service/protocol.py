@@ -12,6 +12,10 @@ Kinds:
   sentinel ``NO_MODEL`` when the server has no model for that level
   (the compiler then uses the original plan).
 * ``MSG_SHUTDOWN``  -- server acknowledges and exits its loop.
+* ``MSG_DIGEST``    -- payload empty; response is a ``MSG_DIGEST_VALUE``
+  frame whose payload is the ASCII model-set digest (the content hash
+  of the server's trained weights/plan tables that keys the persistent
+  code cache).
 * ``MSG_ERROR``     -- server's rejection of a frame it does not
   understand (payload: u8 offending kind).  The server keeps serving
   afterwards; answering instead of dying keeps a confused client from
@@ -34,6 +38,8 @@ MSG_PONG = 4
 MSG_MODIFIER = 5
 MSG_BYE = 6
 MSG_ERROR = 7
+MSG_DIGEST = 8
+MSG_DIGEST_VALUE = 9
 
 #: Modifier-bits sentinel meaning "no model for this level".
 NO_MODEL = 0xFFFFFFFFFFFFFFFF

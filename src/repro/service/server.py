@@ -51,6 +51,10 @@ class ModelServer:
                 bits = P.NO_MODEL if modifier is None else modifier.bits
                 P.write_message(write_fn, P.MSG_MODIFIER,
                                 P.encode_modifier(bits))
+            elif kind == P.MSG_DIGEST:
+                digest = self.model_set.digest()
+                P.write_message(write_fn, P.MSG_DIGEST_VALUE,
+                                digest.encode("ascii"))
             elif kind == P.MSG_SHUTDOWN:
                 P.write_message(write_fn, P.MSG_BYE)
                 break

@@ -32,6 +32,16 @@ class ModelStrategy:
         self.predictions += 1
         return model.predict_modifier(features)
 
+    def model_digest(self):
+        """Content hash of the learned weights/plan tables.
+
+        The persistent code cache folds this into its entry keys, so a
+        retrained model set invalidates every cached body its
+        predecessor planned (stale-plan protection).  Computed per call:
+        the set is mutable in experiments (weight surgery in tests).
+        """
+        return self.model_set.digest()
+
 
 class ServiceStrategy:
     """Out-of-process model consultation over the pipe protocol."""
@@ -39,7 +49,20 @@ class ServiceStrategy:
     def __init__(self, client):
         self.client = client
         self.predictions = 0
+        self._digest = None
 
     def choose_modifier(self, method, level, features):
         self.predictions += 1
         return self.client.predict(int(level), features)
+
+    def model_digest(self):
+        """Digest of the server-side model set (one query, cached).
+
+        A server restart with a different model set means a new
+        connection and a fresh strategy, so caching the answer per
+        strategy instance is sound -- and keeps the cache key handshake
+        to one pipe round-trip per VM run.
+        """
+        if self._digest is None:
+            self._digest = self.client.model_digest()
+        return self._digest

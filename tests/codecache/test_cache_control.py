@@ -1,0 +1,279 @@
+"""The cache-aware controller policy: tiering and profile seeding.
+
+Deterministic (non-property) tests of the two ``ControlConfig`` flags
+added with the profile-directed warm starts:
+
+* ``cache_tiering`` -- a compile request may install a cached body of a
+  *higher* level directly, skipping the COLD/WARM stepping stones.
+* ``cache_profiles`` -- gathered branch profiles are written back into
+  the collector's cache entry, and warm hits seed live instrumentation
+  from the persisted profile so the first scorching recompilation is
+  profile-directed.
+
+Both flags default off; with a cold or absent cache they must be
+cycle-identical no-ops.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager, ControlConfig
+from repro.jit.plans import OptLevel
+
+from tests.codecache.test_store import add_method
+from tests.conftest import vm_with
+
+#: Low, loop-class-independent triggers: with sampling hotness off and
+#: immediate installs, every level is requested exactly at its trigger
+#: count, in order, so ~300 host-side calls walk a method through the
+#: whole tier ladder -- and the VERY_HOT body's instrumentation runs
+#: for 120 invocations before the SCORCHING (FDO) request consumes it.
+LOW_TRIGGERS = {
+    OptLevel.COLD: (3, 3, 3),
+    OptLevel.WARM: (14, 14, 14),
+    OptLevel.HOT: (40, 40, 40),
+    OptLevel.VERY_HOT: (80, 80, 80),
+    OptLevel.SCORCHING: (200, 200, 200),
+}
+
+
+def config(**overrides):
+    return ControlConfig(triggers=dict(LOW_TRIGGERS),
+                         sample_weight=0.0, immediate_install=True,
+                         **overrides)
+
+
+def open_cache(tmp_path, **overrides):
+    return CodeCache(CodeCacheConfig(
+        enabled=True, directory=str(tmp_path / "cc"), **overrides))
+
+
+class RecordingCompiler(JitCompiler):
+    """Captures the profile argument of every FDO compilation."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fdo_profiles = []
+
+    def compile(self, method, level, modifier=None, strategy=None,
+                profile=None):
+        if profile:
+            self.fdo_profiles.append(
+                (method.signature, level, dict(profile)))
+        return super().compile(method, level, modifier=modifier,
+                               strategy=strategy, profile=profile)
+
+
+def drive(cfg, cache, calls=300, arg=9, compiler_cls=JitCompiler):
+    """Run *calls* invocations of a fresh loop method under *cfg*."""
+    method = add_method()
+    vm = vm_with(method)
+    compiler = compiler_cls(method_resolver=vm._methods.get)
+    manager = CompilationManager(compiler, config=cfg, code_cache=cache)
+    vm.attach_manager(manager)
+    result = None
+    for _ in range(calls):
+        result = vm.call(method.signature, arg)
+    return vm, manager, compiler, result
+
+
+class TestColdCacheIsANoOp:
+    def test_policy_flags_with_cold_cache_are_cycle_identical(
+            self, tmp_path):
+        """The acceptance bar: cache disabled, or enabled-but-cold with
+        both policy flags on, produce identical virtual-clock traces --
+        probes and profile write-backs live outside the clock."""
+        base_vm, base_mgr, _c, base_out = drive(config(), None)
+        flags = config(cache_tiering=True, cache_profiles=True)
+        vm, mgr, _c, out = drive(flags, open_cache(tmp_path))
+        assert out == base_out
+        assert vm.clock.now() == base_vm.clock.now()
+        assert mgr.total_compile_cycles == base_mgr.total_compile_cycles
+        assert ([(r.level, r.compile_cycles, r.installed_at)
+                 for r in mgr.records]
+                == [(r.level, r.compile_cycles, r.installed_at)
+                    for r in base_mgr.records])
+
+    def test_flags_off_warm_run_matches_pr1_policy(self, tmp_path):
+        """With both flags off a populated cache behaves exactly as the
+        plain load-per-requested-level policy: no tier skips, no
+        seeding."""
+        drive(config(), open_cache(tmp_path))
+        cache = open_cache(tmp_path)
+        _vm, mgr, _c, _out = drive(config(), cache)
+        assert cache.stats.hits > 0
+        assert cache.stats.tier_skips == 0
+        assert cache.stats.profile_seeds == 0
+
+
+class TestProfilePersistence:
+    def test_scorching_request_writes_profile_back(self, tmp_path):
+        cache = open_cache(tmp_path)
+        _vm, mgr, _c, _out = drive(config(cache_profiles=True), cache)
+        levels = [r.level for r in mgr.records]
+        assert OptLevel.SCORCHING in levels
+        assert cache.stats.profile_stores == 1
+        # The write-back landed in the VERY_HOT collector's entry.
+        ok, bad = cache.verify()
+        assert not bad
+        with_profile = [meta for _e, meta in ok if meta["has_profile"]]
+        assert len(with_profile) == 1
+        assert with_profile[0]["level"] is OptLevel.VERY_HOT
+        assert with_profile[0]["profile_points"] > 0
+
+    def test_warm_hit_seeds_instrumentation(self, tmp_path):
+        drive(config(cache_profiles=True), open_cache(tmp_path))
+        cache = open_cache(tmp_path)
+        _vm, _mgr, _c, _out = drive(config(cache_profiles=True), cache)
+        assert cache.stats.profile_hits >= 1
+        assert cache.stats.profile_seeds == 1
+
+    def test_seeding_respects_the_flag(self, tmp_path):
+        """A persisted profile is ignored unless cache_profiles is on
+        in *this* run, so the flag alone controls the behavior."""
+        drive(config(cache_profiles=True), open_cache(tmp_path))
+        cache = open_cache(tmp_path)
+        _vm, _mgr, _c, _out = drive(config(), cache)
+        assert cache.stats.profile_hits >= 1  # the entry carries one
+        assert cache.stats.profile_seeds == 0  # but nobody consumed it
+
+    def test_first_scorching_consumes_persisted_profile(self, tmp_path):
+        """The acceptance criterion: after a warm start, the first
+        SCORCHING compilation is fed the profile persisted in the
+        cache.  A sentinel profile point at an impossible bytecode pc
+        proves the data came from the entry, not from this run's
+        re-gathering."""
+        method = add_method()
+        vm = vm_with(method)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        collector = compiler.compile(method, OptLevel.VERY_HOT)
+        cache = open_cache(tmp_path)
+        sentinel = {(999, True): 7}
+        assert cache.store(collector, resolver=vm._methods.get,
+                           profile=sentinel)
+
+        warm_cache = open_cache(tmp_path)
+        _vm, mgr, rec, _out = drive(config(cache_profiles=True),
+                                    warm_cache,
+                                    compiler_cls=RecordingCompiler)
+        assert warm_cache.stats.profile_seeds == 1
+        assert rec.fdo_profiles, "no profile-directed compilation ran"
+        signature, level, profile = rec.fdo_profiles[0]
+        assert level is OptLevel.SCORCHING
+        # The sentinel survived store -> load -> seed -> FDO consume,
+        # alongside the counts this run's instrumentation added.
+        assert profile[(999, True)] >= 7
+        assert len(profile) > 1
+
+    def test_loaded_bodies_are_never_written_back(self, tmp_path):
+        """Write-back only covers bodies compiled this run: a loaded
+        body's compile_cycles was clobbered to the relocation cost, so
+        re-storing it would corrupt the cycles-saved accounting."""
+        drive(config(cache_profiles=True), open_cache(tmp_path))
+        cache = open_cache(tmp_path)
+        _vm, _mgr, _c, _out = drive(config(cache_profiles=True), cache)
+        # The second run's collector was a cache hit; its entry already
+        # has the profile, so no second write-back happens.
+        assert cache.stats.profile_stores == 0
+        # And the cycles-saved credit of a third run is still based on
+        # real compile costs, not relocation costs.
+        cache3 = open_cache(tmp_path)
+        _vm, _mgr, _c, _out = drive(config(cache_profiles=True), cache3)
+        assert cache3.stats.cycles_saved > 0
+
+
+class TestCacheTiering:
+    def test_warm_start_installs_best_cached_level_first(self, tmp_path):
+        cold_cache = open_cache(tmp_path)
+        _vm, cold_mgr, _c, cold_out = drive(
+            config(cache_profiles=True), cold_cache)
+        cold_levels = [r.level for r in cold_mgr.records]
+        assert cold_levels == [OptLevel.COLD, OptLevel.WARM,
+                               OptLevel.HOT, OptLevel.VERY_HOT,
+                               OptLevel.SCORCHING]
+
+        cache = open_cache(tmp_path)
+        flags = config(cache_tiering=True, cache_profiles=True)
+        _vm, mgr, _c, out = drive(flags, cache)
+        assert out == cold_out
+        warm_levels = [r.level for r in mgr.records]
+        # First request (at the COLD trigger) installs the best cached
+        # body -- VERY_HOT; SCORCHING was never cached (FDO bodies are
+        # not loadable) and is recompiled fresh, profile-directed.
+        assert warm_levels == [OptLevel.VERY_HOT, OptLevel.SCORCHING]
+        assert cache.stats.tier_skips == 1
+        assert cache.stats.profile_seeds == 1
+        assert len(mgr.records) < len(cold_mgr.records)
+
+    def test_tiering_never_exceeds_max_level(self, tmp_path):
+        drive(config(cache_profiles=True), open_cache(tmp_path))
+        cache = open_cache(tmp_path)
+        capped = config(cache_tiering=True,
+                        max_level=OptLevel.WARM)
+        _vm, mgr, _c, _out = drive(capped, cache)
+        assert all(r.level <= OptLevel.WARM for r in mgr.records)
+
+    def test_tiering_on_cold_cache_climbs_normally(self, tmp_path):
+        flags = config(cache_tiering=True, cache_profiles=True)
+        _vm, mgr, _c, _out = drive(flags, open_cache(tmp_path))
+        assert [r.level for r in mgr.records] == [
+            OptLevel.COLD, OptLevel.WARM, OptLevel.HOT,
+            OptLevel.VERY_HOT, OptLevel.SCORCHING]
+
+
+class TestModelDigestKeying:
+    class _FixedDigestStrategy:
+        prediction_cost_cycles = 0
+
+        def __init__(self, digest):
+            self._digest = digest
+
+        def choose_modifier(self, method, level, features):
+            return None  # null modifier: plans identical across digests
+
+        def model_digest(self):
+            return self._digest
+
+    def test_retrained_model_misses_old_entries(self, tmp_path):
+        cfg = config()
+        cache = open_cache(tmp_path)
+        method = add_method()
+        vm = vm_with(method)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        manager = CompilationManager(
+            compiler, strategy=self._FixedDigestStrategy("aaaa"),
+            config=cfg, code_cache=cache)
+        vm.attach_manager(manager)
+        for _ in range(8):
+            vm.call(method.signature, 9)
+        assert cache.stats.stores > 0
+
+        # Same code, same plans -- but a different model digest: every
+        # probe misses, nothing is invalidated (the old model's entries
+        # stay valid for the old model).
+        cache2 = open_cache(tmp_path)
+        vm2 = vm_with(add_method())
+        compiler2 = JitCompiler(method_resolver=vm2._methods.get)
+        manager2 = CompilationManager(
+            compiler2, strategy=self._FixedDigestStrategy("bbbb"),
+            config=dataclasses.replace(cfg), code_cache=cache2)
+        vm2.attach_manager(manager2)
+        for _ in range(8):
+            vm2.call(method.signature, 9)
+        assert cache2.stats.hits == 0
+        assert cache2.stats.invalidations == 0
+
+        # The original model set still hits its own entries.
+        cache3 = open_cache(tmp_path)
+        vm3 = vm_with(add_method())
+        compiler3 = JitCompiler(method_resolver=vm3._methods.get)
+        manager3 = CompilationManager(
+            compiler3, strategy=self._FixedDigestStrategy("aaaa"),
+            config=dataclasses.replace(cfg), code_cache=cache3)
+        vm3.attach_manager(manager3)
+        for _ in range(8):
+            vm3.call(method.signature, 9)
+        assert cache3.stats.hits > 0

@@ -2,6 +2,8 @@
 
 import os
 
+import pytest
+
 from repro.__main__ import main
 from repro.codecache import CodeCache, CodeCacheConfig
 from repro.jit.compiler import JitCompiler
@@ -72,3 +74,78 @@ def test_warmstart_command(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "start-up speedup" in out
     assert "compile-cycle reduction" in out
+    assert "warm+prof" in out
+    assert "speedup (cold/warm+profiles)" in out
+
+
+def test_warmstart_no_profiles_is_the_pr1_pair(tmp_path, capsys):
+    main(["warmstart", "compress", "--no-profiles",
+          "--cache-dir", str(tmp_path / "cache")])
+    out = capsys.readouterr().out
+    assert "start-up speedup" in out
+    assert "warm+prof" not in out
+
+
+def test_run_with_tiering_and_profiles(tmp_path, capsys):
+    directory = str(tmp_path / "cache")
+    flags = ["--cache-dir", directory, "--cache-tiering",
+             "--cache-profiles"]
+    main(["run", "compress"] + flags)
+    capsys.readouterr()
+    main(["run", "compress"] + flags)
+    second = capsys.readouterr().out
+    assert "tier skips" in second
+
+
+class TestCliErrorPaths:
+    """Bad input earns a message, never a traceback."""
+
+    def test_cache_stats_missing_dir(self, tmp_path):
+        missing = str(tmp_path / "nowhere")
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "stats", "--dir", missing])
+        assert "no such cache directory" in str(exc.value.code)
+
+    def test_cache_verify_missing_dir(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "verify", "--dir", str(tmp_path / "gone")])
+        assert "no such cache directory" in str(exc.value.code)
+
+    def test_cache_prune_missing_dir(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["cache", "prune", "--dir", str(tmp_path / "gone")])
+        assert "no such cache directory" in str(exc.value.code)
+
+    def test_cache_stats_empty_dir(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        main(["cache", "stats", "--dir", str(empty)])
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cache_verify_empty_dir(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["cache", "verify", "--dir", str(empty)]) in (0,
+                                                                  None)
+        assert "0 entries ok, 0 corrupt" in capsys.readouterr().out
+
+    def test_cache_stats_all_entries_garbage(self, tmp_path, capsys):
+        directory, cache = populate(tmp_path, n=2)
+        for entry in cache.entries():
+            with open(entry.path, "wb") as fh:
+                fh.write(b"\x00" * 64)
+        main(["cache", "stats", "--dir", directory])
+        out = capsys.readouterr().out
+        assert "2 corrupt entries" in out
+
+    def test_run_readonly_on_missing_cache(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["run", "compress", "--cache-dir",
+                  str(tmp_path / "gone"), "--cache-readonly"])
+        assert "no such cache directory" in str(exc.value.code)
+
+    def test_run_policy_flags_require_cache_dir(self):
+        for flag in ("--cache-tiering", "--cache-profiles"):
+            with pytest.raises(SystemExit) as exc:
+                main(["run", "compress", flag])
+            assert "--cache-dir" in str(exc.value.code)

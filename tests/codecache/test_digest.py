@@ -1,0 +1,119 @@
+"""The model-set digest that keys the persistent code cache.
+
+Flipping any learned weight, scaling bound or label-table bit must
+change :meth:`repro.ml.model.ModelSet.digest`, so a retrained model's
+plans never alias a predecessor's cached bodies; heuristic (model-less)
+runs key under a fixed sentinel instead.
+"""
+
+
+import numpy as np
+import pytest
+
+from repro.codecache import HEURISTIC_DIGEST, strategy_digest
+from repro.jit.plans import OptLevel
+from repro.ml.dataset import Scaling
+from repro.ml.model import LevelModel, ModelSet
+from repro.ml.ranking import LabelTable
+from repro.ml.svm.linear import LinearSVC
+from repro.service.strategy import ModelStrategy
+
+
+def make_set(name="fold", levels=(OptLevel.COLD, OptLevel.WARM)):
+    """A small hand-built model set (no training: tests stay fast)."""
+    models = {}
+    for k, level in enumerate(levels):
+        svm = LinearSVC(C=10.0)
+        svm.W = (np.arange(12, dtype=np.float64).reshape(3, 4)
+                 + 100.0 * k)
+        svm.classes_ = np.array([1, 2, 3])
+        scaling = Scaling(np.zeros(4), np.ones(4) * (k + 1))
+        table = LabelTable([0, 5, 9])
+        models[level] = LevelModel(level, svm, scaling, table)
+    return ModelSet(name, models)
+
+
+class TestModelSetDigest:
+    def test_identical_sets_share_a_digest(self):
+        assert make_set().digest() == make_set().digest()
+
+    def test_name_is_excluded(self):
+        assert make_set(name="a").digest() == make_set(name="b").digest()
+
+    def test_any_weight_flip_changes_the_digest(self):
+        base = make_set().digest()
+        for level in (OptLevel.COLD, OptLevel.WARM):
+            for i in range(3):
+                for j in range(4):
+                    tweaked = make_set()
+                    tweaked.models[level].svm.W[i, j] += 1e-9
+                    assert tweaked.digest() != base, \
+                        f"W[{i},{j}] flip at {level.name} undetected"
+
+    def test_scaling_and_label_table_are_covered(self):
+        base = make_set().digest()
+        s = make_set()
+        s.models[OptLevel.COLD].scaling.maximum[2] += 0.5
+        assert s.digest() != base
+        t = make_set()
+        t.models[OptLevel.WARM].label_table.label_for(123)
+        assert t.digest() != base
+
+    def test_adding_a_level_changes_the_digest(self):
+        small = make_set(levels=(OptLevel.COLD,))
+        assert small.digest() != make_set().digest()
+
+    def test_digest_is_short_stable_hex(self):
+        digest = make_set().digest()
+        assert len(digest) == 24
+        int(digest, 16)  # hex or raise
+
+    def test_rbf_support_data_hashes_too(self):
+        """digest_into duck-types the svm: RBF-style attributes (X_,
+        dual_coef_, gamma) are covered when present."""
+
+        class FakeRbf:
+            X_ = np.ones((2, 4))
+            dual_coef_ = np.ones((1, 2))
+            gamma = 0.5
+            C = 10.0
+
+        def with_rbf(gamma):
+            s = make_set(levels=(OptLevel.COLD,))
+            rbf = FakeRbf()
+            rbf.gamma = gamma
+            s.models[OptLevel.COLD].svm = rbf
+            return s.digest()
+
+        assert with_rbf(0.5) == with_rbf(0.5)
+        assert with_rbf(0.5) != with_rbf(0.25)
+        assert with_rbf(0.5) != make_set(levels=(OptLevel.COLD,)).digest()
+
+
+class TestStrategyDigest:
+    def test_no_strategy_keys_under_the_sentinel(self):
+        assert strategy_digest(None) == HEURISTIC_DIGEST
+
+    def test_model_strategy_exposes_the_set_digest(self):
+        model_set = make_set()
+        strategy = ModelStrategy(model_set)
+        assert strategy.model_digest() == model_set.digest()
+        assert strategy_digest(strategy) == model_set.digest()
+
+    def test_mutating_the_set_is_visible_through_the_strategy(self):
+        model_set = make_set()
+        strategy = ModelStrategy(model_set)
+        before = strategy_digest(strategy)
+        model_set.models[OptLevel.COLD].svm.W[0, 0] += 1.0
+        assert strategy_digest(strategy) != before
+
+    def test_unkeyed_strategies_get_a_stable_class_digest(self):
+        class Heuristicish:
+            def choose_modifier(self, method, level, features):
+                return None
+
+        a, b = strategy_digest(Heuristicish()), \
+            strategy_digest(Heuristicish())
+        assert a == b
+        assert a != HEURISTIC_DIGEST
+        assert a != strategy_digest(None)

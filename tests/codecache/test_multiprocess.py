@@ -1,0 +1,128 @@
+"""Multi-process shared-cache stress: writers, a reader, LRU pressure.
+
+The real shared classes cache is one memory-mapped file serving many
+JVMs at once.  Our analogue is a directory of atomically-replaced
+entry files, so the safety argument is: concurrent writers (including
+writers of the *same* key), a read-only reader and size-capped stores
+evicting under each other's feet must never crash any participant --
+and must never leave a torn entry on disk (``verify`` finds zero bad
+entries once everyone has exited).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.codecache import CodeCache, CodeCacheConfig
+
+#: Worker script: argv = (cache_dir, role, worker_id, rounds).
+#: Each writer compiles a few tiny methods once, then hammers the
+#: store under many distinct model digests (cheap way to many keys),
+#: half the time with a profile section attached.  Writers share some
+#: method names across processes, so same-key races happen for real.
+WORKER = r"""
+import sys
+
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.jit.compiler import JitCompiler
+from repro.jit.modifiers import Modifier
+from repro.jit.plans import OptLevel
+from repro.jvm.asm import Assembler
+from repro.jvm.bytecode import JType
+from repro.jvm.classfile import JClass, JMethod, MethodModifiers
+from repro.jvm.vm import VirtualMachine
+
+directory, role, wid, rounds = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), int(sys.argv[4]))
+
+
+def make_method(extra, name):
+    a = Assembler()
+    a.iconst(0).store(1)
+    a.iconst(0).store(2)
+    top = a.label()
+    a.load(2).load(0).cmp().ifge("end")
+    a.load(1).load(2).add().store(1)
+    a.inc(2, 1).goto(top)
+    a.mark("end")
+    a.load(1).iconst(extra).add().retval()
+    return JMethod("T", name, (JType.INT,), JType.INT, a.assemble(),
+                   modifiers=MethodModifiers.PUBLIC, num_temps=2)
+
+
+# Two shared methods every process contends on + one private one.
+methods = [make_method(1, "shared_a"), make_method(2, "shared_b"),
+           make_method(3 + wid, f"private_{wid}")]
+vm = VirtualMachine()
+jclass = JClass("T")
+for m in methods:
+    jclass.add_method(m)
+vm.load_class(jclass)
+compiler = JitCompiler(method_resolver=vm._methods.get)
+
+if role == "reader":
+    cache = CodeCache(CodeCacheConfig(
+        enabled=True, directory=directory, read_only=True))
+    for i in range(rounds):
+        for m in methods[:2]:
+            cache.load(m, OptLevel.WARM, Modifier.null(),
+                       resolver=vm._methods.get,
+                       model_digest=f"d{i % 5}")
+        cache.verify()
+    sys.exit(0)
+
+max_bytes = 6_000 if role == "pressured" else 64 * 1024 * 1024
+cache = CodeCache(CodeCacheConfig(
+    enabled=True, directory=directory, max_bytes=max_bytes))
+compiled = [compiler.compile(m, OptLevel.WARM) for m in methods]
+for i in range(rounds):
+    body = compiled[i % len(compiled)]
+    profile = {(i % 13, i % 2 == 0): i} if i % 2 else None
+    cache.store(body, resolver=vm._methods.get,
+                model_digest=f"d{i % 5}", profile=profile)
+    if i % 3 == 0:
+        cache.load(body.method, OptLevel.WARM, Modifier.null(),
+                   resolver=vm._methods.get, model_digest=f"d{i % 5}")
+sys.exit(0)
+"""
+
+
+@pytest.mark.parametrize("rounds", [40])
+def test_concurrent_writers_readers_and_eviction(tmp_path, rounds):
+    directory = str(tmp_path / "shared-cc")
+    # Pre-create so the read-only reader finds the directory.
+    os.makedirs(os.path.join(directory, "entries"))
+
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+        env.get("PYTHONPATH", "")
+
+    def spawn(role, wid):
+        return subprocess.Popen(
+            [sys.executable, "-c", WORKER, directory, role, str(wid),
+             str(rounds)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+
+    procs = [spawn("writer", 0), spawn("writer", 1),
+             spawn("pressured", 2), spawn("pressured", 3),
+             spawn("reader", 4)]
+    failures = []
+    for proc in procs:
+        out, err = proc.communicate(timeout=300)
+        if proc.returncode != 0:
+            failures.append((proc.args[3:6], proc.returncode,
+                             err.decode(errors="replace")[-2000:]))
+    assert not failures, f"workers crashed: {failures}"
+
+    # Quiescent state: every surviving entry decodes cleanly.
+    cache = CodeCache(CodeCacheConfig(enabled=True, directory=directory))
+    ok, bad = cache.verify()
+    assert bad == []
+    assert len(ok) > 0
+    # No writer left a temp file behind.
+    leftovers = [n for n in os.listdir(cache.entries_dir)
+                 if n.endswith(".tmp")]
+    assert leftovers == []

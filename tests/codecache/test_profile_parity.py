@@ -1,0 +1,154 @@
+"""Differential parity: profile-seeded warm starts never change behavior.
+
+The keystone property of the profile-directed warm start: for randomly
+generated programs, a VM that loads cached bodies, skips tiering
+stepping stones and seeds branch instrumentation from persisted
+profiles produces **bit-identical outcomes** -- the same result or
+guest exception on every iteration -- as the cold VM that compiled
+everything from scratch, at every optimization level reached and under
+arbitrary plan modifiers.  Allocation and monitor-operation counts are
+*not* compared across tier timelines: stackAllocation and
+monitorElision legitimately remove them at higher levels, and tiering
+exists precisely to reach those levels sooner.  A cold cache, however,
+must be a perfect no-op: identical outcomes *and* identical allocation
+/ monitor counts *and* an identical virtual-clock trace.
+
+Mirrors the generator setup of ``tests/jit/test_equivalence.py`` /
+``test_serialize.py``.
+"""
+
+import tempfile
+import zlib
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager, ControlConfig
+from repro.jit.modifiers import random_modifiers
+from repro.jit.plans import OptLevel
+from repro.jvm.vm import VirtualMachine
+from repro.workloads.generator import generate_program
+from repro.workloads.profiles import WorkloadProfile
+
+#: Aggressively low triggers: generated entry points run a few dozen
+#: invocation-equivalents, so this ladder pushes the hot ones through
+#: every level (sampling hotness stays on -- timing-dependent level
+#: choices are part of what must not change behavior).
+LOW_TRIGGERS = {
+    OptLevel.COLD: (2, 2, 2),
+    OptLevel.WARM: (5, 4, 3),
+    OptLevel.HOT: (9, 7, 5),
+    OptLevel.VERY_HOT: (14, 11, 8),
+    OptLevel.SCORCHING: (22, 18, 13),
+}
+
+
+def small_profile(seed):
+    return WorkloadProfile(
+        name=f"pp{seed}", n_methods=6, loop_weight=0.7,
+        heavy_loop_weight=0.3, fp_weight=0.4, alloc_weight=0.4,
+        array_weight=0.5, exception_weight=0.3, decimal_weight=0.2,
+        unsafe_weight=0.1, sync_weight=0.2, call_weight=0.5,
+        loop_iters=6, heavy_loop_iters=20, phase_calls=3,
+        sweep_repeats=1)
+
+
+class SeededModifierStrategy:
+    """Deterministic per-(method, level) random modifiers + a digest.
+
+    Stands in for a trained model: plan modifiers vary arbitrarily
+    across methods and levels, but identically across the cold and
+    warm runs of one example -- and the digest keys the cache.
+    """
+
+    prediction_cost_cycles = 0
+
+    def __init__(self, seed):
+        self.seed = seed
+
+    def choose_modifier(self, method, level, features):
+        salt = zlib.crc32(method.signature.encode("utf-8"))
+        rng = np.random.default_rng(
+            (self.seed, int(level), salt))
+        return random_modifiers(rng, 1)[0]
+
+    def model_digest(self):
+        return f"seeded-{self.seed}"
+
+
+def run_vm(program, mod_seed, cache, iterations=3, entry_arg=5,
+           **config_overrides):
+    config = ControlConfig(triggers={lv: tuple(t) for lv, t
+                                     in LOW_TRIGGERS.items()},
+                           **config_overrides)
+    vm = VirtualMachine()
+    vm.load_program(program)
+    compiler = JitCompiler(method_resolver=vm._methods.get)
+    manager = CompilationManager(
+        compiler, strategy=SeededModifierStrategy(mod_seed),
+        config=config, code_cache=cache)
+    vm.attach_manager(manager)
+    outcomes = []
+    for _ in range(iterations):
+        try:
+            outcomes.append(("ok", vm.call(program.entry, entry_arg)))
+        except Exception as exc:  # guest exception: a valid outcome
+            outcomes.append(("raised", type(exc).__name__, str(exc)))
+    observable = (tuple(outcomes), vm.stats["allocations"],
+                  vm.stats["monitor_ops"])
+    return observable, vm, manager
+
+
+def outcomes_of(observable):
+    return observable[0]
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2_000), mod_seed=st.integers(0, 100))
+def test_profile_seeded_warm_run_is_observably_identical(seed, mod_seed):
+    rng = np.random.default_rng(seed)
+    program = generate_program(small_profile(seed), rng)
+    with tempfile.TemporaryDirectory(prefix="repro-parity-") as tmp:
+        def cache():
+            return CodeCache(CodeCacheConfig(enabled=True,
+                                             directory=tmp))
+
+        baseline, base_vm, _m = run_vm(program, mod_seed, None)
+
+        cold, cold_vm, _m = run_vm(program, mod_seed, cache(),
+                                   cache_tiering=True,
+                                   cache_profiles=True)
+        # Cold cache + policy flags: a perfect no-op, cycle-identical.
+        assert cold == baseline
+        assert cold_vm.clock.now() == base_vm.clock.now()
+
+        warm, _vm, warm_mgr = run_vm(program, mod_seed, cache(),
+                                     cache_tiering=True,
+                                     cache_profiles=True)
+        # Warm + profiles: timing (and tier-dependent optimization
+        # effects) may differ, outcomes must not.
+        assert outcomes_of(warm) == outcomes_of(baseline)
+        assert warm_mgr.code_cache.stats.hits > 0
+
+
+@settings(max_examples=3, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2_000))
+def test_plain_warm_run_is_observably_identical(seed):
+    """The PR-1 policy (no flags) under the same differential harness:
+    loaded bodies alone never change behavior either."""
+    rng = np.random.default_rng(seed)
+    program = generate_program(small_profile(seed), rng)
+    with tempfile.TemporaryDirectory(prefix="repro-parity-") as tmp:
+        def cache():
+            return CodeCache(CodeCacheConfig(enabled=True,
+                                             directory=tmp))
+
+        baseline, _vm, _m = run_vm(program, 7, None)
+        cold, _vm, _m = run_vm(program, 7, cache())
+        warm, _vm, _m = run_vm(program, 7, cache())
+        assert cold == baseline
+        assert outcomes_of(warm) == outcomes_of(baseline)

@@ -9,6 +9,7 @@ Mirrors the interpreter-equivalence property of
 """
 
 import math
+import zlib
 
 import numpy as np
 import pytest
@@ -16,9 +17,18 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.codecache import (
     FORMAT_VERSION,
+    decode_profile,
     describe_blob,
     deserialize_compiled,
+    encode_profile,
     serialize_compiled,
+)
+from repro.codecache.serialize import (
+    _CRC,
+    _HEADER,
+    MAGIC,
+    _encode,
+    _pack_payload,
 )
 from repro.errors import CodeCacheError
 from repro.jit.compiler import JitCompiler
@@ -162,7 +172,7 @@ class TestBlobValidation:
         blob, method, _ = self._blob()
         with pytest.raises(CodeCacheError, match="magic"):
             deserialize_compiled(b"XXXX" + blob[4:], method)
-        assert FORMAT_VERSION == 1
+        assert FORMAT_VERSION == 2
         versioned = bytearray(blob)
         versioned[4] = 99  # u16 version little-endian low byte
         with pytest.raises(CodeCacheError, match="version"):
@@ -174,3 +184,141 @@ class TestBlobValidation:
         other = other_program.methods()[-1]
         with pytest.raises(CodeCacheError):
             deserialize_compiled(blob, other)
+
+
+#: Well-formed branch-profile dicts: (bytecode pc, taken) -> count.
+profile_dicts = st.dictionaries(
+    st.tuples(st.integers(0, 10_000), st.booleans()),
+    st.integers(0, 2**40),
+    max_size=40)
+
+
+def _frame(version, payload):
+    """Assemble a raw blob from an explicit version and payload value."""
+    out = bytearray(_HEADER.pack(MAGIC, version))
+    _encode(out, payload)
+    out += _CRC.pack(zlib.crc32(bytes(out)) & 0xFFFFFFFF)
+    return bytes(out)
+
+
+class TestProfileSection:
+    def _compiled(self):
+        vm, program = build_vm(11)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        method = program.methods()[0]
+        return compiler.compile(method, OptLevel.VERY_HOT), method
+
+    @settings(max_examples=50, deadline=None)
+    @given(profile=profile_dicts)
+    def test_profile_codec_round_trip_identity(self, profile):
+        assert decode_profile(encode_profile(profile)) == profile
+
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(profile=profile_dicts)
+    def test_blob_round_trip_restores_profile(self, profile):
+        compiled, method = self._compiled()
+        blob = serialize_compiled(compiled, profile=profile)
+        restored = deserialize_compiled(blob, method)
+        assert restored.persisted_profile == profile
+        meta = describe_blob(blob)
+        assert meta["has_profile"]
+        assert meta["profile_points"] == len(profile)
+
+    def test_profileless_blob_restores_empty_dict(self):
+        compiled, method = self._compiled()
+        restored = deserialize_compiled(serialize_compiled(compiled),
+                                        method)
+        assert restored.persisted_profile == {}
+        assert not describe_blob(
+            serialize_compiled(compiled))["has_profile"]
+        # Fresh compilations, by contrast, are marked None.
+        assert compiled.persisted_profile is None
+
+    def test_malformed_profiles_rejected_on_encode(self):
+        compiled, _method = self._compiled()
+        for bad in ({"pc": 1}, {(1,): 1}, {(1, 2): 1},
+                    {(True, True): 1}, {(1, True): -1},
+                    {(1, True): "x"}):
+            with pytest.raises(CodeCacheError):
+                serialize_compiled(compiled, profile=bad)
+
+    def test_malformed_profile_records_rejected_on_decode(self):
+        for bad in ("x", ((1, True),), ((1, 2, 3),),
+                    ((-1, True, 1),), ((1, True, -1),),
+                    ((True, True, 1),), ((1, True, True),)):
+            with pytest.raises(CodeCacheError):
+                decode_profile(bad)
+
+    def test_duplicate_profile_section_rejected(self):
+        compiled, method = self._compiled()
+        payload = list(_pack_payload(compiled, {(1, True): 2}))
+        payload[11] = payload[11] * 2  # profile section twice
+        with pytest.raises(CodeCacheError, match="duplicate"):
+            deserialize_compiled(
+                _frame(FORMAT_VERSION, tuple(payload)), method)
+
+    def test_unknown_section_tags_are_skipped(self):
+        """Forward compatibility within the version: a minor addition
+        must not brick this reader."""
+        compiled, method = self._compiled()
+        payload = list(_pack_payload(compiled, {(4, False): 9}))
+        payload[11] = (("future-tag", (1, 2, 3)),) + payload[11]
+        restored = deserialize_compiled(
+            _frame(FORMAT_VERSION, tuple(payload)), method)
+        assert restored.persisted_profile == {(4, False): 9}
+
+
+class TestVersion1Rejection:
+    """PR-1 (format v1) entries are rejected whole, never half-read."""
+
+    def _v1_blob(self):
+        vm, program = build_vm(5)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        method = program.methods()[0]
+        compiled = compiler.compile(method, OptLevel.WARM)
+        # A genuine version-1 entry: the 11 fields of the old record,
+        # framed under version 1 with a valid CRC.
+        payload = _pack_payload(compiled)[:11]
+        return _frame(1, payload), method, vm
+
+    def test_v1_blob_rejected_by_version_check(self):
+        blob, method, _vm = self._v1_blob()
+        with pytest.raises(CodeCacheError, match="version 1"):
+            deserialize_compiled(blob, method)
+        with pytest.raises(CodeCacheError, match="version 1"):
+            describe_blob(blob)
+
+    def test_v1_payload_under_v2_header_rejected(self):
+        """Even with the version bytes forged, the 11-field record
+        fails the arity check instead of being half-read."""
+        blob, method, _vm = self._v1_blob()
+        forged = bytearray(blob)
+        _HEADER.pack_into(forged, 0, MAGIC, FORMAT_VERSION)
+        body = bytes(forged[:-_CRC.size])
+        forged[-_CRC.size:] = _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+        with pytest.raises(CodeCacheError, match="12-field"):
+            deserialize_compiled(bytes(forged), method)
+
+    def test_store_drops_v1_entry_as_a_miss(self, tmp_path):
+        """A cache directory left over from PR 1 is drained, not
+        crashed on: the stale-format entry is dropped and recompiled."""
+        from repro.codecache import CodeCache, CodeCacheConfig
+        from repro.jit.modifiers import Modifier
+        blob, method, vm = self._v1_blob()
+        cache = CodeCache(CodeCacheConfig(
+            enabled=True, directory=str(tmp_path / "cc")))
+        names = cache._names(method, OptLevel.WARM, Modifier.null(),
+                             vm._methods.get)
+        path = cache._path(cache._entry_name(*names))
+        with open(path, "wb") as fh:
+            fh.write(blob)
+
+        fresh = CodeCache(CodeCacheConfig(
+            enabled=True, directory=str(tmp_path / "cc")))
+        assert len(fresh) == 1
+        assert fresh.load(method, OptLevel.WARM, Modifier.null(),
+                          resolver=vm._methods.get) is None
+        assert fresh.stats.corrupt_dropped == 1
+        assert fresh.stats.misses == 1
+        assert len(fresh) == 0

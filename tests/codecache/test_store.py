@@ -101,6 +101,57 @@ class TestStoreAndLoad:
         # Different keys of the same method are not "stale" entries.
         assert cache.stats.invalidations == 0
 
+    def test_model_digest_is_part_of_the_key(self, tmp_path):
+        """Entries stored under one model set never serve another --
+        and are not deleted either, so concurrent model/no-model runs
+        share a directory without thrashing each other's entries."""
+        method = add_method()
+        vm, compiled = compile_one(method)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get,
+                    model_digest="digest-aaaa")
+        probe = dict(resolver=vm._methods.get)
+        assert cache.load(method, OptLevel.WARM, Modifier.null(),
+                          model_digest="digest-bbbb", **probe) is None
+        assert cache.load(method, OptLevel.WARM, Modifier.null(),
+                          **probe) is None  # heuristic sentinel
+        assert cache.load(method, OptLevel.WARM, Modifier.null(),
+                          model_digest="digest-aaaa", **probe) is not None
+        # Foreign-digest probes miss without invalidating anything.
+        assert cache.stats.invalidations == 0
+        assert len(cache) == 1
+
+    def test_profile_rides_with_the_stored_entry(self, tmp_path):
+        method = add_method()
+        vm, compiled = compile_one(method)
+        cache = open_cache(tmp_path)
+        profile = {(3, True): 17, (3, False): 2}
+        assert cache.store(compiled, resolver=vm._methods.get,
+                           profile=profile)
+        assert cache.stats.profile_stores == 1
+        assert cache.stats.stores == 0  # profile write-backs count apart
+
+        cache2 = open_cache(tmp_path)
+        hit = cache2.load(method, OptLevel.WARM, Modifier.null(),
+                          resolver=vm._methods.get)
+        assert hit.persisted_profile == profile
+        assert cache2.stats.profile_hits == 1
+
+    def test_restore_replaces_blob_atomically(self, tmp_path):
+        """The profile write-back path: storing the same key again
+        replaces the entry (now with a profile) without duplicates."""
+        method = add_method()
+        vm, compiled = compile_one(method)
+        cache = open_cache(tmp_path)
+        cache.store(compiled, resolver=vm._methods.get)
+        cache.store(compiled, resolver=vm._methods.get,
+                    profile={(1, False): 4})
+        assert len(cache) == 1
+        hit = open_cache(tmp_path).load(
+            method, OptLevel.WARM, Modifier.null(),
+            resolver=vm._methods.get)
+        assert hit.persisted_profile == {(1, False): 4}
+
     def test_atomic_writes_leave_no_temp_files(self, tmp_path):
         method = add_method()
         vm, compiled = compile_one(method)

@@ -89,3 +89,40 @@ class TestColdVsWarm:
         report = build_report(str(tmp_path / "evalcache"))
         assert "warmstart_compress" in report
         assert "start-up speedup" in report
+
+
+class TestWarmPlusProfiles:
+    def test_third_column_beats_the_plain_warm_baseline(self, tmp_path,
+                                                        program):
+        """The PR acceptance bar: on compress, the tiering +
+        profile-seeding policy starts up at least as fast as the
+        plain (PR-1) warm policy, which itself held >= 1.18x."""
+        result = cold_vs_warm(program, str(tmp_path / "cc"))
+        assert result.warm_profiles is not None
+        assert result.warm_profiles.result_value == \
+            result.cold.result_value
+        assert result.startup_speedup >= 1.17
+        assert result.profile_startup_speedup >= result.startup_speedup
+        assert result.profile_startup_speedup >= 1.18
+        stats = result.warm_profiles.cache_stats
+        assert stats["hits"] > 0
+        assert stats["tier_skips"] > 0
+        assert result.warm_profiles.compile_cycles <= \
+            result.warm.compile_cycles
+
+    def test_profiles_false_keeps_the_pr1_pair(self, tmp_path, program):
+        result = cold_vs_warm(program, str(tmp_path / "cc"),
+                              profiles=False)
+        assert result.warm_profiles is None
+        assert result.profile_startup_speedup is None
+        text = result.render()
+        assert "warm+prof" not in text
+        # And the cold run stored no profile sections.
+        assert result.cold.cache_stats["profile_stores"] == 0
+
+    def test_render_has_three_columns(self, tmp_path, program):
+        result = cold_vs_warm(program, str(tmp_path / "cc"))
+        text = result.render()
+        assert "warm+prof" in text
+        assert "tier skips" in text
+        assert "speedup (cold/warm+profiles)" in text

@@ -99,6 +99,29 @@ class TestServiceEndpoints:
             client.shutdown()
             client.close()
 
+    def test_model_digest_round_trip(self, model_set):
+        """The cache-keying digest crosses the wire: the client-side
+        answer matches the in-process model set's own digest."""
+        client, _server, _t = connected_pair(model_set)
+        try:
+            assert client.model_digest() == model_set.digest()
+        finally:
+            client.shutdown()
+            client.close()
+
+    def test_service_strategy_caches_the_digest(self, model_set):
+        client, server, _t = connected_pair(model_set)
+        try:
+            strategy = ServiceStrategy(client)
+            first = strategy.model_digest()
+            assert first == model_set.digest()
+            served = server.requests_served
+            assert strategy.model_digest() == first  # no second query
+            assert server.requests_served == served
+        finally:
+            client.shutdown()
+            client.close()
+
     def test_shutdown_stops_server(self, model_set):
         client, _server, thread = connected_pair(model_set)
         client.shutdown()
