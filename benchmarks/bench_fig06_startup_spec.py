@@ -6,17 +6,10 @@ a uniform but smaller gain), with leave-one-out single bars for the five
 training benchmarks and five bars for the reserved ones.
 """
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import run_figure
 from repro.experiments.figures import figure6
 
 
 def test_figure6(benchmark, ctx, results_dir):
-    payload = benchmark.pedantic(figure6, args=(ctx,), rounds=1,
-                                 iterations=1)
-    print()
-    print(payload["text"])
-    save_result(results_dir, "figure6", payload)
-    assert payload["rows"]
-    for bench_rows in payload["rows"].values():
-        for mean, _ci in bench_rows.values():
-            assert mean > 0
+    run_figure(benchmark, ctx, results_dir, figure6,
+               "figure6")

@@ -4,17 +4,10 @@ Expected shape: compilation time drops well below 1.0 for every
 model (the paper: less than half on average, with up to 5x on jess).
 """
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import run_figure
 from repro.experiments.figures import figure7
 
 
 def test_figure7(benchmark, ctx, results_dir):
-    payload = benchmark.pedantic(figure7, args=(ctx,), rounds=1,
-                                 iterations=1)
-    print()
-    print(payload["text"])
-    save_result(results_dir, "figure7", payload)
-    assert payload["rows"]
-    for bench_rows in payload["rows"].values():
-        for mean, _ci in bench_rows.values():
-            assert mean > 0
+    run_figure(benchmark, ctx, results_dir, figure7,
+               "figure7")

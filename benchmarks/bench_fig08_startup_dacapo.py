@@ -5,17 +5,10 @@ still deliver a modest average start-up gain on the very different
 DaCapo-like suite (the paper's 'pleasantly positive' result).
 """
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import run_figure
 from repro.experiments.figures import figure8
 
 
 def test_figure8(benchmark, ctx, results_dir):
-    payload = benchmark.pedantic(figure8, args=(ctx,), rounds=1,
-                                 iterations=1)
-    print()
-    print(payload["text"])
-    save_result(results_dir, "figure8", payload)
-    assert payload["rows"]
-    for bench_rows in payload["rows"].values():
-        for mean, _ci in bench_rows.values():
-            assert mean > 0
+    run_figure(benchmark, ctx, results_dir, figure8,
+               "figure8")

@@ -4,17 +4,10 @@ Expected shape: consistent compilation-time reduction, correlated
 with the performance changes of Figure 8.
 """
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import run_figure
 from repro.experiments.figures import figure9
 
 
 def test_figure9(benchmark, ctx, results_dir):
-    payload = benchmark.pedantic(figure9, args=(ctx,), rounds=1,
-                                 iterations=1)
-    print()
-    print(payload["text"])
-    save_result(results_dir, "figure9", payload)
-    assert payload["rows"]
-    for bench_rows in payload["rows"].values():
-        for mean, _ci in bench_rows.values():
-            assert mean > 0
+    run_figure(benchmark, ctx, results_dir, figure9,
+               "figure9")

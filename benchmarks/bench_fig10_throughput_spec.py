@@ -6,17 +6,10 @@ are consistent with the paper), and variance between models is smaller
 than at start-up.
 """
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import run_figure
 from repro.experiments.figures import figure10
 
 
 def test_figure10(benchmark, ctx, results_dir):
-    payload = benchmark.pedantic(figure10, args=(ctx,), rounds=1,
-                                 iterations=1)
-    print()
-    print(payload["text"])
-    save_result(results_dir, "figure10", payload)
-    assert payload["rows"]
-    for bench_rows in payload["rows"].values():
-        for mean, _ci in bench_rows.values():
-            assert mean > 0
+    run_figure(benchmark, ctx, results_dir, figure10,
+               "figure10")

@@ -4,17 +4,10 @@ Expected shape: as Figure 10 -- the adaptive baseline wins or ties
 once code runs long enough to amortize compilation.
 """
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import run_figure
 from repro.experiments.figures import figure11
 
 
 def test_figure11(benchmark, ctx, results_dir):
-    payload = benchmark.pedantic(figure11, args=(ctx,), rounds=1,
-                                 iterations=1)
-    print()
-    print(payload["text"])
-    save_result(results_dir, "figure11", payload)
-    assert payload["rows"]
-    for bench_rows in payload["rows"].values():
-        for mean, _ci in bench_rows.values():
-            assert mean > 0
+    run_figure(benchmark, ctx, results_dir, figure11,
+               "figure11")

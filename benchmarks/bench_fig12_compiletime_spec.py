@@ -4,17 +4,10 @@ Expected shape: the compilation-time reduction persists under
 throughput measurement (paper: consistent, significant reduction).
 """
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import run_figure
 from repro.experiments.figures import figure12
 
 
 def test_figure12(benchmark, ctx, results_dir):
-    payload = benchmark.pedantic(figure12, args=(ctx,), rounds=1,
-                                 iterations=1)
-    print()
-    print(payload["text"])
-    save_result(results_dir, "figure12", payload)
-    assert payload["rows"]
-    for bench_rows in payload["rows"].values():
-        for mean, _ci in bench_rows.values():
-            assert mean > 0
+    run_figure(benchmark, ctx, results_dir, figure12,
+               "figure12")

@@ -3,17 +3,10 @@
 Expected shape: as Figure 12, on the unseen suite.
 """
 
-from benchmarks.conftest import save_result
+from benchmarks.conftest import run_figure
 from repro.experiments.figures import figure13
 
 
 def test_figure13(benchmark, ctx, results_dir):
-    payload = benchmark.pedantic(figure13, args=(ctx,), rounds=1,
-                                 iterations=1)
-    print()
-    print(payload["text"])
-    save_result(results_dir, "figure13", payload)
-    assert payload["rows"]
-    for bench_rows in payload["rows"].values():
-        for mean, _ci in bench_rows.values():
-            assert mean > 0
+    run_figure(benchmark, ctx, results_dir, figure13,
+               "figure13")

@@ -1,0 +1,32 @@
+"""E-HP: host wall-clock cost of the execution engines themselves.
+
+Unlike the figure drivers (which report *virtual* cycles), this driver
+times the simulator on the host: the predecoded table-driven dispatch
+against the retained legacy if/elif loop, interpreter-only / JIT
+steady-state / mixed adaptive, median-of-5.  The same harness backs the
+``repro bench`` CLI; here it runs in quick mode so the benchmark suite
+stays fast.
+"""
+
+import json
+import os
+
+from benchmarks.conftest import save_result
+from repro.experiments.hostperf import render, run_bench
+
+
+def test_hostperf(benchmark, results_dir):
+    result = benchmark.pedantic(run_bench, kwargs={"quick": True},
+                                rounds=1, iterations=1)
+    text = render(result)
+    print()
+    print(text)
+    save_result(results_dir, "hostperf", {"text": text})
+    with open(os.path.join(results_dir, "hostperf.json"), "w",
+              encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+    for cells in result["results"].values():
+        for cell in cells.values():
+            assert cell["cycles_identical"]
+            assert cell["speedup"] > 1.0
+    assert result["summary"]["min_interp_speedup"] >= 1.8

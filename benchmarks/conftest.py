@@ -33,3 +33,19 @@ def save_result(results_dir, name, payload):
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(payload["text"] + "\n")
     return path
+
+
+def run_figure(benchmark, ctx, results_dir, fn, name):
+    """The shared body of every figure driver: generate once under the
+    benchmark fixture, print + save the text block, and sanity-check
+    that each (model, benchmark) cell carries a positive mean."""
+    payload = benchmark.pedantic(fn, args=(ctx,), rounds=1,
+                                 iterations=1)
+    print()
+    print(payload["text"])
+    save_result(results_dir, name, payload)
+    assert payload["rows"]
+    for bench_rows in payload["rows"].values():
+        for mean, _ci in bench_rows.values():
+            assert mean > 0
+    return payload

@@ -221,6 +221,27 @@ def cmd_cache_prune(args):
           f"{len(cache)} entries, {cache.total_bytes():,} bytes remain")
 
 
+def cmd_bench(args):
+    """Host-perf benchmark of the dispatch engines."""
+    import json
+    from repro.experiments.hostperf import check_regression, render, \
+        run_bench, save_json
+    result = run_bench(quick=args.quick, master_seed=args.seed)
+    print(render(result))
+    path = save_json(result, args.output)
+    print(f"\nwrote {path}")
+    if args.check_against:
+        with open(args.check_against, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = check_regression(result, baseline)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}")
+            return 1
+        print(f"no regression vs {args.check_against}")
+    return 0
+
+
 def cmd_report(args):
     """Assemble saved benchmark results into markdown."""
     from repro.experiments.report import build_report
@@ -310,6 +331,22 @@ def main(argv=None):
     p.add_argument("name", help="table4, figure6..figure13, kernels")
     _add_common(p)
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("bench",
+                       help="host wall-clock benchmark of the "
+                            "dispatch engines")
+    p.add_argument("--quick", action="store_true",
+                   help="one workload, fewer guest iterations "
+                        "(CI smoke)")
+    p.add_argument("--output", default="BENCH_hostperf.json",
+                   help="result JSON path (default "
+                        "BENCH_hostperf.json)")
+    p.add_argument("--check-against", default=None,
+                   help="baseline JSON; exit 1 if the interpreter "
+                        "speedup regresses more than 25%%")
+    p.add_argument("--seed", type=int, default=0,
+                   help="master seed (default 0)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("report",
                        help="assemble saved results into markdown")

@@ -3,8 +3,9 @@
 Layout (little-endian)::
 
     magic   'TRCC'
-    u16     format version (=2)
-    --      tagged payload (see below)
+    u16     format version (=3)
+    u32     uncompressed payload length
+    --      zlib-deflated tagged payload (see below)
     u32     CRC-32 of everything before the footer
 
 The payload is one recursively *tagged* value: every atom carries a
@@ -16,12 +17,16 @@ a per-op schema.  Decoding is strict: an unknown tag, a short buffer or
 a CRC mismatch raises :class:`~repro.errors.CodeCacheError`, which the
 store treats as "drop the entry and recompile" -- never a VM crash.
 
-Format version 2 appends a *section list* to the version-1 record: a
+Format version 2 appended a *section list* to the version-1 record: a
 tuple of ``(tag, value)`` pairs, CRC-covered like everything else, that
 optional per-entry data rides in.  Unknown tags are skipped on read, so
-later minor additions stay forward-compatible within the version; the
-version bump itself cleanly rejects version-1 entries (the store treats
-the :class:`~repro.errors.CodeCacheError` as a miss and recompiles --
+later minor additions stay forward-compatible within the version.
+Format version 3 zlib-compresses the tagged payload inside the CRC
+envelope (the tagged stream is highly repetitive -- one-byte tags,
+zero-heavy little-endian i64s -- and deflates to a fraction of its raw
+size); the recorded uncompressed length is verified on read.  Each
+version bump cleanly rejects older entries (the store treats the
+:class:`~repro.errors.CodeCacheError` as a miss and recompiles --
 never a half-read).  The one section defined today is ``"profile"``:
 the branch profile gathered by the body's instrumentation (the
 ``(bytecode pc, taken) -> count`` dict that feedback-directed
@@ -53,12 +58,16 @@ from repro.jit.plans import OptLevel
 from repro.jvm.bytecode import JType
 
 MAGIC = b"TRCC"
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
 
 #: Section tag for the persisted branch profile.
 SECTION_PROFILE = "profile"
 
+#: zlib level: 6 is the speed/ratio knee for these small payloads.
+COMPRESSION_LEVEL = 6
+
 _HEADER = struct.Struct("<4sH")
+_RAWLEN = struct.Struct("<I")
 _CRC = struct.Struct("<I")
 
 # -- tagged value encoding ---------------------------------------------------
@@ -243,15 +252,27 @@ def serialize_compiled(compiled, profile=None):
     entry's ``"profile"`` section and restored on deserialization as the
     body's ``persisted_profile``.
     """
+    raw = bytearray()
+    _encode(raw, _pack_payload(compiled, profile))
     out = bytearray(_HEADER.pack(MAGIC, FORMAT_VERSION))
-    _encode(out, _pack_payload(compiled, profile))
+    out += _RAWLEN.pack(len(raw))
+    out += zlib.compress(bytes(raw), COMPRESSION_LEVEL)
     out += _CRC.pack(zlib.crc32(bytes(out)) & 0xFFFFFFFF)
     return bytes(out)
 
 
-def _parse_payload(data):
-    """Validate framing and return the decoded payload tuple."""
-    if len(data) < _HEADER.size + _CRC.size:
+_PREFIX_SIZE = _HEADER.size + _RAWLEN.size
+
+
+def payload_sizes(data):
+    """``(compressed_bytes, uncompressed_bytes)`` of a blob's payload.
+
+    Reads only the framing; raises :class:`CodeCacheError` on foreign
+    magic/version or an obviously truncated blob.  The store uses this
+    to account compression savings without re-decoding what it just
+    encoded.
+    """
+    if len(data) < _PREFIX_SIZE + _CRC.size:
         raise CodeCacheError("entry shorter than header + footer")
     magic, version = _HEADER.unpack_from(data, 0)
     if magic != MAGIC:
@@ -259,16 +280,31 @@ def _parse_payload(data):
     if version != FORMAT_VERSION:
         raise CodeCacheError(
             f"format version {version} (expected {FORMAT_VERSION})")
+    (raw_len,) = _RAWLEN.unpack_from(data, _HEADER.size)
+    return len(data) - _PREFIX_SIZE - _CRC.size, raw_len
+
+
+def _parse_payload(data):
+    """Validate framing, decompress and return the decoded payload."""
+    compressed_len, raw_len = payload_sizes(data)
     body, footer = data[:-_CRC.size], data[-_CRC.size:]
     (crc,) = _CRC.unpack(footer)
     if crc != zlib.crc32(body) & 0xFFFFFFFF:
         raise CodeCacheError("CRC mismatch (corrupt entry)")
-    decoder = _Decoder(data, _HEADER.size, len(body))
+    try:
+        raw = zlib.decompress(data[_PREFIX_SIZE:_PREFIX_SIZE
+                                   + compressed_len])
+    except zlib.error as exc:
+        raise CodeCacheError(f"payload decompression failed: {exc}")
+    if len(raw) != raw_len:
+        raise CodeCacheError(
+            f"decompressed to {len(raw)} bytes, header says {raw_len}")
+    decoder = _Decoder(raw, 0, len(raw))
     try:
         payload = decoder.value()
     except struct.error as exc:
         raise CodeCacheError(f"malformed entry: {exc}")
-    if decoder.pos != len(body):
+    if decoder.pos != len(raw):
         raise CodeCacheError("trailing bytes after payload")
     if not isinstance(payload, tuple) or len(payload) != 12:
         raise CodeCacheError("payload is not a 12-field record")
@@ -373,6 +409,9 @@ def deserialize_compiled(data, method):
                 for covered, handler_bid, class_name in handler_recs]
     native = NativeCode.from_parts(method, num_locals, instrs,
                                    bool(leaf), handlers, dict(block_bc))
+    # Rebuild the table-driven dispatch form eagerly: a warm start pays
+    # predecode at load time, not on the first hot-path invocation.
+    native.predecode()
 
     features = np.zeros(NUM_FEATURES, dtype=np.float64)
     for index, value in sparse_features:

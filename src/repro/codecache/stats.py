@@ -32,6 +32,11 @@ class CacheStats:
     profile_seeds: int = 0
     #: Hits installed above the requested level (stepping stones skipped).
     tier_skips: int = 0
+    #: Payload bytes written this run, after zlib (format v3).
+    bytes_compressed: int = 0
+    #: The same payloads before compression (the on-disk saving is the
+    #: difference between these two counters).
+    bytes_uncompressed: int = 0
 
     @property
     def probes(self):
@@ -65,4 +70,9 @@ class CacheStats:
                 f"seeded {self.profile_seeds:,})")
             lines.append(
                 f"{indent}tier skips    {self.tier_skips:>10,}")
+        if self.bytes_uncompressed:
+            ratio = self.bytes_compressed / self.bytes_uncompressed
+            lines.append(
+                f"{indent}bytes written {self.bytes_compressed:>10,}  "
+                f"({self.bytes_uncompressed:,} raw, {ratio:.0%})")
         return "\n".join(lines)

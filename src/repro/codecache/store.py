@@ -49,7 +49,7 @@ from collections import OrderedDict
 from repro.codecache.fingerprint import HEURISTIC_DIGEST, \
     context_fingerprint, method_fingerprint
 from repro.codecache.serialize import FORMAT_VERSION, describe_blob, \
-    deserialize_compiled, serialize_compiled
+    deserialize_compiled, payload_sizes, serialize_compiled
 from repro.codecache.stats import CacheStats
 from repro.errors import CodeCacheError
 
@@ -268,6 +268,9 @@ class CodeCache:
             return False
         self._index[name] = len(blob)
         self._index.move_to_end(name)
+        compressed, uncompressed = payload_sizes(blob)
+        self.stats.bytes_compressed += compressed
+        self.stats.bytes_uncompressed += uncompressed
         if profile is not None:
             self.stats.profile_stores += 1
         else:

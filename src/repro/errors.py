@@ -19,6 +19,23 @@ class VMError(ReproError):
     exception -- guest exceptions are modelled as :class:`JavaThrow`)."""
 
 
+class StepBudgetExceeded(VMError):
+    """One activation ran past its step budget.
+
+    Generated programs never get near the budget, so this almost always
+    means a miscompiled branch sent a method into an unintended loop;
+    the offending method's signature rides in the message to make such
+    loops diagnosable from the failure alone.
+    """
+
+    def __init__(self, signature, budget, tier):
+        super().__init__(f"{signature}: exceeded {budget:,} {tier} steps "
+                         "in one activation (miscompiled loop?)")
+        self.signature = signature
+        self.budget = budget
+        self.tier = tier
+
+
 class JavaThrow(ReproError):
     """An exception thrown *inside* the guest program.
 

@@ -1,0 +1,248 @@
+"""Host wall-clock benchmarking of the execution engines.
+
+Everything else in this repository measures *virtual* cycles; this
+module measures the one thing virtual cycles deliberately ignore -- how
+much host CPU time the simulator itself burns -- so dispatch-engine
+work (the predecoded table-driven loops in
+:mod:`repro.jvm.interpreter` and :mod:`repro.jit.codegen.native`) has a
+recorded trajectory.  ``repro bench`` drives it and writes
+``BENCH_hostperf.json``.
+
+Methodology: for each (workload, mode) pair the guest program runs
+``iterations`` times per sample on a fresh VM, ``repeats`` samples per
+dispatch engine, and the **median** sample is reported (median-of-5 in
+the default configuration) together with ns per retired guest
+instruction (``vm.stats`` step counters).  Both engines -- the
+predecoded dispatch and the retained legacy if/elif loop -- run the
+identical workload; their virtual cycle counts are asserted equal, so
+the comparison is pure host-time, never a semantic drift.
+
+Modes:
+
+* ``interp`` -- no JIT attached; the interpreter microbenchmark.
+* ``jit``    -- every method precompiled (hot) before timing starts;
+  steady-state native-executor throughput.
+* ``mixed``  -- the adaptive controller compiles as it goes; this is
+  what ``repro run`` does, so its compress row is the end-to-end
+  number.
+"""
+
+import json
+import platform
+import statistics
+import time
+
+import repro.jit.codegen.native as _native_mod
+import repro.jvm.interpreter as _interp_mod
+from repro.errors import CompilationError
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager
+from repro.jit.plans import OptLevel
+from repro.jvm.vm import VirtualMachine
+from repro.workloads import specjvm_program
+
+#: Workloads timed by the full benchmark (``--quick`` keeps the first).
+WORKLOADS = ("compress", "db", "mtrt")
+
+MODES = ("interp", "jit", "mixed")
+
+#: The regression gate used by CI: the measured speedup must stay above
+#: ``baseline_speedup * (1 - REGRESSION_TOLERANCE)``.
+REGRESSION_TOLERANCE = 0.25
+
+
+def _set_dispatch(predecode):
+    _interp_mod.USE_PREDECODE = predecode
+    _native_mod.USE_PREDECODE = predecode
+
+
+class _Precompiled:
+    """Minimal manager: serve a fixed table of compiled bodies."""
+
+    def __init__(self, table):
+        self.table = table
+
+    def on_attach(self, vm):
+        pass
+
+    def on_invoke(self, method, count):
+        pass
+
+    def on_sample(self, method):
+        pass
+
+    def on_return(self, method, compiled):
+        pass
+
+    def compiled_for(self, method, now):
+        return self.table.get(method.signature)
+
+
+def _compile_all(program, level=OptLevel.HOT):
+    """Compile every method of *program* once (shared across samples)."""
+    vm = VirtualMachine()
+    vm.load_program(program)
+    compiler = JitCompiler(method_resolver=vm._methods.get)
+    table = {}
+    for method in program.methods():
+        try:
+            table[method.signature] = compiler.compile(method, level)
+        except CompilationError:
+            pass  # rare; the VM falls back to interpretation
+    return table
+
+
+def _one_sample(program, mode, iterations, compiled_table):
+    """One timed sample on a fresh VM; returns (seconds, vm)."""
+    vm = VirtualMachine()
+    vm.load_program(program)
+    if mode == "jit":
+        vm.attach_manager(_Precompiled(compiled_table))
+    elif mode == "mixed":
+        vm.attach_manager(CompilationManager(
+            JitCompiler(method_resolver=vm._methods.get)))
+    t0 = time.perf_counter()
+    for _ in range(iterations):
+        vm.call(program.entry, 3)
+    return time.perf_counter() - t0, vm
+
+
+def _measure(program, mode, predecode, repeats, iterations,
+             compiled_table):
+    _set_dispatch(predecode)
+    times = []
+    vm = None
+    for _ in range(repeats):
+        seconds, vm = _one_sample(program, mode, iterations,
+                                  compiled_table)
+        times.append(seconds)
+    steps = vm.stats["interp_steps"] + vm.stats["native_steps"]
+    median = statistics.median(times)
+    return {
+        "runs_s": [round(t, 6) for t in times],
+        "median_s": round(median, 6),
+        "instructions": steps,
+        "ns_per_instr": round(median / steps * 1e9, 2) if steps else None,
+        "cycles": vm.clock.now(),
+    }
+
+
+def run_bench(quick=False, master_seed=0, repeats=5):
+    """Run the benchmark matrix; returns the result dict.
+
+    The virtual-clock totals of the two engines are compared for every
+    cell -- a mismatch raises, because a dispatch rewrite that changes
+    virtual time is a correctness bug, not a performance result.
+    """
+    workloads = WORKLOADS[:1] if quick else WORKLOADS
+    iterations = 2 if quick else 5
+    saved = (_interp_mod.USE_PREDECODE, _native_mod.USE_PREDECODE)
+    results = {}
+    try:
+        for name in workloads:
+            program = specjvm_program(name, master_seed=master_seed)
+            compiled_table = _compile_all(program)
+            results[name] = {}
+            for mode in MODES:
+                new = _measure(program, mode, True, repeats, iterations,
+                               compiled_table)
+                old = _measure(program, mode, False, repeats, iterations,
+                               compiled_table)
+                if new["cycles"] != old["cycles"]:
+                    raise AssertionError(
+                        f"{name}/{mode}: virtual time diverged between "
+                        f"dispatch engines ({new['cycles']} vs "
+                        f"{old['cycles']})")
+                results[name][mode] = {
+                    "predecoded": new,
+                    "legacy": old,
+                    "speedup": round(old["median_s"] / new["median_s"], 3),
+                    "cycles_identical": True,
+                }
+    finally:
+        _interp_mod.USE_PREDECODE, _native_mod.USE_PREDECODE = saved
+
+    summary = {
+        "interp_speedup": {name: cells["interp"]["speedup"]
+                           for name, cells in results.items()},
+        "min_interp_speedup": min(cells["interp"]["speedup"]
+                                  for cells in results.values()),
+    }
+    if "compress" in results:
+        summary["e2e_compress_speedup"] = \
+            results["compress"]["mixed"]["speedup"]
+    return {
+        "methodology": (
+            f"median of {repeats} samples per engine; each sample runs "
+            f"the guest entry {iterations}x on a fresh VM; ns/instr = "
+            "median seconds / retired guest instructions "
+            "(vm.stats interp_steps + native_steps); legacy and "
+            "predecoded engines verified cycle-identical per cell"),
+        "quick": bool(quick),
+        "repeats": repeats,
+        "iterations": iterations,
+        "master_seed": master_seed,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+        "summary": summary,
+    }
+
+
+def render(result):
+    """Human-readable table of a :func:`run_bench` result."""
+    lines = [
+        "Host-perf: predecoded vs legacy dispatch "
+        f"(median of {result['repeats']}, "
+        f"{result['iterations']} iteration(s)/sample)",
+        f"{'workload':10s} {'mode':7s} {'legacy':>10s} {'predec.':>10s} "
+        f"{'speedup':>8s} {'ns/instr':>9s}",
+    ]
+    for name, cells in result["results"].items():
+        for mode, cell in cells.items():
+            lines.append(
+                f"{name:10s} {mode:7s} "
+                f"{cell['legacy']['median_s']*1000:8.1f}ms "
+                f"{cell['predecoded']['median_s']*1000:8.1f}ms "
+                f"{cell['speedup']:7.2f}x "
+                f"{cell['predecoded']['ns_per_instr']:9.1f}")
+    s = result["summary"]
+    lines.append(f"min interpreter speedup: "
+                 f"{s['min_interp_speedup']:.2f}x")
+    if "e2e_compress_speedup" in s:
+        lines.append(f"end-to-end compress (mixed): "
+                     f"{s['e2e_compress_speedup']:.2f}x")
+    return "\n".join(lines)
+
+
+def save_json(result, path):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def check_regression(result, baseline, tolerance=REGRESSION_TOLERANCE):
+    """Compare interpreter-microbench speedups against a baseline run.
+
+    Speedup *ratios* (legacy/predecoded on the same machine, same
+    process) are machine-portable in a way absolute nanoseconds are
+    not, so CI gates on them.  Returns a list of failure strings, empty
+    when every shared workload holds up.
+    """
+    failures = []
+    base = baseline.get("summary", {}).get("interp_speedup", {})
+    measured = result.get("summary", {}).get("interp_speedup", {})
+    for name, base_speedup in base.items():
+        got = measured.get(name)
+        if got is None:
+            continue  # quick run vs full baseline: gate shared rows only
+        floor = base_speedup * (1.0 - tolerance)
+        if got < floor:
+            failures.append(
+                f"{name}: interpreter speedup {got:.2f}x fell below "
+                f"{floor:.2f}x ({base_speedup:.2f}x baseline "
+                f"- {tolerance:.0%})")
+    if not measured:
+        failures.append("result contains no interpreter measurements")
+    return failures

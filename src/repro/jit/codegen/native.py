@@ -11,11 +11,24 @@ The simulator also models one micro-architectural effect: a one-cycle
 forwarding stall whenever an instruction consumes the result of its
 immediate predecessor.  The ``instructionScheduling`` transformation
 exists to reduce exactly these stalls.
+
+Like the interpreter, dispatch is table-driven and **predecoded**: the
+first execution (or an eager :meth:`NativeCode.predecode` call at
+install / cache-load time) flattens the instruction stream into tuples
+``(handler, cost, srcs, dst, a)``.  ``LABEL`` pseudo-instructions are
+stripped (branch targets are remapped with an order-preserving index
+map, so backward-branch detection -- ``jump <= ip`` -- is unchanged),
+immediate-form constants are pre-coerced, ``ALUI``/``CALL``/``BC``
+variants are resolved to specialized handlers, and a sentinel end entry
+replaces the per-step bounds check.  Virtual-cycle accounting is
+bit-identical to the retained legacy if/elif loop, which
+``tests/jvm/test_dispatch_parity.py`` verifies.
 """
 
 import math
+import os
 
-from repro.errors import JavaThrow, VMError
+from repro.errors import JavaThrow, StepBudgetExceeded, VMError
 from repro.jvm.bytecode import JType, convert_to_integral, mask_integral
 from repro.jvm.classfile import is_intrinsic
 from repro.jvm.interpreter import coerce
@@ -32,6 +45,10 @@ from repro.jit.codegen.isa import (
 
 MAX_NATIVE_STEPS = 20_000_000
 
+#: Mirror of :data:`repro.jvm.interpreter.USE_PREDECODE` for the native
+#: tier; ``REPRO_DISPATCH=legacy`` switches both loops at once.
+USE_PREDECODE = os.environ.get("REPRO_DISPATCH", "").lower() != "legacy"
+
 _SIMPLE_ALU = {
     NOp.ADD: lambda a, b: a + b,
     NOp.SUB: lambda a, b: a - b,
@@ -39,6 +56,448 @@ _SIMPLE_ALU = {
     NOp.OR: lambda a, b: int(a) | int(b),
     NOp.AND: lambda a, b: int(a) & int(b),
     NOp.XOR: lambda a, b: int(a) ^ int(b),
+}
+
+
+class NativeFrame:
+    """Mutable per-activation state shared by the predecoded handlers."""
+
+    __slots__ = ("vm", "clock", "locals", "mem", "pending", "profile")
+
+    def __init__(self, vm, locals_, profile):
+        self.vm = vm
+        self.clock = vm.clock
+        self.locals = locals_
+        self.mem = {}        # spill slots
+        self.pending = None  # in-flight exception object (CATCH reads it)
+        self.profile = profile
+
+
+# -- predecoded handlers -----------------------------------------------------
+#
+# Signature ``(regs, frame, a)`` where ``a`` is the per-instruction operand
+# tuple built once at predecode time.  Return protocol: ``None`` falls
+# through, an ``int`` jumps to that (label-stripped) index, and the tuple
+# ``("ret", (value, jtype))`` leaves the method.  The loop charges the
+# entry's cost (plus any forwarding stall) *before* calling the handler,
+# exactly as the legacy loop does.
+
+def _n_const(regs, frame, a):
+    dst, v = a
+    regs[dst] = v
+
+
+def _n_mov(regs, frame, a):
+    dst, s0 = a
+    regs[dst] = regs[s0]
+
+
+def _n_ldloc(regs, frame, a):
+    dst, slot = a
+    regs[dst] = frame.locals[slot]
+
+
+def _n_stloc(regs, frame, a):
+    slot, s0 = a
+    frame.locals[slot] = regs[s0]
+
+
+def _n_incloc(regs, frame, a):
+    slot, imm, t = a
+    frame.locals[slot] = coerce(frame.locals[slot] + imm, t)
+
+
+def _n_add(regs, frame, a):
+    dst, s0, s1, t = a
+    regs[dst] = coerce(regs[s0] + regs[s1], t)
+
+
+def _n_sub(regs, frame, a):
+    dst, s0, s1, t = a
+    regs[dst] = coerce(regs[s0] - regs[s1], t)
+
+
+def _n_mul(regs, frame, a):
+    dst, s0, s1, t = a
+    regs[dst] = coerce(regs[s0] * regs[s1], t)
+
+
+def _n_or(regs, frame, a):
+    dst, s0, s1, t = a
+    regs[dst] = coerce(int(regs[s0]) | int(regs[s1]), t)
+
+
+def _n_and(regs, frame, a):
+    dst, s0, s1, t = a
+    regs[dst] = coerce(int(regs[s0]) & int(regs[s1]), t)
+
+
+def _n_xor(regs, frame, a):
+    dst, s0, s1, t = a
+    regs[dst] = coerce(int(regs[s0]) ^ int(regs[s1]), t)
+
+
+def _n_div(regs, frame, a):
+    dst, s0, s1, t = a
+    regs[dst] = _divrem(regs[s0], regs[s1], t, True)
+
+
+def _n_rem(regs, frame, a):
+    dst, s0, s1, t = a
+    regs[dst] = _divrem(regs[s0], regs[s1], t, False)
+
+
+def _n_neg(regs, frame, a):
+    dst, s0, t = a
+    regs[dst] = coerce(-regs[s0], t)
+
+
+def _n_shl(regs, frame, a):
+    dst, s0, s1, bits, t = a
+    regs[dst] = mask_integral(int(regs[s0]) << (int(regs[s1]) & bits), t)
+
+
+def _n_shr(regs, frame, a):
+    dst, s0, s1, bits, t = a
+    regs[dst] = mask_integral(int(regs[s0]) >> (int(regs[s1]) & bits), t)
+
+
+def _n_cmp(regs, frame, a):
+    dst, s0, s1 = a
+    x = regs[s0]
+    y = regs[s1]
+    if isinstance(x, float) and math.isnan(x):
+        regs[dst] = -1
+    elif isinstance(y, float) and math.isnan(y):
+        regs[dst] = -1
+    else:
+        regs[dst] = (x > y) - (x < y)
+
+
+def _n_addi(regs, frame, a):
+    dst, s0, imm, t = a
+    regs[dst] = coerce(regs[s0] + imm, t)
+
+
+def _n_alui_add(regs, frame, a):
+    dst, s0, imm, t = a
+    regs[dst] = coerce(regs[s0] + imm, t)
+
+
+def _n_alui_sub(regs, frame, a):
+    dst, s0, imm, t = a
+    regs[dst] = coerce(regs[s0] - imm, t)
+
+
+def _n_alui_mul(regs, frame, a):
+    dst, s0, imm, t = a
+    regs[dst] = coerce(regs[s0] * imm, t)
+
+
+def _n_alui_or(regs, frame, a):
+    dst, s0, imm, t = a
+    regs[dst] = coerce(int(regs[s0]) | imm, t)
+
+
+def _n_alui_and(regs, frame, a):
+    dst, s0, imm, t = a
+    regs[dst] = coerce(int(regs[s0]) & imm, t)
+
+
+def _n_alui_xor(regs, frame, a):
+    dst, s0, imm, t = a
+    regs[dst] = coerce(int(regs[s0]) ^ imm, t)
+
+
+def _n_alui_shl(regs, frame, a):
+    dst, s0, shift, t = a
+    regs[dst] = mask_integral(int(regs[s0]) << shift, t)
+
+
+def _n_alui_shr(regs, frame, a):
+    dst, s0, shift, t = a
+    regs[dst] = mask_integral(int(regs[s0]) >> shift, t)
+
+
+def _n_cast_float(regs, frame, a):
+    dst, s0 = a
+    regs[dst] = float(regs[s0])
+
+
+def _n_cast_int(regs, frame, a):
+    dst, s0, to = a
+    regs[dst] = convert_to_integral(regs[s0], to)
+
+
+def _n_getf(regs, frame, a):
+    dst, s0, field = a
+    ref = null_check(regs[s0])
+    regs[dst] = ref.getfield(field)
+
+
+def _n_putf(regs, frame, a):
+    s0, s1, field = a
+    ref = null_check(regs[s0])
+    ref.putfield(field, regs[s1])
+
+
+def _n_ald_imm(regs, frame, a):
+    dst, s0, idx = a
+    ref = null_check(regs[s0])
+    regs[dst] = ref.load(idx)
+
+
+def _n_ald_reg(regs, frame, a):
+    dst, s0, s1 = a
+    ref = null_check(regs[s0])
+    regs[dst] = ref.load(int(regs[s1]))
+
+
+def _n_ast_imm(regs, frame, a):
+    s0, idx, s1 = a
+    ref = null_check(regs[s0])
+    ref.store(idx, coerce(regs[s1], ref.elem_type))
+
+
+def _n_ast_reg(regs, frame, a):
+    s0, s1, s2 = a
+    ref = null_check(regs[s0])
+    ref.store(int(regs[s1]), coerce(regs[s2], ref.elem_type))
+
+
+def _n_alen(regs, frame, a):
+    dst, s0 = a
+    ref = null_check(regs[s0])
+    regs[dst] = ref.length
+
+
+def _n_acopy(regs, frame, a):
+    s_src, s_srcoff, s_dst, s_dstoff, s_count = a
+    src = null_check(regs[s_src])
+    srcoff = int(regs[s_srcoff])
+    dst = null_check(regs[s_dst])
+    dstoff = int(regs[s_dstoff])
+    count = int(regs[s_count])
+    if (count < 0 or srcoff < 0 or dstoff < 0
+            or srcoff + count > src.length
+            or dstoff + count > dst.length):
+        raise JavaThrow("java/lang/ArrayIndexOutOfBoundsException",
+                        "arraycopy")
+    dst.data[dstoff:dstoff + count] = src.data[srcoff:srcoff + count]
+    frame.clock.cycles += 2 * count
+
+
+def _n_acmp(regs, frame, a):
+    dst, s0, s1 = a
+    x = null_check(regs[s0])
+    y = null_check(regs[s1])
+    regs[dst] = (x.data > y.data) - (x.data < y.data)
+    frame.clock.cycles += min(x.length, y.length)
+
+
+def _n_new_heap(regs, frame, a):
+    dst, class_name = a
+    frame.vm.on_allocation()
+    regs[dst] = JObject(class_name)
+
+
+def _n_new_stack(regs, frame, a):
+    # Entry cost is STACK_ALLOC_COST (folded in at predecode), matching
+    # the legacy loop's NATIVE_COST + (STACK_ALLOC_COST - NATIVE_COST).
+    dst, class_name = a
+    obj = JObject(class_name)
+    obj.stack_allocated = True
+    regs[dst] = obj
+
+
+def _n_newarr_heap(regs, frame, a):
+    dst, s0, elem = a
+    length = int(regs[s0])
+    frame.vm.on_allocation()
+    regs[dst] = JArray(elem, length)
+
+
+def _n_newarr_stack(regs, frame, a):
+    dst, s0, elem = a
+    regs[dst] = JArray(elem, int(regs[s0]))
+
+
+def _n_newmulti(regs, frame, a):
+    dst, srcs, elem = a
+    dims = [int(regs[s]) for s in srcs]
+    frame.vm.on_allocation()
+    regs[dst] = make_multiarray(elem, dims)
+
+
+def _n_inst(regs, frame, a):
+    dst, s0, class_name = a
+    ref = regs[s0]
+    regs[dst] = int(isinstance(ref, JObject)
+                    and ref.isinstance_of(class_name, frame.vm.classes))
+
+
+def _n_ccast(regs, frame, a):
+    s0, class_name = a
+    ref = regs[s0]
+    if ref is not None and isinstance(ref, JObject):
+        if not ref.isinstance_of(class_name, frame.vm.classes):
+            raise JavaThrow("java/lang/ClassCastException",
+                            f"{ref.class_name} -> {class_name}")
+
+
+def _n_mone(regs, frame, a):
+    null_check(regs[a])
+    frame.vm.on_monitor(enter=True)
+
+
+def _n_monx(regs, frame, a):
+    null_check(regs[a])
+    frame.vm.on_monitor(enter=False)
+
+
+def _n_throw(regs, frame, a):
+    ref = null_check(regs[a])
+    raise JavaThrow(ref.class_name)
+
+
+def _n_nullchk(regs, frame, a):
+    null_check(regs[a])
+
+
+def _n_bndchk(regs, frame, a):
+    s0, s1 = a
+    ref = null_check(regs[s0])
+    idx = int(regs[s1])
+    if not 0 <= idx < ref.length:
+        raise JavaThrow("java/lang/ArrayIndexOutOfBoundsException",
+                        str(idx))
+
+
+def _n_call_intrinsic(regs, frame, a):
+    dst, srcs, sig = a
+    value, _rt, icost = call_intrinsic(sig, [regs[s] for s in srcs])
+    frame.clock.cycles += icost
+    if dst is not None:
+        regs[dst] = value
+
+
+def _n_call_guest(regs, frame, a):
+    dst, srcs, sig, argtypes = a
+    vals = [regs[s] for s in srcs]
+    value, _rt = frame.vm.invoke(sig, list(zip(vals, argtypes)))
+    if dst is not None:
+        regs[dst] = value
+
+
+def _n_ret_void(regs, frame, a):
+    return a  # the precomputed ("ret", (None, VOID)) sentinel
+
+
+def _n_ret_val(regs, frame, a):
+    s0, rtype = a
+    return ("ret", (regs[s0], rtype))
+
+
+def _n_br(regs, frame, a):
+    return a
+
+
+def _bc_body(frame, taken, bc_pc, target):
+    if taken:
+        # Taken conditional branches redirect the pipeline;
+        # fall-through is free.  This is the cycle the profile-guided
+        # layout recovers.
+        frame.clock.cycles += 1
+    prof = frame.profile
+    if prof is not None:
+        key = (bc_pc, taken)
+        prof[key] = prof.get(key, 0) + 1
+        frame.clock.cycles += 1
+    return target if taken else None
+
+
+def _n_bc_eq(regs, frame, a):
+    s0, target, bc_pc = a
+    return _bc_body(frame, regs[s0] == 0, bc_pc, target)
+
+
+def _n_bc_ne(regs, frame, a):
+    s0, target, bc_pc = a
+    return _bc_body(frame, regs[s0] != 0, bc_pc, target)
+
+
+def _n_bc_lt(regs, frame, a):
+    s0, target, bc_pc = a
+    return _bc_body(frame, regs[s0] < 0, bc_pc, target)
+
+
+def _n_bc_le(regs, frame, a):
+    s0, target, bc_pc = a
+    return _bc_body(frame, regs[s0] <= 0, bc_pc, target)
+
+
+def _n_bc_gt(regs, frame, a):
+    s0, target, bc_pc = a
+    return _bc_body(frame, regs[s0] > 0, bc_pc, target)
+
+
+def _n_bc_ge(regs, frame, a):
+    s0, target, bc_pc = a
+    return _bc_body(frame, regs[s0] >= 0, bc_pc, target)
+
+
+_BC_HANDLERS = {"eq": _n_bc_eq, "ne": _n_bc_ne, "lt": _n_bc_lt,
+                "le": _n_bc_le, "gt": _n_bc_gt, "ge": _n_bc_ge}
+
+_ALUI_HANDLERS = {NOp.ADD: _n_alui_add, NOp.SUB: _n_alui_sub,
+                  NOp.MUL: _n_alui_mul, NOp.OR: _n_alui_or,
+                  NOp.AND: _n_alui_and, NOp.XOR: _n_alui_xor,
+                  NOp.SHL: _n_alui_shl, NOp.SHR: _n_alui_shr}
+
+
+def _n_throwlocal(regs, frame, a):
+    target, class_name = a
+    frame.pending = JObject(class_name)
+    return target
+
+
+def _n_catch(regs, frame, a):
+    regs[a] = frame.pending
+
+
+def _n_spst(regs, frame, a):
+    slot, s0 = a
+    frame.mem[slot] = regs[s0]
+
+
+def _n_spld(regs, frame, a):
+    dst, slot = a
+    regs[dst] = frame.mem[slot]
+
+
+def _n_fell_off(regs, frame, a):
+    # Sentinel entry appended past the last real instruction; replaces
+    # the legacy loop's per-step ``ip >= n`` check.
+    raise VMError(f"{a}: fell off native code")
+
+
+#: Opcode-indexed handler table for the ops that need no per-instruction
+#: specialization; predecode refines CONST/CAST/ALUI/ALD/AST/NEW/NEWARR/
+#: CALL/RET/BC/SHL/SHR to the specialized handlers above.
+N_HANDLERS = {
+    NOp.MOV: _n_mov, NOp.LDLOC: _n_ldloc, NOp.STLOC: _n_stloc,
+    NOp.INCLOC: _n_incloc,
+    NOp.ADD: _n_add, NOp.SUB: _n_sub, NOp.MUL: _n_mul,
+    NOp.OR: _n_or, NOp.AND: _n_and, NOp.XOR: _n_xor,
+    NOp.DIV: _n_div, NOp.REM: _n_rem, NOp.NEG: _n_neg, NOp.CMP: _n_cmp,
+    NOp.ADDI: _n_addi,
+    NOp.GETF: _n_getf, NOp.PUTF: _n_putf, NOp.ALEN: _n_alen,
+    NOp.ACOPY: _n_acopy, NOp.ACMP: _n_acmp, NOp.NEWMULTI: _n_newmulti,
+    NOp.INST: _n_inst, NOp.CCAST: _n_ccast,
+    NOp.MONE: _n_mone, NOp.MONX: _n_monx, NOp.THROW: _n_throw,
+    NOp.NULLCHK: _n_nullchk, NOp.BNDCHK: _n_bndchk,
+    NOp.BR: _n_br, NOp.THROWLOCAL: _n_throwlocal, NOp.CATCH: _n_catch,
+    NOp.SPST: _n_spst, NOp.SPLD: _n_spld,
 }
 
 
@@ -58,6 +517,7 @@ class NativeCode:
         # branch profiles, which must survive recompilation (block ids
         # are compile-local, bytecode offsets are not).
         self.block_bc = {b.bid: b.bc_start for b in ilmethod.blocks}
+        self._predecoded = None
 
     @classmethod
     def from_parts(cls, method, num_locals, instrs, leaf, handlers,
@@ -79,11 +539,173 @@ class NativeCode:
                        if ins.op is NOp.LABEL}
         self.frame_cost = LEAF_FRAME_COST if leaf else FRAME_COST
         self.block_bc = dict(block_bc)
+        self._predecoded = None
         return self
 
     def size(self):
         """Number of native instructions (code-size proxy)."""
         return sum(1 for i in self.instrs if i.op is not NOp.LABEL)
+
+    def invalidate_predecode(self):
+        """Drop the cached predecoded body (call after editing
+        ``instrs``; recompilation builds a fresh :class:`NativeCode`, so
+        this is only needed for in-place surgery, e.g. in tests)."""
+        self._predecoded = None
+
+    # -- predecoding -------------------------------------------------------
+
+    def predecode(self):
+        """Build (and cache) the flat dispatch form of this body.
+
+        Returns ``(entries, pd_instrs, label_newidx)``: ``entries`` is a
+        tuple of ``(handler, cost, srcs, dst, a)`` per non-``LABEL``
+        instruction plus a trailing fell-off sentinel, ``pd_instrs``
+        maps each entry index back to its :class:`NInstr` (exception
+        dispatch needs the originating block), and ``label_newidx``
+        remaps block-id labels to entry indices.  The remap is
+        order-preserving, so ``jump <= ip`` detects exactly the
+        backward branches the label-bearing loop detects.
+        """
+        if self._predecoded is not None:
+            return self._predecoded
+        old_to_new = []
+        real = []
+        for ins in self.instrs:
+            old_to_new.append(len(real))
+            if ins.op is not NOp.LABEL:
+                real.append(ins)
+        label_newidx = {aux: old_to_new[i] for aux, i in self.labels.items()}
+        entries = [self._build_entry(ins, label_newidx) for ins in real]
+        entries.append((_n_fell_off, 0, (), None, self.method.signature))
+        self._predecoded = (tuple(entries), tuple(real), label_newidx)
+        return self._predecoded
+
+    def _build_entry(self, ins, label_newidx):
+        """Predecode one instruction into ``(handler, cost, srcs, dst, a)``.
+
+        All the per-step decode work of the legacy loop happens here
+        once: immediate coercion, ALUI base-op and BC relop resolution,
+        intrinsic-vs-guest call routing, addressing-mode selection and
+        label remapping.
+        """
+        op = ins.op
+        cost = NATIVE_COST[op]
+        dst = ins.dst
+        srcs = ins.srcs
+        t = ins.type
+        if op is NOp.CONST:
+            return (_n_const, cost, srcs, dst, (dst, coerce(ins.imm, t)))
+        if op is NOp.MOV:
+            return (_n_mov, cost, srcs, dst, (dst, srcs[0]))
+        if op is NOp.LDLOC:
+            return (_n_ldloc, cost, srcs, dst, (dst, ins.imm))
+        if op is NOp.STLOC:
+            return (_n_stloc, cost, srcs, dst, (ins.imm, srcs[0]))
+        if op is NOp.INCLOC:
+            return (_n_incloc, cost, srcs, dst, (ins.aux, ins.imm, t))
+        if op in _SIMPLE_ALU or op is NOp.DIV or op is NOp.REM:
+            return (N_HANDLERS[op], cost, srcs, dst,
+                    (dst, srcs[0], srcs[1], t))
+        if op is NOp.ALUI:
+            handler = _ALUI_HANDLERS[ins.aux]
+            if ins.aux in (NOp.SHL, NOp.SHR):
+                bits = 63 if t is JType.LONG else 31
+                st = t if t is JType.LONG else JType.INT
+                return (handler, cost, srcs, dst,
+                        (dst, srcs[0], int(ins.imm) & bits, st))
+            return (handler, cost, srcs, dst, (dst, srcs[0], ins.imm, t))
+        if op is NOp.ADDI:
+            return (_n_addi, cost, srcs, dst, (dst, srcs[0], ins.imm, t))
+        if op is NOp.NEG:
+            return (_n_neg, cost, srcs, dst, (dst, srcs[0], t))
+        if op is NOp.SHL or op is NOp.SHR:
+            bits = 63 if t is JType.LONG else 31
+            st = t if t is JType.LONG else JType.INT
+            handler = _n_shl if op is NOp.SHL else _n_shr
+            return (handler, cost, srcs, dst,
+                    (dst, srcs[0], srcs[1], bits, st))
+        if op is NOp.CMP:
+            return (_n_cmp, cost, srcs, dst, (dst, srcs[0], srcs[1]))
+        if op is NOp.CAST:
+            if t.is_floating:
+                return (_n_cast_float, cost, srcs, dst, (dst, srcs[0]))
+            return (_n_cast_int, cost, srcs, dst, (dst, srcs[0], t))
+        if op is NOp.GETF:
+            return (_n_getf, cost, srcs, dst, (dst, srcs[0], ins.aux))
+        if op is NOp.PUTF:
+            return (_n_putf, cost, srcs, dst, (srcs[0], srcs[1], ins.aux))
+        if op is NOp.ALD:
+            if len(srcs) == 1:
+                return (_n_ald_imm, cost, srcs, dst,
+                        (dst, srcs[0], int(ins.imm)))
+            return (_n_ald_reg, cost, srcs, dst, (dst, srcs[0], srcs[1]))
+        if op is NOp.AST:
+            if ins.aux == "imm_idx":
+                return (_n_ast_imm, cost, srcs, dst,
+                        (srcs[0], int(ins.imm), srcs[1]))
+            return (_n_ast_reg, cost, srcs, dst,
+                    (srcs[0], srcs[1], srcs[2]))
+        if op is NOp.ALEN:
+            return (_n_alen, cost, srcs, dst, (dst, srcs[0]))
+        if op is NOp.ACOPY:
+            return (_n_acopy, cost, srcs, dst, tuple(srcs))
+        if op is NOp.ACMP:
+            return (_n_acmp, cost, srcs, dst, (dst, srcs[0], srcs[1]))
+        if op is NOp.NEW:
+            if ins.imm == 1:
+                return (_n_new_stack, STACK_ALLOC_COST, srcs, dst,
+                        (dst, ins.aux))
+            return (_n_new_heap, cost, srcs, dst, (dst, ins.aux))
+        if op is NOp.NEWARR:
+            if ins.imm == 1:
+                return (_n_newarr_stack, STACK_ALLOC_COST, srcs, dst,
+                        (dst, srcs[0], ins.aux))
+            return (_n_newarr_heap, cost, srcs, dst,
+                    (dst, srcs[0], ins.aux))
+        if op is NOp.NEWMULTI:
+            elem, _nd = ins.aux
+            return (_n_newmulti, cost, srcs, dst, (dst, srcs, elem))
+        if op is NOp.INST:
+            return (_n_inst, cost, srcs, dst, (dst, srcs[0], ins.aux))
+        if op is NOp.CCAST:
+            return (_n_ccast, cost, srcs, dst, (srcs[0], ins.aux))
+        if op is NOp.MONE or op is NOp.MONX:
+            return (N_HANDLERS[op], cost, srcs, dst, srcs[0])
+        if op is NOp.THROW or op is NOp.NULLCHK:
+            return (N_HANDLERS[op], cost, srcs, dst, srcs[0])
+        if op is NOp.BNDCHK:
+            return (_n_bndchk, cost, srcs, dst, (srcs[0], srcs[1]))
+        if op is NOp.CALL:
+            sig, argtypes, _rtype = ins.aux
+            if is_intrinsic(sig):
+                return (_n_call_intrinsic, cost, srcs, dst,
+                        (dst, srcs, sig))
+            return (_n_call_guest, cost, srcs, dst,
+                    (dst, srcs, sig, tuple(argtypes)))
+        if op is NOp.RET:
+            if srcs:
+                return (_n_ret_val, cost, srcs, dst,
+                        (srcs[0], self.method.return_type))
+            return (_n_ret_void, cost, srcs, dst,
+                    ("ret", (None, JType.VOID)))
+        if op is NOp.BR:
+            return (_n_br, cost, srcs, dst, label_newidx[ins.aux])
+        if op is NOp.BC:
+            relop, target = ins.aux
+            return (_BC_HANDLERS[relop], cost, srcs, dst,
+                    (srcs[0], label_newidx[target],
+                     self.block_bc.get(ins.block, -1)))
+        if op is NOp.THROWLOCAL:
+            target, class_name = ins.aux
+            return (_n_throwlocal, cost, srcs, dst,
+                    (label_newidx[target], class_name))
+        if op is NOp.CATCH:
+            return (_n_catch, cost, srcs, dst, dst)
+        if op is NOp.SPST:
+            return (_n_spst, cost, srcs, dst, (ins.aux, srcs[0]))
+        if op is NOp.SPLD:
+            return (_n_spld, cost, srcs, dst, (dst, ins.aux))
+        raise VMError(f"native: unhandled op {op!r}")
 
     def _dispatch_exception(self, ins, thrown_class):
         """Find the handler label for an exception raised at *ins*."""
@@ -112,7 +734,63 @@ class NativeCode:
                 zip(args, method.param_types)):
             locals_[i] = value if ptype.is_reference \
                 else coerce(value, ptype)
+        if USE_PREDECODE:
+            return self._run(vm, locals_, profile)
+        return self._run_legacy(vm, locals_, profile)
 
+    def _run(self, vm, locals_, profile):
+        entries, pd_instrs, label_newidx = self.predecode()
+        method = self.method
+        handlers = self.handlers
+        frame = NativeFrame(vm, locals_, profile)
+        regs = {}
+        clk = vm.clock
+        clk.advance(self.frame_cost)
+        stats = vm.stats
+        ip = 0
+        budget = MAX_NATIVE_STEPS
+        prev_dst = None
+        try:
+            while True:
+                budget -= 1
+                if budget < 0:
+                    raise StepBudgetExceeded(method.signature,
+                                             MAX_NATIVE_STEPS, "native")
+                handler, cost, srcs, dst, a = entries[ip]
+                if prev_dst is not None and prev_dst in srcs:
+                    clk.cycles += cost + STALL_COST
+                else:
+                    clk.cycles += cost
+                try:
+                    jump = handler(regs, frame, a)
+                except JavaThrow as thrown:
+                    target = None
+                    block = pd_instrs[ip].block
+                    for h in handlers:
+                        if block in h.covered \
+                                and h.matches(thrown.class_name):
+                            target = label_newidx[h.handler_bid]
+                            break
+                    if target is None:
+                        raise
+                    frame.pending = JObject(thrown.class_name)
+                    ip = target
+                    prev_dst = None
+                    continue
+                prev_dst = dst
+                if jump is None:
+                    ip += 1
+                elif jump.__class__ is int:
+                    if jump <= ip:
+                        vm.on_backward_branch(method)
+                    ip = jump
+                else:  # ("ret", (value, jtype)) sentinel
+                    return jump[1]
+        finally:
+            stats["native_steps"] += MAX_NATIVE_STEPS - budget
+
+    def _run_legacy(self, vm, locals_, profile):
+        method = self.method
         regs = {}
         mem = {}
         clk = vm.clock
@@ -124,213 +802,223 @@ class NativeCode:
         prev_dst = None
         pending_exc = None
 
-        while True:
-            steps += 1
-            if steps > MAX_NATIVE_STEPS:
-                raise VMError(f"{method.signature}: native step limit")
-            if ip >= n:
-                raise VMError(f"{method.signature}: fell off native code")
-            ins = instrs[ip]
-            op = ins.op
-            if op is NOp.LABEL:
-                ip += 1
-                continue
-            cost = NATIVE_COST[op]
-            if prev_dst is not None and prev_dst in ins.srcs:
-                cost += STALL_COST
-            clk.cycles += cost
+        try:
+            while True:
+                steps += 1
+                if steps > MAX_NATIVE_STEPS:
+                    raise StepBudgetExceeded(method.signature,
+                                             MAX_NATIVE_STEPS, "native")
+                if ip >= n:
+                    raise VMError(f"{method.signature}: "
+                                  "fell off native code")
+                ins = instrs[ip]
+                op = ins.op
+                if op is NOp.LABEL:
+                    ip += 1
+                    continue
+                cost = NATIVE_COST[op]
+                if prev_dst is not None and prev_dst in ins.srcs:
+                    cost += STALL_COST
+                clk.cycles += cost
 
-            try:
-                jump = None
-                if op is NOp.CONST:
-                    regs[ins.dst] = coerce(ins.imm, ins.type)
-                elif op is NOp.MOV:
-                    regs[ins.dst] = regs[ins.srcs[0]]
-                elif op is NOp.LDLOC:
-                    regs[ins.dst] = locals_[ins.imm]
-                elif op is NOp.STLOC:
-                    locals_[ins.imm] = regs[ins.srcs[0]]
-                elif op is NOp.INCLOC:
-                    locals_[ins.aux] = coerce(locals_[ins.aux] + ins.imm,
-                                              ins.type)
-                elif op in _SIMPLE_ALU:
-                    a = regs[ins.srcs[0]]
-                    b = regs[ins.srcs[1]]
-                    regs[ins.dst] = coerce(_SIMPLE_ALU[op](a, b), ins.type)
-                elif op is NOp.ALUI:
-                    a = regs[ins.srcs[0]]
-                    regs[ins.dst] = self._alui(a, ins)
-                elif op is NOp.ADDI:
-                    regs[ins.dst] = coerce(regs[ins.srcs[0]] + ins.imm,
-                                           ins.type)
-                elif op is NOp.DIV or op is NOp.REM:
-                    a = regs[ins.srcs[0]]
-                    b = regs[ins.srcs[1]]
-                    regs[ins.dst] = _divrem(a, b, ins.type,
-                                            op is NOp.DIV)
-                elif op is NOp.NEG:
-                    regs[ins.dst] = coerce(-regs[ins.srcs[0]], ins.type)
-                elif op is NOp.SHL or op is NOp.SHR:
-                    a = int(regs[ins.srcs[0]])
-                    b = int(regs[ins.srcs[1]])
-                    bits = 63 if ins.type is JType.LONG else 31
-                    t = ins.type if ins.type is JType.LONG else JType.INT
-                    r = a << (b & bits) if op is NOp.SHL \
-                        else a >> (b & bits)
-                    regs[ins.dst] = mask_integral(r, t)
-                elif op is NOp.CMP:
-                    a = regs[ins.srcs[0]]
-                    b = regs[ins.srcs[1]]
-                    if isinstance(a, float) and math.isnan(a):
-                        regs[ins.dst] = -1
-                    elif isinstance(b, float) and math.isnan(b):
-                        regs[ins.dst] = -1
-                    else:
-                        regs[ins.dst] = (a > b) - (a < b)
-                elif op is NOp.CAST:
-                    v = regs[ins.srcs[0]]
-                    to = ins.type
-                    if to.is_floating:
-                        regs[ins.dst] = float(v)
-                    else:
-                        regs[ins.dst] = convert_to_integral(v, to)
-                elif op is NOp.GETF:
-                    ref = null_check(regs[ins.srcs[0]])
-                    regs[ins.dst] = ref.getfield(ins.aux)
-                elif op is NOp.PUTF:
-                    ref = null_check(regs[ins.srcs[0]])
-                    ref.putfield(ins.aux, regs[ins.srcs[1]])
-                elif op is NOp.ALD:
-                    ref = null_check(regs[ins.srcs[0]])
-                    idx = ins.imm if len(ins.srcs) == 1 \
-                        else regs[ins.srcs[1]]
-                    regs[ins.dst] = ref.load(int(idx))
-                elif op is NOp.AST:
-                    ref = null_check(regs[ins.srcs[0]])
-                    if ins.aux == "imm_idx":
-                        idx, val = ins.imm, regs[ins.srcs[1]]
-                    else:
-                        idx, val = regs[ins.srcs[1]], regs[ins.srcs[2]]
-                    ref.store(int(idx), coerce(val, ref.elem_type))
-                elif op is NOp.ALEN:
-                    ref = null_check(regs[ins.srcs[0]])
-                    regs[ins.dst] = ref.length
-                elif op is NOp.ACOPY:
-                    self._acopy(vm, regs, ins)
-                elif op is NOp.ACMP:
-                    a = null_check(regs[ins.srcs[0]])
-                    b = null_check(regs[ins.srcs[1]])
-                    regs[ins.dst] = (a.data > b.data) - (a.data < b.data)
-                    clk.cycles += min(a.length, b.length)
-                elif op is NOp.NEW:
-                    obj = JObject(ins.aux)
-                    if ins.imm == 1:
-                        obj.stack_allocated = True
-                        clk.cycles += STACK_ALLOC_COST - NATIVE_COST[op]
-                    else:
+                try:
+                    jump = None
+                    if op is NOp.CONST:
+                        regs[ins.dst] = coerce(ins.imm, ins.type)
+                    elif op is NOp.MOV:
+                        regs[ins.dst] = regs[ins.srcs[0]]
+                    elif op is NOp.LDLOC:
+                        regs[ins.dst] = locals_[ins.imm]
+                    elif op is NOp.STLOC:
+                        locals_[ins.imm] = regs[ins.srcs[0]]
+                    elif op is NOp.INCLOC:
+                        locals_[ins.aux] = coerce(
+                            locals_[ins.aux] + ins.imm, ins.type)
+                    elif op in _SIMPLE_ALU:
+                        a = regs[ins.srcs[0]]
+                        b = regs[ins.srcs[1]]
+                        regs[ins.dst] = coerce(_SIMPLE_ALU[op](a, b),
+                                               ins.type)
+                    elif op is NOp.ALUI:
+                        a = regs[ins.srcs[0]]
+                        regs[ins.dst] = self._alui(a, ins)
+                    elif op is NOp.ADDI:
+                        regs[ins.dst] = coerce(
+                            regs[ins.srcs[0]] + ins.imm, ins.type)
+                    elif op is NOp.DIV or op is NOp.REM:
+                        a = regs[ins.srcs[0]]
+                        b = regs[ins.srcs[1]]
+                        regs[ins.dst] = _divrem(a, b, ins.type,
+                                                op is NOp.DIV)
+                    elif op is NOp.NEG:
+                        regs[ins.dst] = coerce(-regs[ins.srcs[0]],
+                                               ins.type)
+                    elif op is NOp.SHL or op is NOp.SHR:
+                        a = int(regs[ins.srcs[0]])
+                        b = int(regs[ins.srcs[1]])
+                        bits = 63 if ins.type is JType.LONG else 31
+                        t = ins.type if ins.type is JType.LONG \
+                            else JType.INT
+                        r = a << (b & bits) if op is NOp.SHL \
+                            else a >> (b & bits)
+                        regs[ins.dst] = mask_integral(r, t)
+                    elif op is NOp.CMP:
+                        a = regs[ins.srcs[0]]
+                        b = regs[ins.srcs[1]]
+                        if isinstance(a, float) and math.isnan(a):
+                            regs[ins.dst] = -1
+                        elif isinstance(b, float) and math.isnan(b):
+                            regs[ins.dst] = -1
+                        else:
+                            regs[ins.dst] = (a > b) - (a < b)
+                    elif op is NOp.CAST:
+                        v = regs[ins.srcs[0]]
+                        to = ins.type
+                        if to.is_floating:
+                            regs[ins.dst] = float(v)
+                        else:
+                            regs[ins.dst] = convert_to_integral(v, to)
+                    elif op is NOp.GETF:
+                        ref = null_check(regs[ins.srcs[0]])
+                        regs[ins.dst] = ref.getfield(ins.aux)
+                    elif op is NOp.PUTF:
+                        ref = null_check(regs[ins.srcs[0]])
+                        ref.putfield(ins.aux, regs[ins.srcs[1]])
+                    elif op is NOp.ALD:
+                        ref = null_check(regs[ins.srcs[0]])
+                        idx = ins.imm if len(ins.srcs) == 1 \
+                            else regs[ins.srcs[1]]
+                        regs[ins.dst] = ref.load(int(idx))
+                    elif op is NOp.AST:
+                        ref = null_check(regs[ins.srcs[0]])
+                        if ins.aux == "imm_idx":
+                            idx, val = ins.imm, regs[ins.srcs[1]]
+                        else:
+                            idx, val = regs[ins.srcs[1]], regs[ins.srcs[2]]
+                        ref.store(int(idx), coerce(val, ref.elem_type))
+                    elif op is NOp.ALEN:
+                        ref = null_check(regs[ins.srcs[0]])
+                        regs[ins.dst] = ref.length
+                    elif op is NOp.ACOPY:
+                        self._acopy(vm, regs, ins)
+                    elif op is NOp.ACMP:
+                        a = null_check(regs[ins.srcs[0]])
+                        b = null_check(regs[ins.srcs[1]])
+                        regs[ins.dst] = ((a.data > b.data)
+                                         - (a.data < b.data))
+                        clk.cycles += min(a.length, b.length)
+                    elif op is NOp.NEW:
+                        obj = JObject(ins.aux)
+                        if ins.imm == 1:
+                            obj.stack_allocated = True
+                            clk.cycles += STACK_ALLOC_COST - NATIVE_COST[op]
+                        else:
+                            vm.on_allocation()
+                        regs[ins.dst] = obj
+                    elif op is NOp.NEWARR:
+                        length = int(regs[ins.srcs[0]])
+                        if ins.imm == 1:
+                            clk.cycles += STACK_ALLOC_COST - NATIVE_COST[op]
+                        else:
+                            vm.on_allocation()
+                        regs[ins.dst] = JArray(ins.aux, length)
+                    elif op is NOp.NEWMULTI:
+                        elem, _nd = ins.aux
+                        dims = [int(regs[s]) for s in ins.srcs]
                         vm.on_allocation()
-                    regs[ins.dst] = obj
-                elif op is NOp.NEWARR:
-                    length = int(regs[ins.srcs[0]])
-                    if ins.imm == 1:
-                        clk.cycles += STACK_ALLOC_COST - NATIVE_COST[op]
-                    else:
-                        vm.on_allocation()
-                    regs[ins.dst] = JArray(ins.aux, length)
-                elif op is NOp.NEWMULTI:
-                    elem, _nd = ins.aux
-                    dims = [int(regs[s]) for s in ins.srcs]
-                    vm.on_allocation()
-                    regs[ins.dst] = make_multiarray(elem, dims)
-                elif op is NOp.INST:
-                    ref = regs[ins.srcs[0]]
-                    regs[ins.dst] = int(
-                        isinstance(ref, JObject)
-                        and ref.isinstance_of(ins.aux, vm.classes))
-                elif op is NOp.CCAST:
-                    ref = regs[ins.srcs[0]]
-                    if ref is not None and isinstance(ref, JObject):
-                        if not ref.isinstance_of(ins.aux, vm.classes):
+                        regs[ins.dst] = make_multiarray(elem, dims)
+                    elif op is NOp.INST:
+                        ref = regs[ins.srcs[0]]
+                        regs[ins.dst] = int(
+                            isinstance(ref, JObject)
+                            and ref.isinstance_of(ins.aux, vm.classes))
+                    elif op is NOp.CCAST:
+                        ref = regs[ins.srcs[0]]
+                        if ref is not None and isinstance(ref, JObject):
+                            if not ref.isinstance_of(ins.aux, vm.classes):
+                                raise JavaThrow(
+                                    "java/lang/ClassCastException",
+                                    f"{ref.class_name} -> {ins.aux}")
+                    elif op is NOp.MONE:
+                        null_check(regs[ins.srcs[0]])
+                        vm.on_monitor(enter=True)
+                    elif op is NOp.MONX:
+                        null_check(regs[ins.srcs[0]])
+                        vm.on_monitor(enter=False)
+                    elif op is NOp.THROW:
+                        ref = null_check(regs[ins.srcs[0]])
+                        raise JavaThrow(ref.class_name)
+                    elif op is NOp.NULLCHK:
+                        null_check(regs[ins.srcs[0]])
+                    elif op is NOp.BNDCHK:
+                        ref = null_check(regs[ins.srcs[0]])
+                        idx = int(regs[ins.srcs[1]])
+                        if not 0 <= idx < ref.length:
                             raise JavaThrow(
-                                "java/lang/ClassCastException",
-                                f"{ref.class_name} -> {ins.aux}")
-                elif op is NOp.MONE:
-                    null_check(regs[ins.srcs[0]])
-                    vm.on_monitor(enter=True)
-                elif op is NOp.MONX:
-                    null_check(regs[ins.srcs[0]])
-                    vm.on_monitor(enter=False)
-                elif op is NOp.THROW:
-                    ref = null_check(regs[ins.srcs[0]])
-                    raise JavaThrow(ref.class_name)
-                elif op is NOp.NULLCHK:
-                    null_check(regs[ins.srcs[0]])
-                elif op is NOp.BNDCHK:
-                    ref = null_check(regs[ins.srcs[0]])
-                    idx = int(regs[ins.srcs[1]])
-                    if not 0 <= idx < ref.length:
-                        raise JavaThrow(
-                            "java/lang/ArrayIndexOutOfBoundsException",
-                            str(idx))
-                elif op is NOp.CALL:
-                    sig, argtypes, rtype = ins.aux
-                    vals = [regs[s] for s in ins.srcs]
-                    if is_intrinsic(sig):
-                        value, rt, icost = call_intrinsic(sig, vals)
-                        clk.cycles += icost
-                    else:
-                        value, rt = vm.invoke(
-                            sig, list(zip(vals, argtypes)))
-                    if ins.dst is not None:
-                        regs[ins.dst] = value
-                elif op is NOp.RET:
-                    if ins.srcs:
-                        return (regs[ins.srcs[0]], method.return_type)
-                    return (None, JType.VOID)
-                elif op is NOp.BR:
-                    jump = self.labels[ins.aux]
-                elif op is NOp.BC:
-                    relop, target = ins.aux
-                    v = regs[ins.srcs[0]]
-                    taken = _relop_taken(relop, v)
-                    if taken:
+                                "java/lang/ArrayIndexOutOfBoundsException",
+                                str(idx))
+                    elif op is NOp.CALL:
+                        sig, argtypes, rtype = ins.aux
+                        vals = [regs[s] for s in ins.srcs]
+                        if is_intrinsic(sig):
+                            value, rt, icost = call_intrinsic(sig, vals)
+                            clk.cycles += icost
+                        else:
+                            value, rt = vm.invoke(
+                                sig, list(zip(vals, argtypes)))
+                        if ins.dst is not None:
+                            regs[ins.dst] = value
+                    elif op is NOp.RET:
+                        if ins.srcs:
+                            return (regs[ins.srcs[0]], method.return_type)
+                        return (None, JType.VOID)
+                    elif op is NOp.BR:
+                        jump = self.labels[ins.aux]
+                    elif op is NOp.BC:
+                        relop, target = ins.aux
+                        v = regs[ins.srcs[0]]
+                        taken = _relop_taken(relop, v)
+                        if taken:
+                            jump = self.labels[target]
+                            # Taken conditional branches redirect the
+                            # pipeline; fall-through is free.  This is the
+                            # cycle the profile-guided layout recovers.
+                            clk.cycles += 1
+                        if profile is not None:
+                            key = (self.block_bc.get(ins.block, -1), taken)
+                            profile[key] = profile.get(key, 0) + 1
+                            clk.cycles += 1
+                    elif op is NOp.THROWLOCAL:
+                        target, class_name = ins.aux
+                        pending_exc = JObject(class_name)
                         jump = self.labels[target]
-                        # Taken conditional branches redirect the
-                        # pipeline; fall-through is free.  This is the
-                        # cycle the profile-guided layout recovers.
-                        clk.cycles += 1
-                    if profile is not None:
-                        key = (self.block_bc.get(ins.block, -1), taken)
-                        profile[key] = profile.get(key, 0) + 1
-                        clk.cycles += 1
-                elif op is NOp.THROWLOCAL:
-                    target, class_name = ins.aux
-                    pending_exc = JObject(class_name)
-                    jump = self.labels[target]
-                elif op is NOp.CATCH:
-                    regs[ins.dst] = pending_exc
-                elif op is NOp.SPST:
-                    mem[ins.aux] = regs[ins.srcs[0]]
-                elif op is NOp.SPLD:
-                    regs[ins.dst] = mem[ins.aux]
-                else:
-                    raise VMError(f"native: unhandled op {op!r}")
-            except JavaThrow as thrown:
-                target = self._dispatch_exception(ins, thrown.class_name)
-                if target is None:
-                    raise
-                pending_exc = JObject(thrown.class_name)
-                ip = target
-                prev_dst = None
-                continue
+                    elif op is NOp.CATCH:
+                        regs[ins.dst] = pending_exc
+                    elif op is NOp.SPST:
+                        mem[ins.aux] = regs[ins.srcs[0]]
+                    elif op is NOp.SPLD:
+                        regs[ins.dst] = mem[ins.aux]
+                    else:
+                        raise VMError(f"native: unhandled op {op!r}")
+                except JavaThrow as thrown:
+                    target = self._dispatch_exception(ins,
+                                                      thrown.class_name)
+                    if target is None:
+                        raise
+                    pending_exc = JObject(thrown.class_name)
+                    ip = target
+                    prev_dst = None
+                    continue
 
-            prev_dst = ins.dst
-            if jump is not None:
-                if jump <= ip:
-                    vm.on_backward_branch(method)
-                ip = jump
-            else:
-                ip += 1
+                prev_dst = ins.dst
+                if jump is not None:
+                    if jump <= ip:
+                        vm.on_backward_branch(method)
+                    ip = jump
+                else:
+                    ip += 1
+        finally:
+            vm.stats["native_steps"] += steps
 
     @staticmethod
     def _alui(a, ins):

@@ -158,6 +158,10 @@ class JitCompiler:
         total = ilgen_cost + opt_cost + lower_cost
         self.stats["compilations"] += 1
         self.stats["compile_cycles"] += total
+        # Predecode eagerly: install time is the one place we know the
+        # body is final, and paying it here keeps the first compiled
+        # invocation off the slow path.
+        native.predecode()
         return CompiledMethod(method, level, modifier, native, total,
                               features, pass_log)
 

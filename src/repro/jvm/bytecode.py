@@ -167,6 +167,17 @@ INTERP_COST = {
     Op.ARRAYLENGTH: 16, Op.ARRAYCOPY: 42, Op.ARRAYCMP: 40,
 }
 
+#: Number of slots an opcode-indexed dispatch table needs.
+NUM_OPCODES = max(Op) + 1
+
+#: ``INTERP_COST`` as a flat list indexed by ``int(op)`` -- the predecoded
+#: interpreter reads costs from here exactly once per instruction, at
+#: method predecode time, instead of hashing an enum on every step.
+INTERP_COST_TABLE = [0] * NUM_OPCODES
+for _op, _cost in INTERP_COST.items():
+    INTERP_COST_TABLE[_op] = _cost
+del _op, _cost
+
 
 class Instr:
     """One bytecode instruction: an opcode and its (immutable) operands."""

@@ -66,8 +66,17 @@ class JMethod:
         # Optional hint: slot -> element JType for array-typed parameters
         # (the analogue of array descriptors in real class files).
         self.array_elems = dict(array_elems) if array_elems else {}
+        # Predecoded dispatch tuples, built lazily by the interpreter on
+        # first execution and reused by every later activation.  Anyone
+        # who mutates ``code`` after construction must call
+        # :meth:`invalidate_predecode`.
+        self._predecoded = None
         validate_code(self.code, self.max_locals)
         self._validate_handlers()
+
+    def invalidate_predecode(self):
+        """Drop the cached predecoded body (call after editing ``code``)."""
+        self._predecoded = None
 
     # -- layout ----------------------------------------------------------
 

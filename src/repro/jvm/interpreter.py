@@ -8,13 +8,28 @@ interpretation agrees with concrete execution.
 Each bytecode advances the VM clock by its ``INTERP_COST`` -- interpretation
 pays dispatch overhead on every instruction, which is precisely the gap JIT
 compilation closes.
+
+Dispatch itself is **table-driven and predecoded**: the first activation of
+a method compiles its instruction stream into flat tuples
+``(handler, cost, a, b)``, where ``handler`` comes from an opcode-indexed
+table and the operands (including per-instruction constants such as a
+pre-coerced ``LOADCONST`` value) are resolved once.  The hot loop is then
+``handler(stack, locals, vm, a, b)`` -- no enum comparisons, no cost-dict
+hash, no per-step attribute chasing.  Virtual-cycle accounting is
+bit-identical to the pre-table interpreter: the predecoded tuples carry the
+same ``INTERP_COST`` charged at the same per-step points, which
+``tests/jvm/test_dispatch_parity.py`` enforces against the retained legacy
+loop (set ``REPRO_DISPATCH=legacy`` or flip ``USE_PREDECODE`` to compare).
 """
 
 import math
+import os
 
-from repro.errors import JavaThrow, VMError
+from repro.errors import JavaThrow, StepBudgetExceeded, VMError
 from repro.jvm.bytecode import (
     INTERP_COST,
+    INTERP_COST_TABLE,
+    NUM_OPCODES,
     JType,
     Op,
     convert_to_integral,
@@ -27,6 +42,12 @@ from repro.jvm.objects import JArray, JObject, make_multiarray, null_check
 #: Hard step bound per method activation; generated programs should never
 #: get near it, so hitting it indicates a bug (e.g. a miscompiled branch).
 MAX_STEPS = 5_000_000
+
+#: When False, every activation runs the legacy if/elif dispatch loop
+#: instead of the predecoded table -- kept through the transition so the
+#: parity suite (and ``repro bench``) can compare the two paths on
+#: identical inputs.  ``REPRO_DISPATCH=legacy`` flips the default.
+USE_PREDECODE = os.environ.get("REPRO_DISPATCH", "").lower() != "legacy"
 
 
 def promote(t1, t2):
@@ -62,6 +83,400 @@ def default_value(jtype):
     return 0
 
 
+# -- predecoded instruction handlers ----------------------------------------
+#
+# One function per opcode (conditional branches and calls get one per
+# *specialized* form), signature ``(stack, locals_, vm, a, b)``.  Return
+# value protocol, shared with the main loop: ``None`` falls through to
+# ``pc + 1``, an ``int`` branches to that pc, and a tuple
+# ``("return", (value, jtype))`` leaves the method.  Bodies mirror the
+# legacy ``_step`` arms statement for statement -- the parity property
+# depends on it.
+
+_RETURN_VOID = ("return", (None, JType.VOID))
+
+
+def _op_add(stack, locals_, vm, a, b):
+    y, ty = stack.pop()
+    x, tx = stack.pop()
+    t = promote(tx, ty)
+    stack.append((coerce(x + y, t), t))
+
+
+def _op_sub(stack, locals_, vm, a, b):
+    y, ty = stack.pop()
+    x, tx = stack.pop()
+    t = promote(tx, ty)
+    stack.append((coerce(x - y, t), t))
+
+
+def _op_mul(stack, locals_, vm, a, b):
+    y, ty = stack.pop()
+    x, tx = stack.pop()
+    t = promote(tx, ty)
+    stack.append((coerce(x * y, t), t))
+
+
+def _divrem_interp(stack, is_div):
+    y, ty = stack.pop()
+    x, tx = stack.pop()
+    t = promote(tx, ty)
+    if t.is_floating:
+        if y == 0:
+            r = (math.inf if x > 0 else -math.inf if x < 0 else math.nan)
+            if not is_div:
+                r = math.nan
+        else:
+            r = x / y if is_div else math.fmod(x, y)
+    else:
+        if y == 0:
+            raise JavaThrow("java/lang/ArithmeticException", "/ by zero")
+        # Java semantics: truncate toward zero.
+        q = abs(x) // abs(y)
+        if (x < 0) != (y < 0):
+            q = -q
+        r = q if is_div else x - q * y
+    stack.append((coerce(r, t), t))
+
+
+def _op_div(stack, locals_, vm, a, b):
+    _divrem_interp(stack, True)
+
+
+def _op_rem(stack, locals_, vm, a, b):
+    _divrem_interp(stack, False)
+
+
+def _op_neg(stack, locals_, vm, a, b):
+    x, tx = stack.pop()
+    stack.append((coerce(-x, tx), tx))
+
+
+def _op_shl(stack, locals_, vm, a, b):
+    y, _ty = stack.pop()
+    x, tx = stack.pop()
+    t = tx if tx is JType.LONG else JType.INT
+    r = int(x) << (int(y) & (63 if t is JType.LONG else 31))
+    stack.append((mask_integral(r, t), t))
+
+
+def _op_shr(stack, locals_, vm, a, b):
+    y, _ty = stack.pop()
+    x, tx = stack.pop()
+    t = tx if tx is JType.LONG else JType.INT
+    r = int(x) >> (int(y) & (63 if t is JType.LONG else 31))
+    stack.append((mask_integral(r, t), t))
+
+
+def _op_or(stack, locals_, vm, a, b):
+    y, _ty = stack.pop()
+    x, tx = stack.pop()
+    t = tx if tx is JType.LONG else JType.INT
+    stack.append((mask_integral(int(x) | int(y), t), t))
+
+
+def _op_and(stack, locals_, vm, a, b):
+    y, _ty = stack.pop()
+    x, tx = stack.pop()
+    t = tx if tx is JType.LONG else JType.INT
+    stack.append((mask_integral(int(x) & int(y), t), t))
+
+
+def _op_xor(stack, locals_, vm, a, b):
+    y, _ty = stack.pop()
+    x, tx = stack.pop()
+    t = tx if tx is JType.LONG else JType.INT
+    stack.append((mask_integral(int(x) ^ int(y), t), t))
+
+
+def _op_inc(stack, locals_, vm, a, b):
+    value, jtype = locals_[a]
+    locals_[a] = (coerce(value + b, jtype), jtype)
+
+
+def _op_cmp(stack, locals_, vm, a, b):
+    y, _ty = stack.pop()
+    x, _tx = stack.pop()
+    if isinstance(x, float) and math.isnan(x):
+        r = -1
+    elif isinstance(y, float) and math.isnan(y):
+        r = -1
+    else:
+        r = (x > y) - (x < y)
+    stack.append((r, JType.INT))
+
+
+def _op_cast_float(stack, locals_, vm, a, b):
+    value, _ = stack.pop()
+    stack.append((float(value), a))
+
+
+def _op_cast_int(stack, locals_, vm, a, b):
+    value, _ = stack.pop()
+    stack.append((convert_to_integral(value, a), a))
+
+
+def _op_checkcast(stack, locals_, vm, a, b):
+    ref, _t = stack[-1]
+    if ref is not None and isinstance(ref, JObject):
+        if not ref.isinstance_of(a, vm.classes):
+            raise JavaThrow("java/lang/ClassCastException",
+                            f"{ref.class_name} -> {a}")
+
+
+def _op_load(stack, locals_, vm, a, b):
+    stack.append(locals_[a])
+
+
+def _op_loadconst(stack, locals_, vm, a, b):
+    # ``a`` is the pre-coerced ``(value, jtype)`` entry, built once at
+    # predecode time.
+    stack.append(a)
+
+
+def _op_store(stack, locals_, vm, a, b):
+    locals_[a] = stack.pop()
+
+
+def _op_getfield(stack, locals_, vm, a, b):
+    ref, _ = stack.pop()
+    null_check(ref)
+    value = ref.getfield(a)
+    jtype = (JType.OBJECT if isinstance(value, JObject)
+             else JType.ADDRESS if isinstance(value, JArray)
+             else JType.DOUBLE if isinstance(value, float)
+             else JType.INT)
+    stack.append((value, jtype))
+
+
+def _op_putfield(stack, locals_, vm, a, b):
+    value, _ = stack.pop()
+    ref, _ = stack.pop()
+    null_check(ref)
+    ref.putfield(a, value)
+
+
+def _op_aload(stack, locals_, vm, a, b):
+    index, _ = stack.pop()
+    ref, _ = stack.pop()
+    null_check(ref)
+    value = ref.load(int(index))
+    stack.append((value, ref.elem_type))
+
+
+def _op_astore(stack, locals_, vm, a, b):
+    value, _ = stack.pop()
+    index, _ = stack.pop()
+    ref, _ = stack.pop()
+    null_check(ref)
+    ref.store(int(index), coerce(value, ref.elem_type))
+
+
+def _op_new(stack, locals_, vm, a, b):
+    vm.on_allocation()
+    stack.append((JObject(a), JType.OBJECT))
+
+
+def _op_newarray(stack, locals_, vm, a, b):
+    length, _ = stack.pop()
+    vm.on_allocation()
+    stack.append((JArray(a, int(length)), JType.ADDRESS))
+
+
+def _op_newmultiarray(stack, locals_, vm, a, b):
+    dims = []
+    for _ in range(b):
+        length, _ = stack.pop()
+        dims.append(int(length))
+    dims.reverse()
+    vm.on_allocation()
+    stack.append((make_multiarray(a, dims), JType.ADDRESS))
+
+
+def _op_goto(stack, locals_, vm, a, b):
+    return a
+
+
+def _op_ifeq(stack, locals_, vm, a, b):
+    return a if stack.pop()[0] == 0 else None
+
+
+def _op_ifne(stack, locals_, vm, a, b):
+    return a if stack.pop()[0] != 0 else None
+
+
+def _op_iflt(stack, locals_, vm, a, b):
+    return a if stack.pop()[0] < 0 else None
+
+
+def _op_ifle(stack, locals_, vm, a, b):
+    return a if stack.pop()[0] <= 0 else None
+
+
+def _op_ifgt(stack, locals_, vm, a, b):
+    return a if stack.pop()[0] > 0 else None
+
+
+def _op_ifge(stack, locals_, vm, a, b):
+    return a if stack.pop()[0] >= 0 else None
+
+
+def _op_call(stack, locals_, vm, a, b):
+    call_args = stack[len(stack) - b:]
+    del stack[len(stack) - b:]
+    value, rtype = vm.invoke(a, call_args)
+    if rtype is not JType.VOID:
+        stack.append((value, rtype))
+
+
+def _op_call_intrinsic(stack, locals_, vm, a, b):
+    call_args = stack[len(stack) - b:]
+    del stack[len(stack) - b:]
+    value, rtype, cost = call_intrinsic(a, [v for v, _ in call_args])
+    vm.clock.advance(cost)
+    if rtype is not JType.VOID:
+        stack.append((value, rtype))
+
+
+def _op_ret(stack, locals_, vm, a, b):
+    return _RETURN_VOID
+
+
+def _op_retval(stack, locals_, vm, a, b):
+    return ("return", stack.pop())
+
+
+def _op_instanceof(stack, locals_, vm, a, b):
+    ref, _ = stack.pop()
+    result = int(isinstance(ref, JObject)
+                 and ref.isinstance_of(a, vm.classes))
+    stack.append((result, JType.INT))
+
+
+def _op_monitorenter(stack, locals_, vm, a, b):
+    ref, _ = stack.pop()
+    null_check(ref)
+    vm.on_monitor(enter=True)
+
+
+def _op_monitorexit(stack, locals_, vm, a, b):
+    ref, _ = stack.pop()
+    null_check(ref)
+    vm.on_monitor(enter=False)
+
+
+def _op_athrow(stack, locals_, vm, a, b):
+    ref, _ = stack.pop()
+    null_check(ref)
+    raise JavaThrow(ref.class_name)
+
+
+def _op_arraylength(stack, locals_, vm, a, b):
+    ref, _ = stack.pop()
+    null_check(ref)
+    stack.append((ref.length, JType.INT))
+
+
+def _op_arraycopy(stack, locals_, vm, a, b):
+    count, _ = stack.pop()
+    dstoff, _ = stack.pop()
+    dst, _ = stack.pop()
+    srcoff, _ = stack.pop()
+    src, _ = stack.pop()
+    null_check(src)
+    null_check(dst)
+    count, srcoff, dstoff = int(count), int(srcoff), int(dstoff)
+    if (count < 0 or srcoff < 0 or dstoff < 0
+            or srcoff + count > src.length
+            or dstoff + count > dst.length):
+        raise JavaThrow("java/lang/ArrayIndexOutOfBoundsException",
+                        "arraycopy")
+    dst.data[dstoff:dstoff + count] = src.data[srcoff:srcoff + count]
+    vm.clock.advance(2 * count)
+
+
+def _op_arraycmp(stack, locals_, vm, a, b):
+    y, _ = stack.pop()
+    x, _ = stack.pop()
+    null_check(x)
+    null_check(y)
+    r = (x.data > y.data) - (x.data < y.data)
+    stack.append((r, JType.INT))
+    vm.clock.advance(min(x.length, y.length))
+
+
+def _op_dup(stack, locals_, vm, a, b):
+    stack.append(stack[-1])
+
+
+def _op_pop(stack, locals_, vm, a, b):
+    stack.pop()
+
+
+def _op_swap(stack, locals_, vm, a, b):
+    stack[-1], stack[-2] = stack[-2], stack[-1]
+
+
+def _op_nop(stack, locals_, vm, a, b):
+    return None
+
+
+#: Opcode-indexed dispatch table (``HANDLERS[int(op)]``).
+HANDLERS = [None] * NUM_OPCODES
+for _op, _fn in {
+    Op.ADD: _op_add, Op.SUB: _op_sub, Op.MUL: _op_mul,
+    Op.DIV: _op_div, Op.REM: _op_rem, Op.NEG: _op_neg,
+    Op.SHL: _op_shl, Op.SHR: _op_shr, Op.OR: _op_or,
+    Op.AND: _op_and, Op.XOR: _op_xor, Op.INC: _op_inc, Op.CMP: _op_cmp,
+    Op.CAST: _op_cast_int,  # refined per-instruction at predecode
+    Op.CHECKCAST: _op_checkcast,
+    Op.LOAD: _op_load, Op.LOADCONST: _op_loadconst, Op.STORE: _op_store,
+    Op.GETFIELD: _op_getfield, Op.PUTFIELD: _op_putfield,
+    Op.ALOAD: _op_aload, Op.ASTORE: _op_astore,
+    Op.NEW: _op_new, Op.NEWARRAY: _op_newarray,
+    Op.NEWMULTIARRAY: _op_newmultiarray,
+    Op.GOTO: _op_goto, Op.IFEQ: _op_ifeq, Op.IFNE: _op_ifne,
+    Op.IFLT: _op_iflt, Op.IFLE: _op_ifle, Op.IFGT: _op_ifgt,
+    Op.IFGE: _op_ifge,
+    Op.CALL: _op_call,  # refined to the intrinsic form at predecode
+    Op.RET: _op_ret, Op.RETVAL: _op_retval,
+    Op.INSTANCEOF: _op_instanceof, Op.MONITORENTER: _op_monitorenter,
+    Op.MONITOREXIT: _op_monitorexit, Op.ATHROW: _op_athrow,
+    Op.ARRAYLENGTH: _op_arraylength, Op.ARRAYCOPY: _op_arraycopy,
+    Op.ARRAYCMP: _op_arraycmp,
+    Op.DUP: _op_dup, Op.POP: _op_pop, Op.SWAP: _op_swap, Op.NOP: _op_nop,
+}.items():
+    HANDLERS[_op] = _fn
+del _op, _fn
+
+
+def predecode(code):
+    """Compile a bytecode body into flat ``(handler, cost, a, b)`` tuples.
+
+    Per-instruction work that the legacy loop redid on every step happens
+    here exactly once: handler lookup, cost lookup, ``LOADCONST``
+    coercion, ``CAST`` target classification and intrinsic-call
+    resolution.  The result is position-aligned with *code* (one tuple
+    per pc, branch targets unchanged), so exception-handler pcs and
+    backward-branch detection carry over untouched.
+    """
+    table = HANDLERS
+    costs = INTERP_COST_TABLE
+    out = []
+    for ins in code:
+        op = ins.op
+        handler = table[op]
+        a, b = ins.a, ins.b
+        if op is Op.LOADCONST:
+            a = (coerce(b, a), a)
+        elif op is Op.CAST:
+            handler = _op_cast_float if a.is_floating else _op_cast_int
+        elif op is Op.CALL and is_intrinsic(a):
+            handler = _op_call_intrinsic
+        out.append((handler, costs[op], a, b))
+    return out
+
+
 class Interpreter:
     """Executes guest bytecode on behalf of a :class:`VirtualMachine`.
 
@@ -95,42 +510,90 @@ class Interpreter:
                 locals_[i] = (coerce(value, ptype), ptype)
         for i in range(method.num_args, method.max_locals):
             locals_[i] = (0, JType.INT)
-        return self._run(method, locals_)
+        if USE_PREDECODE:
+            return self._run(method, locals_)
+        return self._run_legacy(method, locals_)
 
     # -- the dispatch loop --------------------------------------------------
 
     def _run(self, method, locals_):
+        code = method._predecoded
+        if code is None:
+            code = method._predecoded = predecode(method.code)
+        vm = self.vm
+        clock = vm.clock
+        stats = vm.stats
+        stack = []
+        pc = 0
+        budget = MAX_STEPS
+        try:
+            while True:
+                budget -= 1
+                if budget < 0:
+                    raise StepBudgetExceeded(method.signature, MAX_STEPS,
+                                             "interpreted")
+                handler, cost, a, b = code[pc]
+                clock.cycles += cost
+                try:
+                    next_pc = handler(stack, locals_, vm, a, b)
+                except JavaThrow as thrown:
+                    entry = self._find_handler(method, pc,
+                                               thrown.class_name)
+                    if entry is None:
+                        raise
+                    stack.clear()
+                    stack.append((JObject(thrown.class_name),
+                                  JType.OBJECT))
+                    pc = entry.handler_pc
+                    continue
+                if next_pc is None:
+                    pc += 1
+                elif next_pc.__class__ is int:
+                    if next_pc <= pc:
+                        vm.on_backward_branch(method)
+                    pc = next_pc
+                else:  # ("return", (value, jtype)) sentinel
+                    return next_pc[1]
+        finally:
+            stats["interp_steps"] += MAX_STEPS - budget
+
+    def _run_legacy(self, method, locals_):
         code = method.code
         clock = self.vm.clock
         stack = []
         pc = 0
         steps = 0
-        while True:
-            steps += 1
-            if steps > MAX_STEPS:
-                raise VMError(f"{method.signature}: exceeded {MAX_STEPS} "
-                              "interpreted steps")
-            ins = code[pc]
-            op = ins.op
-            clock.advance(INTERP_COST[op])
-            try:
-                next_pc = self._step(method, ins, stack, locals_, pc)
-            except JavaThrow as thrown:
-                handler = self._find_handler(method, pc, thrown.class_name)
-                if handler is None:
-                    raise
-                stack.clear()
-                stack.append((JObject(thrown.class_name), JType.OBJECT))
-                pc = handler.handler_pc
-                continue
-            if next_pc is None:
-                pc += 1
-            elif isinstance(next_pc, tuple):  # RETURN sentinel
-                return next_pc[1]
-            else:
-                if next_pc <= pc:
-                    self.vm.on_backward_branch(method)
-                pc = next_pc
+        try:
+            while True:
+                steps += 1
+                if steps > MAX_STEPS:
+                    raise StepBudgetExceeded(method.signature, MAX_STEPS,
+                                             "interpreted")
+                ins = code[pc]
+                op = ins.op
+                clock.advance(INTERP_COST[op])
+                try:
+                    next_pc = self._step(method, ins, stack, locals_, pc)
+                except JavaThrow as thrown:
+                    handler = self._find_handler(method, pc,
+                                                 thrown.class_name)
+                    if handler is None:
+                        raise
+                    stack.clear()
+                    stack.append((JObject(thrown.class_name),
+                                  JType.OBJECT))
+                    pc = handler.handler_pc
+                    continue
+                if next_pc is None:
+                    pc += 1
+                elif isinstance(next_pc, tuple):  # RETURN sentinel
+                    return next_pc[1]
+                else:
+                    if next_pc <= pc:
+                        self.vm.on_backward_branch(method)
+                    pc = next_pc
+        finally:
+            self.vm.stats["interp_steps"] += steps
 
     def _find_handler(self, method, pc, thrown_class):
         for handler in method.handlers:
@@ -138,10 +601,10 @@ class Interpreter:
                 return handler
         return None
 
-    # -- single instruction ---------------------------------------------------
+    # -- single instruction (legacy dispatch) ---------------------------------
 
     def _step(self, method, ins, stack, locals_, pc):
-        """Execute one instruction.
+        """Execute one instruction (legacy if/elif dispatch).
 
         Returns ``None`` to fall through, an int pc to branch, or the tuple
         ``("return", (value, jtype))`` to leave the method.

@@ -55,6 +55,10 @@ class VirtualMachine:
             "allocations": 0,
             "monitor_ops": 0,
             "samples": 0,
+            # Host-perf accounting: instructions retired per tier (the
+            # denominators for ns/instr in ``repro bench``).
+            "interp_steps": 0,
+            "native_steps": 0,
         }
 
     # -- program loading -----------------------------------------------------

@@ -26,9 +26,12 @@ from repro.codecache import (
 from repro.codecache.serialize import (
     _CRC,
     _HEADER,
+    _RAWLEN,
+    COMPRESSION_LEVEL,
     MAGIC,
     _encode,
     _pack_payload,
+    payload_sizes,
 )
 from repro.errors import CodeCacheError
 from repro.jit.compiler import JitCompiler
@@ -172,7 +175,7 @@ class TestBlobValidation:
         blob, method, _ = self._blob()
         with pytest.raises(CodeCacheError, match="magic"):
             deserialize_compiled(b"XXXX" + blob[4:], method)
-        assert FORMAT_VERSION == 2
+        assert FORMAT_VERSION == 3
         versioned = bytearray(blob)
         versioned[4] = 99  # u16 version little-endian low byte
         with pytest.raises(CodeCacheError, match="version"):
@@ -185,6 +188,27 @@ class TestBlobValidation:
         with pytest.raises(CodeCacheError):
             deserialize_compiled(blob, other)
 
+    def test_payload_compressed_and_sizes_reported(self):
+        blob, _method, compiled = self._blob()
+        compressed, raw = payload_sizes(blob)
+        assert compressed == len(blob) - _HEADER.size - _RAWLEN.size \
+            - _CRC.size
+        payload = bytearray()
+        _encode(payload, _pack_payload(compiled))
+        assert raw == len(payload)
+        # The tagged stream is repetitive; deflate must actually win.
+        assert compressed < raw
+
+    def test_lied_raw_length_rejected(self):
+        blob, method, _ = self._blob()
+        forged = bytearray(blob)
+        _RAWLEN.pack_into(forged, _HEADER.size,
+                          _RAWLEN.unpack_from(blob, _HEADER.size)[0] + 1)
+        body = bytes(forged[:-_CRC.size])
+        forged[-_CRC.size:] = _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+        with pytest.raises(CodeCacheError, match="header says"):
+            deserialize_compiled(bytes(forged), method)
+
 
 #: Well-formed branch-profile dicts: (bytecode pc, taken) -> count.
 profile_dicts = st.dictionaries(
@@ -194,9 +218,20 @@ profile_dicts = st.dictionaries(
 
 
 def _frame(version, payload):
-    """Assemble a raw blob from an explicit version and payload value."""
+    """Assemble an *uncompressed* blob the way formats 1 and 2 did."""
     out = bytearray(_HEADER.pack(MAGIC, version))
     _encode(out, payload)
+    out += _CRC.pack(zlib.crc32(bytes(out)) & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def _frame_v3(payload):
+    """Assemble a well-formed current-format (compressed) blob."""
+    raw = bytearray()
+    _encode(raw, payload)
+    out = bytearray(_HEADER.pack(MAGIC, FORMAT_VERSION))
+    out += _RAWLEN.pack(len(raw))
+    out += zlib.compress(bytes(raw), COMPRESSION_LEVEL)
     out += _CRC.pack(zlib.crc32(bytes(out)) & 0xFFFFFFFF)
     return bytes(out)
 
@@ -255,8 +290,7 @@ class TestProfileSection:
         payload = list(_pack_payload(compiled, {(1, True): 2}))
         payload[11] = payload[11] * 2  # profile section twice
         with pytest.raises(CodeCacheError, match="duplicate"):
-            deserialize_compiled(
-                _frame(FORMAT_VERSION, tuple(payload)), method)
+            deserialize_compiled(_frame_v3(tuple(payload)), method)
 
     def test_unknown_section_tags_are_skipped(self):
         """Forward compatibility within the version: a minor addition
@@ -264,8 +298,7 @@ class TestProfileSection:
         compiled, method = self._compiled()
         payload = list(_pack_payload(compiled, {(4, False): 9}))
         payload[11] = (("future-tag", (1, 2, 3)),) + payload[11]
-        restored = deserialize_compiled(
-            _frame(FORMAT_VERSION, tuple(payload)), method)
+        restored = deserialize_compiled(_frame_v3(tuple(payload)), method)
         assert restored.persisted_profile == {(4, False): 9}
 
 
@@ -289,15 +322,15 @@ class TestVersion1Rejection:
         with pytest.raises(CodeCacheError, match="version 1"):
             describe_blob(blob)
 
-    def test_v1_payload_under_v2_header_rejected(self):
-        """Even with the version bytes forged, the 11-field record
-        fails the arity check instead of being half-read."""
+    def test_v1_payload_under_v3_header_rejected(self):
+        """Even with the version bytes forged, the uncompressed v1 body
+        fails inflation instead of being half-read."""
         blob, method, _vm = self._v1_blob()
         forged = bytearray(blob)
         _HEADER.pack_into(forged, 0, MAGIC, FORMAT_VERSION)
         body = bytes(forged[:-_CRC.size])
         forged[-_CRC.size:] = _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
-        with pytest.raises(CodeCacheError, match="12-field"):
+        with pytest.raises(CodeCacheError, match="decompression"):
             deserialize_compiled(bytes(forged), method)
 
     def test_store_drops_v1_entry_as_a_miss(self, tmp_path):
@@ -322,3 +355,35 @@ class TestVersion1Rejection:
         assert fresh.stats.corrupt_dropped == 1
         assert fresh.stats.misses == 1
         assert len(fresh) == 0
+
+
+class TestVersion2Rejection:
+    """PR-2 (format v2, uncompressed) entries are rejected whole."""
+
+    def _v2_blob(self):
+        vm, program = build_vm(5)
+        compiler = JitCompiler(method_resolver=vm._methods.get)
+        method = program.methods()[0]
+        compiled = compiler.compile(method, OptLevel.WARM)
+        # A genuine version-2 entry: the full 12-field record, framed
+        # uncompressed under version 2 with a valid CRC.
+        return _frame(2, _pack_payload(compiled)), method, vm
+
+    def test_v2_blob_rejected_by_version_check(self):
+        blob, method, _vm = self._v2_blob()
+        with pytest.raises(CodeCacheError, match="version 2"):
+            deserialize_compiled(blob, method)
+        with pytest.raises(CodeCacheError, match="version 2"):
+            describe_blob(blob)
+        with pytest.raises(CodeCacheError, match="version 2"):
+            payload_sizes(blob)
+
+    def test_v2_payload_under_v3_header_rejected(self):
+        """The uncompressed v2 body fails inflation, never half-reads."""
+        blob, method, _vm = self._v2_blob()
+        forged = bytearray(blob)
+        _HEADER.pack_into(forged, 0, MAGIC, FORMAT_VERSION)
+        body = bytes(forged[:-_CRC.size])
+        forged[-_CRC.size:] = _CRC.pack(zlib.crc32(body) & 0xFFFFFFFF)
+        with pytest.raises(CodeCacheError, match="decompression"):
+            deserialize_compiled(bytes(forged), method)

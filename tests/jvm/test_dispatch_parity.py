@@ -1,0 +1,152 @@
+"""Dispatch-engine parity: the predecoded table-driven loops must be
+observationally identical to the legacy if/elif loops they replaced.
+
+Two layers of evidence:
+
+* hypothesis properties over generated programs -- same result, same
+  virtual cycle count, same heap statistics, whichever engine runs,
+  and whether the method is interpreted or compiled at any level;
+* virtual-time invariance on real benchmarks -- a full adaptive run of
+  compress and db produces bit-identical cycle totals, compile counts
+  and results under either engine.
+
+Step counters (``interp_steps``/``native_steps``) are deliberately NOT
+compared: the legacy native loop iterates over LABEL pseudo-ops that
+predecoding strips, so the tiers retire different *host* step counts
+while agreeing on every guest-visible observable.
+"""
+
+import contextlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.jit.codegen.native as native_mod
+import repro.jvm.interpreter as interp_mod
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager
+from repro.jit.plans import OptLevel
+from repro.jvm.vm import VirtualMachine
+from repro.workloads import specjvm_program
+from tests.jit.test_equivalence import args_for, build_vm, same_outcome
+
+#: Guest-visible observables that must not depend on the engine.
+HEAP_KEYS = ("allocations", "monitor_ops")
+
+
+@contextlib.contextmanager
+def dispatch(predecode):
+    """Run a block under one dispatch engine (both tiers at once)."""
+    saved = (interp_mod.USE_PREDECODE, native_mod.USE_PREDECODE)
+    interp_mod.USE_PREDECODE = predecode
+    native_mod.USE_PREDECODE = predecode
+    try:
+        yield
+    finally:
+        interp_mod.USE_PREDECODE, native_mod.USE_PREDECODE = saved
+
+
+def _observe_interp(seed, method_sig, args):
+    vm, program = build_vm(seed)
+    method = vm._methods[method_sig]
+    try:
+        result = vm.interpreter.execute(method, list(args))
+    except Exception as exc:  # guest exception escaping is a valid outcome
+        result = ("raised", type(exc).__name__, str(exc))
+    return result, vm.clock.now(), \
+        tuple(vm.stats[k] for k in HEAP_KEYS)
+
+
+def _observe_compiled(seed, method_sig, args, level):
+    vm, program = build_vm(seed)
+    method = vm._methods[method_sig]
+    compiler = JitCompiler(method_resolver=vm._methods.get)
+    compiled = compiler.compile(method, level)
+    try:
+        result = compiled.execute(vm, list(args))
+    except Exception as exc:
+        result = ("raised", type(exc).__name__, str(exc))
+    return result, vm.clock.now(), \
+        tuple(vm.stats[k] for k in HEAP_KEYS)
+
+
+def _assert_same(new, old, label):
+    new_result, new_cycles, new_heap = new
+    old_result, old_cycles, old_heap = old
+    assert same_outcome(new_result, old_result), (
+        f"{label}: result {new_result!r} != {old_result!r}")
+    assert new_cycles == old_cycles, (
+        f"{label}: cycles {new_cycles} != {old_cycles}")
+    assert new_heap == old_heap, (
+        f"{label}: heap stats {new_heap} != {old_heap}")
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), arg_seed=st.integers(0, 50))
+def test_interpreter_engines_agree(seed, arg_seed):
+    """Random method: legacy vs predecoded interpretation is identical
+    in (result, cycle count, heap stats)."""
+    vm, program = build_vm(seed)
+    for method in program.methods():
+        args = args_for(method, arg_seed)
+        with dispatch(True):
+            new = _observe_interp(seed, method.signature, args)
+        with dispatch(False):
+            old = _observe_interp(seed, method.signature, args)
+        _assert_same(new, old, f"{method.signature} interp")
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2_000),
+       level=st.sampled_from(list(OptLevel)),
+       arg_seed=st.integers(0, 50))
+def test_native_engines_agree_at_each_level(seed, level, arg_seed):
+    """Random method compiled at each level: legacy vs predecoded
+    native execution is identical, and both match the interpreter."""
+    vm, program = build_vm(seed)
+    for method in program.methods():
+        args = args_for(method, arg_seed)
+        with dispatch(True):
+            new = _observe_compiled(seed, method.signature, args, level)
+        with dispatch(False):
+            old = _observe_compiled(seed, method.signature, args, level)
+        _assert_same(new, old,
+                     f"{method.signature} native@{level.name}")
+        with dispatch(True):
+            interp = _observe_interp(seed, method.signature, args)
+        assert same_outcome(new[0], interp[0]), (
+            f"{method.signature}@{level.name}: compiled {new[0]!r} "
+            f"!= interpreted {interp[0]!r}")
+
+
+def _adaptive_run(name, iterations=2):
+    """Full adaptive run; returns every observable that must be
+    engine-invariant."""
+    program = specjvm_program(name)
+    vm = VirtualMachine()
+    vm.load_program(program)
+    manager = CompilationManager(
+        JitCompiler(method_resolver=vm._methods.get))
+    vm.attach_manager(manager)
+    results = tuple(vm.call(program.entry, 3) for _ in range(iterations))
+    compile_counts = tuple(sorted(
+        (sig, state.compile_count)
+        for sig, state in manager.states.items()))
+    return (results, vm.clock.now(),
+            tuple(vm.stats[k] for k in HEAP_KEYS),
+            manager.total_compile_cycles, compile_counts)
+
+
+@pytest.mark.parametrize("name", ["compress", "db"])
+def test_virtual_time_invariance_on_benchmarks(name):
+    """Acceptance gate: adaptive runs of real benchmarks are
+    bit-identical -- cycles, compile counts, compile cycles, results --
+    whichever dispatch engine executes them."""
+    with dispatch(True):
+        new = _adaptive_run(name)
+    with dispatch(False):
+        old = _adaptive_run(name)
+    assert new == old
