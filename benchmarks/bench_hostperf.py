@@ -12,7 +12,8 @@ import json
 import os
 
 from benchmarks.conftest import save_result
-from repro.experiments.hostperf import render, run_bench
+from repro.experiments.hostperf import (NULL_TRACER_BUDGET,
+                                        TRACER_MODES, render, run_bench)
 
 
 def test_hostperf(benchmark, results_dir):
@@ -30,3 +31,11 @@ def test_hostperf(benchmark, results_dir):
             assert cell["cycles_identical"]
             assert cell["speedup"] > 1.0
     assert result["summary"]["min_interp_speedup"] >= 1.8
+    # Tracer-overhead column: off vs null vs recording, with the null
+    # tracer inside the published budget and virtual time untouched.
+    overhead = result["tracer_overhead"]
+    assert set(overhead["modes"]) == set(TRACER_MODES)
+    assert overhead["cycles_identical"]
+    assert overhead["null_overhead"] < NULL_TRACER_BUDGET
+    assert result["summary"]["null_tracer_overhead"] == \
+        overhead["null_overhead"]

@@ -3,6 +3,10 @@
 Subcommands mirror the paper's workflow:
 
 * ``run``       -- execute a benchmark under the adaptive JIT
+* ``trace``     -- run a benchmark under the tracer; write a Chrome
+                   trace-event JSON (loads in Perfetto)
+* ``stats``     -- run a benchmark; print one unified metrics snapshot
+                   (vm + controller + cache counters)
 * ``collect``   -- run a data-collection session and write an archive
 * ``train``     -- train the leave-one-out model sets from archives
 * ``evaluate``  -- learned vs original plans on one benchmark
@@ -11,9 +15,16 @@ Subcommands mirror the paper's workflow:
 * ``cache``     -- inspect/maintain a code-cache directory
                    (``stats``, ``verify``, ``prune``)
 * ``list``      -- list available benchmarks and transformations
+
+The global ``--log-level`` flag (before the subcommand) configures the
+``repro`` logger via :mod:`repro.log`; ``--trace PATH`` on ``run``,
+``warmstart`` and ``figures`` exports a Chrome trace of that command.
+See ``docs/observability.md``.
 """
 
 import argparse
+import contextlib
+import os
 import sys
 
 
@@ -42,6 +53,28 @@ def _program(name, seed):
     raise SystemExit(f"unknown benchmark {name!r}")
 
 
+@contextlib.contextmanager
+def _traced(path, capacity=1 << 20):
+    """Scope a recording tracer; export Chrome JSON to *path* on exit.
+
+    Yields None (and traces nothing) when *path* is None, so callers
+    thread an optional ``--trace`` flag without branching.
+    """
+    if path is None:
+        yield None
+        return
+    from repro import telemetry
+    from repro.telemetry.chrome import write_chrome_trace
+    sink = telemetry.RingBufferSink(capacity=capacity)
+    tracer = telemetry.Tracer(sink=sink)
+    with telemetry.tracing(tracer):
+        yield tracer
+    count = write_chrome_trace(tracer.events(), path)
+    note = (f" ({sink.dropped:,} older events dropped; raise the "
+            f"buffer capacity)" if sink.dropped else "")
+    print(f"trace: {count:,} events -> {path}{note}")
+
+
 def cmd_list(args):
     """List benchmarks and the 58 transformations."""
     from repro.jit.opt.registry import transform_names
@@ -53,41 +86,52 @@ def cmd_list(args):
         print(f"  {i:2d}  {name}")
 
 
-def cmd_run(args):
-    """Run one benchmark under the adaptive JIT."""
+def _build_run(args, cache_dir=None, cache_readonly=False,
+               interpret_only=False):
+    """A loaded VM (+ manager, + cache) per the run-style CLI flags."""
     import os
     from repro.codecache import CodeCacheConfig
     from repro.jit.compiler import JitCompiler
     from repro.jit.control import CompilationManager, ControlConfig
-    from repro.jvm.vm import VirtualMachine
-    if (args.cache_tiering or args.cache_profiles) \
-            and not args.cache_dir:
-        raise SystemExit("--cache-tiering/--cache-profiles require "
-                         "--cache-dir")
     program = _program(args.benchmark, args.seed)
+    from repro.jvm.vm import VirtualMachine
     vm = VirtualMachine()
     vm.load_program(program)
     manager = None
     code_cache = None
-    if not args.interpret_only:
-        if args.cache_dir:
-            if args.cache_readonly \
-                    and not os.path.isdir(args.cache_dir):
+    if not interpret_only:
+        if cache_dir:
+            if cache_readonly and not os.path.isdir(cache_dir):
                 raise SystemExit(
                     f"--cache-readonly: no such cache directory: "
-                    f"{args.cache_dir}")
+                    f"{cache_dir}")
             code_cache = CodeCacheConfig(
-                enabled=True, directory=args.cache_dir,
-                read_only=args.cache_readonly).open()
-        control = ControlConfig(cache_tiering=args.cache_tiering,
-                                cache_profiles=args.cache_profiles)
+                enabled=True, directory=cache_dir,
+                read_only=cache_readonly).open()
+        control = ControlConfig(
+            cache_tiering=getattr(args, "cache_tiering", False),
+            cache_profiles=getattr(args, "cache_profiles", False))
         manager = CompilationManager(
             JitCompiler(method_resolver=vm._methods.get),
             config=control, code_cache=code_cache)
         vm.attach_manager(manager)
-    result = None
-    for _ in range(args.iterations):
-        result = vm.call(program.entry, 3)
+    return program, vm, manager, code_cache
+
+
+def cmd_run(args):
+    """Run one benchmark under the adaptive JIT."""
+    if (args.cache_tiering or args.cache_profiles) \
+            and not args.cache_dir:
+        raise SystemExit("--cache-tiering/--cache-profiles require "
+                         "--cache-dir")
+    with _traced(args.trace):
+        program, vm, manager, code_cache = _build_run(
+            args, cache_dir=args.cache_dir,
+            cache_readonly=args.cache_readonly,
+            interpret_only=args.interpret_only)
+        result = None
+        for _ in range(args.iterations):
+            result = vm.call(program.entry, 3)
     print(f"{args.benchmark}: result {result}, "
           f"{vm.clock.now():,} cycles, "
           f"{vm.stats['invocations']:,} invocations")
@@ -97,6 +141,78 @@ def cmd_run(args):
     if code_cache is not None:
         print("code cache:")
         print(code_cache.stats.render(indent="  "))
+
+
+def cmd_trace(args):
+    """Trace one adaptive run; write Chrome trace-event JSON.
+
+    Unless ``--no-cache`` (or an explicit ``--cache-dir``) says
+    otherwise, the run compiles against a throwaway code cache so the
+    trace shows all three instrumented layers at once: optimizer
+    passes, the compilation lifecycle, and cache probes/stores.
+    """
+    import tempfile
+    from repro import telemetry
+    from repro.telemetry.chrome import summarize_events, \
+        to_chrome_events, write_chrome_trace
+    sink = telemetry.RingBufferSink(capacity=args.buffer)
+    tracer = telemetry.Tracer(sink=sink)
+    cache_dir = args.cache_dir
+    tmp = None
+    if cache_dir is None and not args.no_cache:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-trace-")
+        cache_dir = tmp.name
+    try:
+        with telemetry.tracing(tracer):
+            program, vm, manager, _cache = _build_run(
+                args, cache_dir=cache_dir)
+            with tracer.span("run", cat="experiment",
+                             benchmark=args.benchmark,
+                             iterations=args.iterations):
+                result = None
+                for _ in range(args.iterations):
+                    result = vm.call(program.entry, 3)
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    events = to_chrome_events(tracer.events())
+    write_chrome_trace(tracer.events(), args.output)
+    summary = summarize_events(events)
+    print(f"{args.benchmark}: result {result}, "
+          f"{vm.clock.now():,} cycles")
+    print(f"{summary['events']:,} events -> {args.output} "
+          f"(open in https://ui.perfetto.dev)")
+    if sink.dropped:
+        print(f"warning: ring buffer dropped {sink.dropped:,} oldest "
+              f"events; re-run with a larger --buffer")
+    cats = ", ".join(f"{cat}={n:,}" for cat, n
+                     in sorted(summary["by_category"].items()))
+    print(f"by category: {cats}")
+    print("hottest spans (host time):")
+    for row in summary["hottest_spans"]:
+        print(f"  {row['total_us']:>12,.1f}us  "
+              f"[{row['cat']}] {row['name']}")
+
+
+def cmd_stats(args):
+    """Run a benchmark; print one unified metrics snapshot."""
+    from repro.telemetry import MetricsRegistry, standard_registry
+    program, vm, _manager, _cache = _build_run(
+        args, cache_dir=args.cache_dir,
+        interpret_only=args.interpret_only)
+    registry = standard_registry(vm=vm)
+    result = None
+    prev = None
+    for _ in range(args.iterations):
+        prev = registry.snapshot() if args.diff_last else None
+        result = vm.call(program.entry, 3)
+    print(f"{args.benchmark}: result {result} "
+          f"({args.iterations} iteration(s))")
+    snapshot = registry.snapshot()
+    if args.diff_last:
+        snapshot = MetricsRegistry.diff(prev, snapshot)
+        print("(counter deltas for the final iteration only)")
+    print(MetricsRegistry.render(snapshot))
 
 
 def cmd_collect(args):
@@ -151,7 +267,8 @@ def cmd_figures(args):
     if args.name not in known:
         raise SystemExit(f"unknown figure {args.name!r}; choose from "
                          f"{sorted(known)}")
-    print(known[args.name](ctx)["text"])
+    with _traced(args.trace):
+        print(known[args.name](ctx)["text"])
 
 
 def cmd_warmstart(args):
@@ -165,9 +282,11 @@ def cmd_warmstart(args):
         tmp = tempfile.TemporaryDirectory(prefix="repro-codecache-")
         cache_dir = tmp.name
     try:
-        result = cold_vs_warm(program, cache_dir,
-                              iterations=args.iterations,
-                              profiles=not args.no_profiles)
+        with _traced(args.trace) as tracer:
+            result = cold_vs_warm(program, cache_dir,
+                                  iterations=args.iterations,
+                                  profiles=not args.no_profiles,
+                                  tracer=tracer)
         print(result.render())
         if args.save:
             ctx = _context(args)
@@ -193,12 +312,21 @@ def cmd_cache_stats(args):
     print(f"{args.dir}: {len(cache)} entries, {total:,} bytes "
           f"(cap {cache.config.max_bytes:,})")
     by_level = {}
+    compressed = raw = profiles = 0
     ok, bad = cache.verify()
     for _entry, meta in ok:
         by_level[meta["level"].name] = \
             by_level.get(meta["level"].name, 0) + 1
+        compressed += meta["bytes_compressed"]
+        raw += meta["bytes_raw"]
+        profiles += 1 if meta["has_profile"] else 0
     for name in sorted(by_level):
         print(f"  {name.lower():10s} {by_level[name]:6d} entries")
+    if ok:
+        ratio = compressed / raw if raw else 0.0
+        print(f"  payload bytes: {compressed:,} compressed / "
+              f"{raw:,} raw ({ratio:.0%} of raw)")
+        print(f"  entries with profiles: {profiles}")
     if bad:
         print(f"  {len(bad)} corrupt entries (run `repro cache prune`)")
 
@@ -257,6 +385,10 @@ def main(argv=None):
         description="Reproduction of 'Using Machines to Learn "
                     "Method-Specific Compilation Strategies' "
                     "(CGO 2011)")
+    parser.add_argument("--log-level", default=None,
+                        help="logging level for the repro logger "
+                             "(debug/info/warning/error; default "
+                             "$REPRO_LOG_LEVEL or warning)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("list", help="benchmarks and transformations")
@@ -276,8 +408,42 @@ def main(argv=None):
     p.add_argument("--cache-profiles", action="store_true",
                    help="persist branch profiles with cached bodies "
                         "and seed instrumentation from them")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="export a Chrome trace of the run to PATH")
     _add_common(p)
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("trace",
+                       help="trace a run; write Chrome trace-event "
+                            "JSON for Perfetto")
+    p.add_argument("benchmark")
+    p.add_argument("-o", "--output", default="trace.json",
+                   help="output path (default trace.json)")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--cache-dir", default=None,
+                   help="code-cache directory to run against "
+                        "(default: throwaway temp dir)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="run without any code cache (no cache spans)")
+    p.add_argument("--buffer", type=int, default=1 << 20,
+                   help="ring-buffer capacity in events "
+                        "(default ~1M)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("stats",
+                       help="run a benchmark; print one unified "
+                            "vm/jit/cache counter snapshot")
+    p.add_argument("benchmark")
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--interpret-only", action="store_true")
+    p.add_argument("--cache-dir", default=None,
+                   help="code-cache directory to run against")
+    p.add_argument("--diff-last", action="store_true",
+                   help="print only the final iteration's deltas "
+                        "(steady-state view)")
+    _add_common(p)
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("warmstart",
                        help="cold vs warm start-up via the code cache")
@@ -291,6 +457,8 @@ def main(argv=None):
     p.add_argument("--save", action="store_true",
                    help="save the report section under the evaluation "
                         "cache's results/ directory")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="export a Chrome trace of all runs to PATH")
     _add_common(p)
     p.set_defaults(fn=cmd_warmstart)
 
@@ -329,6 +497,9 @@ def main(argv=None):
 
     p = sub.add_parser("figures", help="regenerate a table/figure")
     p.add_argument("name", help="table4, figure6..figure13, kernels")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="export a Chrome trace of the figure's runs "
+                        "to PATH")
     _add_common(p)
     p.set_defaults(fn=cmd_figures)
 
@@ -353,8 +524,23 @@ def main(argv=None):
     _add_common(p)
     p.set_defaults(fn=cmd_report)
 
+    # Accept --log-level after the subcommand too (`repro run x
+    # --log-level debug`); SUPPRESS keeps a before-the-subcommand value
+    # from being clobbered by the subparser's default.
+    for sp in list(sub.choices.values()) + list(cache_sub.choices.values()):
+        sp.add_argument("--log-level", dest="log_level",
+                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+
     args = parser.parse_args(argv)
-    return args.fn(args)
+    from repro.log import configure
+    configure(args.log_level)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); exit quietly like
+        # a well-behaved unix tool instead of tracebacking.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

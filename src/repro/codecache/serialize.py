@@ -343,7 +343,10 @@ def describe_blob(data):
     _check_shapes(signature, level, bits, cycles, features, num_locals,
                   handlers, instrs)
     profile = _parse_sections(sections)
+    bytes_compressed, bytes_raw = payload_sizes(data)
     return {
+        "bytes_compressed": bytes_compressed,
+        "bytes_raw": bytes_raw,
         "signature": signature,
         "level": OptLevel(level),
         "modifier_bits": bits,

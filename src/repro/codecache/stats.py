@@ -63,16 +63,18 @@ class CacheStats:
             f"{indent}corrupt drops {self.corrupt_dropped:>10,}",
             f"{indent}cycles saved  {self.cycles_saved:>10,}",
         ]
-        if self.profile_stores or self.profile_hits or self.tier_skips:
+        if self.profile_stores or self.profile_hits or self.profile_seeds:
             lines.append(
                 f"{indent}profiles      {self.profile_stores:>10,}  "
                 f"(hits {self.profile_hits:,}, "
                 f"seeded {self.profile_seeds:,})")
-            lines.append(
-                f"{indent}tier skips    {self.tier_skips:>10,}")
+        lines.append(f"{indent}tier skips    {self.tier_skips:>10,}")
         if self.bytes_uncompressed:
             ratio = self.bytes_compressed / self.bytes_uncompressed
             lines.append(
                 f"{indent}bytes written {self.bytes_compressed:>10,}  "
                 f"({self.bytes_uncompressed:,} raw, {ratio:.0%})")
+        else:
+            lines.append(
+                f"{indent}bytes written {self.bytes_compressed:>10,}")
         return "\n".join(lines)

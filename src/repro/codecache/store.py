@@ -41,7 +41,6 @@ Properties:
 
 import dataclasses
 import hashlib
-import logging
 import os
 import re
 from collections import OrderedDict
@@ -52,8 +51,10 @@ from repro.codecache.serialize import FORMAT_VERSION, describe_blob, \
     deserialize_compiled, payload_sizes, serialize_compiled
 from repro.codecache.stats import CacheStats
 from repro.errors import CodeCacheError
+from repro.log import get_logger
+from repro.telemetry import get_tracer
 
-log = logging.getLogger("repro.codecache")
+log = get_logger("codecache")
 
 _ENTRY_SUFFIX = ".tcc"
 _ENTRY_RE = re.compile(
@@ -189,32 +190,39 @@ class CodeCache:
         on a miss; stale same-method entries found during the probe are
         invalidated (deleted) on the way.
         """
-        sig_hash, fp_hash, key_hash = self._names(
-            method, level, modifier, resolver, model_digest)
-        name = self._entry_name(sig_hash, fp_hash, key_hash)
-        self._invalidate_stale(sig_hash, fp_hash)
-        if name not in self._index:
-            self.stats.misses += 1
-            return None
-        try:
-            with open(self._path(name), "rb") as fh:
-                data = fh.read()
-            compiled = deserialize_compiled(data, method)
-        except (OSError, CodeCacheError) as exc:
-            log.warning("dropping unreadable cache entry %s: %s",
-                        name, exc)
-            self._drop(name)
-            self.stats.corrupt_dropped += 1
-            self.stats.misses += 1
-            return None
-        self._touch(name)
-        self.stats.hits += 1
-        if compiled.persisted_profile:
-            self.stats.profile_hits += 1
-        self.stats.cycles_saved += max(
-            0, compiled.compile_cycles - relocation_cycles)
-        compiled.compile_cycles = relocation_cycles
-        return compiled
+        with get_tracer().span("cache.probe", cat="cache",
+                               method=method.signature,
+                               level=level.name) as span:
+            sig_hash, fp_hash, key_hash = self._names(
+                method, level, modifier, resolver, model_digest)
+            name = self._entry_name(sig_hash, fp_hash, key_hash)
+            self._invalidate_stale(sig_hash, fp_hash)
+            if name not in self._index:
+                self.stats.misses += 1
+                span.set(outcome="miss")
+                return None
+            try:
+                with open(self._path(name), "rb") as fh:
+                    data = fh.read()
+                compiled = deserialize_compiled(data, method)
+            except (OSError, CodeCacheError) as exc:
+                log.warning("dropping unreadable cache entry %s: %s",
+                            name, exc)
+                self._drop(name)
+                self.stats.corrupt_dropped += 1
+                self.stats.misses += 1
+                span.set(outcome="corrupt")
+                return None
+            self._touch(name)
+            self.stats.hits += 1
+            if compiled.persisted_profile:
+                self.stats.profile_hits += 1
+            self.stats.cycles_saved += max(
+                0, compiled.compile_cycles - relocation_cycles)
+            compiled.compile_cycles = relocation_cycles
+            span.set(outcome="hit", bytes=len(data),
+                     profile=bool(compiled.persisted_profile))
+            return compiled
 
     def _invalidate_stale(self, sig_hash, fp_hash):
         """Drop entries for this method compiled from changed code."""
@@ -241,42 +249,51 @@ class CodeCache:
         """
         if self.config.read_only:
             return False
-        try:
-            blob = serialize_compiled(compiled, profile=profile)
-        except CodeCacheError as exc:
-            log.warning("not caching %s: %s",
-                        compiled.method.signature, exc)
-            return False
-        sig_hash, fp_hash, key_hash = self._names(
-            compiled.method, compiled.level, compiled.modifier, resolver,
-            model_digest)
-        name = self._entry_name(sig_hash, fp_hash, key_hash)
-        path = self._path(name)
-        # Per-process temp name: concurrent writers of one key must not
-        # interleave into a shared temp file; each os.replace is atomic.
-        tmp = f"{path}.{os.getpid()}.tmp"
-        try:
-            with open(tmp, "wb") as fh:
-                fh.write(blob)
-            os.replace(tmp, path)
-        except OSError as exc:
-            log.warning("cache write failed for %s: %s", name, exc)
+        with get_tracer().span("cache.store", cat="cache",
+                               method=compiled.method.signature,
+                               level=compiled.level.name,
+                               profile=profile is not None) as span:
             try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            return False
-        self._index[name] = len(blob)
-        self._index.move_to_end(name)
-        compressed, uncompressed = payload_sizes(blob)
-        self.stats.bytes_compressed += compressed
-        self.stats.bytes_uncompressed += uncompressed
-        if profile is not None:
-            self.stats.profile_stores += 1
-        else:
-            self.stats.stores += 1
-        self._evict_to(self.config.max_bytes)
-        return True
+                blob = serialize_compiled(compiled, profile=profile)
+            except CodeCacheError as exc:
+                log.warning("not caching %s: %s",
+                            compiled.method.signature, exc)
+                span.set(outcome="unserializable")
+                return False
+            sig_hash, fp_hash, key_hash = self._names(
+                compiled.method, compiled.level, compiled.modifier,
+                resolver, model_digest)
+            name = self._entry_name(sig_hash, fp_hash, key_hash)
+            path = self._path(name)
+            # Per-process temp name: concurrent writers of one key must
+            # not interleave into a shared temp file; each os.replace is
+            # atomic.
+            tmp = f"{path}.{os.getpid()}.tmp"
+            try:
+                with open(tmp, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, path)
+            except OSError as exc:
+                log.warning("cache write failed for %s: %s", name, exc)
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                span.set(outcome="write_failed")
+                return False
+            self._index[name] = len(blob)
+            self._index.move_to_end(name)
+            compressed, uncompressed = payload_sizes(blob)
+            self.stats.bytes_compressed += compressed
+            self.stats.bytes_uncompressed += uncompressed
+            if profile is not None:
+                self.stats.profile_stores += 1
+            else:
+                self.stats.stores += 1
+            evicted = self._evict_to(self.config.max_bytes)
+            span.set(outcome="stored", bytes=len(blob),
+                     bytes_raw=uncompressed, evicted=evicted)
+            return True
 
     def _evict_to(self, max_bytes):
         evicted = 0

@@ -18,6 +18,7 @@ import math
 import numpy as np
 from scipy import stats
 
+from repro import telemetry
 from repro.jit.compiler import JitCompiler
 from repro.jit.control import CompilationManager
 from repro.jvm.vm import DEFAULT_SAMPLE_INTERVAL, VirtualMachine
@@ -82,39 +83,49 @@ def summarize(samples):
 
 def run_once(program, strategy=None, iterations=1, entry_arg=3,
              sample_interval=DEFAULT_SAMPLE_INTERVAL, noise=1.0,
-             control_config=None, code_cache=None):
+             control_config=None, code_cache=None, tracer=None):
     """One JVM invocation; returns a :class:`RunResult`.
 
     *code_cache*, when given, is a :class:`repro.codecache.CodeCache`
     the compilation manager probes before compiling and fills on
     misses -- the warm-start path.  The default (None) is the exact
     pre-cache behavior.
+
+    *tracer*, when given, is installed as the active tracer for the
+    duration of the run (the tracer observes but never advances the
+    virtual clock, so traced and untraced runs are cycle-identical).
+    None leaves the ambient tracer -- usually the null tracer -- in
+    place.
     """
-    vm = VirtualMachine(sample_interval=sample_interval)
-    vm.load_program(program)
+    with telemetry.tracing(tracer):
+        vm = VirtualMachine(sample_interval=sample_interval)
+        vm.load_program(program)
 
-    def resolver(signature):
-        try:
-            return vm.lookup(signature)
-        except Exception:
-            return None
+        def resolver(signature):
+            try:
+                return vm.lookup(signature)
+            except Exception:
+                return None
 
-    compiler = JitCompiler(method_resolver=resolver)
-    manager = CompilationManager(compiler, strategy=strategy,
-                                 config=control_config,
-                                 code_cache=code_cache)
-    vm.attach_manager(manager)
-    result = None
-    for _ in range(iterations):
-        result = vm.call(program.entry, entry_arg)
-    return RunResult(
-        total_cycles=vm.clock.now() * noise,
-        compile_cycles=manager.total_compile_cycles,
-        compilations=manager.compilations(),
-        result_value=result,
-        cache_stats=(code_cache.stats.as_dict()
-                     if code_cache is not None else None),
-    )
+        compiler = JitCompiler(method_resolver=resolver)
+        manager = CompilationManager(compiler, strategy=strategy,
+                                     config=control_config,
+                                     code_cache=code_cache)
+        vm.attach_manager(manager)
+        result = None
+        with telemetry.get_tracer().span(
+                "run", cat="experiment", benchmark=program.name,
+                iterations=iterations):
+            for _ in range(iterations):
+                result = vm.call(program.entry, entry_arg)
+        return RunResult(
+            total_cycles=vm.clock.now() * noise,
+            compile_cycles=manager.total_compile_cycles,
+            compilations=manager.compilations(),
+            result_value=result,
+            cache_stats=(code_cache.stats.as_dict()
+                         if code_cache is not None else None),
+        )
 
 
 def measure(program, strategy_factory=None, config=None):

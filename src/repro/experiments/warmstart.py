@@ -35,6 +35,7 @@ import os
 from repro.codecache import CodeCache, CodeCacheConfig
 from repro.experiments.measure import RunResult, run_once
 from repro.jit.control import ControlConfig
+from repro.telemetry.tracer import NULL_SPAN
 
 
 @dataclasses.dataclass
@@ -127,7 +128,8 @@ class WarmStartResult:
 
 
 def cold_vs_warm(program, cache_dir, iterations=1, entry_arg=3,
-                 control_config=None, max_bytes=None, profiles=True):
+                 control_config=None, max_bytes=None, profiles=True,
+                 tracer=None):
     """Run *program* against *cache_dir*; returns the run triple.
 
     Each run opens its own :class:`CodeCache` instance, modelling
@@ -136,6 +138,10 @@ def cold_vs_warm(program, cache_dir, iterations=1, entry_arg=3,
     body (or a seeded profile) must never change program behavior.
     With *profiles* False only the cold/warm pair runs (the PR-1
     experiment).
+
+    *tracer*, when given, captures all runs into one trace; each run is
+    wrapped in a ``warmstart.<phase>`` span so the cold and warm
+    compilation storms are separable in Perfetto.
     """
     config = control_config or ControlConfig()
 
@@ -148,21 +154,28 @@ def cold_vs_warm(program, cache_dir, iterations=1, entry_arg=3,
             cfg.max_bytes = max_bytes
         return CodeCache(cfg)
 
+    def phase(name, **kwargs):
+        span = (tracer.span(f"warmstart.{name}", cat="experiment",
+                            benchmark=program.name)
+                if tracer is not None else NULL_SPAN)
+        with span:
+            return run_once(program, iterations=iterations,
+                            entry_arg=entry_arg, tracer=tracer,
+                            **kwargs)
+
     # The cold run persists profiles (host-side only: write-backs do
     # not touch the virtual clock) so the third run can seed from them.
-    cold = run_once(program, iterations=iterations, entry_arg=entry_arg,
-                    control_config=variant(cache_profiles=profiles),
-                    code_cache=cache())
-    warm = run_once(program, iterations=iterations, entry_arg=entry_arg,
-                    control_config=config, code_cache=cache())
+    cold = phase("cold", control_config=variant(cache_profiles=profiles),
+                 code_cache=cache())
+    warm = phase("warm", control_config=config, code_cache=cache())
     if warm.result_value != cold.result_value:
         raise AssertionError(
             f"warm-start run changed the program result: "
             f"{warm.result_value!r} != {cold.result_value!r}")
     warm_profiles = None
     if profiles:
-        warm_profiles = run_once(
-            program, iterations=iterations, entry_arg=entry_arg,
+        warm_profiles = phase(
+            "warm_profiles",
             control_config=variant(cache_tiering=True,
                                    cache_profiles=True),
             code_cache=cache())

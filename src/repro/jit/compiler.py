@@ -16,6 +16,7 @@ from repro.jit.ir.ilgen import generate_il
 from repro.jit.modifiers import Modifier
 from repro.jit.opt.base import PassManager
 from repro.jit.plans import OptLevel, default_plans
+from repro.telemetry import get_tracer
 
 
 class CompiledMethod:
@@ -137,33 +138,49 @@ class JitCompiler:
         """
         if not isinstance(level, OptLevel):
             raise CompilationError(f"not an OptLevel: {level!r}")
-        il, ilgen_cost = generate_il(method, self._rtype_fn())
-        features = extract_features(il, cfg=CFGInfo(il))
-        if modifier is None and strategy is not None:
-            modifier = strategy.choose_modifier(method, level, features)
-        if modifier is None:
-            modifier = Modifier.null()
+        tracer = get_tracer()
+        with tracer.span("jit.compile", cat="jit",
+                         method=method.signature,
+                         level=level.name) as span:
+            with tracer.span("jit.ilgen", cat="jit",
+                             method=method.signature):
+                il, ilgen_cost = generate_il(method, self._rtype_fn())
+            features = extract_features(il, cfg=CFGInfo(il))
+            if modifier is None and strategy is not None:
+                modifier = strategy.choose_modifier(method, level,
+                                                    features)
+            if modifier is None:
+                modifier = Modifier.null()
 
-        plan = self.plans[level]
-        manager = PassManager(plan.entries, modifier,
-                              resolver=self.method_resolver,
-                              debug_check=self.debug_check)
-        if profile:
-            il.notes["branch_profile"] = dict(profile)
-        il, opt_cost, pass_log = manager.optimize(il)
+            plan = self.plans[level]
+            manager = PassManager(plan.entries, modifier,
+                                  resolver=self.method_resolver,
+                                  debug_check=self.debug_check)
+            if profile:
+                il.notes["branch_profile"] = dict(profile)
+            with tracer.span("jit.optimize", cat="jit",
+                             method=method.signature,
+                             plan_entries=len(plan.entries)):
+                il, opt_cost, pass_log = manager.optimize(il)
 
-        options = self._codegen_options(il)
-        native, lower_cost = lower_method(il, options)
+            options = self._codegen_options(il)
+            with tracer.span("jit.codegen", cat="jit",
+                             method=method.signature):
+                native, lower_cost = lower_method(il, options)
 
-        total = ilgen_cost + opt_cost + lower_cost
-        self.stats["compilations"] += 1
-        self.stats["compile_cycles"] += total
-        # Predecode eagerly: install time is the one place we know the
-        # body is final, and paying it here keeps the first compiled
-        # invocation off the slow path.
-        native.predecode()
-        return CompiledMethod(method, level, modifier, native, total,
-                              features, pass_log)
+            total = ilgen_cost + opt_cost + lower_cost
+            self.stats["compilations"] += 1
+            self.stats["compile_cycles"] += total
+            # Predecode eagerly: install time is the one place we know
+            # the body is final, and paying it here keeps the first
+            # compiled invocation off the slow path.
+            native.predecode()
+            span.set(compile_cycles=total,
+                     modifier_bits=int(modifier.bits),
+                     fdo=bool(profile),
+                     instructions=native.size())
+            return CompiledMethod(method, level, modifier, native,
+                                  total, features, pass_log)
 
     @staticmethod
     def _codegen_options(il):

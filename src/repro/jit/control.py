@@ -17,6 +17,7 @@ the application thread for sharing the machine with the compiler.
 import dataclasses
 
 from repro.jit.plans import OptLevel
+from repro.telemetry import get_tracer
 
 #: Loop character classes (index into trigger tuples).
 NO_LOOPS, HAS_LOOPS, MANY_ITER = 0, 1, 2
@@ -188,9 +189,18 @@ class CompilationManager:
     def _install_if_due(self, state):
         if state.pending is not None \
                 and self.vm.clock.now() >= state.pending.install_time:
+            previous = state.level
             state.active = state.pending
             state.level = state.pending.level
             state.pending = None
+            tracer = get_tracer()
+            if tracer.enabled:
+                tracer.instant(
+                    "jit.tier_transition", cat="control",
+                    method=state.active.method.signature,
+                    from_level=(previous.name if previous is not None
+                                else "INTERP"),
+                    to_level=state.level.name)
             if state.level is OptLevel.VERY_HOT:
                 # Arm the lightweight branch instrumentation: if this
                 # method keeps heating up, the scorching recompilation
@@ -225,33 +235,44 @@ class CompilationManager:
         vm = self.vm
         now = vm.clock.now()
         vm.clock.advance(self.config.request_overhead)
-        # Consulting a learned model costs real time on the application
-        # thread (the linear-kernel prediction latency, paper §6).
-        prediction_cost = getattr(self.strategy,
-                                  "prediction_cost_cycles", 0)
-        if self.strategy is not None and prediction_cost:
-            vm.clock.advance(prediction_cost)
-        compiled = self.compile_method(method, level, state)
-        if compiled is None:
-            state.disabled = True
-            return
-        # Refine the loop classification now that features exist.
-        state.loop_class = loop_class_of(method, compiled.features)
-        if self.config.immediate_install:
-            install = now
-        else:
-            install = max(now, self.jit_free) + compiled.compile_cycles
-            self.jit_free = install
-        compiled.install_time = install
-        state.pending = compiled
-        state.compile_count += 1
-        self.total_compile_cycles += compiled.compile_cycles
-        if self.config.contention > 0:
-            vm.clock.advance(
-                int(compiled.compile_cycles * self.config.contention))
-        self.records.append(CompileRecord(
-            method.signature, compiled.level, compiled.modifier,
-            compiled.compile_cycles, now, install))
+        with get_tracer().span("jit.request", cat="control",
+                               method=method.signature,
+                               level=level.name,
+                               attempt=state.compile_count) as span:
+            # Consulting a learned model costs real time on the
+            # application thread (the linear-kernel prediction latency,
+            # paper §6).
+            prediction_cost = getattr(self.strategy,
+                                      "prediction_cost_cycles", 0)
+            if self.strategy is not None and prediction_cost:
+                vm.clock.advance(prediction_cost)
+            compiled = self.compile_method(method, level, state)
+            if compiled is None:
+                state.disabled = True
+                span.set(outcome="disabled")
+                return
+            # Refine the loop classification now that features exist.
+            state.loop_class = loop_class_of(method, compiled.features)
+            if self.config.immediate_install:
+                install = now
+            else:
+                install = max(now, self.jit_free) \
+                    + compiled.compile_cycles
+                self.jit_free = install
+            compiled.install_time = install
+            state.pending = compiled
+            state.compile_count += 1
+            self.total_compile_cycles += compiled.compile_cycles
+            if self.config.contention > 0:
+                vm.clock.advance(
+                    int(compiled.compile_cycles * self.config.contention))
+            self.records.append(CompileRecord(
+                method.signature, compiled.level, compiled.modifier,
+                compiled.compile_cycles, now, install))
+            span.set(outcome="queued",
+                     installed_level=compiled.level.name,
+                     compile_cycles=compiled.compile_cycles,
+                     install_at=install)
         self._install_if_due(state)
 
     def _strategy_digest(self):
@@ -311,6 +332,13 @@ class CompilationManager:
             if cached is not None:
                 if candidate > level:
                     cache.stats.tier_skips += 1
+                    tracer = get_tracer()
+                    if tracer.enabled:
+                        tracer.instant(
+                            "jit.tier_skip", cat="control",
+                            method=method.signature,
+                            requested=level.name,
+                            installed=candidate.name)
                 return cached
         compiled = self.compiler.compile(method, level,
                                          modifier=modifier,

@@ -14,6 +14,7 @@ what it is given.
 from repro.clock import VirtualClock
 from repro.errors import VMError
 from repro.jvm.interpreter import Interpreter
+from repro.telemetry import get_tracer
 
 #: Cycles between sampling-profiler ticks (the timer-based half of the
 #: hotness estimate; the other half is invocation counting).
@@ -38,6 +39,11 @@ class VirtualMachine:
 
     def __init__(self, sample_interval=DEFAULT_SAMPLE_INTERVAL):
         self.clock = VirtualClock()
+        # Stamp the active tracer's records with this VM's virtual
+        # time.  The tracer only *reads* the clock, so attaching one
+        # can never perturb a run's cycle counts.
+        self.tracer = get_tracer()
+        self.tracer.bind_clock(self.clock)
         self.classes = {}
         self._methods = {}
         self.invocation_counts = {}
@@ -156,6 +162,10 @@ class VirtualMachine:
         if self.clock.now() >= self._next_sample_at:
             self._next_sample_at = self.clock.now() + self.sample_interval
             self.stats["samples"] += 1
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.instant("vm.sample", cat="vm",
+                               method=method.signature)
             if self.manager is not None:
                 self.manager.on_sample(method)
 

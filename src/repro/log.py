@@ -1,0 +1,79 @@
+"""Central logging setup for the ``repro`` package.
+
+Library modules obtain their logger through :func:`get_logger` and
+never configure handlers themselves (no ``logging.basicConfig`` -- a
+library that calls it hijacks the embedding application's logging).
+Entry points -- the CLI, experiment drivers -- call :func:`configure`
+exactly once, honoring the ``--log-level`` flag or the
+``REPRO_LOG_LEVEL`` environment variable.
+"""
+
+import logging
+import os
+
+#: The package root logger every repro logger hangs off.
+ROOT = "repro"
+
+#: Environment override consulted when configure() gets no level.
+ENV_VAR = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name=None):
+    """The logger for component *name* (``repro.<name>``).
+
+    ``get_logger()`` returns the package root logger; components pass
+    their short name, e.g. ``get_logger("codecache")``.
+    """
+    if not name:
+        return logging.getLogger(ROOT)
+    if name.startswith(ROOT + ".") or name == ROOT:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def parse_level(level):
+    """A logging level from a name ('debug'), number or None."""
+    if level is None:
+        return logging.WARNING
+    if isinstance(level, int):
+        return level
+    parsed = logging.getLevelName(str(level).upper())
+    if not isinstance(parsed, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return parsed
+
+
+def configure(level=None, stream=None):
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: repeated calls adjust the level but never stack
+    handlers.  *level* defaults to ``$REPRO_LOG_LEVEL`` or WARNING.
+    Returns the configured root logger.
+    """
+    if level is None:
+        level = os.environ.get(ENV_VAR)
+    resolved = parse_level(level)
+    root = logging.getLogger(ROOT)
+    root.setLevel(resolved)
+    handler = next((h for h in root.handlers
+                    if getattr(h, "_repro_handler", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream)
+        handler._repro_handler = True
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        # setStream flushes the outgoing stream first; if the embedding
+        # application (or test harness) already closed it, swap without
+        # touching it.
+        if getattr(handler.stream, "closed", False):
+            handler.stream = stream
+        else:
+            handler.setStream(stream)
+    # Our handler presents repro records; don't duplicate them through
+    # whatever handlers the embedding application installed on the
+    # logging root.
+    root.propagate = False
+    return root

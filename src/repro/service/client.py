@@ -1,10 +1,17 @@
-"""The compiler-side client endpoint."""
+"""The compiler-side client endpoint.
+
+Every request/response round-trip runs under a ``service`` span of the
+active tracer: the host-side span duration is the real pipe latency the
+compiler blocks for, the very number the paper's §6 kernel study says
+disqualifies slow models from living inside a JIT.
+"""
 
 import os
 
 from repro.errors import ProtocolError
 from repro.jit.modifiers import Modifier
 from repro.service import protocol as P
+from repro.telemetry import get_tracer
 
 
 class ModelClient:
@@ -25,8 +32,9 @@ class ModelClient:
         return ModelClient(write_fd, read_fd)
 
     def ping(self):
-        P.write_message(self._write, P.MSG_PING)
-        kind, _ = P.read_message(self._read)
+        with get_tracer().span("rpc.ping", cat="service"):
+            P.write_message(self._write, P.MSG_PING)
+            kind, _ = P.read_message(self._read)
         if kind != P.MSG_PONG:
             raise ProtocolError(f"expected PONG, got kind {kind}")
         return True
@@ -37,20 +45,26 @@ class ModelClient:
         Returns a :class:`Modifier`, or None when the server has no
         model for the level (the compiler then uses the original plan).
         """
-        P.write_message(self._write, P.MSG_PREDICT,
-                        P.encode_predict(int(level), features))
-        kind, payload = P.read_message(self._read)
-        if kind != P.MSG_MODIFIER:
-            raise ProtocolError(f"expected MODIFIER, got kind {kind}")
-        bits = P.decode_modifier(payload)
-        if bits == P.NO_MODEL:
-            return None
-        return Modifier(bits)
+        with get_tracer().span("rpc.predict", cat="service",
+                               level=int(level)) as span:
+            P.write_message(self._write, P.MSG_PREDICT,
+                            P.encode_predict(int(level), features))
+            kind, payload = P.read_message(self._read)
+            if kind != P.MSG_MODIFIER:
+                raise ProtocolError(
+                    f"expected MODIFIER, got kind {kind}")
+            bits = P.decode_modifier(payload)
+            if bits == P.NO_MODEL:
+                span.set(no_model=True)
+                return None
+            span.set(modifier_bits=bits)
+            return Modifier(bits)
 
     def model_digest(self):
         """Request the server's model-set digest (cache keying)."""
-        P.write_message(self._write, P.MSG_DIGEST)
-        kind, payload = P.read_message(self._read)
+        with get_tracer().span("rpc.digest", cat="service"):
+            P.write_message(self._write, P.MSG_DIGEST)
+            kind, payload = P.read_message(self._read)
         if kind != P.MSG_DIGEST_VALUE:
             raise ProtocolError(
                 f"expected DIGEST_VALUE, got kind {kind}")
@@ -60,8 +74,9 @@ class ModelClient:
             raise ProtocolError(f"bad digest payload: {exc}")
 
     def shutdown(self):
-        P.write_message(self._write, P.MSG_SHUTDOWN)
-        kind, _ = P.read_message(self._read)
+        with get_tracer().span("rpc.shutdown", cat="service"):
+            P.write_message(self._write, P.MSG_SHUTDOWN)
+            kind, _ = P.read_message(self._read)
         if kind != P.MSG_BYE:
             raise ProtocolError(f"expected BYE, got kind {kind}")
 

@@ -1,0 +1,77 @@
+"""``repro.telemetry`` -- tracing and metrics for the VM/JIT pipeline.
+
+Zero-dependency observability: a :class:`~repro.telemetry.tracer
+.Tracer` records spans/instants/counters on both the host clock and
+the virtual clock, sinks buffer or stream them, and the Chrome
+trace-event exporter makes them loadable in Perfetto.  The
+:class:`~repro.telemetry.metrics.MetricsRegistry` unifies the
+counter bags scattered across ``vm.stats``, the compilation manager
+and :class:`~repro.codecache.stats.CacheStats` behind one
+snapshot/diff API.  See ``docs/observability.md``.
+
+The module holds the *active tracer*: instrumentation points across
+the VM, JIT, controller, code cache and model-service client fetch it
+via :func:`get_tracer` at use time.  It defaults to
+:data:`~repro.telemetry.tracer.NULL_TRACER`, whose every operation is
+a no-op -- a run that never installs a tracer executes the exact same
+virtual-time decisions as one that does (enforced by
+``tests/telemetry/test_invariance.py``).
+
+Install a tracer for a scope with::
+
+    from repro import telemetry
+    tracer = telemetry.Tracer()
+    with telemetry.tracing(tracer):
+        ...  # run the workload
+    events = tracer.events()
+"""
+
+import contextlib
+
+from repro.telemetry.chrome import (chrome_trace, validate_chrome_trace,
+                                    write_chrome_trace)
+from repro.telemetry.metrics import MetricsRegistry, standard_registry
+from repro.telemetry.sinks import JsonlSink, RingBufferSink, TeeSink
+from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "JsonlSink", "MetricsRegistry", "NULL_TRACER", "NullTracer",
+    "RingBufferSink", "TeeSink", "Tracer", "chrome_trace", "get_tracer",
+    "set_tracer", "standard_registry", "tracing",
+    "validate_chrome_trace", "write_chrome_trace",
+]
+
+_active = NULL_TRACER
+
+
+def get_tracer():
+    """The tracer instrumentation points should report to, right now."""
+    return _active
+
+
+def set_tracer(tracer):
+    """Install *tracer* (None restores the null tracer); returns the
+    previously active one.  Prefer the :func:`tracing` context manager,
+    which restores the previous tracer on exit."""
+    global _active
+    previous = _active
+    _active = NULL_TRACER if tracer is None else tracer
+    return previous
+
+
+@contextlib.contextmanager
+def tracing(tracer):
+    """Scope *tracer* as the active tracer.
+
+    ``tracing(None)`` is a no-op scope (the active tracer stays
+    whatever it was), so call sites can thread an optional tracer
+    without branching.
+    """
+    if tracer is None:
+        yield get_tracer()
+        return
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -1,0 +1,164 @@
+"""Chrome trace-event export (loads in Perfetto / chrome://tracing).
+
+The exporter maps tracer records onto the trace-event JSON format's
+"JSON object" flavor: complete ("X"), instant ("i") and counter ("C")
+phases, timestamps in microseconds.  Virtual-clock stamps ride along in
+each event's ``args`` (``vcycles`` / ``vcycles_dur``) so a span's guest
+cost is one click away in the Perfetto detail pane.
+
+:func:`validate_chrome_trace` is the schema check used by the tests and
+the CI trace-smoke step: it returns a list of problem strings (empty =
+valid) instead of raising, so a smoke failure reports everything wrong
+at once.
+"""
+
+import json
+
+#: pid/tid under which all events are filed (single-process simulator;
+#: the modelled JIT thread is virtual, not a host thread).
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+def to_chrome_events(records, pid=TRACE_PID, tid=TRACE_TID):
+    """Convert tracer records to trace-event dicts, sorted by ts."""
+    out = []
+    for rec in records:
+        event = {
+            "name": rec["name"],
+            "cat": rec.get("cat") or "repro",
+            "ph": rec["ph"],
+            "ts": rec["ts"] / 1000.0,  # ns -> us
+            "pid": pid,
+            "tid": tid,
+        }
+        args = dict(rec.get("args") or {})
+        if rec.get("vts") is not None:
+            args["vcycles"] = rec["vts"]
+        if rec.get("vdur") is not None:
+            args["vcycles_dur"] = rec["vdur"]
+        ph = rec["ph"]
+        if ph == "X":
+            event["dur"] = rec.get("dur", 0) / 1000.0
+        elif ph == "i":
+            event["s"] = "t"  # thread-scoped instant
+        elif ph == "C":
+            # Counter events plot their args directly.
+            args = {rec["name"]: args.get("value", 0)}
+        event["args"] = args
+        out.append(event)
+    out.sort(key=lambda e: e["ts"])
+    return out
+
+
+def chrome_trace(records, pid=TRACE_PID, tid=TRACE_TID):
+    """The full trace-event JSON object for *records*."""
+    return {
+        "traceEvents": to_chrome_events(records, pid=pid, tid=tid),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.telemetry",
+            "clock_note": ("ts/dur are host microseconds; "
+                           "args.vcycles[_dur] are virtual cycles"),
+        },
+    }
+
+
+def write_chrome_trace(records, path, pid=TRACE_PID, tid=TRACE_TID):
+    """Export *records* to *path*; returns the event count."""
+    trace = chrome_trace(records, pid=pid, tid=tid)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return len(trace["traceEvents"])
+
+
+_KNOWN_PHASES = {"X", "B", "E", "i", "I", "C", "M"}
+
+
+def validate_chrome_trace(trace):
+    """Schema-check a trace-event JSON object; returns problem strings.
+
+    Checks the invariants Perfetto's importer relies on: a
+    ``traceEvents`` list, per-event name/ph/ts/pid/tid, non-negative
+    ``dur`` on complete events, globally sorted timestamps, and
+    balanced ``B``/``E`` nesting per (pid, tid) for traces that use the
+    begin/end flavor (our exporter emits only ``X``).
+    """
+    problems = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    last_ts = None
+    stacks = {}
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                problems.append(f"{where}: missing {field!r}")
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: ts must be numeric")
+            continue
+        if last_ts is not None and ts < last_ts:
+            problems.append(
+                f"{where}: ts {ts} out of order (previous {last_ts})")
+        last_ts = ts
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(
+                    f"{where}: complete event needs dur >= 0, "
+                    f"got {dur!r}")
+        elif ph in ("B", "E"):
+            key = (event.get("pid"), event.get("tid"))
+            stack = stacks.setdefault(key, [])
+            if ph == "B":
+                stack.append(event.get("name"))
+            elif not stack:
+                problems.append(f"{where}: E without matching B")
+            else:
+                stack.pop()
+    for key, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"unclosed B events on pid/tid {key}: {stack}")
+    return problems
+
+
+def load_chrome_trace(path):
+    """Read a trace file back (for validation / summaries)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def summarize_events(events, top=5):
+    """Per-category counts and hottest spans by host time.
+
+    Works on exporter output (``dur`` in us) and is what the
+    ``repro trace`` CLI prints after writing the file.
+    """
+    by_cat = {}
+    span_time = {}
+    for event in events:
+        cat = event.get("cat", "")
+        by_cat[cat] = by_cat.get(cat, 0) + 1
+        if event.get("ph") == "X":
+            key = (cat, event["name"])
+            span_time[key] = span_time.get(key, 0.0) + event.get("dur", 0)
+    hottest = sorted(span_time.items(), key=lambda kv: -kv[1])[:top]
+    return {
+        "events": len(events),
+        "by_category": by_cat,
+        "hottest_spans": [
+            {"cat": cat, "name": name, "total_us": round(us, 1)}
+            for (cat, name), us in hottest],
+    }

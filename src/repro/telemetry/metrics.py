@@ -1,0 +1,141 @@
+"""The metrics registry: one snapshot over every counter in the system.
+
+The VM, the compilation controller and the code cache each grew their
+own counter bags (``vm.stats`` dicts, :class:`~repro.codecache.stats
+.CacheStats`, ``CompilationManager`` totals).  The registry does not
+replace them -- they stay the cheap plain attributes the hot paths
+bump -- it *names* them: each component registers a source callable,
+and :meth:`MetricsRegistry.snapshot` flattens everything into one
+``{"vm.invocations": 123, "cache.hits": 4, ...}`` dict.
+
+Naming convention: ``<component>.<counter>``, lower_snake_case leaves,
+dots only as the component separator.  Components in this repo:
+``vm``, ``jit`` (controller + compiler), ``cache``, ``service``.
+
+Snapshots are plain dicts, so differencing two of them
+(:meth:`MetricsRegistry.diff`) measures any interval -- per benchmark
+iteration, per experiment phase -- without resetting anything.
+"""
+
+
+class MetricsRegistry:
+    """Named counter sources with a flat snapshot/diff API."""
+
+    def __init__(self):
+        self._sources = {}
+
+    def register(self, component, source):
+        """Register *source* under *component*.
+
+        *source* is a zero-argument callable returning a flat dict of
+        counter name -> value; non-numeric values are carried through
+        snapshots but ignored by :meth:`diff`.  Registering the same
+        component again replaces the source (a fresh VM run supersedes
+        the finished one).
+        """
+        if not callable(source):
+            raise TypeError(f"source for {component!r} must be callable")
+        self._sources[component] = source
+
+    def unregister(self, component):
+        self._sources.pop(component, None)
+
+    def components(self):
+        return sorted(self._sources)
+
+    def snapshot(self):
+        """One flat dict over every registered source, read now."""
+        out = {}
+        for component in sorted(self._sources):
+            values = self._sources[component]()
+            for key, value in values.items():
+                out[f"{component}.{key}"] = value
+        return out
+
+    @staticmethod
+    def diff(before, after):
+        """Numeric deltas ``after - before`` over the shared keys."""
+        out = {}
+        for key, end in after.items():
+            start = before.get(key, 0)
+            if isinstance(end, (int, float)) \
+                    and isinstance(start, (int, float)) \
+                    and not isinstance(end, bool):
+                out[key] = end - start
+        return out
+
+    @staticmethod
+    def render(snapshot, indent=""):
+        """Aligned text grouped by component, for CLI output."""
+        groups = {}
+        for key in sorted(snapshot):
+            component, _, leaf = key.partition(".")
+            groups.setdefault(component, []).append((leaf, snapshot[key]))
+        lines = []
+        for component in sorted(groups):
+            lines.append(f"{indent}{component}:")
+            width = max(len(leaf) for leaf, _v in groups[component])
+            for leaf, value in groups[component]:
+                if isinstance(value, float):
+                    shown = f"{value:,.3f}"
+                elif isinstance(value, int) and not isinstance(value, bool):
+                    shown = f"{value:,}"
+                else:
+                    shown = str(value)
+                lines.append(f"{indent}  {leaf:<{width}s}  {shown:>14s}")
+        return "\n".join(lines)
+
+
+def _vm_source(vm):
+    def read():
+        out = dict(vm.stats)
+        out["cycles"] = vm.clock.now()
+        out["methods_loaded"] = len(vm.methods())
+        return out
+    return read
+
+
+def _manager_source(manager):
+    def read():
+        out = {
+            "compilations": manager.compilations(),
+            "compile_cycles": manager.total_compile_cycles,
+            "jit_free_at": manager.jit_free,
+            "methods_tracked": len(manager.states),
+        }
+        by_level = {}
+        for record in manager.records:
+            by_level[record.level.name.lower()] = \
+                by_level.get(record.level.name.lower(), 0) + 1
+        for name, count in sorted(by_level.items()):
+            out[f"compilations_{name}"] = count
+        disabled = sum(1 for s in manager.states.values() if s.disabled)
+        if disabled:
+            out["methods_disabled"] = disabled
+        return out
+    return read
+
+
+def _cache_source(cache):
+    def read():
+        return cache.stats.as_dict()
+    return read
+
+
+def standard_registry(vm=None, manager=None, cache=None):
+    """The registry every CLI/experiment entry point wants: ``vm`` from
+    the VM's stats + clock, ``jit`` from the compilation manager,
+    ``cache`` from the code cache.  Pass only what the run has; absent
+    components simply contribute no keys."""
+    registry = MetricsRegistry()
+    if vm is not None:
+        registry.register("vm", _vm_source(vm))
+        if manager is None:
+            manager = vm.manager
+    if manager is not None:
+        registry.register("jit", _manager_source(manager))
+        if cache is None:
+            cache = getattr(manager, "code_cache", None)
+    if cache is not None:
+        registry.register("cache", _cache_source(cache))
+    return registry

@@ -1,0 +1,96 @@
+"""Event sinks: where tracer records go.
+
+A sink is any object with ``emit(record)``, ``events()`` and
+``close()``.  Three are provided:
+
+* :class:`RingBufferSink` -- bounded in-memory buffer, the default.
+  Oldest records fall off the end; ``dropped`` counts them so a
+  truncated trace is never mistaken for a complete one.
+* :class:`JsonlSink` -- streams one JSON object per line to a file;
+  for high-volume captures that should not be capped by memory.
+* :class:`TeeSink` -- fans records out to several sinks (e.g. keep a
+  ring for the CLI summary while streaming the full JSONL).
+"""
+
+import json
+from collections import deque
+
+
+class RingBufferSink:
+    """Keep the most recent *capacity* records in memory."""
+
+    def __init__(self, capacity=65536):
+        self._buf = deque(maxlen=capacity)
+        self.capacity = capacity
+        #: Records discarded because the ring was full.
+        self.dropped = 0
+
+    def emit(self, record):
+        if len(self._buf) == self.capacity:
+            self.dropped += 1
+        self._buf.append(record)
+
+    def events(self):
+        return list(self._buf)
+
+    def close(self):
+        pass
+
+    def __len__(self):
+        return len(self._buf)
+
+
+class JsonlSink:
+    """Stream records to *path*, one JSON object per line."""
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self.emitted = 0
+
+    def emit(self, record):
+        self._fh.write(json.dumps(record, sort_keys=True))
+        self._fh.write("\n")
+        self.emitted += 1
+
+    def events(self):
+        """JSONL sinks do not retain records in memory."""
+        return []
+
+    def close(self):
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+class TeeSink:
+    """Duplicate every record into each of *sinks*."""
+
+    def __init__(self, *sinks):
+        self.sinks = list(sinks)
+
+    def emit(self, record):
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def events(self):
+        for sink in self.sinks:
+            events = sink.events()
+            if events:
+                return events
+        return []
+
+    def close(self):
+        for sink in self.sinks:
+            sink.close()
+
+
+def read_jsonl(path):
+    """Load a :class:`JsonlSink` file back into a record list."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,199 @@
+"""The tracer: spans, instants and counters on two clocks at once.
+
+Every record carries *host* time (``time.perf_counter_ns``, relative to
+the tracer's construction) and, when a :class:`~repro.clock
+.VirtualClock` is bound, *virtual* time as well.  Host time answers
+"where did the simulator's CPU cycles go"; virtual time answers "where
+did the guest's cycles go" -- the two questions this repository keeps
+deliberately separate (see ``docs/host-performance.md``), now visible
+side by side in one trace.
+
+Records are plain dicts handed to a sink (see :mod:`repro.telemetry
+.sinks`)::
+
+    {"name": str, "cat": str, "ph": "X" | "i" | "C",
+     "ts": int,          # host ns since the tracer epoch
+     "dur": int,         # host ns, complete ("X") records only
+     "vts": int | None,  # virtual cycles at start (clock bound?)
+     "vdur": int | None, # virtual cycles elapsed, "X" records only
+     "args": dict}       # small JSON-safe payload
+
+The tracer *observes* the virtual clock and never advances it, which is
+what makes the enabled/disabled invariance guarantee
+(``tests/telemetry/test_invariance.py``) possible at all.
+
+:data:`NULL_TRACER` is the disabled implementation: every method is a
+no-op and ``enabled`` is False so instrumented hot paths can skip even
+the argument construction.  Instrumentation sites must never assume a
+real tracer; they fetch whatever is active via
+:func:`repro.telemetry.get_tracer`.
+"""
+
+import time
+
+
+class _NullSpan:
+    """The reusable no-op span (one shared instance, zero allocation)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def set(self, **args):
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: structurally a Tracer, behaviorally nothing.
+
+    Instrumentation guarded by ``tracer.enabled`` pays one attribute
+    load when disabled; unguarded calls pay one no-op method call.
+    Neither touches the virtual clock or allocates.
+    """
+
+    enabled = False
+
+    def span(self, name, cat="", **args):
+        return NULL_SPAN
+
+    def instant(self, name, cat="", **args):
+        pass
+
+    def counter(self, name, value, cat=""):
+        pass
+
+    def bind_clock(self, clock):
+        pass
+
+    def events(self):
+        return []
+
+    def close(self):
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """One in-flight complete ("X") record; emitted on ``__exit__``."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "_ts", "_vts")
+
+    def __init__(self, tracer, name, cat, args):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+
+    def __enter__(self):
+        clock = self.tracer.clock
+        self._vts = clock.now() if clock is not None else None
+        self._ts = self.tracer.host_now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        tracer = self.tracer
+        end = tracer.host_now()
+        clock = tracer.clock
+        vts = self._vts
+        if exc_type is not None:
+            self.args["error"] = exc_type.__name__
+        tracer.emit({
+            "name": self.name, "cat": self.cat, "ph": "X",
+            "ts": self._ts, "dur": end - self._ts,
+            "vts": vts,
+            "vdur": (clock.now() - vts
+                     if clock is not None and vts is not None else None),
+            "args": self.args,
+        })
+        return False
+
+    def set(self, **args):
+        """Attach args discovered mid-span (e.g. hit/miss outcomes)."""
+        self.args.update(args)
+        return self
+
+
+class Tracer:
+    """Records spans/instants/counters into a sink.
+
+    Parameters
+    ----------
+    sink:
+        Any object with ``emit(record)`` (and optionally ``close()``);
+        defaults to a fresh :class:`~repro.telemetry.sinks
+        .RingBufferSink`.
+    clock:
+        A :class:`~repro.clock.VirtualClock` to stamp records with
+        virtual time; usually bound later by the VM via
+        :meth:`bind_clock`.
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, clock=None):
+        if sink is None:
+            from repro.telemetry.sinks import RingBufferSink
+            sink = RingBufferSink()
+        self.sink = sink
+        self.clock = clock
+        self._epoch = time.perf_counter_ns()
+
+    def host_now(self):
+        """Host nanoseconds since this tracer was created."""
+        return time.perf_counter_ns() - self._epoch
+
+    def bind_clock(self, clock):
+        """Stamp subsequent records with *clock*'s virtual time.
+
+        The VM binds its clock at construction; when several VMs run
+        sequentially under one tracer (the warm-start experiment), the
+        most recent binding wins, which is exactly the run in progress.
+        """
+        self.clock = clock
+
+    # -- recording -------------------------------------------------------
+
+    def span(self, name, cat="", **args):
+        """Context manager timing a block as one complete record."""
+        return _Span(self, name, cat, args)
+
+    def instant(self, name, cat="", **args):
+        """A point-in-time marker (tier transition, sample tick...)."""
+        clock = self.clock
+        self.emit({
+            "name": name, "cat": cat, "ph": "i",
+            "ts": self.host_now(), "dur": 0,
+            "vts": clock.now() if clock is not None else None,
+            "vdur": None, "args": args,
+        })
+
+    def counter(self, name, value, cat=""):
+        """A sampled numeric series (queue depth, cache bytes...)."""
+        clock = self.clock
+        self.emit({
+            "name": name, "cat": cat, "ph": "C",
+            "ts": self.host_now(), "dur": 0,
+            "vts": clock.now() if clock is not None else None,
+            "vdur": None, "args": {"value": value},
+        })
+
+    def emit(self, record):
+        self.sink.emit(record)
+
+    # -- access ----------------------------------------------------------
+
+    def events(self):
+        """The sink's retained records (ring-buffer sinks only)."""
+        return self.sink.events()
+
+    def close(self):
+        self.sink.close()

@@ -1,0 +1,115 @@
+"""Exported traces are valid Chrome trace-event JSON: the schema the
+CI trace-smoke step and Perfetto's importer both rely on."""
+
+import pytest
+
+from repro import telemetry
+from repro.experiments.measure import run_once
+from repro.telemetry import (RingBufferSink, Tracer, chrome_trace,
+                             validate_chrome_trace, write_chrome_trace)
+from repro.telemetry.chrome import (TRACE_PID, TRACE_TID,
+                                    load_chrome_trace, summarize_events,
+                                    to_chrome_events)
+from repro.workloads import specjvm_program
+
+
+@pytest.fixture(scope="module")
+def traced_records():
+    """Records from one small traced adaptive run (shared: read-only)."""
+    tracer = Tracer(sink=RingBufferSink(capacity=1 << 18))
+    run_once(specjvm_program("compress"), iterations=1, tracer=tracer)
+    records = tracer.events()
+    assert records, "traced run produced no events"
+    return records
+
+
+class TestExportedTrace:
+
+    def test_validates_clean(self, traced_records):
+        assert validate_chrome_trace(chrome_trace(traced_records)) == []
+
+    def test_event_schema(self, traced_records):
+        events = to_chrome_events(traced_records)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        for event in events:
+            assert event["pid"] == TRACE_PID
+            assert event["tid"] == TRACE_TID
+            assert event["ph"] in ("X", "i", "C")
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_covers_at_least_three_layers(self, traced_records):
+        cats = {e["cat"] for e in to_chrome_events(traced_records)}
+        assert len(cats & {"vm", "jit", "pass", "cache", "control",
+                           "service", "experiment"}) >= 3
+
+    def test_virtual_cycles_ride_in_args(self, traced_records):
+        events = to_chrome_events(traced_records)
+        spans = [e for e in events if e["ph"] == "X"
+                 and e["cat"] == "pass"]
+        assert spans
+        for event in spans:
+            assert "vcycles" in event["args"]
+            assert "vcycles_dur" in event["args"]
+
+    def test_file_round_trip(self, traced_records, tmp_path):
+        path = str(tmp_path / "trace.json")
+        count = write_chrome_trace(traced_records, path)
+        trace = load_chrome_trace(path)
+        assert len(trace["traceEvents"]) == count == len(traced_records)
+        assert validate_chrome_trace(trace) == []
+        summary = summarize_events(trace["traceEvents"])
+        assert summary["events"] == count
+        assert summary["hottest_spans"]
+
+
+class TestValidator:
+    """The validator must actually catch broken traces, or the CI
+    smoke step is theater."""
+
+    def _event(self, **over):
+        event = {"name": "e", "cat": "c", "ph": "i", "ts": 1.0,
+                 "pid": 1, "tid": 1, "s": "t", "args": {}}
+        event.update(over)
+        return event
+
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) \
+            and validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_rejects_missing_fields(self):
+        event = self._event()
+        del event["pid"]
+        problems = validate_chrome_trace({"traceEvents": [event]})
+        assert any("pid" in p for p in problems)
+
+    def test_rejects_unsorted_timestamps(self):
+        trace = {"traceEvents": [self._event(ts=5.0),
+                                 self._event(ts=1.0)]}
+        assert any("out of order" in p
+                   for p in validate_chrome_trace(trace))
+
+    def test_rejects_negative_duration(self):
+        trace = {"traceEvents": [self._event(ph="X", dur=-1.0)]}
+        assert any("dur" in p for p in validate_chrome_trace(trace))
+
+    def test_rejects_unbalanced_begin_end(self):
+        begin = self._event(ph="B")
+        end = self._event(ph="E", ts=2.0)
+        assert validate_chrome_trace({"traceEvents": [begin]})
+        assert validate_chrome_trace({"traceEvents": [end]})
+        assert validate_chrome_trace(
+            {"traceEvents": [begin, end]}) == []
+
+    def test_rejects_unknown_phase(self):
+        trace = {"traceEvents": [self._event(ph="?")]}
+        assert any("phase" in p for p in validate_chrome_trace(trace))
+
+    def test_counter_events_plot_named_value(self):
+        tracer = Tracer()
+        tracer.counter("cache_bytes", 42, cat="cache")
+        (event,) = to_chrome_events(tracer.events())
+        assert event["args"] == {"cache_bytes": 42}

@@ -1,0 +1,151 @@
+"""Tracing must be a pure observer: enabling it cannot move a single
+virtual cycle, change a result, or alter a compilation decision.
+
+Mirrors ``tests/jvm/test_dispatch_parity.py``: hypothesis properties
+over generated programs plus bit-identical adaptive runs of the real
+benchmarks, each executed traced and untraced.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import telemetry
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.experiments.measure import run_once
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager
+from repro.jit.plans import OptLevel
+from repro.jvm.vm import VirtualMachine
+from repro.telemetry import RingBufferSink, Tracer
+from repro.workloads import specjvm_program
+from tests.jit.test_equivalence import args_for, build_vm, same_outcome
+
+#: Guest-visible observables that must not depend on the tracer.
+HEAP_KEYS = ("allocations", "monitor_ops")
+
+
+def _observe_interp(seed, method_sig, args):
+    vm, _program = build_vm(seed)
+    method = vm._methods[method_sig]
+    try:
+        result = vm.interpreter.execute(method, list(args))
+    except Exception as exc:  # guest exception escaping is valid
+        result = ("raised", type(exc).__name__, str(exc))
+    return result, vm.clock.now(), \
+        tuple(vm.stats[k] for k in HEAP_KEYS)
+
+
+def _observe_compiled(seed, method_sig, args, level):
+    vm, _program = build_vm(seed)
+    method = vm._methods[method_sig]
+    compiler = JitCompiler(method_resolver=vm._methods.get)
+    compiled = compiler.compile(method, level)
+    try:
+        result = compiled.execute(vm, list(args))
+    except Exception as exc:
+        result = ("raised", type(exc).__name__, str(exc))
+    return result, vm.clock.now(), \
+        tuple(vm.stats[k] for k in HEAP_KEYS)
+
+
+def _assert_same(traced, plain, label):
+    t_result, t_cycles, t_heap = traced
+    p_result, p_cycles, p_heap = plain
+    assert same_outcome(t_result, p_result), (
+        f"{label}: result {t_result!r} != {p_result!r}")
+    assert t_cycles == p_cycles, (
+        f"{label}: cycles {t_cycles} != {p_cycles}")
+    assert t_heap == p_heap, (
+        f"{label}: heap stats {t_heap} != {p_heap}")
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000), arg_seed=st.integers(0, 50))
+def test_interpretation_invariant_under_tracing(seed, arg_seed):
+    """Random method, interpreted: traced vs untraced is identical in
+    (result, cycle count, heap stats)."""
+    vm, program = build_vm(seed)
+    for method in program.methods():
+        args = args_for(method, arg_seed)
+        with telemetry.tracing(Tracer()):
+            traced = _observe_interp(seed, method.signature, args)
+        plain = _observe_interp(seed, method.signature, args)
+        _assert_same(traced, plain, f"{method.signature} interp")
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 2_000),
+       level=st.sampled_from(list(OptLevel)),
+       arg_seed=st.integers(0, 50))
+def test_compilation_invariant_under_tracing(seed, level, arg_seed):
+    """Random method compiled at each level -- the PassTimer wraps
+    every optimizer pass, yet traced compilation+execution matches the
+    untraced run bit for bit."""
+    vm, program = build_vm(seed)
+    for method in program.methods():
+        args = args_for(method, arg_seed)
+        with telemetry.tracing(Tracer()):
+            traced = _observe_compiled(seed, method.signature, args,
+                                       level)
+        plain = _observe_compiled(seed, method.signature, args, level)
+        _assert_same(traced, plain,
+                     f"{method.signature} compiled@{level.name}")
+
+
+def _adaptive_run(name, iterations=2):
+    """Full adaptive run under the ambient tracer; returns every
+    observable that must be tracer-invariant."""
+    program = specjvm_program(name)
+    vm = VirtualMachine()
+    vm.load_program(program)
+    manager = CompilationManager(
+        JitCompiler(method_resolver=vm._methods.get))
+    vm.attach_manager(manager)
+    results = tuple(vm.call(program.entry, 3) for _ in range(iterations))
+    compile_counts = tuple(sorted(
+        (sig, state.compile_count)
+        for sig, state in manager.states.items()))
+    return (results, vm.clock.now(),
+            tuple(vm.stats[k] for k in HEAP_KEYS),
+            manager.total_compile_cycles, compile_counts)
+
+
+@pytest.mark.parametrize("name", ["compress", "db"])
+def test_adaptive_benchmarks_invariant_under_tracing(name):
+    """Acceptance gate: adaptive runs of real benchmarks are
+    bit-identical -- cycles, compile counts, compile cycles, results --
+    with tracing on or off, and the traced run actually recorded spans
+    from the jit and pass layers."""
+    tracer = Tracer(sink=RingBufferSink(capacity=1 << 18))
+    with telemetry.tracing(tracer):
+        traced = _adaptive_run(name)
+    plain = _adaptive_run(name)
+    assert traced == plain
+    cats = {rec["cat"] for rec in tracer.events()}
+    assert {"jit", "pass", "vm"} <= cats
+
+
+def test_cold_cache_run_invariant_under_tracing(tmp_path):
+    """Adaptive run against a cold code cache: the cache.probe /
+    cache.store spans wrap real store I/O, yet virtual observables and
+    the cache counters themselves are tracer-invariant."""
+    program = specjvm_program("compress")
+
+    def cold_run(directory, tracer):
+        cache = CodeCache(CodeCacheConfig(enabled=True,
+                                          directory=str(directory)))
+        return run_once(program, iterations=1, code_cache=cache,
+                        tracer=tracer), cache
+
+    tracer = Tracer(sink=RingBufferSink(capacity=1 << 18))
+    traced, _ = cold_run(tmp_path / "traced", tracer)
+    plain, _ = cold_run(tmp_path / "plain", None)
+    assert traced.result_value == plain.result_value
+    assert traced.total_cycles == plain.total_cycles
+    assert traced.compile_cycles == plain.compile_cycles
+    assert traced.compilations == plain.compilations
+    assert traced.cache_stats == plain.cache_stats
+    assert traced.cache_stats["stores"] > 0
+    assert any(rec["cat"] == "cache" for rec in tracer.events())

@@ -1,0 +1,63 @@
+"""Central logging config: one handler, one root, no basicConfig."""
+
+import io
+import logging
+
+import pytest
+
+from repro import log as repro_log
+
+
+@pytest.fixture(autouse=True)
+def reset_repro_logger():
+    root = logging.getLogger(repro_log.ROOT)
+    saved = (list(root.handlers), root.level, root.propagate)
+    yield
+    root.handlers, root.level, root.propagate = \
+        list(saved[0]), saved[1], saved[2]
+
+
+def _repro_handlers():
+    root = logging.getLogger(repro_log.ROOT)
+    return [h for h in root.handlers
+            if getattr(h, "_repro_handler", False)]
+
+
+def test_get_logger_prefixes_the_repro_root():
+    assert repro_log.get_logger("codecache").name == "repro.codecache"
+    assert repro_log.get_logger("repro.jit").name == "repro.jit"
+    assert repro_log.get_logger().name == "repro"
+
+
+def test_parse_level():
+    assert repro_log.parse_level("debug") == logging.DEBUG
+    assert repro_log.parse_level("WARNING") == logging.WARNING
+    assert repro_log.parse_level(10) == 10
+    with pytest.raises(ValueError):
+        repro_log.parse_level("loud")
+
+
+def test_configure_is_idempotent():
+    repro_log.configure("info")
+    repro_log.configure("debug")
+    assert len(_repro_handlers()) == 1
+    root = logging.getLogger(repro_log.ROOT)
+    assert root.level == logging.DEBUG
+    assert root.propagate is False
+
+
+def test_configured_output_goes_to_stream():
+    stream = io.StringIO()
+    repro_log.configure("info", stream=stream)
+    repro_log.get_logger("codecache").info("hello cache")
+    out = stream.getvalue()
+    assert "hello cache" in out
+    assert "repro.codecache" in out
+
+
+def test_library_modules_use_the_repro_root():
+    # The migrated codecache logger hangs off the shared root, so one
+    # configure() call governs it.
+    from repro.codecache import store
+    assert store.log.name == "repro.codecache"
+    assert store.log.parent.name in ("repro", "repro.codecache")

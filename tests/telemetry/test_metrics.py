@@ -1,0 +1,114 @@
+"""MetricsRegistry: one snapshot over vm/jit/cache counters, and the
+diff/render helpers the ``repro stats`` CLI is built on."""
+
+import pytest
+
+from repro.codecache import CodeCache, CodeCacheConfig
+from repro.jit.compiler import JitCompiler
+from repro.jit.control import CompilationManager
+from repro.jvm.vm import VirtualMachine
+from repro.telemetry import MetricsRegistry, standard_registry
+from repro.workloads import specjvm_program
+
+
+class TestRegistry:
+
+    def test_snapshot_flattens_by_component(self):
+        registry = MetricsRegistry()
+        registry.register("a", lambda: {"x": 1, "y": 2})
+        registry.register("b", lambda: {"x": 10})
+        assert registry.snapshot() == {"a.x": 1, "a.y": 2, "b.x": 10}
+        assert registry.components() == ["a", "b"]
+
+    def test_snapshot_reads_live_values(self):
+        counters = {"n": 0}
+        registry = MetricsRegistry()
+        registry.register("c", lambda: dict(counters))
+        assert registry.snapshot()["c.n"] == 0
+        counters["n"] = 7
+        assert registry.snapshot()["c.n"] == 7
+
+    def test_reregister_replaces_and_unregister_removes(self):
+        registry = MetricsRegistry()
+        registry.register("a", lambda: {"x": 1})
+        registry.register("a", lambda: {"x": 2})
+        assert registry.snapshot() == {"a.x": 2}
+        registry.unregister("a")
+        assert registry.snapshot() == {}
+        registry.unregister("a")  # idempotent
+
+    def test_non_callable_source_rejected(self):
+        with pytest.raises(TypeError):
+            MetricsRegistry().register("a", {"x": 1})
+
+    def test_diff_is_numeric_only(self):
+        before = {"a.n": 3, "a.label": "cold", "a.flag": True}
+        after = {"a.n": 10, "a.label": "warm", "a.flag": False,
+                 "a.new": 4}
+        delta = MetricsRegistry.diff(before, after)
+        assert delta == {"a.n": 7, "a.new": 4}
+
+    def test_render_groups_and_formats(self):
+        text = MetricsRegistry.render(
+            {"vm.cycles": 1234567, "vm.ratio": 1.5, "jit.n": 2})
+        lines = text.splitlines()
+        assert lines[0] == "jit:"
+        assert "1,234,567" in text
+        assert "1.500" in text
+        assert any(line.strip().startswith("cycles") for line in lines)
+
+
+class TestStandardRegistry:
+
+    def _run(self, cache=None):
+        program = specjvm_program("compress")
+        vm = VirtualMachine()
+        vm.load_program(program)
+        manager = CompilationManager(
+            JitCompiler(method_resolver=vm._methods.get),
+            code_cache=cache)
+        vm.attach_manager(manager)
+        vm.call(program.entry, 3)
+        return vm, manager
+
+    def test_vm_and_jit_discovered_from_vm(self):
+        vm, manager = self._run()
+        snapshot = standard_registry(vm=vm).snapshot()
+        assert snapshot["vm.cycles"] == vm.clock.now()
+        assert snapshot["vm.methods_loaded"] == len(vm.methods())
+        assert snapshot["jit.compilations"] == manager.compilations()
+        assert snapshot["jit.compile_cycles"] == \
+            manager.total_compile_cycles
+        assert snapshot["jit.compilations"] > 0
+        # Per-level breakdown sums to the total.
+        per_level = [v for k, v in snapshot.items()
+                     if k.startswith("jit.compilations_")]
+        assert sum(per_level) == snapshot["jit.compilations"]
+
+    def test_cache_discovered_from_manager(self, tmp_path):
+        cache = CodeCache(CodeCacheConfig(enabled=True,
+                                          directory=str(tmp_path)))
+        vm, _manager = self._run(cache)
+        snapshot = standard_registry(vm=vm).snapshot()
+        assert snapshot["cache.stores"] == cache.stats.stores
+        assert snapshot["cache.stores"] > 0
+
+    def test_diff_isolates_an_interval(self):
+        program = specjvm_program("compress")
+        vm = VirtualMachine()
+        vm.load_program(program)
+        vm.attach_manager(CompilationManager(
+            JitCompiler(method_resolver=vm._methods.get)))
+        registry = standard_registry(vm=vm)
+        vm.call(program.entry, 3)
+        before = registry.snapshot()
+        vm.call(program.entry, 3)
+        delta = MetricsRegistry.diff(before, registry.snapshot())
+        assert delta["vm.cycles"] > 0
+        # The second iteration runs mostly compiled: far fewer (often
+        # zero) new compilations than the first.
+        assert delta["jit.compilations"] <= before["jit.compilations"]
+
+    def test_absent_components_contribute_nothing(self):
+        registry = standard_registry()
+        assert registry.snapshot() == {}

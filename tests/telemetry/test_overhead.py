@@ -1,0 +1,34 @@
+"""The overhead guard: a disabled (null) tracer must cost under the
+published budget on the interpreter microbenchmark, and no tracer mode
+may move virtual time."""
+
+from repro.experiments.hostperf import (NULL_TRACER_BUDGET,
+                                        TRACER_MODES,
+                                        render_tracer_overhead,
+                                        run_tracer_overhead)
+
+
+def test_null_tracer_overhead_under_budget():
+    overhead = run_tracer_overhead(quick=True, repeats=3)
+    if overhead["null_overhead"] >= NULL_TRACER_BUDGET:
+        # A loaded CI host can swallow the ~0% true cost in noise even
+        # with interleaved min-of-N; one deeper retry before failing.
+        overhead = run_tracer_overhead(quick=True, repeats=7)
+    assert set(overhead["modes"]) == set(TRACER_MODES)
+    assert overhead["cycles_identical"] is True
+    assert overhead["null_overhead"] < NULL_TRACER_BUDGET, (
+        f"null tracer costs {overhead['null_overhead']:.1%} on the "
+        f"interpreter microbenchmark "
+        f"(budget {NULL_TRACER_BUDGET:.0%}):\n"
+        + render_tracer_overhead(overhead))
+    # The recording tracer has a budget too -- generous, because it is
+    # actually writing events -- mostly to catch accidental per-bytecode
+    # instrumentation sneaking into the hot loops.
+    assert overhead["on_overhead"] < 0.25
+
+
+def test_render_tracer_overhead_lists_every_mode():
+    overhead = run_tracer_overhead(quick=True, repeats=1)
+    text = render_tracer_overhead(overhead)
+    for mode in TRACER_MODES:
+        assert mode in text

@@ -1,0 +1,167 @@
+"""Tracer core: spans, instants, counters, sinks, the active-tracer
+scope, and the null tracer's do-nothing guarantees."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.clock import VirtualClock
+from repro.telemetry import (JsonlSink, NullTracer, RingBufferSink,
+                             TeeSink, Tracer)
+from repro.telemetry.sinks import read_jsonl
+from repro.telemetry.tracer import NULL_SPAN, NULL_TRACER
+
+
+class TestTracer:
+
+    def test_span_records_host_and_virtual_time(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work", cat="test", key="v") as span:
+            clock.advance(123)
+            span.set(extra=1)
+        (rec,) = tracer.events()
+        assert rec["name"] == "work"
+        assert rec["ph"] == "X"
+        assert rec["cat"] == "test"
+        assert rec["dur"] >= 0
+        assert rec["vts"] == 0
+        assert rec["vdur"] == 123
+        assert rec["args"] == {"key": "v", "extra": 1}
+
+    def test_span_without_clock_has_no_virtual_stamps(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            pass
+        (rec,) = tracer.events()
+        assert rec["vts"] is None and rec["vdur"] is None
+
+    def test_spans_nest_in_emission_order(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        names = [r["name"] for r in tracer.events()]
+        # Complete events are emitted at span *exit*: inner first.
+        assert names == ["inner", "outer"]
+        inner, outer = tracer.events()
+        assert outer["ts"] <= inner["ts"]
+        assert outer["ts"] + outer["dur"] >= inner["ts"] + inner["dur"]
+
+    def test_span_annotates_escaping_exception(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        (rec,) = tracer.events()
+        assert rec["args"]["error"] == "ValueError"
+
+    def test_instant_and_counter(self):
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock)
+        clock.advance(7)
+        tracer.instant("tick", cat="vm", method="m")
+        tracer.counter("depth", 3)
+        instant, counter = tracer.events()
+        assert instant["ph"] == "i" and instant["vts"] == 7
+        assert counter["ph"] == "C"
+        assert counter["args"] == {"value": 3}
+
+    def test_bind_clock_rebinds(self):
+        tracer = Tracer()
+        a, b = VirtualClock(), VirtualClock()
+        tracer.bind_clock(a)
+        a.advance(5)
+        tracer.instant("x")
+        tracer.bind_clock(b)
+        tracer.instant("y")
+        first, second = tracer.events()
+        assert first["vts"] == 5 and second["vts"] == 0
+
+
+class TestNullTracer:
+
+    def test_everything_is_a_noop(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        with tracer.span("x", cat="c", a=1) as span:
+            assert span is NULL_SPAN
+            span.set(b=2)
+        tracer.instant("y")
+        tracer.counter("z", 1)
+        tracer.bind_clock(VirtualClock())
+        assert tracer.events() == []
+        tracer.close()
+
+    def test_default_active_tracer_is_null(self):
+        assert telemetry.get_tracer() is NULL_TRACER
+
+
+class TestActiveTracerScope:
+
+    def test_tracing_installs_and_restores(self):
+        tracer = Tracer()
+        before = telemetry.get_tracer()
+        with telemetry.tracing(tracer) as active:
+            assert active is tracer
+            assert telemetry.get_tracer() is tracer
+        assert telemetry.get_tracer() is before
+
+    def test_tracing_restores_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with telemetry.tracing(tracer):
+                raise RuntimeError
+        assert telemetry.get_tracer() is NULL_TRACER
+
+    def test_tracing_none_keeps_ambient(self):
+        outer = Tracer()
+        with telemetry.tracing(outer):
+            with telemetry.tracing(None) as active:
+                assert active is outer
+                assert telemetry.get_tracer() is outer
+
+    def test_set_tracer_none_restores_null(self):
+        previous = telemetry.set_tracer(Tracer())
+        assert previous is NULL_TRACER
+        telemetry.set_tracer(None)
+        assert telemetry.get_tracer() is NULL_TRACER
+
+
+class TestSinks:
+
+    def test_ring_buffer_caps_and_counts_drops(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit({"i": i})
+        assert len(sink) == 3
+        assert sink.dropped == 2
+        assert [r["i"] for r in sink.events()] == [2, 3, 4]
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = JsonlSink(path)
+        tracer = Tracer(sink=sink)
+        with tracer.span("a", cat="c"):
+            pass
+        tracer.instant("b")
+        tracer.close()
+        records = read_jsonl(path)
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert sink.emitted == 2
+        # Every line is standalone JSON.
+        with open(path) as fh:
+            for line in fh:
+                json.loads(line)
+
+    def test_tee_duplicates(self, tmp_path):
+        ring = RingBufferSink()
+        jsonl = JsonlSink(str(tmp_path / "t.jsonl"))
+        tracer = Tracer(sink=TeeSink(ring, jsonl))
+        tracer.instant("x")
+        tracer.close()
+        assert len(ring.events()) == 1
+        assert len(read_jsonl(jsonl.path)) == 1
+        # events() falls through to the first retaining sink.
+        assert tracer.events() == ring.events()
