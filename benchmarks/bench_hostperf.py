@@ -1,11 +1,11 @@
 """E-HP: host wall-clock cost of the execution engines themselves.
 
 Unlike the figure drivers (which report *virtual* cycles), this driver
-times the simulator on the host: the predecoded table-driven dispatch
-against the retained legacy if/elif loop, interpreter-only / JIT
-steady-state / mixed adaptive, median-of-5.  The same harness backs the
-``repro bench`` CLI; here it runs in quick mode so the benchmark suite
-stays fast.
+times the simulator on the host: the retained legacy if/elif loop, the
+predecoded table-driven dispatch, and the superinstruction block
+compiler, over interpreter-only / JIT steady-state / mixed adaptive,
+median-of-5.  The same harness backs the ``repro bench`` CLI; here it
+runs in quick mode so the benchmark suite stays fast.
 """
 
 import json
@@ -27,10 +27,19 @@ def test_hostperf(benchmark, results_dir):
               encoding="utf-8") as fh:
         json.dump(result, fh, indent=2, sort_keys=True)
     for cells in result["results"].values():
-        for cell in cells.values():
+        for mode, cell in cells.items():
             assert cell["cycles_identical"]
             assert cell["speedup"] > 1.0
+            if mode == "jit":
+                # Steady state is where block fusion must pay off.
+                assert cell["superop_speedup"] >= 1.5
+            elif mode == "mixed":
+                # Fusion cost lands inside the timed region here; the
+                # engine must not lose what dispatch savings buy
+                # (0.9 rather than 1.0 absorbs quick-mode sample noise).
+                assert cell["superop_speedup"] >= 0.9
     assert result["summary"]["min_interp_speedup"] >= 1.8
+    assert result["summary"]["min_superop_jit_speedup"] >= 1.5
     # Tracer-overhead column: off vs null vs recording, with the null
     # tracer inside the published budget and virtual time untouched.
     overhead = result["tracer_overhead"]

@@ -514,7 +514,8 @@ def main(argv=None):
                         "BENCH_hostperf.json)")
     p.add_argument("--check-against", default=None,
                    help="baseline JSON; exit 1 if the interpreter "
-                        "speedup regresses more than 25%%")
+                        "or superop speedup ratios regress more "
+                        "than 25%%")
     p.add_argument("--seed", type=int, default=0,
                    help="master seed (default 0)")
     p.set_defaults(fn=cmd_bench)

@@ -49,13 +49,16 @@ import numpy as np
 
 from repro.errors import CodeCacheError
 from repro.features import NUM_FEATURES
+from repro.jit.codegen import native as native_mod
 from repro.jit.codegen.isa import NInstr, NOp
 from repro.jit.codegen.native import NativeCode
+from repro.jit.codegen.superop import SUPEROP_LEVEL
 from repro.jit.compiler import CompiledMethod
 from repro.jit.ir.block import ILHandler
 from repro.jit.modifiers import Modifier
 from repro.jit.plans import OptLevel
 from repro.jvm.bytecode import JType
+from repro.telemetry import get_tracer
 
 MAGIC = b"TRCC"
 FORMAT_VERSION = 3
@@ -415,6 +418,17 @@ def deserialize_compiled(data, method):
     # Rebuild the table-driven dispatch form eagerly: a warm start pays
     # predecode at load time, not on the first hot-path invocation.
     native.predecode()
+    # Same deal for the superop program: warm-installed host-tier bodies
+    # are fused at load time, so a warm start runs superops immediately.
+    if native_mod.USE_SUPEROP and OptLevel(level) >= SUPEROP_LEVEL:
+        with get_tracer().span("jit.superop", cat="jit",
+                               method=method.signature,
+                               level=OptLevel(level).name,
+                               warm_install=True) as span:
+            program = native.superop()
+            span.set(blocks=len(program.blocks),
+                     fused=program.n_fused,
+                     handler_calls=program.n_handler_calls)
 
     features = np.zeros(NUM_FEATURES, dtype=np.float64)
     for index, value in sparse_features:

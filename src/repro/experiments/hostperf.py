@@ -12,19 +12,24 @@ Methodology: for each (workload, mode) pair the guest program runs
 ``iterations`` times per sample on a fresh VM, ``repeats`` samples per
 dispatch engine, and the **median** sample is reported (median-of-5 in
 the default configuration) together with ns per retired guest
-instruction (``vm.stats`` step counters).  Both engines -- the
-predecoded dispatch and the retained legacy if/elif loop -- run the
-identical workload; their virtual cycle counts are asserted equal, so
-the comparison is pure host-time, never a semantic drift.
+instruction (``interp_steps + retired_instructions``, the
+engine-invariant denominator).  All three engines -- the retained
+legacy if/elif loop, the predecoded table-driven dispatch, and the
+superinstruction block compiler (:mod:`repro.jit.codegen.superop`) --
+run the identical workload; their virtual cycle counts are asserted
+pairwise equal, so the comparison is pure host-time, never a semantic
+drift.
 
 Modes:
 
 * ``interp`` -- no JIT attached; the interpreter microbenchmark.
 * ``jit``    -- every method precompiled (hot) before timing starts;
-  steady-state native-executor throughput.
+  steady-state native-executor throughput.  This is where the superop
+  engine earns its keep: fused bodies run block-at-a-time.
 * ``mixed``  -- the adaptive controller compiles as it goes; this is
   what ``repro run`` does, so its compress row is the end-to-end
-  number.
+  number.  Superop fusion cost lands inside the timed region here,
+  exactly as it does in production.
 """
 
 import contextlib
@@ -49,14 +54,21 @@ WORKLOADS = ("compress", "db", "mtrt")
 
 MODES = ("interp", "jit", "mixed")
 
+#: The dispatch engines timed against each other, slowest first.  The
+#: interpreter only distinguishes legacy from predecoded; the superop
+#: engine additionally fuses hot native bodies into block closures.
+ENGINES = ("legacy", "predecoded", "superop")
+
 #: The regression gate used by CI: the measured speedup must stay above
 #: ``baseline_speedup * (1 - REGRESSION_TOLERANCE)``.
 REGRESSION_TOLERANCE = 0.25
 
 
-def _set_dispatch(predecode):
+def _set_engine(engine):
+    predecode = engine != "legacy"
     _interp_mod.USE_PREDECODE = predecode
     _native_mod.USE_PREDECODE = predecode
+    _native_mod.USE_SUPEROP = engine == "superop"
 
 
 class _Precompiled:
@@ -123,36 +135,62 @@ def _one_sample(program, mode, iterations, compiled_table):
             gc.enable()
 
 
-def _measure(program, mode, predecode, repeats, iterations,
-             compiled_table):
-    _set_dispatch(predecode)
-    times = []
-    vm = None
+def _measure_cell(program, mode, repeats, iterations, compiled_table):
+    """Time every engine on one (workload, mode) cell, paired.
+
+    Sampling is round-robin -- each round times all engines
+    back-to-back -- so slow host-load drift (co-tenants, thermal
+    throttle) lands on every engine alike instead of biasing whichever
+    engine happened to run during the burst.  The reported number per
+    engine is still the median sample.
+    """
+    # Steady state: fusion happens at install time in production, so
+    # build the programs outside the timed region (cached on the
+    # NativeCode, shared across samples).
+    if mode == "jit":
+        for cm in compiled_table.values():
+            cm.native.superop()
+    times = {engine: [] for engine in ENGINES}
+    vms = {}
     for _ in range(repeats):
-        seconds, vm = _one_sample(program, mode, iterations,
-                                  compiled_table)
-        times.append(seconds)
-    steps = vm.stats["interp_steps"] + vm.stats["native_steps"]
-    median = statistics.median(times)
-    return {
-        "runs_s": [round(t, 6) for t in times],
-        "median_s": round(median, 6),
-        "instructions": steps,
-        "ns_per_instr": round(median / steps * 1e9, 2) if steps else None,
-        "cycles": vm.clock.now(),
-    }
+        for engine in ENGINES:
+            _set_engine(engine)
+            seconds, vm = _one_sample(program, mode, iterations,
+                                      compiled_table)
+            times[engine].append(seconds)
+            vms[engine] = vm
+    cell = {}
+    for engine in ENGINES:
+        vm = vms[engine]
+        steps = (vm.stats["interp_steps"]
+                 + vm.stats["retired_instructions"])
+        median = statistics.median(times[engine])
+        cell[engine] = {
+            "runs_s": [round(t, 6) for t in times[engine]],
+            "median_s": round(median, 6),
+            "instructions": steps,
+            "host_steps": (vm.stats["interp_steps"]
+                           + vm.stats["host_steps"]),
+            "superop_blocks": vm.stats["superop_blocks"],
+            "ns_per_instr": (round(median / steps * 1e9, 2)
+                             if steps else None),
+            "cycles": vm.clock.now(),
+        }
+    return cell
 
 
 def run_bench(quick=False, master_seed=0, repeats=5):
     """Run the benchmark matrix; returns the result dict.
 
-    The virtual-clock totals of the two engines are compared for every
-    cell -- a mismatch raises, because a dispatch rewrite that changes
-    virtual time is a correctness bug, not a performance result.
+    The virtual-clock totals of the three engines are compared for
+    every cell -- a mismatch raises, because a dispatch rewrite that
+    changes virtual time is a correctness bug, not a performance
+    result.
     """
     workloads = WORKLOADS[:1] if quick else WORKLOADS
     iterations = 2 if quick else 5
-    saved = (_interp_mod.USE_PREDECODE, _native_mod.USE_PREDECODE)
+    saved = (_interp_mod.USE_PREDECODE, _native_mod.USE_PREDECODE,
+             _native_mod.USE_SUPEROP)
     results = {}
     try:
         for name in workloads:
@@ -160,29 +198,44 @@ def run_bench(quick=False, master_seed=0, repeats=5):
             compiled_table = _compile_all(program)
             results[name] = {}
             for mode in MODES:
-                new = _measure(program, mode, True, repeats, iterations,
-                               compiled_table)
-                old = _measure(program, mode, False, repeats, iterations,
-                               compiled_table)
-                if new["cycles"] != old["cycles"]:
+                cell = _measure_cell(program, mode, repeats,
+                                     iterations, compiled_table)
+                cycles = {cell[e]["cycles"] for e in ENGINES}
+                if len(cycles) != 1:
                     raise AssertionError(
                         f"{name}/{mode}: virtual time diverged between "
-                        f"dispatch engines ({new['cycles']} vs "
-                        f"{old['cycles']})")
-                results[name][mode] = {
-                    "predecoded": new,
-                    "legacy": old,
-                    "speedup": round(old["median_s"] / new["median_s"], 3),
-                    "cycles_identical": True,
-                }
+                        f"dispatch engines ({cycles})")
+                legacy = cell["legacy"]["median_s"]
+                predec = cell["predecoded"]["median_s"]
+                superop = cell["superop"]["median_s"]
+                cell["speedup"] = round(legacy / predec, 3)
+                cell["superop_speedup"] = round(predec / superop, 3)
+                cell["superop_vs_legacy"] = round(legacy / superop, 3)
+                cell["cycles_identical"] = True
+                results[name][mode] = cell
     finally:
-        _interp_mod.USE_PREDECODE, _native_mod.USE_PREDECODE = saved
+        (_interp_mod.USE_PREDECODE, _native_mod.USE_PREDECODE,
+         _native_mod.USE_SUPEROP) = saved
 
     summary = {
         "interp_speedup": {name: cells["interp"]["speedup"]
                            for name, cells in results.items()},
         "min_interp_speedup": min(cells["interp"]["speedup"]
                                   for cells in results.values()),
+        # Steady-state block fusion: superop over the predecoded loop
+        # and over the legacy loop, both on precompiled-hot bodies.
+        "superop_jit_speedup": {
+            name: cells["jit"]["superop_speedup"]
+            for name, cells in results.items()},
+        "min_superop_jit_speedup": min(
+            cells["jit"]["superop_speedup"]
+            for cells in results.values()),
+        "superop_vs_legacy_jit": {
+            name: cells["jit"]["superop_vs_legacy"]
+            for name, cells in results.items()},
+        "superop_mixed_speedup": {
+            name: cells["mixed"]["superop_speedup"]
+            for name, cells in results.items()},
     }
     if "compress" in results:
         summary["e2e_compress_speedup"] = \
@@ -194,11 +247,12 @@ def run_bench(quick=False, master_seed=0, repeats=5):
     return {
         "tracer_overhead": tracer_overhead,
         "methodology": (
-            f"median of {repeats} samples per engine; each sample runs "
-            f"the guest entry {iterations}x on a fresh VM; ns/instr = "
-            "median seconds / retired guest instructions "
-            "(vm.stats interp_steps + native_steps); legacy and "
-            "predecoded engines verified cycle-identical per cell"),
+            f"median of {repeats} paired round-robin samples per "
+            f"engine; each sample runs the guest entry {iterations}x "
+            "on a fresh VM; ns/instr = median seconds / retired guest "
+            "instructions (vm.stats interp_steps + "
+            "retired_instructions); legacy, predecoded and superop "
+            "engines verified cycle-identical per cell"),
         "quick": bool(quick),
         "repeats": repeats,
         "iterations": iterations,
@@ -311,11 +365,12 @@ def render_tracer_overhead(overhead):
 def render(result):
     """Human-readable table of a :func:`run_bench` result."""
     lines = [
-        "Host-perf: predecoded vs legacy dispatch "
+        "Host-perf: legacy vs predecoded vs superop dispatch "
         f"(median of {result['repeats']}, "
         f"{result['iterations']} iteration(s)/sample)",
         f"{'workload':10s} {'mode':7s} {'legacy':>10s} {'predec.':>10s} "
-        f"{'speedup':>8s} {'ns/instr':>9s}",
+        f"{'superop':>10s} {'pre/leg':>8s} {'sup/pre':>8s} "
+        f"{'ns/instr':>9s}",
     ]
     for name, cells in result["results"].items():
         for mode, cell in cells.items():
@@ -323,11 +378,16 @@ def render(result):
                 f"{name:10s} {mode:7s} "
                 f"{cell['legacy']['median_s']*1000:8.1f}ms "
                 f"{cell['predecoded']['median_s']*1000:8.1f}ms "
+                f"{cell['superop']['median_s']*1000:8.1f}ms "
                 f"{cell['speedup']:7.2f}x "
-                f"{cell['predecoded']['ns_per_instr']:9.1f}")
+                f"{cell['superop_speedup']:7.2f}x "
+                f"{cell['superop']['ns_per_instr']:9.1f}")
     s = result["summary"]
     lines.append(f"min interpreter speedup: "
                  f"{s['min_interp_speedup']:.2f}x")
+    if "min_superop_jit_speedup" in s:
+        lines.append(f"min superop jit speedup (vs predecoded): "
+                     f"{s['min_superop_jit_speedup']:.2f}x")
     if "e2e_compress_speedup" in s:
         lines.append(f"end-to-end compress (mixed): "
                      f"{s['e2e_compress_speedup']:.2f}x")
@@ -345,26 +405,33 @@ def save_json(result, path):
 
 
 def check_regression(result, baseline, tolerance=REGRESSION_TOLERANCE):
-    """Compare interpreter-microbench speedups against a baseline run.
+    """Compare engine speedup ratios against a baseline run.
 
-    Speedup *ratios* (legacy/predecoded on the same machine, same
+    Speedup *ratios* (engine-vs-engine on the same machine, same
     process) are machine-portable in a way absolute nanoseconds are
-    not, so CI gates on them.  Returns a list of failure strings, empty
-    when every shared workload holds up.
+    not, so CI gates on them: the interpreter's predecoded/legacy
+    ratio and the superop engine's steady-state superop/legacy ratio.
+    Returns a list of failure strings, empty when every shared
+    workload holds up.
     """
     failures = []
-    base = baseline.get("summary", {}).get("interp_speedup", {})
-    measured = result.get("summary", {}).get("interp_speedup", {})
-    for name, base_speedup in base.items():
-        got = measured.get(name)
-        if got is None:
-            continue  # quick run vs full baseline: gate shared rows only
-        floor = base_speedup * (1.0 - tolerance)
-        if got < floor:
-            failures.append(
-                f"{name}: interpreter speedup {got:.2f}x fell below "
-                f"{floor:.2f}x ({base_speedup:.2f}x baseline "
-                f"- {tolerance:.0%})")
-    if not measured:
+    gates = (
+        ("interp_speedup", "interpreter speedup"),
+        ("superop_vs_legacy_jit", "superop jit speedup vs legacy"),
+    )
+    for key, label in gates:
+        base = baseline.get("summary", {}).get(key, {})
+        measured = result.get("summary", {}).get(key, {})
+        for name, base_speedup in base.items():
+            got = measured.get(name)
+            if got is None:
+                continue  # quick vs full baseline: shared rows only
+            floor = base_speedup * (1.0 - tolerance)
+            if got < floor:
+                failures.append(
+                    f"{name}: {label} {got:.2f}x fell below "
+                    f"{floor:.2f}x ({base_speedup:.2f}x baseline "
+                    f"- {tolerance:.0%})")
+    if not result.get("summary", {}).get("interp_speedup"):
         failures.append("result contains no interpreter measurements")
     return failures

@@ -47,7 +47,15 @@ MAX_NATIVE_STEPS = 20_000_000
 
 #: Mirror of :data:`repro.jvm.interpreter.USE_PREDECODE` for the native
 #: tier; ``REPRO_DISPATCH=legacy`` switches both loops at once.
-USE_PREDECODE = os.environ.get("REPRO_DISPATCH", "").lower() != "legacy"
+_DISPATCH_MODE = os.environ.get("REPRO_DISPATCH", "").lower()
+USE_PREDECODE = _DISPATCH_MODE != "legacy"
+
+#: Third engine (:mod:`repro.jit.codegen.superop`): bodies that carry a
+#: fused superop program run block-at-a-time through its trampoline.
+#: On by default (the hybrid mode: superops for host-tier bodies,
+#: the predecoded loop for everything else); ``REPRO_DISPATCH=predecode``
+#: pins the predecoded loop, ``legacy`` pins the if/elif loop.
+USE_SUPEROP = _DISPATCH_MODE not in ("legacy", "predecode")
 
 _SIMPLE_ALU = {
     NOp.ADD: lambda a, b: a + b,
@@ -518,6 +526,7 @@ class NativeCode:
         # are compile-local, bytecode offsets are not).
         self.block_bc = {b.bid: b.bc_start for b in ilmethod.blocks}
         self._predecoded = None
+        self._superop = None
 
     @classmethod
     def from_parts(cls, method, num_locals, instrs, leaf, handlers,
@@ -540,6 +549,7 @@ class NativeCode:
         self.frame_cost = LEAF_FRAME_COST if leaf else FRAME_COST
         self.block_bc = dict(block_bc)
         self._predecoded = None
+        self._superop = None
         return self
 
     def size(self):
@@ -549,8 +559,23 @@ class NativeCode:
     def invalidate_predecode(self):
         """Drop the cached predecoded body (call after editing
         ``instrs``; recompilation builds a fresh :class:`NativeCode`, so
-        this is only needed for in-place surgery, e.g. in tests)."""
+        this is only needed for in-place surgery, e.g. in tests).  The
+        fused superop program is derived from the predecoded stream, so
+        it is dropped too."""
         self._predecoded = None
+        self._superop = None
+
+    def superop(self):
+        """Build (and cache) the fused superop form of this body.
+
+        Off the hot path: the install points (``JitCompiler.compile``
+        and ``deserialize_compiled``) call this for host-tier bodies;
+        ``execute`` only *uses* a program that is already attached.
+        """
+        if self._superop is None:
+            from repro.jit.codegen.superop import build_superop
+            self._superop = build_superop(self)
+        return self._superop
 
     # -- predecoding -------------------------------------------------------
 
@@ -734,6 +759,8 @@ class NativeCode:
                 zip(args, method.param_types)):
             locals_[i] = value if ptype.is_reference \
                 else coerce(value, ptype)
+        if USE_SUPEROP and self._superop is not None:
+            return self._superop.run(self, vm, locals_, profile)
         if USE_PREDECODE:
             return self._run(vm, locals_, profile)
         return self._run_legacy(vm, locals_, profile)
@@ -787,7 +814,9 @@ class NativeCode:
                 else:  # ("ret", (value, jtype)) sentinel
                     return jump[1]
         finally:
-            stats["native_steps"] += MAX_NATIVE_STEPS - budget
+            steps = MAX_NATIVE_STEPS - budget
+            stats["host_steps"] += steps
+            stats["retired_instructions"] += steps
 
     def _run_legacy(self, vm, locals_, profile):
         method = self.method
@@ -799,6 +828,7 @@ class NativeCode:
         n = len(instrs)
         ip = 0
         steps = 0
+        labels_seen = 0
         prev_dst = None
         pending_exc = None
 
@@ -814,6 +844,7 @@ class NativeCode:
                 ins = instrs[ip]
                 op = ins.op
                 if op is NOp.LABEL:
+                    labels_seen += 1
                     ip += 1
                     continue
                 cost = NATIVE_COST[op]
@@ -1018,7 +1049,11 @@ class NativeCode:
                 else:
                     ip += 1
         finally:
-            vm.stats["native_steps"] += steps
+            # ``steps`` includes LABEL pseudo-instructions (they cost a
+            # loop iteration on this engine); the retired count does not,
+            # keeping it comparable across engines.
+            vm.stats["host_steps"] += steps
+            vm.stats["retired_instructions"] += steps - labels_seen
 
     @staticmethod
     def _alui(a, ins):

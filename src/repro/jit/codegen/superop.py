@@ -1,0 +1,996 @@
+"""The superinstruction host compiler: fuse hot blocks into closures.
+
+The third execution engine.  The predecoded loop (PR 3) removed operand
+decoding from the hot path but still pays one Python-level dispatch --
+tuple unpack, stall test, cost add, handler call, jump-protocol check --
+per retired guest instruction.  This module removes that too, the same
+move template JITs make over interpreter loops: each **basic block** of
+a :class:`~repro.jit.codegen.native.NativeCode` body is translated once,
+off the hot path, into one Python closure (``exec``-compiled source)
+that performs the whole straight-line run -- register reads/writes, ALU
+ops, constant loads, field/array traffic -- with zero per-instruction
+dispatch.  A thin **block trampoline** regains control only at block
+boundaries: branches, guest calls, returns, and the backward-branch
+safepoint polls.
+
+Cost accounting is the non-negotiable part (``docs/host-performance.md``):
+virtual cycles must stay bit-identical to the legacy and predecoded
+engines.  Three mechanisms make that possible:
+
+* the block's per-instruction costs **and** its internal forwarding
+  stalls are statically known at fusion time, so the trampoline charges
+  the whole block in one add before running the closure; the stall of a
+  block's *first* instruction against the previous block's last write is
+  the one dynamic bit, applied at the boundary (``prev_dst``/
+  ``first_srcs``), exactly like the per-step loops do;
+* dynamic costs (taken-branch +1, branch-profile +1, intrinsic cost,
+  allocation, arraycopy) stay where they were -- inside the fused code
+  or the trampoline's terminator step -- so they accrue only when
+  executed;
+* a guest exception escaping mid-closure is located by walking the
+  traceback to the generated frame: each fused instruction occupies
+  exactly one source line, so ``tb_lineno`` names the faulting
+  instruction and the trampoline refunds the cycles of the unexecuted
+  suffix before dispatching to the handler.  The happy path pays nothing
+  for this.
+
+Fusion rules: simple ops are emitted as inline statements (sharing the
+exact helper functions -- ``coerce``, ``mask_integral``, ``null_check``
+-- the predecoded handlers use, so semantics cannot drift); the few
+heavyweight ops (``ACOPY``, ``ACMP``, ``NEWMULTI``, ``CCAST``, intrinsic
+``CALL``) call their prebound predecoded handler from the generated
+line, which is still cheaper than the loop (no table walk, no stall
+test, no jump check).  Conditional-branch tests and return-value reads
+are fused into the closure's final ``return``.  Guest ``CALL``s
+terminate blocks and re-enter through the trampoline, keeping VM
+re-entry out of generated frames.
+
+Registers live in a ``regs`` dict shared across blocks, but a
+whole-body liveness pass keeps most traffic out of it: only registers
+that some block reads before writing (live-in anywhere), that a
+handler-call instruction touches, or that the trampoline itself reads
+(guest-call arguments) are written through to the dict -- everything
+else is a plain Python local of its block's closure.  Write-through
+writes keep the dict current at every instruction boundary, which is
+what makes mid-block exception dispatch correct.
+
+Gating: :meth:`NativeCode.superop` is built eagerly at the same install
+points that predecode eagerly -- ``JitCompiler.compile()`` and
+``deserialize_compiled()`` -- for bodies at :data:`SUPEROP_LEVEL`
+(``HOT``) and above, under a ``jit.superop`` telemetry span, and dropped
+by ``invalidate_predecode()``.  ``REPRO_DISPATCH=superop`` (the default
+hybrid mode) runs eligible bodies through the trampoline; bodies below
+the host tier fall back to the predecoded loop.
+"""
+
+from repro.errors import JavaThrow, StepBudgetExceeded, VMError
+from repro.jit.plans import OptLevel
+from repro.jvm.bytecode import INTEGRAL_BITS, JType
+from repro.jvm.interpreter import coerce
+from repro.jvm.objects import JArray, JObject, null_check
+from repro.jit.codegen.isa import STALL_COST
+from repro.jit.codegen.native import (
+    _BC_HANDLERS,
+    _n_add,
+    _n_addi,
+    _n_alen,
+    _n_ald_imm,
+    _n_ald_reg,
+    _n_alui_add,
+    _n_alui_and,
+    _n_alui_mul,
+    _n_alui_or,
+    _n_alui_shl,
+    _n_alui_shr,
+    _n_alui_sub,
+    _n_alui_xor,
+    _n_and,
+    _n_ast_imm,
+    _n_ast_reg,
+    _n_bndchk,
+    _n_br,
+    _n_call_guest,
+    _n_cast_float,
+    _n_cast_int,
+    _n_catch,
+    _n_cmp,
+    _n_const,
+    _n_div,
+    _n_getf,
+    _n_incloc,
+    _n_inst,
+    _n_ldloc,
+    _n_mone,
+    _n_monx,
+    _n_mov,
+    _n_mul,
+    _n_neg,
+    _n_new_heap,
+    _n_new_stack,
+    _n_newarr_heap,
+    _n_newarr_stack,
+    _n_nullchk,
+    _n_or,
+    _n_putf,
+    _n_rem,
+    _n_ret_val,
+    _n_ret_void,
+    _n_shl,
+    _n_shr,
+    _n_spld,
+    _n_spst,
+    _n_stloc,
+    _n_sub,
+    _n_throw,
+    _n_throwlocal,
+    _n_xor,
+    MAX_NATIVE_STEPS,
+    NativeFrame,
+    _divrem,
+)
+
+#: Lowest optimization level whose bodies are fused into superblocks.
+#: The adaptive controller's host-tier hook (``ControlConfig
+#: .superop_level``) defaults to this; COLD/WARM bodies -- compiled in
+#: bulk, run a handful of times -- are not worth the fusion cost.
+SUPEROP_LEVEL = OptLevel.HOT
+
+# -- block terminator kinds --------------------------------------------------
+
+K_FALL = 0    # fall through into the next block (a label boundary)
+K_BR = 1      # unconditional branch
+K_BC = 2      # conditional branch (taken/profile cycles are dynamic)
+K_RET = 3     # leave the method
+K_TLOCAL = 4  # compile-time-resolved throw to a same-frame handler
+K_CALL = 5    # guest call: the trampoline re-enters the VM
+
+#: Fused comparison suffix per relop (the closure returns the test).
+_RELOP_EXPRS = {"eq": "== 0", "ne": "!= 0", "lt": "< 0",
+                "le": "<= 0", "gt": "> 0", "ge": ">= 0"}
+
+_BC_RELOPS = {handler: relop for relop, handler in _BC_HANDLERS.items()}
+_TERMINATORS = (frozenset(_BC_HANDLERS.values())
+                | {_n_br, _n_ret_val, _n_ret_void, _n_throwlocal,
+                   _n_call_guest})
+
+
+def _bounds_check(ref, idx):
+    """Shared BNDCHK body (identical to ``_n_bndchk``)."""
+    ref = null_check(ref)
+    i = int(idx)
+    if not 0 <= i < ref.length:
+        raise JavaThrow("java/lang/ArrayIndexOutOfBoundsException",
+                        str(i))
+
+
+# -- type-specialized numeric helpers ----------------------------------------
+#
+# ``coerce``/``convert_to_integral``/``mask_integral`` take the target
+# JType at runtime and re-derive its bit width, bounds and signedness on
+# every call.  In fused code the type is a *compile-time* constant, so
+# each integral type gets one closure with all of that precomputed --
+# value-identical to the generic helpers (the float path follows Java's
+# d2i/d2l saturation rules, the int path two's-complement wrapping),
+# just without the per-call type dispatch.
+
+_COERCERS = {}
+_MASKERS = {}
+
+
+def _integral_coercer(jtype):
+    """Specialized ``coerce(value, jtype)`` for an integral/decimal type.
+
+    Also exactly ``convert_to_integral(value, jtype)`` -- for these
+    types the two generic helpers agree.
+    """
+    fn = _COERCERS.get(jtype)
+    if fn is not None:
+        return fn
+    target = jtype if jtype in INTEGRAL_BITS else JType.LONG
+    bits = INTEGRAL_BITS[target]
+    mask = (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    wrap = 1 << bits
+    if target is JType.CHAR:
+        lo, hi = 0, mask
+
+        def fn(value):
+            if isinstance(value, float):
+                if value != value:
+                    return 0
+                if value <= lo:
+                    return lo
+                if value >= hi:
+                    return hi
+                return int(value)
+            return int(value) & mask
+    else:
+        lo, hi = -sign_bit, sign_bit - 1
+
+        def fn(value):
+            if isinstance(value, float):
+                if value != value:
+                    return 0
+                if value <= lo:
+                    return lo
+                if value >= hi:
+                    return hi
+                return int(value)
+            v = int(value) & mask
+            return v - wrap if v >= sign_bit else v
+    _COERCERS[jtype] = fn
+    return fn
+
+
+def _integral_masker(jtype):
+    """Specialized ``mask_integral(value, jtype)`` (int input only)."""
+    fn = _MASKERS.get(jtype)
+    if fn is not None:
+        return fn
+    bits = INTEGRAL_BITS[jtype]
+    mask = (1 << bits) - 1
+    sign_bit = 1 << (bits - 1)
+    wrap = 1 << bits
+    if jtype is JType.CHAR:
+        def fn(v):
+            return v & mask
+    else:
+        def fn(v):
+            v &= mask
+            return v - wrap if v >= sign_bit else v
+    _MASKERS[jtype] = fn
+    return fn
+
+
+class SuperBlock:
+    """One fused basic block plus its precomputed trampoline metadata."""
+
+    __slots__ = (
+        "fn",          # compiled closure (None only for fusion-free blocks)
+        "code",        # fn.__code__, for traceback-based trap location
+        "first_line",  # module line of the first fused instruction
+        "start",       # first entry index (into the predecoded stream)
+        "length",      # retired instructions in this block (incl. terminator)
+        "cost",        # static virtual cycles: base costs + internal stalls
+        "prefix",      # prefix[k] = static cycles through instruction k
+        "first_srcs",  # srcs of the first instruction (entry-stall test)
+        "exit_dst",    # dst carried into the next block on fall-through
+        "kind",        # K_* terminator kind
+        "target",      # successor block index (BR/THROWLOCAL)
+        "backward",    # BR/THROWLOCAL jump is a loop back-edge
+        "taken",       # BC: taken-successor block index
+        "taken_backward",  # BC: taken edge is a back-edge
+        "bc_pc",       # BC: bytecode pc of the owning block (profile key)
+        "ret_type",    # RET: return JType
+        "call_args",   # CALL: prebound (dst, srcs, sig, argtypes)
+        "cls",         # THROWLOCAL: exception class name
+    )
+
+    def __init__(self):
+        for name in self.__slots__:
+            setattr(self, name, None)
+
+
+class SuperProgram:
+    """The fused form of one :class:`NativeCode`: blocks + entry map."""
+
+    __slots__ = ("blocks", "block_at", "n_fused", "n_handler_calls")
+
+    def __init__(self, blocks, block_at, n_fused, n_handler_calls):
+        self.blocks = blocks
+        self.block_at = block_at          # entry index -> block index
+        self.n_fused = n_fused            # instructions fused inline
+        self.n_handler_calls = n_handler_calls
+
+    def run(self, native, vm, locals_, profile):
+        return _execute(self, native, vm, locals_, profile)
+
+
+# -- liveness: which registers must live in the shared dict ------------------
+
+
+def _dict_required(entries, bounds):
+    """Registers that must be written through to the ``regs`` dict.
+
+    A register can stay a closure-local Python variable only if every
+    read of it is preceded, in the same block, by an inline write.  The
+    dict is required for a register that is live-in to any block (read
+    before written there -- including via a mid-block exception entering
+    a handler block), read or written by any handler-call instruction
+    (handlers touch the dict directly), or read by the trampoline
+    (guest-call arguments).
+    """
+    required = set()
+    for bi, start in enumerate(bounds[:-1]):
+        end = bounds[bi + 1]
+        has_term = entries[end - 1][0] in _TERMINATORS
+        written = set()
+        for i in range(start, end):
+            handler, _cost, srcs, dst, _a = entries[i]
+            if has_term and i == end - 1:
+                if handler in _BC_RELOPS or handler is _n_ret_val:
+                    # Fused into the closure's return: a plain read.
+                    for s in srcs:
+                        if s not in written:
+                            required.add(s)
+                elif handler is _n_call_guest:
+                    # The trampoline invokes the handler on the dict.
+                    required.update(srcs)
+                    if dst is not None:
+                        required.add(dst)
+                # BR / THROWLOCAL / RET-void touch no registers.
+            elif handler in _INLINE:
+                for s in srcs:
+                    if s not in written:
+                        required.add(s)
+                if dst is not None:
+                    written.add(dst)
+            else:
+                # Handler call inside the body: reads and writes go
+                # straight to the dict.
+                required.update(srcs)
+                if dst is not None:
+                    required.add(dst)
+                    written.add(dst)
+    return required
+
+
+# -- source emission ---------------------------------------------------------
+
+
+class _Emitter:
+    """Emits one block's straight-line body, one instruction per line.
+
+    Dict-required register writes go through the shared ``regs`` dict
+    *and* (when read again later in the block) a block-local variable
+    (``regs[5] = _r5 = ...``): the dict stays authoritative at every
+    instruction boundary -- which is what makes mid-block exception
+    dispatch and handler-written registers correct -- while later reads
+    hit the fast local.  Registers outside the required set skip the
+    dict entirely.
+    """
+
+    def __init__(self, pool, required):
+        self.pool = pool
+        self.required = required
+        self.lines = []
+        self.cache = {}        # reg -> local name, valid within the block
+        self.read_counts = {}  # reg -> remaining reads in the block
+        self.fused = 0
+        self.handler_calls = 0
+        self.prefix_stmts = []
+
+    def tally_reads(self, srcs):
+        for s in srcs:
+            self.read_counts[s] = self.read_counts.get(s, 0) + 1
+
+    # -- operand helpers -------------------------------------------------
+
+    def lit(self, v):
+        """A literal for *v*: inline when round-trip-safe, else pooled."""
+        if v is None or v is True or v is False:
+            return repr(v)
+        if type(v) is int:
+            return repr(v)
+        if type(v) is str:
+            return repr(v)
+        return self.pool(v)
+
+    def read(self, r):
+        name = self.cache.get(r)
+        if name is not None:
+            self.read_counts[r] -= 1
+            return name
+        left = self.read_counts.get(r, 0)
+        self.read_counts[r] = left - 1
+        if left > 1:
+            # Read again later in this block: promote to a local now.
+            name = f"_r{r}"
+            self.prefix_stmts.append(f"{name} = regs[{r}]")
+            self.cache[r] = name
+            return name
+        return f"regs[{r}]"
+
+    def write(self, d, expr):
+        if d in self.required:
+            if self.read_counts.get(d, 0) > 0:
+                name = f"_r{d}"
+                self.cache[d] = name
+                return f"regs[{d}] = {name} = {expr}"
+            self.cache.pop(d, None)
+            return f"regs[{d}] = {expr}"
+        name = f"_r{d}"
+        self.cache[d] = name
+        return f"{name} = {expr}"
+
+    def coerced(self, expr, t):
+        """``coerce(expr, t)`` with the type resolved at fusion time."""
+        if t.is_floating:
+            return f"float({expr})"
+        if t.is_integral or t.is_decimal:
+            return f"{self.pool(_integral_coercer(t))}({expr})"
+        return expr  # reference types pass through unchanged
+
+    def masked(self, expr, t):
+        """``mask_integral(expr, t)`` specialized for *t*."""
+        return f"{self.pool(_integral_masker(t))}({expr})"
+
+    def handler_call(self, entry):
+        """Fallback: call the prebound predecoded handler inline."""
+        handler, _cost, _srcs, dst, a = entry
+        if dst is not None:
+            # The handler writes the dict directly; any cached local
+            # for dst is stale from here on.
+            self.cache.pop(dst, None)
+        self.handler_calls += 1
+        return f"{self.pool(handler)}(regs, frame, {self.pool(a)})"
+
+    # -- per-instruction emission ----------------------------------------
+
+    def emit(self, entry):
+        """Append exactly one source line for *entry*."""
+        self.prefix_stmts = []
+        stmt = self._emit_stmt(entry)
+        self.prefix_stmts.append(stmt)
+        self.lines.append("; ".join(self.prefix_stmts))
+
+    def _emit_stmt(self, entry):
+        handler, _cost, _srcs, _dst, a = entry
+        emitter = _INLINE.get(handler)
+        if emitter is None:
+            return self.handler_call(entry)
+        self.fused += 1
+        return emitter(self, a)
+
+    def emit_terminator(self, entry):
+        """One ``return`` line for a fusable terminator (BC / RET-val)."""
+        handler, _cost, _srcs, _dst, a = entry
+        self.prefix_stmts = []
+        if handler is _n_ret_val:
+            stmt = f"return {self.read(a[0])}"
+        else:
+            relop = _BC_RELOPS[handler]
+            stmt = f"return {self.read(a[0])} {_RELOP_EXPRS[relop]}"
+        self.prefix_stmts.append(stmt)
+        self.lines.append("; ".join(self.prefix_stmts))
+
+
+def _e_const(e, a):
+    d, v = a
+    return e.write(d, e.lit(v))
+
+
+def _e_mov(e, a):
+    d, s0 = a
+    return e.write(d, e.read(s0))
+
+
+def _e_ldloc(e, a):
+    d, slot = a
+    return e.write(d, f"_L[{slot}]")
+
+
+def _e_stloc(e, a):
+    slot, s0 = a
+    return f"_L[{slot}] = {e.read(s0)}"
+
+
+def _e_incloc(e, a):
+    slot, imm, t = a
+    return (f"_L[{slot}] = "
+            + e.coerced(f"_L[{slot}] + {e.lit(imm)}", t))
+
+
+def _e_binop(op):
+    def emit(e, a):
+        d, s0, s1, t = a
+        return e.write(d, e.coerced(f"{e.read(s0)} {op} {e.read(s1)}",
+                                    t))
+    return emit
+
+
+def _e_bitop(op):
+    def emit(e, a):
+        d, s0, s1, t = a
+        return e.write(d, e.coerced(f"int({e.read(s0)}) {op} "
+                                    f"int({e.read(s1)})", t))
+    return emit
+
+
+def _e_divrem(is_div):
+    def emit(e, a):
+        d, s0, s1, t = a
+        return e.write(d, f"_divrem({e.read(s0)}, {e.read(s1)}, "
+                          f"{e.pool(t)}, {is_div})")
+    return emit
+
+
+def _e_neg(e, a):
+    d, s0, t = a
+    return e.write(d, e.coerced(f"-{e.read(s0)}", t))
+
+
+def _e_shift(op):
+    def emit(e, a):
+        d, s0, s1, bits, t = a
+        return e.write(d, e.masked(f"int({e.read(s0)}) {op} "
+                                   f"(int({e.read(s1)}) & {bits})", t))
+    return emit
+
+
+def _e_cmp(e, a):
+    d, s0, s1 = a
+    return (f"_x = {e.read(s0)}; _y = {e.read(s1)}; "
+            + e.write(d, "-1 if (isinstance(_x, float) and _x != _x)"
+                         " or (isinstance(_y, float) and _y != _y)"
+                         " else (_x > _y) - (_x < _y)"))
+
+
+def _e_addimm(op):
+    def emit(e, a):
+        d, s0, imm, t = a
+        return e.write(d, e.coerced(f"{e.read(s0)} {op} {e.lit(imm)}",
+                                    t))
+    return emit
+
+
+def _e_bitimm(op):
+    def emit(e, a):
+        d, s0, imm, t = a
+        return e.write(d, e.coerced(f"int({e.read(s0)}) {op} "
+                                    f"{e.lit(imm)}", t))
+    return emit
+
+
+def _e_shiftimm(op):
+    def emit(e, a):
+        d, s0, shift, t = a
+        return e.write(d, e.masked(f"int({e.read(s0)}) {op} {shift}",
+                                   t))
+    return emit
+
+
+def _e_cast_float(e, a):
+    d, s0 = a
+    return e.write(d, f"float({e.read(s0)})")
+
+
+def _e_cast_int(e, a):
+    d, s0, to = a
+    return e.write(d, f"{e.pool(_integral_coercer(to))}({e.read(s0)})")
+
+
+def _e_getf(e, a):
+    d, s0, field = a
+    return e.write(d, f"null_check({e.read(s0)}).getfield({e.lit(field)})")
+
+
+def _e_putf(e, a):
+    s0, s1, field = a
+    return (f"null_check({e.read(s0)}).putfield({e.lit(field)}, "
+            f"{e.read(s1)})")
+
+
+def _e_ald_imm(e, a):
+    d, s0, idx = a
+    return e.write(d, f"null_check({e.read(s0)}).load({idx})")
+
+
+def _e_ald_reg(e, a):
+    d, s0, s1 = a
+    return e.write(d, f"null_check({e.read(s0)}).load(int({e.read(s1)}))")
+
+
+def _e_ast_imm(e, a):
+    s0, idx, s1 = a
+    return (f"_o = null_check({e.read(s0)}); _o.store({idx}, "
+            f"coerce({e.read(s1)}, _o.elem_type))")
+
+
+def _e_ast_reg(e, a):
+    s0, s1, s2 = a
+    return (f"_o = null_check({e.read(s0)}); _o.store(int({e.read(s1)}), "
+            f"coerce({e.read(s2)}, _o.elem_type))")
+
+
+def _e_alen(e, a):
+    d, s0 = a
+    return e.write(d, f"null_check({e.read(s0)}).length")
+
+
+def _e_new_heap(e, a):
+    d, cls = a
+    return (f"frame.vm.on_allocation(); "
+            + e.write(d, f"JObject({e.lit(cls)})"))
+
+
+def _e_new_stack(e, a):
+    d, cls = a
+    return (f"_o = JObject({e.lit(cls)}); _o.stack_allocated = True; "
+            + e.write(d, "_o"))
+
+
+def _e_newarr_heap(e, a):
+    d, s0, elem = a
+    return (f"_n = int({e.read(s0)}); frame.vm.on_allocation(); "
+            + e.write(d, f"JArray({e.pool(elem)}, _n)"))
+
+
+def _e_newarr_stack(e, a):
+    d, s0, elem = a
+    return e.write(d, f"JArray({e.pool(elem)}, int({e.read(s0)}))")
+
+
+def _e_inst(e, a):
+    d, s0, cls = a
+    return (f"_o = {e.read(s0)}; "
+            + e.write(d, f"int(isinstance(_o, JObject) and "
+                         f"_o.isinstance_of({e.lit(cls)}, "
+                         f"frame.vm.classes))"))
+
+
+def _e_mone(e, a):
+    return (f"null_check({e.read(a)}); "
+            f"frame.vm.on_monitor(enter=True)")
+
+
+def _e_monx(e, a):
+    return (f"null_check({e.read(a)}); "
+            f"frame.vm.on_monitor(enter=False)")
+
+
+def _e_throw(e, a):
+    return f"raise JavaThrow(null_check({e.read(a)}).class_name)"
+
+
+def _e_nullchk(e, a):
+    return f"null_check({e.read(a)})"
+
+
+def _e_bndchk(e, a):
+    s0, s1 = a
+    return f"_bounds_check({e.read(s0)}, {e.read(s1)})"
+
+
+def _e_catch(e, a):
+    return e.write(a, "frame.pending")
+
+
+def _e_spst(e, a):
+    slot, s0 = a
+    return f"_M[{e.lit(slot)}] = {e.read(s0)}"
+
+
+def _e_spld(e, a):
+    d, slot = a
+    return e.write(d, f"_M[{e.lit(slot)}]")
+
+
+#: Handler -> inline emitter.  Ops absent here (ACOPY, ACMP, NEWMULTI,
+#: CCAST, intrinsic CALL) fall back to calling their prebound predecoded
+#: handler from the generated line.
+_INLINE = {
+    _n_const: _e_const, _n_mov: _e_mov,
+    _n_ldloc: _e_ldloc, _n_stloc: _e_stloc, _n_incloc: _e_incloc,
+    _n_add: _e_binop("+"), _n_sub: _e_binop("-"), _n_mul: _e_binop("*"),
+    _n_or: _e_bitop("|"), _n_and: _e_bitop("&"), _n_xor: _e_bitop("^"),
+    _n_div: _e_divrem(True), _n_rem: _e_divrem(False),
+    _n_neg: _e_neg,
+    _n_shl: _e_shift("<<"), _n_shr: _e_shift(">>"),
+    _n_cmp: _e_cmp,
+    _n_addi: _e_addimm("+"),
+    _n_alui_add: _e_addimm("+"), _n_alui_sub: _e_addimm("-"),
+    _n_alui_mul: _e_addimm("*"),
+    _n_alui_or: _e_bitimm("|"), _n_alui_and: _e_bitimm("&"),
+    _n_alui_xor: _e_bitimm("^"),
+    _n_alui_shl: _e_shiftimm("<<"), _n_alui_shr: _e_shiftimm(">>"),
+    _n_cast_float: _e_cast_float, _n_cast_int: _e_cast_int,
+    _n_getf: _e_getf, _n_putf: _e_putf,
+    _n_ald_imm: _e_ald_imm, _n_ald_reg: _e_ald_reg,
+    _n_ast_imm: _e_ast_imm, _n_ast_reg: _e_ast_reg,
+    _n_alen: _e_alen,
+    _n_new_heap: _e_new_heap, _n_new_stack: _e_new_stack,
+    _n_newarr_heap: _e_newarr_heap, _n_newarr_stack: _e_newarr_stack,
+    _n_inst: _e_inst,
+    _n_mone: _e_mone, _n_monx: _e_monx,
+    _n_throw: _e_throw, _n_nullchk: _e_nullchk, _n_bndchk: _e_bndchk,
+    _n_catch: _e_catch,
+    _n_spst: _e_spst, _n_spld: _e_spld,
+}
+
+#: Base namespace every generated module sees (the same helpers the
+#: predecoded handlers call, so fused semantics cannot drift).
+_BASE_NAMESPACE = {
+    "coerce": coerce,
+    "null_check": null_check,
+    "JObject": JObject,
+    "JArray": JArray,
+    "JavaThrow": JavaThrow,
+    "_divrem": _divrem,
+    "_bounds_check": _bounds_check,
+}
+
+
+# -- fusion ------------------------------------------------------------------
+
+
+def build_superop(native):
+    """Fuse *native*'s predecoded stream into a :class:`SuperProgram`."""
+    entries, pd_instrs, label_newidx = native.predecode()
+    n_real = len(entries) - 1  # drop the fell-off sentinel
+
+    starts = {0}
+    for idx in label_newidx.values():
+        if idx < n_real:
+            starts.add(idx)
+    for i in range(n_real):
+        if entries[i][0] in _TERMINATORS:
+            starts.add(i + 1)
+    starts.discard(n_real)
+    bounds = sorted(starts) + [n_real]
+
+    block_at = {}
+    for bi, start in enumerate(bounds[:-1]):
+        block_at[start] = bi
+    # Jumps to a label sitting past the last real instruction (or the
+    # sentinel itself) fall off the end, like the per-step loops do.
+    nblocks = len(bounds) - 1
+    for aux, idx in label_newidx.items():
+        if idx >= n_real:
+            block_at[idx] = nblocks
+
+    required = _dict_required(entries, bounds)
+
+    namespace = dict(_BASE_NAMESPACE)
+    pool_names = {}
+
+    def pool(obj):
+        key = id(obj)
+        name = pool_names.get(key)
+        if name is None:
+            name = f"_k{len(pool_names)}"
+            pool_names[key] = name
+            namespace[name] = obj
+        return name
+
+    blocks = []
+    src_lines = []
+    line = 1  # compile() numbers lines from 1
+    n_fused = 0
+    n_handler_calls = 0
+    for bi, start in enumerate(bounds[:-1]):
+        end = bounds[bi + 1]
+        b = SuperBlock()
+        b.start = start
+        b.length = end - start
+        term = None
+        body_end = end
+        if entries[end - 1][0] in _TERMINATORS:
+            term = entries[end - 1]
+            body_end = end - 1
+
+        # Static cost: base costs plus every internal forwarding stall.
+        prefix = []
+        total = 0
+        for i in range(start, end):
+            cost = entries[i][1]
+            if i > start and entries[i - 1][3] is not None \
+                    and entries[i - 1][3] in entries[i][2]:
+                cost += STALL_COST
+            total += cost
+            prefix.append(total)
+        b.cost = total
+        b.prefix = tuple(prefix)
+        b.first_srcs = entries[start][2]
+
+        term_fused = term is not None and (
+            term[0] in _BC_RELOPS or term[0] is _n_ret_val)
+
+        # Straight-line body -> one closure, one line per instruction.
+        # BC tests and RET-value reads become the closure's return.
+        if body_end > start or term_fused:
+            emitter = _Emitter(pool, required)
+            for i in range(start, body_end):
+                if entries[i][0] in _INLINE:
+                    emitter.tally_reads(entries[i][2])
+            if term_fused:
+                emitter.tally_reads(term[2])
+            for i in range(start, body_end):
+                emitter.emit(entries[i])
+            if term_fused:
+                emitter.emit_terminator(term)
+                n_fused += 1
+            src_lines.append(f"def _b{bi}(regs, frame, _L, _M):")
+            line += 1
+            b.first_line = line
+            src_lines.extend("    " + ln for ln in emitter.lines)
+            line += len(emitter.lines)
+            n_fused += emitter.fused
+            n_handler_calls += emitter.handler_calls
+
+        # Terminator metadata for the trampoline.
+        if term is None:
+            b.kind = K_FALL
+            b.exit_dst = entries[end - 1][3]
+        else:
+            handler, _cost, srcs, dst, a = term
+            tidx = end - 1
+            if handler is _n_br:
+                b.kind = K_BR
+                b.target = block_at[a]
+                b.backward = a <= tidx
+            elif handler in _BC_RELOPS:
+                b.kind = K_BC
+                s0, target, bc_pc = a
+                b.taken = block_at[target]
+                b.taken_backward = target <= tidx
+                b.bc_pc = bc_pc
+            elif handler is _n_ret_void:
+                b.kind = K_RET
+                b.ret_type = a[1][1]
+            elif handler is _n_ret_val:
+                b.kind = K_RET
+                b.ret_type = a[1]
+            elif handler is _n_throwlocal:
+                b.kind = K_TLOCAL
+                target, cls = a
+                b.target = block_at[target]
+                b.backward = target <= tidx
+                b.cls = cls
+            else:  # guest call
+                b.kind = K_CALL
+                b.call_args = a
+                b.exit_dst = dst
+        blocks.append(b)
+
+    if src_lines:
+        source = "\n".join(src_lines) + "\n"
+        code = compile(source,
+                       f"<superop:{native.method.signature}>", "exec")
+        exec(code, namespace)
+    for bi, b in enumerate(blocks):
+        fn = namespace.get(f"_b{bi}")
+        if fn is not None:
+            b.fn = fn
+            b.code = fn.__code__
+
+    return SuperProgram(tuple(blocks), block_at, n_fused,
+                        n_handler_calls)
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _trap_index(exc, block):
+    """Instruction index (within *block*) where *exc* left the closure."""
+    code = block.code
+    tb = exc.__traceback__
+    while tb is not None:
+        if tb.tb_frame.f_code is code:
+            k = tb.tb_lineno - block.first_line
+            if 0 <= k < len(block.prefix):
+                return k
+            break
+        tb = tb.tb_next
+    raise VMError("superop: cannot locate trap site "
+                  f"in block at entry {block.start}")
+
+
+def _handler_block(native, program, pd_instrs, label_newidx, entry_idx,
+                   thrown):
+    """Exception dispatch: handler's block index, or None to propagate."""
+    il_block = pd_instrs[entry_idx].block
+    for h in native.handlers:
+        if il_block in h.covered and h.matches(thrown.class_name):
+            return program.block_at[label_newidx[h.handler_bid]]
+    return None
+
+
+def _execute(program, native, vm, locals_, profile):
+    """The block trampoline.  Mirrors ``NativeCode._run`` block-wise."""
+    _entries, pd_instrs, label_newidx = native.predecode()
+    blocks = program.blocks
+    nblocks = len(blocks)
+    method = native.method
+    frame = NativeFrame(vm, locals_, profile)
+    regs = {}
+    _L = frame.locals
+    _M = frame.mem
+    clk = vm.clock
+    clk.advance(native.frame_cost)
+    stats = vm.stats
+    bi = 0
+    budget = MAX_NATIVE_STEPS
+    prev_dst = None
+    blocks_run = 0
+    retired = 0
+    try:
+        while True:
+            if bi >= nblocks:
+                raise VMError(f"{method.signature}: fell off native code")
+            b = blocks[bi]
+            blocks_run += 1
+            budget -= b.length
+            if budget < 0:
+                raise StepBudgetExceeded(method.signature,
+                                         MAX_NATIVE_STEPS, "native")
+            if prev_dst is not None and prev_dst in b.first_srcs:
+                clk.cycles += b.cost + STALL_COST
+            else:
+                clk.cycles += b.cost
+            fn = b.fn
+            ret = None
+            if fn is not None:
+                try:
+                    ret = fn(regs, frame, _L, _M)
+                except JavaThrow as thrown:
+                    k = _trap_index(thrown, b)
+                    # Refund the statically charged, never-executed
+                    # suffix; everything through the faulting
+                    # instruction stays charged, as in the loops.
+                    clk.cycles -= b.cost - b.prefix[k]
+                    budget += b.length - (k + 1)
+                    retired += k + 1
+                    target = _handler_block(native, program, pd_instrs,
+                                            label_newidx, b.start + k,
+                                            thrown)
+                    if target is None:
+                        raise
+                    frame.pending = JObject(thrown.class_name)
+                    bi = target
+                    prev_dst = None
+                    continue
+            retired += b.length
+            kind = b.kind
+            if kind == 0:            # K_FALL
+                prev_dst = b.exit_dst
+                bi += 1
+            elif kind == 2:          # K_BC (closure returned the test)
+                if ret:
+                    # Taken conditional branches redirect the pipeline;
+                    # fall-through is free (see ``_bc_body``).
+                    clk.cycles += 1
+                if profile is not None:
+                    key = (b.bc_pc, ret)
+                    profile[key] = profile.get(key, 0) + 1
+                    clk.cycles += 1
+                prev_dst = None
+                if ret:
+                    if b.taken_backward:
+                        vm.on_backward_branch(method)
+                    bi = b.taken
+                else:
+                    bi += 1
+            elif kind == 3:          # K_RET (closure returned the value)
+                return (ret, b.ret_type)
+            elif kind == 1:          # K_BR
+                prev_dst = None
+                if b.backward:
+                    vm.on_backward_branch(method)
+                bi = b.target
+            elif kind == 5:          # K_CALL
+                try:
+                    _n_call_guest(regs, frame, b.call_args)
+                except JavaThrow as thrown:
+                    target = _handler_block(
+                        native, program, pd_instrs, label_newidx,
+                        b.start + b.length - 1, thrown)
+                    if target is None:
+                        raise
+                    frame.pending = JObject(thrown.class_name)
+                    bi = target
+                    prev_dst = None
+                    continue
+                prev_dst = b.exit_dst
+                bi += 1
+            else:                    # K_TLOCAL
+                frame.pending = JObject(b.cls)
+                prev_dst = None
+                if b.backward:
+                    vm.on_backward_branch(method)
+                bi = b.target
+    finally:
+        stats["host_steps"] += blocks_run
+        stats["retired_instructions"] += retired
+        stats["superop_blocks"] += blocks_run
+        stats["superop_steps"] += retired

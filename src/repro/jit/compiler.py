@@ -10,7 +10,9 @@ trade-off the learned models optimize.
 
 from repro.errors import CompilationError
 from repro.features import extract_features
+from repro.jit.codegen import native as native_mod
 from repro.jit.codegen.lower import CodegenOptions, lower_method
+from repro.jit.codegen.superop import SUPEROP_LEVEL
 from repro.jit.ir.cfg import CFGInfo
 from repro.jit.ir.ilgen import generate_il
 from repro.jit.modifiers import Modifier
@@ -74,7 +76,13 @@ class JitCompiler:
         self.method_resolver = method_resolver
         self.plans = plans or default_plans()
         self.debug_check = debug_check
-        self.stats = {"compilations": 0, "compile_cycles": 0}
+        self.stats = {"compilations": 0, "compile_cycles": 0,
+                      "superop_compilations": 0}
+        # Host-tier hook: bodies compiled at this level or above are
+        # fused into superop programs at install time (see
+        # :mod:`repro.jit.codegen.superop`).  The adaptive controller
+        # syncs :attr:`ControlConfig.superop_level` onto this.
+        self.superop_level = SUPEROP_LEVEL
 
     # -- helpers ---------------------------------------------------------
 
@@ -175,6 +183,17 @@ class JitCompiler:
             # the body is final, and paying it here keeps the first
             # compiled invocation off the slow path.
             native.predecode()
+            # Host tier: fuse hot bodies into superop programs, also off
+            # the hot path.  Host-only work -- no virtual cycles charged.
+            if native_mod.USE_SUPEROP and level >= self.superop_level:
+                with tracer.span("jit.superop", cat="jit",
+                                 method=method.signature,
+                                 level=level.name) as sspan:
+                    program = native.superop()
+                    sspan.set(blocks=len(program.blocks),
+                              fused=program.n_fused,
+                              handler_calls=program.n_handler_calls)
+                self.stats["superop_compilations"] += 1
             span.set(compile_cycles=total,
                      modifier_bits=int(modifier.bits),
                      fdo=bool(profile),

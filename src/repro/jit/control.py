@@ -63,6 +63,11 @@ class ControlConfig:
     #: so the first scorching recompilation is profile-directed without
     #: a full re-gathering phase.
     cache_profiles: bool = False
+    #: Host-tier hook: bodies compiled at this level or above are fused
+    #: into superop programs at install time (host-only work, zero
+    #: virtual cycles; see :mod:`repro.jit.codegen.superop`).  COLD/WARM
+    #: bodies run a handful of times and are not worth the fusion cost.
+    superop_level: OptLevel = OptLevel.HOT
 
     def __post_init__(self):
         if self.triggers is None:
@@ -141,6 +146,10 @@ class CompilationManager:
         self.jit_free = 0
         self.total_compile_cycles = 0
         self._model_digest = None  # lazily computed once per run
+        # Propagate the host-tier threshold onto the compiler, which
+        # owns the superop install point.
+        if hasattr(compiler, "superop_level"):
+            compiler.superop_level = self.config.superop_level
 
     # -- VM protocol ---------------------------------------------------------
 
@@ -371,3 +380,9 @@ class CompilationManager:
 
     def compilations(self):
         return len(self.records)
+
+    def queue_depth(self):
+        """Compilations queued on the virtual JIT thread right now
+        (pending bodies whose install time has not yet passed)."""
+        return sum(1 for s in self.states.values()
+                   if s.pending is not None)

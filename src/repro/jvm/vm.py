@@ -61,10 +61,20 @@ class VirtualMachine:
             "allocations": 0,
             "monitor_ops": 0,
             "samples": 0,
-            # Host-perf accounting: instructions retired per tier (the
-            # denominators for ns/instr in ``repro bench``).
+            # Host-perf accounting.  ``interp_steps`` counts interpreted
+            # bytecodes.  For compiled code the two views differ:
+            # ``host_steps`` is engine-*dependent* work on the host (legacy
+            # loop iterations including LABELs, predecoded entries, superop
+            # trampoline blocks) while ``retired_instructions`` is the
+            # engine-*invariant* count of retired native instructions --
+            # the denominator for ns/instr in ``repro bench``.
             "interp_steps": 0,
-            "native_steps": 0,
+            "host_steps": 0,
+            "retired_instructions": 0,
+            # Superop engine: fused blocks dispatched and instructions
+            # retired inside them (a subset of the totals above).
+            "superop_blocks": 0,
+            "superop_steps": 0,
         }
 
     # -- program loading -----------------------------------------------------
@@ -166,6 +176,15 @@ class VirtualMachine:
             if tracer.enabled:
                 tracer.instant("vm.sample", cat="vm",
                                method=method.signature)
+                # Counter series on the sampling cadence: Perfetto
+                # renders these as tracks over virtual time.
+                tracer.counter("vm.superop_blocks",
+                               self.stats["superop_blocks"], cat="vm")
+                if self.manager is not None:
+                    depth = getattr(self.manager, "queue_depth", None)
+                    if depth is not None:
+                        tracer.counter("jit.queue_depth", depth(),
+                                       cat="control")
             if self.manager is not None:
                 self.manager.on_sample(method)
 
